@@ -1,0 +1,266 @@
+// Package act is the public API of the ACT reproduction: production-run
+// software failure diagnosis via adaptive communication tracking, after
+// Alam & Muzahid (ISCA 2016).
+//
+// ACT learns a program's valid sequences of RAW (read-after-write) data
+// communications with a small neural network, watches every dependence
+// online, logs the suspicious ones, and — after a failure — prunes and
+// ranks that log against fresh correct executions to point at the root
+// cause, without ever reproducing the failure.
+//
+// The workflow has four steps:
+//
+//  1. Collect memory-access traces of correct executions (your
+//     instrumentation, or the built-in workloads via cmd/acttrace).
+//  2. Train: act.Train picks a network topology and learns the valid
+//     dependence sequences — act.Model is what you'd embed in the binary.
+//  3. Deploy: act.Deploy attaches a Monitor; feed it every load and
+//     store. It classifies each dependence, keeps a Debug Buffer of
+//     suspicious sequences, and keeps learning online when its
+//     misprediction rate spikes.
+//  4. Diagnose: after a failure, act.Diagnose prunes the Debug Buffer
+//     against correct-run sequences and ranks the survivors.
+//
+// The internal packages contain the full substrate the evaluation runs
+// on — an ISA and VM, a MESI memory hierarchy, a timing simulator, the
+// neural hardware model, benchmark kernels, and sixteen bug workloads;
+// see DESIGN.md.
+package act
+
+import (
+	"fmt"
+	"io"
+
+	"act/internal/core"
+	"act/internal/deps"
+	"act/internal/nn"
+	"act/internal/ranking"
+	"act/internal/trace"
+	"act/internal/train"
+)
+
+// Re-exported data types. A Record is one retired memory operation; a
+// Trace is one execution's ordered records. Dep is one RAW dependence
+// (store instruction S observed by load instruction L); a Sequence is
+// the N-long dependence window the network classifies.
+type (
+	Record     = trace.Record
+	Trace      = trace.Trace
+	Dep        = deps.Dep
+	Sequence   = deps.Sequence
+	DebugEntry = core.DebugEntry
+	Report     = ranking.Report
+	Candidate  = ranking.Candidate
+)
+
+// ReadTrace reads a binary trace written by Trace.Write (or acttrace).
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// Model is a trained communication-invariant classifier: the network
+// topology and weights plus the sequence length it consumes — the
+// payload ACT stores in the program binary.
+type Model struct {
+	res *train.Result
+}
+
+// TrainOption adjusts training.
+type TrainOption func(*train.Config)
+
+// WithFullSearch searches the paper's full topology space (N 1..5,
+// hidden 1..10) instead of the fast default (N 1..3, hidden {4,8,10}).
+func WithFullSearch() TrainOption {
+	return func(c *train.Config) {
+		c.Ns = []int{1, 2, 3, 4, 5}
+		c.Hs = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	}
+}
+
+// WithGranularity tracks last writers at the given byte granularity
+// (8 = per word; a cache-line size models the cheap hardware mode).
+func WithGranularity(bytes uint64) TrainOption {
+	return func(c *train.Config) { c.Granularity = bytes }
+}
+
+// WithSeed fixes the training seed (default 1).
+func WithSeed(seed int64) TrainOption {
+	return func(c *train.Config) { c.Seed = seed }
+}
+
+// WithExclude withholds matching dependences from training, as if the
+// code containing them did not exist yet.
+func WithExclude(f func(Dep) bool) TrainOption {
+	return func(c *train.Config) { c.Exclude = f }
+}
+
+// WithNegativeSampling sets how many wrong-writer negatives are
+// synthesized per observed sequence (default 1; -1 disables, leaving the
+// paper's before-last-store negatives only). Higher values harden the
+// only-observed-communication-is-valid boundary — diagnosis-oriented
+// deployments use 3 — at some cost in false positives.
+func WithNegativeSampling(perSequence int) TrainOption {
+	return func(c *train.Config) { c.RandomNegatives = perSequence }
+}
+
+// WithoutPrior disables the default-invalid prior (the random invalid
+// feature points that make never-observed communication suspect by
+// default). Without it, unseen sequences lean toward "valid":
+// friendlier to new code, blinder to bugs.
+func WithoutPrior() TrainOption {
+	return func(c *train.Config) { c.PriorNegatives = -1 }
+}
+
+// Train runs offline training: the input generator turns the correct-run
+// traces into positive and synthesized negative dependence-sequence
+// examples, a topology search scored on the held-out traces picks the
+// network, and a thorough final fit trains it.
+func Train(trainTraces, testTraces []*Trace, opts ...TrainOption) (*Model, error) {
+	cfg := train.Config{Ns: []int{1, 2, 3}, Hs: []int{4, 8, 10}, Seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	res, err := train.Train(trainTraces, testTraces, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{res: res}, nil
+}
+
+// Topology returns the chosen network topology as "i-h-1".
+func (m *Model) Topology() string { return m.res.Topology() }
+
+// SequenceLength returns N, the dependences per classified sequence.
+func (m *Model) SequenceLength() int { return m.res.N }
+
+// FalsePositiveRate returns the held-out misprediction rate on valid
+// sequences (dynamic-weighted).
+func (m *Model) FalsePositiveRate() float64 { return m.res.Mispred }
+
+// FalseNegativeRate returns the held-out rate of synthesized invalid
+// sequences the network accepts.
+func (m *Model) FalseNegativeRate() float64 { return m.res.FNRate }
+
+// Save writes the model (sequence length, topology, weights).
+func (m *Model) Save(w io.Writer) error {
+	blob, err := m.res.Net.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{byte(m.res.N)}); err != nil {
+		return err
+	}
+	_, err = w.Write(blob)
+	return err
+}
+
+// LoadModel reads a model written by Save (or acttrain).
+func LoadModel(r io.Reader) (*Model, error) {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) < 2 {
+		return nil, fmt.Errorf("act: model blob too short")
+	}
+	n := int(blob[0])
+	var net nn.Network
+	if err := net.UnmarshalBinary(blob[1:]); err != nil {
+		return nil, err
+	}
+	res := &train.Result{Net: &net, N: n, Encoder: deps.EncodeDefault}
+	if want := deps.InputLen(deps.EncodeDefault, n); net.NIn != want {
+		return nil, fmt.Errorf("act: model expects %d inputs for N=%d, blob has %d", want, n, net.NIn)
+	}
+	return &Model{res: res}, nil
+}
+
+// Monitor is a deployed set of per-processor ACT Modules: it forms
+// dependences from the loads and stores you feed it, classifies their
+// sequences, logs predicted-invalid ones, and adapts online.
+type Monitor struct {
+	tracker *core.Tracker
+}
+
+// DeployOption adjusts deployment.
+type DeployOption func(*deployCfg)
+
+type deployCfg struct {
+	tracker core.TrackerConfig
+}
+
+// WithThreshold sets the misprediction rate that flips a module into
+// online-training mode (default 0.05, Table III).
+func WithThreshold(rate float64) DeployOption {
+	return func(c *deployCfg) { c.tracker.Module.MispredThreshold = rate }
+}
+
+// WithDebugBuffer sets the Debug Buffer capacity (default 60).
+func WithDebugBuffer(entries int) DeployOption {
+	return func(c *deployCfg) { c.tracker.Module.DebugBufSize = entries }
+}
+
+// WithCheckInterval sets how many dependences pass between misprediction
+// rate checks — the cadence of testing/training mode decisions (default
+// 1000).
+func WithCheckInterval(deps int) DeployOption {
+	return func(c *deployCfg) { c.tracker.Module.CheckInterval = deps }
+}
+
+// WithDeployGranularity sets last-writer granularity for the deployed
+// extractor (must match training).
+func WithDeployGranularity(bytes uint64) DeployOption {
+	return func(c *deployCfg) { c.tracker.Granularity = bytes }
+}
+
+// Deploy attaches a Monitor initialized with the model's weights for
+// every thread (the augmented-binary semantics: threads unseen at
+// training time would start untrained, in online-training mode).
+func Deploy(m *Model, threads int, opts ...DeployOption) *Monitor {
+	cfg := deployCfg{}
+	cfg.tracker.Module.N = m.res.N
+	cfg.tracker.Module.Encoder = m.res.Encoder
+	for _, o := range opts {
+		o(&cfg)
+	}
+	binary := core.NewWeightBinary(m.res.Net.NIn, m.res.Net.NHidden)
+	binary.PatchAll(threads, m.res.Net.Flatten(nil))
+	return &Monitor{tracker: core.NewTracker(binary, cfg.tracker)}
+}
+
+// OnStore records a store: thread tid's instruction at pc wrote addr.
+func (mo *Monitor) OnStore(tid int, pc, addr uint64) {
+	mo.tracker.OnRecord(Record{Tid: uint16(tid), PC: pc, Addr: addr, Store: true})
+}
+
+// OnLoad records a load: thread tid's instruction at pc read addr.
+func (mo *Monitor) OnLoad(tid int, pc, addr uint64) {
+	mo.tracker.OnRecord(Record{Tid: uint16(tid), PC: pc, Addr: addr})
+}
+
+// Replay feeds a whole trace through the monitor.
+func (mo *Monitor) Replay(t *Trace) { mo.tracker.Replay(t) }
+
+// DebugBuffer returns every module's logged suspicious sequences,
+// oldest first per processor — the log handed to Diagnose after a
+// failure.
+func (mo *Monitor) DebugBuffer() []DebugEntry { return mo.tracker.DebugBuffers() }
+
+// Stats summarizes the monitor's activity.
+func (mo *Monitor) Stats() core.Stats { return mo.tracker.Stats() }
+
+// TeachInvalid feeds a known-buggy dependence sequence back to thread
+// tid's module as a negative example — the escape hatch for a failure
+// that slipped past the network and was root-caused by other means
+// (Section III-C). It reports whether the module now rejects it.
+func (mo *Monitor) TeachInvalid(tid int, s Sequence) bool {
+	return mo.tracker.Module(tid).TeachInvalid(s)
+}
+
+// Diagnose runs offline postprocessing: sequences occurring in the
+// correct traces form the Correct Set, matching Debug Buffer entries are
+// pruned, and the survivors are ranked — most-matched first, most
+// negative network output breaking ties. The failure itself is never
+// re-executed.
+func Diagnose(debug []DebugEntry, correct []*Trace, sequenceLength int) *Report {
+	set := deps.CollectSequences(correct, deps.ExtractorConfig{N: sequenceLength})
+	return ranking.Rank(debug, set)
+}

@@ -1,0 +1,184 @@
+package act
+
+import (
+	"bytes"
+	"testing"
+
+	"act/internal/trace"
+	"act/internal/vm"
+	"act/internal/workloads"
+)
+
+// kernelTraces collects correct-run traces of a kernel through the
+// public flow.
+func kernelTraces(t *testing.T, name string, n int, base int64) []*Trace {
+	t.Helper()
+	w, err := workloads.KernelByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*Trace
+	for s := base; s < base+int64(n); s++ {
+		tr, res := trace.Collect(w.Build(s), w.Sched(s))
+		if res.Failed {
+			continue
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+func TestTrainDeployDiagnoseRoundTrip(t *testing.T) {
+	// The README quickstart flow, against the apache bug program.
+	b, err := workloads.BugByName("apache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, err := workloads.CollectOutcome(b, false, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trainTr, testTr []*Trace
+	for i, r := range correct {
+		if i < 9 {
+			trainTr = append(trainTr, r.Trace)
+		} else {
+			testTr = append(testTr, r.Trace)
+		}
+	}
+	model, err := Train(trainTr, testTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.SequenceLength() < 1 || model.Topology() == "" {
+		t.Fatalf("model: N=%d topo=%q", model.SequenceLength(), model.Topology())
+	}
+
+	fails, err := workloads.CollectOutcome(b, true, 1, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := Deploy(model, fails[0].Program.NumThreads())
+	mon.Replay(fails[0].Trace)
+	debug := mon.DebugBuffer()
+	if len(debug) == 0 {
+		t.Fatal("nothing logged for a failing run")
+	}
+
+	var pruneTr []*Trace
+	prune, err := workloads.CollectOutcome(b, false, 10, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range prune {
+		pruneTr = append(pruneTr, r.Trace)
+	}
+	rep := Diagnose(debug, pruneTr, model.SequenceLength())
+	match := b.Matcher(fails[0].Program)
+	if rank := rep.RankOf(match); rank != 1 {
+		t.Fatalf("root cause rank = %d, want 1", rank)
+	}
+}
+
+func TestModelSaveLoad(t *testing.T) {
+	trainTr := kernelTraces(t, "mcf", 8, 0)
+	testTr := kernelTraces(t, "mcf", 4, 10_000)
+	model, err := Train(trainTr, testTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Topology() != model.Topology() || loaded.SequenceLength() != model.SequenceLength() {
+		t.Fatalf("loaded %s/N=%d, want %s/N=%d",
+			loaded.Topology(), loaded.SequenceLength(), model.Topology(), model.SequenceLength())
+	}
+	if _, err := LoadModel(bytes.NewReader([]byte{9})); err == nil {
+		t.Fatal("truncated model accepted")
+	}
+}
+
+func TestMonitorManualFeed(t *testing.T) {
+	trainTr := kernelTraces(t, "mcf", 8, 0)
+	testTr := kernelTraces(t, "mcf", 4, 10_000)
+	model, err := Train(trainTr, testTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := Deploy(model, 1, WithDebugBuffer(16))
+	// Feed a store/load pair by hand: a wrong-writer dependence should
+	// be classified (and very likely flagged).
+	mon.OnStore(0, 0xDEAD0000, 0x10000000)
+	mon.OnLoad(0, 0xBEEF0000, 0x10000000)
+	st := mon.Stats()
+	if st.Deps != 1 {
+		t.Fatalf("deps = %d, want 1", st.Deps)
+	}
+}
+
+func TestTrainOptions(t *testing.T) {
+	trainTr := kernelTraces(t, "bzip2", 8, 0)
+	testTr := kernelTraces(t, "bzip2", 4, 10_000)
+	model, err := Train(trainTr, testTr,
+		WithSeed(7),
+		WithGranularity(64),
+		WithExclude(func(d Dep) bool { return false }),
+		WithNegativeSampling(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.FalsePositiveRate() > 0.2 {
+		t.Errorf("FP rate %v high for bzip2 at line granularity", model.FalsePositiveRate())
+	}
+}
+
+func TestWithoutPriorLeansValid(t *testing.T) {
+	// Without the default-invalid prior, sequences the training never
+	// saw should be accepted at least as often as with it.
+	trainTr := kernelTraces(t, "gcc", 8, 0)
+	testTr := kernelTraces(t, "gcc", 4, 10_000)
+	strict, err := Train(trainTr, testTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lax, err := Train(trainTr, testTr, WithoutPrior(), WithNegativeSampling(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := func(m *Model) int {
+		mon := Deploy(m, 1, WithDebugBuffer(256))
+		for i := uint64(0); i < 64; i++ {
+			mon.OnStore(0, 0xF000_0000+i*8, 0x2000_0000+i*8)
+			mon.OnLoad(0, 0xF100_0000+i*8, 0x2000_0000+i*8)
+		}
+		return int(mon.Stats().PredictedInvalid)
+	}
+	sf, lf := probe(strict), probe(lax)
+	t.Logf("unseen flagged: with prior %d, without %d", sf, lf)
+	if lf > sf {
+		t.Errorf("prior-less model flagged more unseen sequences (%d > %d)", lf, sf)
+	}
+}
+
+func TestDeployThresholdOption(t *testing.T) {
+	trainTr := kernelTraces(t, "mcf", 6, 0)
+	testTr := kernelTraces(t, "mcf", 3, 10_000)
+	model, err := Train(trainTr, testTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := Deploy(model, 2, WithThreshold(0.5), WithDebugBuffer(8))
+	w, _ := workloads.KernelByName("mcf")
+	tr, _ := trace.Collect(w.Build(99), vm.SchedConfig{Seed: 99})
+	mon.Replay(tr)
+	if mon.Stats().Deps == 0 {
+		t.Fatal("monitor saw no dependences")
+	}
+}

@@ -1,0 +1,128 @@
+// Command actbench regenerates the tables and figures of the paper's
+// evaluation (Section VI). Each experiment prints the same rows/series
+// the paper reports; see EXPERIMENTS.md for the paper-vs-measured
+// comparison.
+//
+// Usage:
+//
+//	actbench -exp all            # everything, quick scale
+//	actbench -exp table5 -full   # one experiment at paper scale
+//	actbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"act/internal/bench"
+	"act/internal/nnhw"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(bench.Mode) (string, error)
+}
+
+var experiments = []experiment{
+	{"table4", "Table IV: offline training of the neural networks", func(m bench.Mode) (string, error) {
+		rows, err := bench.TableIV(m)
+		return bench.RenderTableIV(rows), err
+	}},
+	{"fig7a", "Fig 7(a): misprediction on synthesized invalid dependences", func(m bench.Mode) (string, error) {
+		rows, err := bench.Fig7a(m)
+		return bench.RenderFig7a(rows), err
+	}},
+	{"fig7b", "Fig 7(b): prediction on new (held-out) code", func(m bench.Mode) (string, error) {
+		rows, err := bench.Fig7b(m)
+		return bench.RenderFig7b(rows), err
+	}},
+	{"table5", "Table V: diagnosis of real bugs vs Aviso and PBI", func(m bench.Mode) (string, error) {
+		rows, err := bench.TableV(m)
+		return bench.RenderTableV(rows), err
+	}},
+	{"table6", "Table VI: injected bugs in new code", func(m bench.Mode) (string, error) {
+		rows, err := bench.TableVI(m)
+		return bench.RenderTableVI(rows), err
+	}},
+	{"fig8", "Fig 8: execution overhead (default design point)", func(m bench.Mode) (string, error) {
+		rows, err := bench.Fig8(m, nnhw.Config{})
+		return bench.RenderFig8(rows), err
+	}},
+	{"fig9", "Fig 9: sensitivity to multiply-add units and FIFO depth", func(m bench.Mode) (string, error) {
+		rows, err := bench.Fig9(m)
+		return bench.RenderFig9(rows), err
+	}},
+	{"fig10", "Fig 10: false-sharing impact of last-writer granularity", func(m bench.Mode) (string, error) {
+		rows, err := bench.Fig10(m)
+		return bench.RenderFig10(rows), err
+	}},
+	{"nndesign", "Sec IV-A: pipelined NN vs fully configurable NPU", func(bench.Mode) (string, error) {
+		return bench.RenderNNDesign(bench.NNDesign()), nil
+	}},
+	{"ablation-encoding", "Ablation: feature encoding", func(m bench.Mode) (string, error) {
+		rows, err := bench.AblationEncoding(m)
+		return bench.RenderAblation("Encoding", rows), err
+	}},
+	{"ablation-negatives", "Ablation: negative-example strategy", func(m bench.Mode) (string, error) {
+		rows, err := bench.AblationNegatives(m)
+		return bench.RenderAblation("Negatives", rows), err
+	}},
+	{"ablation-threshold", "Ablation: misprediction threshold", func(m bench.Mode) (string, error) {
+		rows, err := bench.AblationThreshold(m)
+		return bench.RenderThreshold(rows), err
+	}},
+	{"ablation-quantization", "Ablation: fixed-point weight-register precision", func(m bench.Mode) (string, error) {
+		rows, err := bench.AblationQuantization(m)
+		return bench.RenderQuantization(rows), err
+	}},
+	{"ablation-ranking", "Ablation: postprocessing ranking strategy", func(m bench.Mode) (string, error) {
+		rows, err := bench.AblationRanking(m)
+		return bench.RenderRanking(rows), err
+	}},
+}
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment to run (see -list), or comma list, or 'all'")
+		full = flag.Bool("full", false, "paper-scale parameters (slow)")
+		list = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("  %-20s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	mode := bench.Quick
+	if *full {
+		mode = bench.Full
+	}
+
+	want := map[string]bool{}
+	for _, n := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	ranAny := false
+	for _, e := range experiments {
+		if !want["all"] && !want[e.name] {
+			continue
+		}
+		ranAny = true
+		fmt.Printf("=== %s — %s ===\n", e.name, e.desc)
+		out, err := e.run(mode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "actbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if !ranAny {
+		fmt.Fprintf(os.Stderr, "actbench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(1)
+	}
+}

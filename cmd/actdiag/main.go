@@ -1,0 +1,105 @@
+// Command actdiag runs ACT's end-to-end diagnosis on one of the bug
+// programs: offline training on correct runs, deployment, a production
+// failure, and offline postprocessing that prunes and ranks the Debug
+// Buffer. The failure is never reproduced.
+//
+// Usage:
+//
+//	actdiag -bug apache
+//	actdiag -bug injected-lu -newcode     # Table VI: train without the new function
+//	actdiag -bug mysql1 -report 10        # show the top 10 ranked sequences
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"act/internal/diagnose"
+	"act/internal/nn"
+	"act/internal/train"
+	"act/internal/workloads"
+)
+
+func main() {
+	var (
+		bugName = flag.String("bug", "", "bug program to diagnose (see acttrace -list)")
+		newcode = flag.Bool("newcode", false, "for injected bugs: withhold the injected function from training")
+		report  = flag.Int("report", 5, "ranked sequences to print")
+		full    = flag.Bool("full", false, "paper-scale training budgets")
+	)
+	flag.Parse()
+	if *bugName == "" {
+		fatal(fmt.Errorf("need -bug NAME"))
+	}
+
+	b, err := workloads.BugByName(*bugName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := diagnose.Config{TrainRuns: 10, TestRuns: 4, CorrectSetRuns: 15, FailSeedBase: 100_000}
+	// Diagnosis always searches N >= 2: a single-dependence sequence
+	// cannot carry the context the atomicity-violation signatures live
+	// in.
+	if *full {
+		cfg.Train = train.Config{
+			Ns: []int{2, 3, 4, 5}, Seed: 1,
+			RandomNegatives: 3,
+		}
+	} else {
+		cfg.Train = train.Config{
+			Ns: []int{2, 3}, Hs: []int{6, 10}, Seed: 1,
+			RandomNegatives: 3,
+			SearchFit:       nn.FitConfig{MaxEpochs: 400, Seed: 1},
+			FinalFit:        nn.FitConfig{MaxEpochs: 6000, Seed: 1, Patience: 800},
+		}
+	}
+	if *newcode {
+		ib, err := workloads.InjectedBugByName(kernelOf(*bugName))
+		if err != nil {
+			fatal(err)
+		}
+		p, _ := ib.Gen(0)
+		cfg.Exclude = ib.NewCodeFilter(p)
+		b = ib.Bug
+	}
+
+	out, err := diagnose.Diagnose(b, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("bug:            %s (%s, %s)\n", b.Name, b.Desc, b.Status)
+	fmt.Printf("trained:        topology %s on %d correct runs (FP %.3f%%)\n",
+		out.Training.Topology(), cfg.TrainRuns, 100*out.Training.Mispred)
+	fmt.Printf("failure:        seed %d (analyzed %d production failure(s))\n",
+		out.FailSeed, out.FailuresTried)
+	fmt.Printf("debug buffer:   %d entries; root cause at position %d (newest first)\n",
+		out.DebugLen, out.DebugPos)
+	fmt.Printf("postprocessing: pruned %.0f%%, %d candidates remain\n",
+		out.FilterPct, out.Candidates)
+	if out.Rank > 0 {
+		fmt.Printf("diagnosis:      root cause ranked #%d\n", out.Rank)
+	} else {
+		fmt.Printf("diagnosis:      root cause NOT found\n")
+	}
+	fmt.Println()
+	out.Report.Write(os.Stdout, *report)
+	if out.Rank == 0 {
+		os.Exit(2)
+	}
+}
+
+// kernelOf maps "injected-lu" to "lu".
+func kernelOf(name string) string {
+	const p = "injected-"
+	if len(name) > len(p) && name[:len(p)] == p {
+		return name[len(p):]
+	}
+	return name
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "actdiag:", err)
+	os.Exit(1)
+}

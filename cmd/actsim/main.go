@@ -1,0 +1,115 @@
+// Command actsim runs a workload on the simulated multicore of Table III
+// with per-core ACT Modules and reports cycles, IPC, memory behaviour,
+// module activity, and the execution overhead against the baseline
+// machine without ACT.
+//
+// Usage:
+//
+//	actsim -workload lu -seed 1
+//	actsim -workload mcf -muladd 10 -fifo 16
+//	actsim -bug ptx -seed 0          # a failing input under the timing model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"act/internal/core"
+	"act/internal/mem"
+	"act/internal/nnhw"
+	"act/internal/program"
+	"act/internal/sim"
+	"act/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "kernel to simulate")
+		bug      = flag.String("bug", "", "bug program to simulate instead")
+		seed     = flag.Int64("seed", 1, "input/interleaving seed")
+		muladd   = flag.Int("muladd", 1, "multiply-add units per neuron (1, 2, 5, 10)")
+		fifo     = flag.Int("fifo", 8, "NN input FIFO entries (4, 8, 16)")
+		line     = flag.Int("line", 64, "cache line size in bytes")
+		trained  = flag.Bool("trained", true, "deploy with converged weights (false: online training from scratch)")
+		migrate  = flag.Int64("migrate", 0, "rotate threads across cores every N cycles (0 = off)")
+		noact    = flag.Bool("baseline", false, "simulate without ACT only")
+	)
+	flag.Parse()
+
+	p, err := buildProgram(*workload, *bug, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := sim.Config{
+		Mem:          mem.Config{LineSize: *line},
+		NNHW:         nnhw.Config{MulAddUnits: *muladd, FIFODepth: *fifo},
+		MigrateEvery: *migrate,
+	}
+	if *trained {
+		cfg.Binary = core.AlwaysValidBinary(6, 10, p.NumThreads())
+	}
+
+	if *noact {
+		res, err := sim.Run(p, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		printRun("baseline", res)
+		return
+	}
+
+	ov, base, act, err := sim.Overhead(p, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	printRun("baseline", base)
+	printRun("with ACT", act)
+	fmt.Printf("\noverhead: %.2f%%\n", 100*ov)
+}
+
+func buildProgram(workload, bug string, seed int64) (*program.Program, error) {
+	switch {
+	case workload != "":
+		w, err := workloads.KernelByName(workload)
+		if err != nil {
+			return nil, err
+		}
+		return w.Build(seed), nil
+	case bug != "":
+		b, err := workloads.BugByName(bug)
+		if err != nil {
+			return nil, err
+		}
+		p, _ := b.Gen(seed)
+		return p, nil
+	default:
+		return nil, fmt.Errorf("need -workload or -bug")
+	}
+}
+
+func printRun(label string, r *sim.Result) {
+	fmt.Printf("%s:\n", label)
+	fmt.Printf("  cycles        %d\n", r.Cycles)
+	fmt.Printf("  instructions  %d (IPC %.2f)\n", r.Instructions, r.IPC())
+	fmt.Printf("  memory        L1 %d, L2 %d, remote %d, memory %d\n",
+		r.Mem.L1Hits, r.Mem.L2Hits, r.Mem.RemoteHits, r.Mem.MemFills)
+	if r.Module.Deps > 0 {
+		fmt.Printf("  ACT           %d deps, %d flagged invalid, %d mode switches\n",
+			r.Module.Deps, r.Module.PredictedInvalid, r.Module.ModeSwitches)
+		fmt.Printf("  NN pipeline   %d accepted, %d FIFO-full rejections\n",
+			r.Pipe.Accepted, r.Pipe.Rejected)
+	}
+	if r.Migrations > 0 {
+		fmt.Printf("  migrations    %d\n", r.Migrations)
+	}
+	if r.Failed {
+		fmt.Printf("  FAILED: %s\n", r.FailReason)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "actsim:", err)
+	os.Exit(1)
+}

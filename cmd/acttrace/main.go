@@ -1,0 +1,113 @@
+// Command acttrace collects execution traces from the built-in workload
+// programs — the reproduction's stand-in for PIN-based binary
+// instrumentation. Traces are written in the binary format consumed by
+// acttrain and actdiag.
+//
+// Usage:
+//
+//	acttrace -workload lu -seed 3 -o lu.trace
+//	acttrace -bug apache -outcome fail -seed-base 100000 -o apache-fail.trace
+//	acttrace -workload mcf -dump          # human-readable listing to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"act/internal/trace"
+	"act/internal/vm"
+	"act/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "kernel to trace (see -list)")
+		bug      = flag.String("bug", "", "bug program to trace instead of a kernel")
+		outcome  = flag.String("outcome", "any", "for -bug: require an outcome: ok, fail, any")
+		seed     = flag.Int64("seed", 1, "input/interleaving seed")
+		seedBase = flag.Int64("seed-base", 0, "for -bug with an outcome: first seed to try")
+		out      = flag.String("o", "", "output file (default stdout dump)")
+		dump     = flag.Bool("dump", false, "write a human-readable listing instead of binary")
+		list     = flag.Bool("list", false, "list available workloads and bugs")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("kernels:")
+		for _, w := range workloads.Kernels() {
+			fmt.Printf("  %-14s %-8s %d thread(s)\n", w.Name, w.Suite, w.Threads)
+		}
+		fmt.Println("bugs:")
+		for _, b := range workloads.RealBugs() {
+			fmt.Printf("  %-14s %-6s %s\n", b.Name, b.Status, b.Desc)
+		}
+		for _, ib := range workloads.InjectedBugs() {
+			fmt.Printf("  %-14s %-6s %s\n", ib.Name, ib.Status, ib.Desc)
+		}
+		return
+	}
+
+	tr, res, err := collect(*workload, *bug, *outcome, *seed, *seedBase)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "traced %s: %d records, %d instructions, failed=%v\n",
+		tr.Program, len(tr.Records), tr.Steps, res.Failed)
+
+	switch {
+	case *out != "":
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tr.Write(f); err != nil {
+			fatal(err)
+		}
+	case *dump:
+		if err := tr.Dump(os.Stdout); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need -o FILE or -dump"))
+	}
+}
+
+func collect(workload, bug, outcome string, seed, seedBase int64) (*trace.Trace, *vm.Result, error) {
+	switch {
+	case workload != "":
+		w, err := workloads.KernelByName(workload)
+		if err != nil {
+			return nil, nil, err
+		}
+		tr, res := trace.Collect(w.Build(seed), w.Sched(seed))
+		return tr, res, nil
+	case bug != "":
+		b, err := workloads.BugByName(bug)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch outcome {
+		case "any":
+			p, sched := b.Gen(seed)
+			tr, res := trace.Collect(p, sched)
+			return tr, res, nil
+		case "ok", "fail":
+			runs, err := workloads.CollectOutcome(b, outcome == "fail", 1, seedBase)
+			if err != nil {
+				return nil, nil, err
+			}
+			return runs[0].Trace, runs[0].Result, nil
+		default:
+			return nil, nil, fmt.Errorf("unknown -outcome %q", outcome)
+		}
+	default:
+		return nil, nil, fmt.Errorf("need -workload or -bug (try -list)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "acttrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,143 @@
+// Command acttrain runs ACT's offline training: it reads correct-run
+// traces, runs the input generator and topology search, and writes the
+// chosen network (topology + weights) as the weight blob that deployment
+// embeds in the program binary.
+//
+// Usage:
+//
+//	acttrain -train 'lu-*.trace' -test 'lu-test-*.trace' -o lu.weights
+//	acttrain -workload lu -runs 20 -o lu.weights     # self-collect traces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"act/internal/bench"
+	"act/internal/trace"
+	"act/internal/train"
+	"act/internal/workloads"
+)
+
+func main() {
+	var (
+		trainGlob = flag.String("train", "", "glob of training trace files")
+		testGlob  = flag.String("test", "", "glob of held-out trace files")
+		workload  = flag.String("workload", "", "self-collect traces from this kernel instead")
+		runs      = flag.Int("runs", 20, "with -workload: number of training runs to collect")
+		out       = flag.String("o", "", "output weight-blob file (required)")
+		full      = flag.Bool("full", false, "paper-scale topology search (1..5 x 1..10)")
+		verbose   = flag.Bool("v", false, "print every topology trial")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatal(fmt.Errorf("need -o FILE"))
+	}
+
+	var trainTr, testTr []*trace.Trace
+	var err error
+	switch {
+	case *workload != "":
+		trainTr, testTr, err = selfCollect(*workload, *runs)
+	case *trainGlob != "" && *testGlob != "":
+		if trainTr, err = readGlob(*trainGlob); err == nil {
+			testTr, err = readGlob(*testGlob)
+		}
+	default:
+		err = fmt.Errorf("need -workload, or both -train and -test globs")
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	mode := bench.Quick
+	if *full {
+		mode = bench.Full
+	}
+	cfg := modeConfig(mode)
+	res, err := train.Train(trainTr, testTr, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("trained %s: topology %s, %d unique deps, FP %.3f%%, FN %.3f%%\n",
+		trainTr[0].Program, res.Topology(), res.UniqueDeps, 100*res.Mispred, 100*res.FNRate)
+	if *verbose {
+		for _, t := range res.Trials {
+			fmt.Printf("  trial N=%d h=%-2d FP=%.4f FN=%.4f (%d epochs)\n", t.N, t.Hidden, t.FP, t.FN, t.Epochs)
+		}
+	}
+
+	blob, err := res.Net.MarshalBinary()
+	if err != nil {
+		fatal(err)
+	}
+	// The blob is prefixed with the sequence length so deployment knows
+	// the input grouping: one byte is enough (N <= 5).
+	blob = append([]byte{byte(res.N)}, blob...)
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(blob))
+}
+
+// modeConfig mirrors the bench package's training scales.
+func modeConfig(m bench.Mode) train.Config {
+	if m == bench.Full {
+		return train.Config{Seed: 1}
+	}
+	return train.Config{Ns: []int{1, 2, 3}, Hs: []int{4, 8, 10}, Seed: 1}
+}
+
+func selfCollect(name string, runs int) (trainTr, testTr []*trace.Trace, err error) {
+	w, err := workloads.KernelByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	for s := int64(0); s < int64(runs); s++ {
+		tr, res := trace.Collect(w.Build(s), w.Sched(s))
+		if res.Failed {
+			continue
+		}
+		trainTr = append(trainTr, tr)
+	}
+	for s := int64(10_000); s < int64(10_000+max(4, runs/2)); s++ {
+		tr, res := trace.Collect(w.Build(s), w.Sched(s))
+		if res.Failed {
+			continue
+		}
+		testTr = append(testTr, tr)
+	}
+	return trainTr, testTr, nil
+}
+
+func readGlob(glob string) ([]*trace.Trace, error) {
+	files, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no files match %q", glob)
+	}
+	var out []*trace.Trace
+	for _, f := range files {
+		fh, err := os.Open(f)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := trace.Read(fh)
+		fh.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "acttrain:", err)
+	os.Exit(1)
+}

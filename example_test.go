@@ -1,0 +1,68 @@
+package act_test
+
+import (
+	"fmt"
+
+	"act"
+	"act/internal/trace"
+	"act/internal/workloads"
+)
+
+// Example demonstrates the complete workflow: train on correct runs of
+// the pbzip2 workload, deploy, replay a failing execution, and diagnose
+// the order violation — without reproducing the failure.
+func Example() {
+	bug, _ := workloads.BugByName("pbzip2")
+
+	correct, _ := workloads.CollectOutcome(bug, false, 12, 0)
+	var trainTr, testTr []*act.Trace
+	for i, r := range correct {
+		if i < 9 {
+			trainTr = append(trainTr, r.Trace)
+		} else {
+			testTr = append(testTr, r.Trace)
+		}
+	}
+	model, err := act.Train(trainTr, testTr)
+	if err != nil {
+		fmt.Println("train:", err)
+		return
+	}
+
+	failing, _ := workloads.CollectOutcome(bug, true, 1, 100_000)
+	mon := act.Deploy(model, failing[0].Program.NumThreads())
+	mon.Replay(failing[0].Trace)
+
+	prune, _ := workloads.CollectOutcome(bug, false, 10, 50_000)
+	var pruneTr []*act.Trace
+	for _, r := range prune {
+		pruneTr = append(pruneTr, r.Trace)
+	}
+	report := act.Diagnose(mon.DebugBuffer(), pruneTr, model.SequenceLength())
+
+	rank := report.RankOf(bug.Matcher(failing[0].Program))
+	fmt.Printf("root cause ranked #%d\n", rank)
+	// Output: root cause ranked #1
+}
+
+// ExampleMonitor_OnLoad shows feeding a deployed monitor by hand — the
+// integration point for user instrumentation.
+func ExampleMonitor_OnLoad() {
+	w, _ := workloads.KernelByName("mcf")
+	var trainTr, testTr []*act.Trace
+	for s := int64(0); s < 8; s++ {
+		tr, _ := trace.Collect(w.Build(s), w.Sched(s))
+		trainTr = append(trainTr, tr)
+	}
+	for s := int64(10_000); s < 10_004; s++ {
+		tr, _ := trace.Collect(w.Build(s), w.Sched(s))
+		testTr = append(testTr, tr)
+	}
+	model, _ := act.Train(trainTr, testTr)
+
+	mon := act.Deploy(model, 1)
+	mon.OnStore(0, 0x401000, 0x10000000) // thread 0: store at pc, addr
+	mon.OnLoad(0, 0x401004, 0x10000000)  // the load closes a dependence
+	fmt.Println("dependences observed:", mon.Stats().Deps)
+	// Output: dependences observed: 1
+}

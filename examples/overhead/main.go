@@ -1,0 +1,65 @@
+// Execution overhead on the simulated multicore: run every benchmark
+// kernel on the Table III machine with and without ACT and print the
+// slowdown, then sweep the neuron's multiply-add knob to show the
+// latency/area trade-off of Section IV-A.
+//
+//	go run ./examples/overhead
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"act/internal/core"
+	"act/internal/mem"
+	"act/internal/nnhw"
+	"act/internal/sim"
+	"act/internal/workloads"
+)
+
+func main() {
+	memCfg := mem.Config{LineSize: 64, L1Size: 8 << 10, L1Ways: 2, L2Size: 64 << 10, L2Ways: 4}
+
+	fmt.Println("per-kernel overhead, default design point (1 multiply-add unit, FIFO 8):")
+	var sum float64
+	for _, w := range workloads.Kernels() {
+		p := w.Build(1)
+		cfg := sim.Config{
+			Mem:    memCfg,
+			Binary: core.AlwaysValidBinary(6, 10, p.NumThreads()),
+		}
+		ov, base, withACT, err := sim.Overhead(p, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var stalls int64
+		for _, c := range withACT.Cores {
+			stalls += c.NNStalls
+		}
+		fmt.Printf("  %-14s base %8d cycles   with ACT %8d   overhead %6.2f%%   NN stalls %d\n",
+			w.Name, base.Cycles, withACT.Cycles, 100*ov, stalls)
+		sum += ov
+	}
+	fmt.Printf("  %-14s %52.2f%%\n\n", "average", 100*sum/float64(len(workloads.Kernels())))
+
+	fmt.Println("sensitivity: neuron latency T = ceil(M/x)·T_muladd + T_rest")
+	for _, x := range []int{1, 2, 5, 10} {
+		nnCfg := nnhw.Config{MulAddUnits: x}
+		var s float64
+		for _, w := range workloads.Kernels() {
+			p := w.Build(1)
+			cfg := sim.Config{
+				Mem:    memCfg,
+				NNHW:   nnCfg,
+				Binary: core.AlwaysValidBinary(6, 10, p.NumThreads()),
+			}
+			ov, _, _, err := sim.Overhead(p, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s += ov
+		}
+		fmt.Printf("  x=%-2d  T=%-3d  average overhead %6.2f%%\n",
+			x, nnCfg.NeuronLatency(), 100*s/float64(len(workloads.Kernels())))
+	}
+}

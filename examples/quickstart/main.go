@@ -1,0 +1,84 @@
+// Quickstart: the whole ACT workflow in one file.
+//
+// We take a buggy "server" (the apache workload: an atomicity violation
+// on a connection object's reference counter), train ACT on a handful of
+// correct executions, deploy it, let a production run crash, and ask ACT
+// to rank the root cause — without ever re-running the failure.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"act"
+	"act/internal/workloads"
+)
+
+func main() {
+	bug, err := workloads.BugByName("apache")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. The test suite: correct executions, traced.
+	fmt.Println("==> collecting correct executions (the test suite)")
+	correct, err := workloads.CollectOutcome(bug, false, 12, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var trainTraces, testTraces []*act.Trace
+	for i, run := range correct {
+		if i < 9 {
+			trainTraces = append(trainTraces, run.Trace)
+		} else {
+			testTraces = append(testTraces, run.Trace)
+		}
+	}
+
+	// 2. Offline training: learn the valid RAW dependence sequences.
+	fmt.Println("==> offline training (topology search + backpropagation)")
+	model, err := act.Train(trainTraces, testTraces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    topology %s, sequence length %d, false positives %.3f%%\n",
+		model.Topology(), model.SequenceLength(), 100*model.FalsePositiveRate())
+
+	// 3. Production: deploy and wait for a failure.
+	fmt.Println("==> production run (deployed monitor, failing interleaving)")
+	failure, err := workloads.CollectOutcome(bug, true, 1, 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	monitor := act.Deploy(model, failure[0].Program.NumThreads())
+	monitor.Replay(failure[0].Trace)
+	fmt.Printf("    %s\n", failure[0].Result.Reason)
+	debug := monitor.DebugBuffer()
+	fmt.Printf("    debug buffer holds %d suspicious sequence(s)\n", len(debug))
+
+	// 4. Diagnosis: prune against fresh correct runs, rank the rest.
+	fmt.Println("==> offline postprocessing (the failure is NOT reproduced)")
+	prune, err := workloads.CollectOutcome(bug, false, 10, 50_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pruneTraces []*act.Trace
+	for _, run := range prune {
+		pruneTraces = append(pruneTraces, run.Trace)
+	}
+	report := act.Diagnose(debug, pruneTraces, model.SequenceLength())
+	report.Write(os.Stdout, 5)
+
+	// The known root cause: the freed object's data read by the checked
+	// user — verify the ranking found it.
+	match := bug.Matcher(failure[0].Program)
+	if rank := report.RankOf(match); rank > 0 {
+		fmt.Printf("\nroot cause (free -> use-after-check) ranked #%d\n", rank)
+	} else {
+		fmt.Println("\nroot cause not ranked — unexpected")
+		os.Exit(1)
+	}
+}

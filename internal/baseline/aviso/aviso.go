@@ -1,0 +1,165 @@
+// Package aviso implements the Aviso-style learning baseline of the
+// Table V comparison. Aviso learns scheduling constraints from *failing*
+// executions: an event is a shared-memory access (thread, instruction
+// address), and a candidate constraint is an ordered cross-thread event
+// pair observed shortly before a failure. Candidates are scored by how
+// reliably they precede failures and how close to the failure they sit;
+// diagnosing a bug means finding a constraint involving the root-cause
+// instructions among the top-ranked candidates.
+//
+// Two properties the paper highlights carry over: Aviso needs the
+// failure to recur (often several times) before the constraint emerges,
+// and it has nothing to say about single-threaded executions.
+package aviso
+
+import (
+	"fmt"
+	"sort"
+
+	"act/internal/trace"
+)
+
+// Config tunes the learner.
+type Config struct {
+	// Window is how many shared-access events before the failure are
+	// mined for constraint pairs; default 100.
+	Window int
+	// MaxPairGap is the maximum number of events between the two halves
+	// of a candidate pair; default 5.
+	MaxPairGap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 100
+	}
+	if c.MaxPairGap == 0 {
+		c.MaxPairGap = 5
+	}
+	return c
+}
+
+// Constraint is an ordered cross-thread event pair (first must not be
+// immediately followed by second).
+type Constraint struct {
+	FirstPC  uint64
+	SecondPC uint64
+}
+
+// Candidate is a scored constraint.
+type Candidate struct {
+	Constraint Constraint
+	Score      float64
+	Occurrence int // failing runs the pair appeared in
+}
+
+// Learner accumulates failing executions.
+type Learner struct {
+	cfg      Config
+	failures int
+	scores   map[Constraint]*Candidate
+}
+
+// New returns an empty learner.
+func New(cfg Config) *Learner {
+	return &Learner{cfg: cfg.withDefaults(), scores: make(map[Constraint]*Candidate)}
+}
+
+// Failures returns how many failing runs the learner has seen.
+func (l *Learner) Failures() int { return l.failures }
+
+// AddFailure mines one failing execution's trace. Only multi-threaded
+// traces contribute: Aviso's events are scheduling events.
+func (l *Learner) AddFailure(t *trace.Trace) {
+	l.failures++
+	// The event stream: shared accesses in execution order.
+	recs := t.Records
+	if len(recs) > 0 {
+		start := len(recs) - l.cfg.Window
+		if start < 0 {
+			start = 0
+		}
+		recs = recs[start:]
+	}
+	seen := make(map[Constraint]bool)
+	for i := 0; i < len(recs); i++ {
+		for j := i + 1; j < len(recs) && j <= i+l.cfg.MaxPairGap; j++ {
+			if recs[i].Tid == recs[j].Tid {
+				continue // constraints order events of different threads
+			}
+			c := Constraint{FirstPC: recs[i].PC, SecondPC: recs[j].PC}
+			// Proximity to the failure end of the window scores higher.
+			w := float64(j) / float64(len(recs))
+			cand, ok := l.scores[c]
+			if !ok {
+				cand = &Candidate{Constraint: c}
+				l.scores[c] = cand
+			}
+			cand.Score += w
+			if !seen[c] {
+				cand.Occurrence++
+				seen[c] = true
+			}
+		}
+	}
+}
+
+// Ranked returns the candidates best first. Pairs that recur across
+// failures dominate one-off pairs.
+func (l *Learner) Ranked() []Candidate {
+	out := make([]Candidate, 0, len(l.scores))
+	for _, c := range l.scores {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Occurrence != b.Occurrence {
+			return a.Occurrence > b.Occurrence
+		}
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		// Deterministic tie-break.
+		if a.Constraint.FirstPC != b.Constraint.FirstPC {
+			return a.Constraint.FirstPC < b.Constraint.FirstPC
+		}
+		return a.Constraint.SecondPC < b.Constraint.SecondPC
+	})
+	return out
+}
+
+// RankOf returns the 1-based rank of the first candidate whose pair
+// includes both given instruction addresses (in either role), or 0 when
+// no such constraint was learned.
+func (l *Learner) RankOf(pcA, pcB uint64) int {
+	for i, c := range l.Ranked() {
+		f, s := c.Constraint.FirstPC, c.Constraint.SecondPC
+		if (f == pcA && s == pcB) || (f == pcB && s == pcA) {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Diagnose feeds failing runs one at a time (up to maxFailures) until a
+// constraint involving the root-cause pair is learned, returning its
+// rank and the failures consumed (rank 0 if never found — e.g. for
+// sequential bugs).
+func Diagnose(failures []*trace.Trace, rootS, rootL uint64, cfg Config, maxFailures int) (rank, used int) {
+	l := New(cfg)
+	for i, f := range failures {
+		if i >= maxFailures {
+			break
+		}
+		l.AddFailure(f)
+		if r := l.RankOf(rootS, rootL); r != 0 {
+			return r, l.Failures()
+		}
+	}
+	return 0, l.Failures()
+}
+
+// String renders a constraint.
+func (c Constraint) String() string {
+	return fmt.Sprintf("%#x ↛ %#x", c.FirstPC, c.SecondPC)
+}

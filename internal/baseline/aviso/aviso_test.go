@@ -1,0 +1,90 @@
+package aviso
+
+import (
+	"testing"
+
+	"act/internal/trace"
+	"act/internal/workloads"
+)
+
+func collectTraces(runs []workloads.Run) []*trace.Trace {
+	out := make([]*trace.Trace, len(runs))
+	for i, r := range runs {
+		out[i] = r.Trace
+	}
+	return out
+}
+
+func failures(t *testing.T, name string, n int) ([]workloads.Run, workloads.Bug) {
+	t.Helper()
+	b, err := workloads.BugByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := workloads.CollectOutcome(b, true, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runs, b
+}
+
+func TestDiagnoseApacheEventually(t *testing.T) {
+	runs, b := failures(t, "apache", 10)
+	p := runs[0].Program
+	rootS, rootL := p.MarkPC("t2.freeStore"), p.MarkPC("t1.useLoad")
+	rank, used := Diagnose(collectTraces(runs), rootS, rootL, Config{}, 10)
+	_ = b
+	t.Logf("apache: aviso rank=%d after %d failure(s)", rank, used)
+	if rank == 0 {
+		t.Fatal("aviso never learned the root constraint")
+	}
+	if used < 1 {
+		t.Fatal("no failures consumed")
+	}
+}
+
+func TestSequentialBugsOutOfScope(t *testing.T) {
+	runs, _ := failures(t, "gzip", 5)
+	p := runs[0].Program
+	rank, _ := Diagnose(collectTraces(runs), p.MarkPC("t0.S3"), p.MarkPC("t0.S2"), Config{}, 5)
+	if rank != 0 {
+		t.Fatalf("aviso found a cross-thread constraint in a single-threaded program (rank %d)", rank)
+	}
+}
+
+func TestMoreFailuresNeverHurt(t *testing.T) {
+	runs, _ := failures(t, "mysql2", 10)
+	p := runs[0].Program
+	rootS, rootL := p.MarkPC("t0.clrDataStore"), p.MarkPC("t1.monUse")
+	l := New(Config{})
+	found := 0
+	for _, r := range runs {
+		l.AddFailure(r.Trace)
+		if rk := l.RankOf(rootS, rootL); rk != 0 && found == 0 {
+			found = l.Failures()
+		}
+	}
+	t.Logf("mysql2: first found after %d failures, final rank %d", found, l.RankOf(rootS, rootL))
+	if found == 0 {
+		t.Fatal("constraint never learned in 10 failures")
+	}
+}
+
+func TestRankedDeterministic(t *testing.T) {
+	runs, _ := failures(t, "apache", 3)
+	a := New(Config{})
+	b := New(Config{})
+	for _, r := range runs {
+		a.AddFailure(r.Trace)
+		b.AddFailure(r.Trace)
+	}
+	ra, rb := a.Ranked(), b.Ranked()
+	if len(ra) != len(rb) {
+		t.Fatal("nondeterministic candidate counts")
+	}
+	for i := range ra {
+		if ra[i].Constraint != rb[i].Constraint {
+			t.Fatalf("rank %d differs: %v vs %v", i, ra[i].Constraint, rb[i].Constraint)
+		}
+	}
+}

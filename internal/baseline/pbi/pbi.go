@@ -1,0 +1,225 @@
+// Package pbi implements the PBI-style sampling baseline of the Table V
+// comparison. PBI diagnoses production failures with hardware
+// performance events: each executed instruction is annotated with a
+// cache event (which level/state served the access) or a branch outcome,
+// forming predicates (instruction, event). Predicates are scored with
+// cooperative-bug-isolation statistics over a population of correct and
+// failing runs — Increase(P) = Failure(P) − Context(P) — and the
+// top-ranked predicates point at the failure.
+//
+// As in the paper's comparison, this is an idealized PBI: instead of
+// sampling 1-in-1000 instructions it observes every instruction, the
+// most favourable configuration a single failure run allows.
+package pbi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"act/internal/isa"
+	"act/internal/mem"
+	"act/internal/program"
+	"act/internal/vm"
+)
+
+// Event is the hardware event a predicate tests.
+type Event uint8
+
+// Predicate events: where a memory access was served (a proxy for the
+// MESI state it found), and branch outcomes.
+const (
+	EvL1 Event = iota
+	EvL2
+	EvRemote // served by another core's cache (was Modified elsewhere)
+	EvMemory
+	EvTaken
+	EvNotTaken
+	evCount
+)
+
+// String names the event.
+func (e Event) String() string {
+	return [...]string{"L1", "L2", "remote", "memory", "taken", "not-taken"}[e]
+}
+
+// Predicate pairs an instruction with an event.
+type Predicate struct {
+	PC    uint64
+	Event Event
+}
+
+// String renders the predicate.
+func (p Predicate) String() string { return fmt.Sprintf("(%#x, %s)", p.PC, p.Event) }
+
+// RunProfile records which predicates were observed and which were true
+// in one execution.
+type RunProfile struct {
+	observed map[uint64]bool
+	truePred map[Predicate]bool
+	failed   bool
+}
+
+// Profile executes the program once and collects its predicate profile,
+// sampling every instruction. Memory events come from replaying the
+// access stream through the simulated hierarchy (one core per thread).
+func Profile(p *program.Program, sched vm.SchedConfig, memCfg mem.Config) *RunProfile {
+	return ProfileSampled(p, sched, memCfg, 1)
+}
+
+// ProfileSampled is Profile with PBI's real sampling: only one in every
+// `rate` instructions records its predicate (the paper's deployment uses
+// rate 1000; the comparison compensates a single failure run by
+// sampling every instruction, rate 1). Memory state is still updated by
+// every access — sampling affects observation, not the machine.
+func ProfileSampled(p *program.Program, sched vm.SchedConfig, memCfg mem.Config, rate int) *RunProfile {
+	if memCfg.Cores < p.NumThreads() {
+		memCfg.Cores = p.NumThreads()
+	}
+	if rate < 1 {
+		rate = 1
+	}
+	h := mem.New(memCfg)
+	prof := &RunProfile{observed: make(map[uint64]bool), truePred: make(map[Predicate]bool)}
+	prev := sched.OnEvent
+	count := 0
+	sample := func() bool {
+		count++
+		return count%rate == 0
+	}
+	record := func(pc uint64, ev Event) {
+		if !sample() {
+			return
+		}
+		prof.observed[pc] = true
+		prof.truePred[Predicate{PC: pc, Event: ev}] = true
+	}
+	sched.OnEvent = func(ev vm.Event) {
+		switch {
+		case ev.Op == isa.Load || ev.Op == isa.Atomic:
+			r := h.Access(ev.Tid, ev.Addr, ev.Op == isa.Atomic, ev.PC)
+			record(ev.PC, memEvent(r.Level))
+		case ev.Op == isa.Store:
+			r := h.Access(ev.Tid, ev.Addr, true, ev.PC)
+			record(ev.PC, memEvent(r.Level))
+		case ev.Op.IsBranch():
+			record(ev.PC, branchEvent(ev))
+		}
+		if prev != nil {
+			prev(ev)
+		}
+	}
+	res := vm.Run(p, sched)
+	prof.failed = res.Failed
+	return prof
+}
+
+func memEvent(level mem.Level) Event {
+	switch level {
+	case mem.L1:
+		return EvL1
+	case mem.L2:
+		return EvL2
+	case mem.Remote:
+		return EvRemote
+	default:
+		return EvMemory
+	}
+}
+
+// branchEvent maps a branch's resolution to its predicate event. The VM
+// reports the outcome in Event.Value (1 = taken).
+func branchEvent(ev vm.Event) Event {
+	if ev.Value != 0 {
+		return EvTaken
+	}
+	return EvNotTaken
+}
+
+// Scored is a ranked predicate.
+type Scored struct {
+	Predicate Predicate
+	Increase  float64
+	Failure   float64
+	Context   float64
+}
+
+// Analyze scores every predicate over the run population and returns
+// them ranked by Increase (descending), plus the total predicate count
+// (the paper's "Total pred." column).
+func Analyze(profiles []*RunProfile) []Scored {
+	type counts struct {
+		fTrue, sTrue int
+		fObs, sObs   int
+	}
+	byPred := make(map[Predicate]*counts)
+	for _, r := range profiles {
+		for p := range r.truePred {
+			c := byPred[p]
+			if c == nil {
+				c = &counts{}
+				byPred[p] = c
+			}
+			if r.failed {
+				c.fTrue++
+			} else {
+				c.sTrue++
+			}
+		}
+	}
+	// Observation counts are per instruction.
+	for p, c := range byPred {
+		for _, r := range profiles {
+			if r.observed[p.PC] {
+				if r.failed {
+					c.fObs++
+				} else {
+					c.sObs++
+				}
+			}
+		}
+	}
+	out := make([]Scored, 0, len(byPred))
+	for p, c := range byPred {
+		failure := ratio(c.fTrue, c.fTrue+c.sTrue)
+		context := ratio(c.fObs, c.fObs+c.sObs)
+		out = append(out, Scored{Predicate: p, Increase: failure - context, Failure: failure, Context: context})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if math.Abs(a.Increase-b.Increase) > 1e-12 {
+			return a.Increase > b.Increase
+		}
+		if a.Predicate.PC != b.Predicate.PC {
+			return a.Predicate.PC < b.Predicate.PC
+		}
+		return a.Predicate.Event < b.Predicate.Event
+	})
+	return out
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// RankOf returns the 1-based rank of the first *positive-Increase*
+// predicate attached to one of the given instruction addresses, or 0
+// when PBI misses the bug (no positively failure-correlated predicate on
+// the root instructions — e.g. the branch outcomes or cache events do
+// not differ between correct and failing runs).
+func RankOf(scored []Scored, pcs ...uint64) int {
+	for i, s := range scored {
+		if s.Increase <= 0 {
+			break // ranked list's useful portion is the positive prefix
+		}
+		for _, pc := range pcs {
+			if s.Predicate.PC == pc {
+				return i + 1
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,92 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section VI). Each experiment is a function returning
+// structured rows plus a renderer producing the paper-shaped table; the
+// cmd/actbench binary and the repository's top-level benchmarks are thin
+// wrappers around these functions.
+//
+// Quick mode trims trace counts and training budgets so the whole
+// evaluation regenerates in seconds; full mode uses the paper-scale
+// parameters (up to 100 training traces, full topology search).
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"act/internal/nn"
+	"act/internal/trace"
+	"act/internal/train"
+	"act/internal/vm"
+	"act/internal/workloads"
+)
+
+// Mode selects the experiment scale.
+type Mode int
+
+// Experiment scales.
+const (
+	Quick Mode = iota // seconds: unit-test and testing.B scale
+	Full              // minutes: paper-scale trace counts and budgets
+)
+
+// trainCount returns (train, test) trace counts for the mode.
+func (m Mode) traceCounts() (int, int) {
+	if m == Full {
+		return 100, 100
+	}
+	return 10, 5
+}
+
+// trainConfig returns the offline-training configuration for the mode.
+func (m Mode) trainConfig(seed int64) train.Config {
+	if m == Full {
+		return train.Config{Seed: seed}
+	}
+	return train.Config{
+		Ns:        []int{1, 2, 3},
+		Hs:        []int{4, 8, 10},
+		Seed:      seed,
+		SearchFit: nn.FitConfig{MaxEpochs: 300, Seed: seed},
+		FinalFit:  nn.FitConfig{MaxEpochs: 3000, Seed: seed, Patience: 500},
+	}
+}
+
+// collectKernel gathers n traces of a kernel over distinct seeds
+// starting at base.
+func collectKernel(w workloads.Workload, n int, base int64) []*trace.Trace {
+	out := make([]*trace.Trace, 0, n)
+	for s := base; s < base+int64(n); s++ {
+		tr, res := trace.Collect(w.Build(s), w.Sched(s))
+		if res.Failed || res.TimedOut {
+			continue
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// trainKernel runs offline training for one kernel in the given mode.
+func trainKernel(w workloads.Workload, m Mode, cfg train.Config) (*train.Result, []*trace.Trace, error) {
+	nTrain, nTest := m.traceCounts()
+	trainTr := collectKernel(w, nTrain, 0)
+	testTr := collectKernel(w, nTest, 10_000)
+	res, err := train.Train(trainTr, testTr, cfg)
+	return res, testTr, err
+}
+
+// table renders rows via tabwriter.
+func table(header string, rows []string) string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, header)
+	for _, r := range rows {
+		fmt.Fprintln(tw, r)
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+// defaultSchedOf returns the scheduling of the workload for a seed
+// (exposed for experiments that need to re-run with identical inputs).
+func defaultSchedOf(w workloads.Workload, seed int64) vm.SchedConfig { return w.Sched(seed) }

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIVQuick(t *testing.T) {
+	rows, err := TableIV(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d, want 14 kernels", len(rows))
+	}
+	var sum float64
+	for _, r := range rows {
+		if r.RAWDeps == 0 {
+			t.Errorf("%s: no RAW deps", r.Program)
+		}
+		if !strings.HasSuffix(r.Topology, "-1") {
+			t.Errorf("%s: topology %q", r.Program, r.Topology)
+		}
+		sum += r.MispredPct
+	}
+	avg := sum / float64(len(rows))
+	t.Logf("Table IV average misprediction: %.3f%%\n%s", avg, RenderTableIV(rows))
+	if avg > 5 {
+		t.Errorf("average FP %.2f%% too far from the paper's sub-1%% band", avg)
+	}
+}
+
+func TestFig7aQuick(t *testing.T) {
+	rows, err := Fig7a(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range rows {
+		sum += r.FNPct
+	}
+	avg := sum / float64(len(rows))
+	t.Logf("Fig 7a average FN: %.3f%%\n%s", avg, RenderFig7a(rows))
+	if avg > 25 {
+		t.Errorf("average FN %.1f%%: invalid deps mostly accepted", avg)
+	}
+}
+
+func TestFig7bQuick(t *testing.T) {
+	rows, err := Fig7b(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	n := 0
+	for _, r := range rows {
+		if r.Sequences == 0 {
+			continue
+		}
+		sum += r.IncorrectPct
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no new-code sequences found in any kernel")
+	}
+	avg := sum / float64(n)
+	t.Logf("Fig 7b average incorrect: %.2f%%\n%s", avg, RenderFig7b(rows))
+	// The paper reports ≈6% (94% accuracy); hold a generous band.
+	if avg > 50 {
+		t.Errorf("new-code rejection %.1f%%: adaptivity property lost", avg)
+	}
+}
+
+func TestTableVIQuick(t *testing.T) {
+	rows, err := TableVI(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Rank == 0 || r.Rank > 8 {
+			t.Errorf("%s/%s: rank %d outside the paper's band (<=6)", r.Program, r.Function, r.Rank)
+		}
+	}
+	t.Logf("\n%s", RenderTableVI(rows))
+}
+
+func TestNNDesign(t *testing.T) {
+	rows := NNDesign()
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			t.Errorf("%s: pipeline does not beat NPU (%.2fx)", r.Topology, r.Speedup)
+		}
+	}
+	t.Logf("\n%s", RenderNNDesign(rows))
+}
+
+func TestRenderersNonEmpty(t *testing.T) {
+	if RenderTableIV(nil) == "" || RenderFig8(nil) == "" || RenderFig9(nil) == "" {
+		t.Fatal("renderers must emit headers even with no rows")
+	}
+}

@@ -1,0 +1,359 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"act/internal/core"
+	"act/internal/deps"
+	"act/internal/isa"
+	"act/internal/nn"
+	"act/internal/nnhw"
+	"act/internal/ranking"
+	"act/internal/train"
+	"act/internal/workloads"
+)
+
+// NNDesignRow compares the three-stage pipeline against the fully
+// configurable time-multiplexed NPU for one topology.
+type NNDesignRow struct {
+	Topology     string
+	PipeLatency  int // FIFO-to-result, testing mode
+	PipeInterval int // steady-state initiation interval
+	NPULatency   int
+	NPUInterval  int
+	Speedup      float64 // NPU interval / pipeline interval
+}
+
+// NNDesign justifies contribution 3: for ACT's small i-h-1 topologies
+// the dedicated pipeline beats the flexible NPU on throughput, which is
+// what bounds load-retirement stalls.
+func NNDesign() []NNDesignRow {
+	var rows []NNDesignRow
+	cfg := nnhw.Config{}
+	npu := nnhw.NPU{}
+	for _, topo := range [][2]int{{2, 2}, {4, 4}, {6, 6}, {6, 10}, {10, 10}} {
+		in, hidden := topo[0], topo[1]
+		p := nnhw.NewPipeline(cfg)
+		pipeLat := 1 + 2*p.Config().NeuronLatency()
+		pipeInt := p.Config().TestingInterval()
+		npuLat := npu.InferenceLatency(in, hidden)
+		npuInt := npu.Interval(in, hidden)
+		rows = append(rows, NNDesignRow{
+			Topology:     fmt.Sprintf("%d-%d-1", in, hidden),
+			PipeLatency:  pipeLat,
+			PipeInterval: pipeInt,
+			NPULatency:   npuLat,
+			NPUInterval:  npuInt,
+			Speedup:      float64(npuInt) / float64(pipeInt),
+		})
+	}
+	return rows
+}
+
+// RenderNNDesign renders the comparison.
+func RenderNNDesign(rows []NNDesignRow) string {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%s\t%d\t%d\t%d\t%d\t%.2fx",
+			r.Topology, r.PipeLatency, r.PipeInterval, r.NPULatency, r.NPUInterval, r.Speedup))
+	}
+	return table("Topology\tPipe lat\tPipe int\tNPU lat\tNPU int\tThroughput gain", out)
+}
+
+// AblationRow reports one design-choice ablation.
+type AblationRow struct {
+	Variant string
+	FPPct   float64 // held-out false positives
+	FNPct   float64 // synthesized invalid sequences accepted
+}
+
+// AblationEncoding compares the default two-feature encoding (separate
+// store and load features, the source of the similarity property)
+// against the one-feature pair-hash encoding that can only memorize.
+func AblationEncoding(m Mode) ([]AblationRow, error) {
+	encoders := []struct {
+		name string
+		enc  deps.Encoder
+	}{
+		{"default (S,L split)", deps.EncodeDefault},
+		{"pair hash", deps.EncodePairHash},
+	}
+	var rows []AblationRow
+	for _, e := range encoders {
+		fp, fn, err := avgQuality(m, func(c *train.Config) { c.Encoder = e.enc })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Variant: e.name, FPPct: fp, FNPct: fn})
+	}
+	return rows, nil
+}
+
+// AblationNegatives compares negative-example strategies: the paper's
+// before-last-store negatives alone versus added wrong-writer sampling.
+func AblationNegatives(m Mode) ([]AblationRow, error) {
+	variants := []struct {
+		name string
+		n    int
+	}{
+		{"before-last only", -1},
+		{"+1 sampled/seq", 1},
+		{"+3 sampled/seq", 3},
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		fp, fn, err := avgQuality(m, func(c *train.Config) { c.RandomNegatives = v.n })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Variant: v.name, FPPct: fp, FNPct: fn})
+	}
+	return rows, nil
+}
+
+// avgQuality trains across kernels with a modified configuration and
+// averages held-out FP and FN rates.
+func avgQuality(m Mode, mutate func(*train.Config)) (fpPct, fnPct float64, err error) {
+	n := 0
+	for _, w := range workloads.Kernels() {
+		cfg := m.trainConfig(1)
+		mutate(&cfg)
+		res, testTr, err := trainKernel(w, m, cfg)
+		if err != nil {
+			return 0, 0, fmt.Errorf("ablation %s: %w", w.Name, err)
+		}
+		fpPct += 100 * res.Mispred
+		fnPct += 100 * train.FalseNegativeRate(res, testTr, cfg.Granularity, false)
+		n++
+	}
+	return fpPct / float64(max(1, n)), fnPct / float64(max(1, n)), nil
+}
+
+// RenderAblation renders ablation rows.
+func RenderAblation(title string, rows []AblationRow) string {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%s\t%.3f\t%.3f", r.Variant, r.FPPct, r.FNPct))
+	}
+	return table(title+"\tAvg %FP\tAvg %FN", out)
+}
+
+// ThresholdRow reports mode-switch behaviour at one misprediction
+// threshold.
+type ThresholdRow struct {
+	ThresholdPct float64
+	ModeSwitches uint64
+	TrainingPct  float64 // fraction of dependences handled in training mode
+}
+
+// AblationThreshold sweeps the misprediction threshold that flips the AM
+// between testing and training (Table III default: 5%). The deployment
+// that exercises the knob is the adaptivity scenario: weights trained
+// with one function withheld, deployed on the full program, so the new
+// code mispredicts until online learning absorbs it. Low thresholds
+// adapt eagerly (more time in training mode); high thresholds tolerate
+// the noise and never adapt.
+func AblationThreshold(m Mode) ([]ThresholdRow, error) {
+	w, err := workloads.KernelByName("lu")
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := isa.ThreadBase(1), isa.ThreadBase(1)+48*isa.PCStride
+	cfg := m.trainConfig(1)
+	cfg.Exclude = func(d deps.Dep) bool { return d.L >= lo && d.L < hi }
+	res, _, err := trainKernel(w, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	replays := collectKernel(w, 6, 77_000)
+	if len(replays) == 0 {
+		return nil, fmt.Errorf("ablation threshold: no traces")
+	}
+	var rows []ThresholdRow
+	for _, th := range []float64{0.005, 0.01, 0.02, 0.05, 0.10, 0.20} {
+		mc := core.Config{
+			N: res.N, Encoder: res.Encoder,
+			MispredThreshold: th, CheckInterval: 100,
+		}
+		binary := core.NewWeightBinary(res.Net.NIn, res.Net.NHidden)
+		binary.PatchAll(8, res.Net.Flatten(nil))
+		tk := core.NewTracker(binary, core.TrackerConfig{Module: mc})
+		for _, tr := range replays {
+			tk.Replay(tr)
+		}
+		st := tk.Stats()
+		pct := 0.0
+		if st.Deps > 0 {
+			pct = 100 * float64(st.TrainingDeps) / float64(st.Deps)
+		}
+		rows = append(rows, ThresholdRow{
+			ThresholdPct: 100 * th,
+			ModeSwitches: st.ModeSwitches,
+			TrainingPct:  pct,
+		})
+	}
+	return rows, nil
+}
+
+// RenderThreshold renders the sweep.
+func RenderThreshold(rows []ThresholdRow) string {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%.1f%%\t%d\t%.1f", r.ThresholdPct, r.ModeSwitches, r.TrainingPct))
+	}
+	return table("Threshold\tMode switches\t%Deps in training", out)
+}
+
+// QuantRow reports classification disagreement after fixed-point weight
+// quantization at one precision.
+type QuantRow struct {
+	FracBits     int
+	Disagreement float64 // fraction of held-out sequences reclassified
+}
+
+// AblationQuantization asks how many fractional bits the hardware's
+// weight registers need: each kernel's trained network is quantized to
+// signed 16-bit Qm.f and compared against the float network on the
+// held-out sequences.
+func AblationQuantization(m Mode) ([]QuantRow, error) {
+	type heldout struct {
+		net *nn.Network
+		xs  [][]float64
+	}
+	var sets []heldout
+	for _, w := range workloads.Kernels() {
+		res, testTr, err := trainKernel(w, m, m.trainConfig(1))
+		if err != nil {
+			return nil, fmt.Errorf("quantization %s: %w", w.Name, err)
+		}
+		var xs [][]float64
+		seen := map[string]bool{}
+		for _, t := range testTr {
+			e := deps.NewExtractor(deps.ExtractorConfig{N: res.N})
+			e.OnSequence = func(_ uint16, s deps.Sequence) {
+				if k := s.Key(); !seen[k] {
+					seen[k] = true
+					xs = append(xs, res.Encoder(s, nil))
+				}
+			}
+			for _, r := range t.Records {
+				if r.Store {
+					e.Store(r.Tid, r.PC, r.Addr, r.Stack)
+				} else {
+					e.Load(r.Tid, r.PC, r.Addr, r.Stack)
+				}
+			}
+		}
+		sets = append(sets, heldout{net: res.Net, xs: xs})
+	}
+	var rows []QuantRow
+	for _, bits := range []int{12, 9, 6, 4, 2} {
+		var sum float64
+		for _, h := range sets {
+			sum += nn.QuantizedDisagreement(h.net, bits, h.xs)
+		}
+		rows = append(rows, QuantRow{FracBits: bits, Disagreement: sum / float64(len(sets))})
+	}
+	return rows, nil
+}
+
+// RenderQuantization renders the sweep.
+func RenderQuantization(rows []QuantRow) string {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("Q%d.%d\t%.4f", 15-r.FracBits, r.FracBits, r.Disagreement))
+	}
+	return table("Weight format\tAvg disagreement", out)
+}
+
+// RankingRow reports one ranking strategy's outcome across bugs.
+type RankingRow struct {
+	Strategy  string
+	AvgRank   float64 // mean root-cause rank over diagnosed bugs
+	Diagnosed int     // bugs with the root cause ranked at all
+}
+
+// AblationRanking tests the paper's ranking argument (Section III-D)
+// directly. A failure's Debug Buffer contains the root cause — the
+// sequence that agrees with correct behaviour the longest before
+// diverging — and a cascade of post-failure chaos: once execution is off
+// the rails, subsequent sequences match correct behaviour barely at all,
+// and the network rejects them with high confidence. The paper ranks by
+// most-matched; the alternatives rank the chaos first. Scenarios are
+// generated at scale from that model (end-to-end diagnoses on this
+// substrate prune down to a single candidate, where every ordering is
+// trivially identical).
+func AblationRanking(m Mode) ([]RankingRow, error) {
+	const (
+		trials  = 200
+		chains  = 20 // correct sequences per scenario
+		nseq    = 3
+		cascade = 8 // chaos entries following the root
+	)
+	rng := rand.New(rand.NewSource(42))
+	mkDep := func() deps.Dep {
+		return deps.Dep{S: rng.Uint64() | 1, L: rng.Uint64() | 1, Inter: rng.Intn(2) == 0}
+	}
+	strategies := []struct {
+		name string
+		s    ranking.Strategy
+	}{
+		{"most matched (paper)", ranking.MostMatched},
+		{"most mismatched", ranking.MostMismatched},
+		{"NN output only", ranking.OutputOnly},
+	}
+	sums := make([]int, len(strategies))
+	for trial := 0; trial < trials; trial++ {
+		correct := deps.NewSeqSet(nseq)
+		var chainsList []deps.Sequence
+		for i := 0; i < chains; i++ {
+			s := deps.Sequence{mkDep(), mkDep(), mkDep()}
+			correct.Add(s)
+			chainsList = append(chainsList, s)
+		}
+		// The root: a correct chain whose final dependence went wrong.
+		rootSeq := chainsList[rng.Intn(chains)].Clone()
+		bad := mkDep()
+		rootSeq[nseq-1] = bad
+		var debug []core.DebugEntry
+		debug = append(debug, core.DebugEntry{Seq: rootSeq, Output: 0.30 + 0.15*rng.Float64()})
+		// The cascade: wrong instructions executing — sequences that
+		// match correct behaviour at most in their first position, and
+		// that the network rejects emphatically.
+		for i := 0; i < cascade; i++ {
+			s := deps.Sequence{mkDep(), mkDep(), mkDep()}
+			if rng.Intn(2) == 0 {
+				s[0] = chainsList[rng.Intn(chains)][0]
+			}
+			debug = append(debug, core.DebugEntry{Seq: s, Output: 0.05 * rng.Float64()})
+		}
+		match := func(s deps.Sequence) bool { return s[len(s)-1] == bad }
+		for i, st := range strategies {
+			rep := ranking.RankWith(debug, correct, st.s)
+			if r := rep.RankOf(match); r > 0 {
+				sums[i] += r
+			} else {
+				sums[i] += len(debug) + 1 // missed entirely
+			}
+		}
+	}
+	var rows []RankingRow
+	for i, st := range strategies {
+		rows = append(rows, RankingRow{
+			Strategy:  st.name,
+			AvgRank:   float64(sums[i]) / float64(trials),
+			Diagnosed: trials,
+		})
+	}
+	return rows, nil
+}
+
+// RenderRanking renders the strategy comparison.
+func RenderRanking(rows []RankingRow) string {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%s\t%.2f\t%d", r.Strategy, r.AvgRank, r.Diagnosed))
+	}
+	return table("Ranking strategy\tAvg root rank\tDiagnosed", out)
+}

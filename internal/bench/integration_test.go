@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"act/internal/nnhw"
+)
+
+func TestFig8Fig10Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead + granularity sweeps")
+	}
+	rows, err := Fig8(Quick, nnhw.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(RenderFig8(rows))
+	rows10, err := Fig10(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(RenderFig10(rows10))
+}
+
+func TestTableVQuickOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table V incl. baselines")
+	}
+	rows, err := TableV(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(RenderTableV(rows))
+	for _, r := range rows {
+		if r.Rank == 0 || r.Rank > 8 {
+			t.Errorf("%s: ACT rank %d", r.Bug, r.Rank)
+		}
+	}
+}

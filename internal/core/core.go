@@ -1,0 +1,303 @@
+// Package core implements the ACT Module (AM) of Section III: the
+// per-processor unit that tests every RAW dependence sequence online
+// against a neural network, logs predicted-invalid sequences to a Debug
+// Buffer, tracks its misprediction rate with the Invalid Counter, and
+// alternates between online testing and online training modes so the
+// classifier adapts to code, input, and platform changes in the field.
+package core
+
+import (
+	"fmt"
+
+	"act/internal/deps"
+	"act/internal/nn"
+)
+
+// Mode is the AM's operating mode.
+type Mode int
+
+// Operating modes (the paper's Mode flag).
+const (
+	Testing  Mode = iota // classify sequences, log predicted-invalid ones
+	Training             // additionally learn: treat every sequence as valid
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Testing {
+		return "testing"
+	}
+	return "training"
+}
+
+// Config parameterizes an ACT Module. The defaults mirror Table III.
+type Config struct {
+	N                int          // dependences per sequence (network input group)
+	IGBSize          int          // Input Generator Buffer entries; default 5
+	DebugBufSize     int          // Debug Buffer entries; default 60
+	MispredThreshold float64      // mode-switch threshold; default 0.05
+	CheckInterval    int          // dependences between rate checks; default 1000
+	LearningRate     float64      // online backprop rate; default 0.2
+	Encoder          deps.Encoder // feature encoding; default deps.EncodeDefault
+	LUT              *nn.SigmoidLUT
+}
+
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 3
+	}
+	if c.IGBSize == 0 {
+		c.IGBSize = 5
+	}
+	if c.DebugBufSize == 0 {
+		c.DebugBufSize = 60
+	}
+	if c.MispredThreshold == 0 {
+		c.MispredThreshold = 0.05
+	}
+	if c.CheckInterval == 0 {
+		c.CheckInterval = 1000
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.2
+	}
+	if c.Encoder == nil {
+		c.Encoder = deps.EncodeDefault
+	}
+	if c.LUT == nil {
+		c.LUT = nn.DefaultLUT()
+	}
+	return c
+}
+
+// DebugEntry is one Debug Buffer record: a predicted-invalid dependence
+// sequence, the network output that condemned it, and when it happened.
+type DebugEntry struct {
+	Seq    deps.Sequence
+	Output float64
+	At     uint64 // dependence index within this module's stream
+	Mode   Mode   // mode the module was in when it logged the entry
+}
+
+// Stats aggregates a module's activity counters.
+type Stats struct {
+	Deps             uint64 // dependences processed
+	Sequences        uint64 // full-length sequences classified
+	PredictedInvalid uint64 // sequences the network rejected
+	Updates          uint64 // online backprop weight updates
+	ModeSwitches     uint64 // testing<->training transitions
+	TrainingDeps     uint64 // dependences processed while training
+}
+
+// Module is one processor's ACT Module. It is not safe for concurrent
+// use; in the simulated machine each core owns exactly one.
+type Module struct {
+	cfg  Config
+	net  *nn.Network
+	mode Mode
+
+	igb   []deps.Dep // Input Generator Buffer, oldest first
+	debug []DebugEntry
+	dhead int // ring index of oldest debug entry
+	dfull bool
+
+	invalid int // Invalid Counter since last rate check
+	window  int // dependences since last rate check
+
+	xbuf  []float64
+	stats Stats
+}
+
+// NewModule creates an AM operating on the given network (which it
+// mutates during online training — pass a clone if the caller keeps the
+// original). The network's activation is replaced by the hardware
+// sigmoid table.
+func NewModule(net *nn.Network, cfg Config) *Module {
+	cfg = cfg.withDefaults()
+	if cfg.N > cfg.IGBSize {
+		panic(fmt.Sprintf("core: sequence length %d exceeds IGB size %d", cfg.N, cfg.IGBSize))
+	}
+	want := deps.InputLen(cfg.Encoder, cfg.N)
+	if net.NIn != want {
+		panic(fmt.Sprintf("core: network input width %d, want %d for N=%d", net.NIn, want, cfg.N))
+	}
+	net.Act = cfg.LUT.Activation()
+	return &Module{
+		cfg:   cfg,
+		net:   net,
+		debug: make([]DebugEntry, 0, cfg.DebugBufSize),
+	}
+}
+
+// Mode returns the module's current operating mode.
+func (m *Module) Mode() Mode { return m.mode }
+
+// Stats returns a copy of the activity counters.
+func (m *Module) Stats() Stats { return m.stats }
+
+// Config returns the module's (defaulted) configuration.
+func (m *Module) Config() Config { return m.cfg }
+
+// Network exposes the underlying network (for weight save/restore).
+func (m *Module) Network() *nn.Network { return m.net }
+
+// OnDep processes one RAW dependence: it enters the Input Generator
+// Buffer, the last N dependences form the network input, and the
+// sequence is classified. It returns whether a full sequence was formed
+// and, if so, whether it was predicted invalid.
+func (m *Module) OnDep(d deps.Dep) (classified, predictedInvalid bool) {
+	m.stats.Deps++
+	if m.mode == Training {
+		m.stats.TrainingDeps++
+	}
+	m.igb = append(m.igb, d)
+	if len(m.igb) > m.cfg.IGBSize {
+		m.igb = m.igb[1:]
+	}
+	// Pad the front with zero dependences while the IGB is still
+	// filling, mirroring the extractor: even the first dependence after
+	// deployment is classified.
+	seq := make(deps.Sequence, m.cfg.N)
+	if n := len(m.igb); n >= m.cfg.N {
+		copy(seq, m.igb[n-m.cfg.N:])
+	} else {
+		copy(seq[m.cfg.N-n:], m.igb)
+	}
+	m.xbuf = m.cfg.Encoder(seq, m.xbuf)
+	m.stats.Sequences++
+
+	var out float64
+	if m.mode == Training {
+		// Online training assumes every dependence is correct: a
+		// predicted-invalid sequence is a misprediction and drives a
+		// backprop step toward "valid". It is still logged, since it
+		// might in fact be the bug (Section III-C).
+		out = m.net.Train(m.xbuf, nn.TargetValid, m.cfg.LearningRate)
+		if out < 0.5 {
+			m.stats.Updates++
+		}
+	} else {
+		out = m.net.Forward(m.xbuf)
+	}
+
+	invalid := out < 0.5
+	if invalid {
+		m.stats.PredictedInvalid++
+		m.invalid++
+		m.logDebug(seq, out)
+	}
+	m.window++
+	if m.window >= m.cfg.CheckInterval {
+		m.checkRate()
+	}
+	return true, invalid
+}
+
+// checkRate implements the periodic Invalid Counter inspection that
+// flips the AM between testing and training.
+func (m *Module) checkRate() {
+	rate := float64(m.invalid) / float64(m.window)
+	switch m.mode {
+	case Testing:
+		if rate > m.cfg.MispredThreshold {
+			m.mode = Training
+			m.stats.ModeSwitches++
+		}
+	case Training:
+		if rate < m.cfg.MispredThreshold {
+			m.mode = Testing
+			m.stats.ModeSwitches++
+		}
+	}
+	m.invalid = 0
+	m.window = 0
+}
+
+// logDebug appends to the Debug Buffer, dropping the oldest entry when
+// full (it holds only the last few invalid sequences).
+func (m *Module) logDebug(s deps.Sequence, out float64) {
+	e := DebugEntry{Seq: s.Clone(), Output: out, At: m.stats.Deps, Mode: m.mode}
+	if len(m.debug) < m.cfg.DebugBufSize {
+		m.debug = append(m.debug, e)
+		return
+	}
+	m.debug[m.dhead] = e
+	m.dhead = (m.dhead + 1) % m.cfg.DebugBufSize
+	m.dfull = true
+}
+
+// DebugBuffer returns the Debug Buffer contents, oldest first.
+func (m *Module) DebugBuffer() []DebugEntry {
+	if !m.dfull {
+		return append([]DebugEntry(nil), m.debug...)
+	}
+	out := make([]DebugEntry, 0, len(m.debug))
+	out = append(out, m.debug[m.dhead:]...)
+	out = append(out, m.debug[:m.dhead]...)
+	return out
+}
+
+// ResetDebug clears the Debug Buffer (e.g. after postprocessing).
+func (m *Module) ResetDebug() {
+	m.debug = m.debug[:0]
+	m.dhead = 0
+	m.dfull = false
+}
+
+// ForceMode overrides the operating mode (deployment with no stored
+// weights starts in training mode; tests use it too).
+func (m *Module) ForceMode(mode Mode) {
+	if m.mode != mode {
+		m.mode = mode
+		m.stats.ModeSwitches++
+	}
+}
+
+// TeachInvalid feeds a known-buggy sequence back to the network as a
+// negative example (Section III-C: when a failure slipped past the
+// network and the programmer pinpointed the invalid dependence sequence
+// by other means, it is fed back like an offline negative). The sequence
+// is trained until rejected or the attempt budget runs out; it returns
+// whether the network now rejects it.
+func (m *Module) TeachInvalid(s deps.Sequence) bool {
+	if len(s) != m.cfg.N {
+		padded := make(deps.Sequence, m.cfg.N)
+		if len(s) > m.cfg.N {
+			copy(padded, s[len(s)-m.cfg.N:])
+		} else {
+			copy(padded[m.cfg.N-len(s):], s)
+		}
+		s = padded
+	}
+	x := m.cfg.Encoder(s, nil)
+	for i := 0; i < 5000; i++ {
+		if m.net.Forward(x) < 0.5 {
+			return true
+		}
+		m.net.Train(x, nn.TargetInvalid, m.cfg.LearningRate)
+		m.stats.Updates++
+	}
+	return m.net.Forward(x) < 0.5
+}
+
+// SaveWeights reads out the weight registers (the ldwt loop run at
+// thread termination or context switch).
+func (m *Module) SaveWeights() []float64 {
+	out := make([]float64, 0, m.net.WeightCount())
+	for i := 0; i < m.net.WeightCount(); i++ {
+		out = append(out, m.net.ReadRegister(i))
+	}
+	return out
+}
+
+// LoadWeights writes the weight registers (the stwt loop run at thread
+// creation or context-switch restore).
+func (m *Module) LoadWeights(w []float64) error {
+	if len(w) != m.net.WeightCount() {
+		return fmt.Errorf("core: weight count %d, want %d", len(w), m.net.WeightCount())
+	}
+	for i, v := range w {
+		m.net.WriteRegister(i, v)
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"act/internal/deps"
+	"act/internal/nn"
+	"act/internal/trace"
+)
+
+func recordOf(tid uint16, pc, addr uint64, store bool) trace.Record {
+	return trace.Record{Tid: tid, PC: pc, Addr: addr, Store: store}
+}
+
+// trainedNet builds a network that accepts a given set of sequences and
+// rejects everything else, by direct training.
+func trainedNet(t *testing.T, n int, valid []deps.Sequence, invalid []deps.Sequence) *nn.Network {
+	t.Helper()
+	in := deps.InputLen(deps.EncodeDefault, n)
+	var samples []nn.Sample
+	for _, s := range valid {
+		samples = append(samples, nn.Sample{X: deps.EncodeDefault(s, nil), Y: nn.TargetValid})
+	}
+	for _, s := range invalid {
+		samples = append(samples, nn.Sample{X: deps.EncodeDefault(s, nil), Y: nn.TargetInvalid})
+	}
+	net, _ := nn.TrainNew(in, 8, samples, nn.FitConfig{Seed: 3, MaxEpochs: 4000, Patience: 4000})
+	if miss := nn.Evaluate(net, samples); miss > 0 {
+		t.Fatalf("fixture net failed to memorize (%v miss)", miss)
+	}
+	return net
+}
+
+func seqAt(base uint64, n int) deps.Sequence {
+	s := make(deps.Sequence, n)
+	for i := range s {
+		s[i] = deps.Dep{S: base + uint64(i)*16, L: base + 8 + uint64(i)*16}
+	}
+	return s
+}
+
+func TestModuleFlagsInvalidSequence(t *testing.T) {
+	n := 2
+	valid := seqAt(0x1000, 4)
+	bad := deps.Dep{S: 0xBAD0, L: valid[3].L}
+	validWindows := []deps.Sequence{
+		{{}, valid[0]}, {valid[0], valid[1]}, {valid[1], valid[2]}, {valid[2], valid[3]},
+	}
+	badWindow := deps.Sequence{valid[2], bad}
+	net := trainedNet(t, n, validWindows, []deps.Sequence{badWindow})
+
+	m := NewModule(net, Config{N: n})
+	for _, d := range valid[:3] {
+		if _, inv := m.OnDep(d); inv {
+			t.Fatalf("valid dep %v flagged", d)
+		}
+	}
+	if _, inv := m.OnDep(bad); !inv {
+		t.Fatal("invalid dependence not flagged")
+	}
+	buf := m.DebugBuffer()
+	if len(buf) != 1 || buf[0].Seq[len(buf[0].Seq)-1] != bad {
+		t.Fatalf("debug buffer %v", buf)
+	}
+	if buf[0].Output >= 0.5 {
+		t.Fatalf("logged output %v not negative-confidence", buf[0].Output)
+	}
+}
+
+func TestDebugBufferRing(t *testing.T) {
+	// A network rejecting everything fills the ring; oldest entries drop.
+	net := nn.New(4, 4, rand.New(rand.NewSource(1)))
+	for i := range net.WO {
+		net.WO[i] = 0
+	}
+	net.WO[len(net.WO)-1] = -5 // always invalid
+	m := NewModule(net, Config{N: 2, DebugBufSize: 4, CheckInterval: 1 << 30})
+	for i := uint64(0); i < 10; i++ {
+		m.OnDep(deps.Dep{S: 0x100 + i, L: 0x200 + i})
+	}
+	buf := m.DebugBuffer()
+	if len(buf) != 4 {
+		t.Fatalf("ring size %d, want 4", len(buf))
+	}
+	// Oldest-first: the last entry must be the most recent dependence.
+	last := buf[3].Seq[len(buf[3].Seq)-1]
+	if last.S != 0x109 {
+		t.Fatalf("newest entry %v", last)
+	}
+	m.ResetDebug()
+	if len(m.DebugBuffer()) != 0 {
+		t.Fatal("ResetDebug left entries")
+	}
+}
+
+func TestModeSwitching(t *testing.T) {
+	// Always-invalid net: in testing mode the misprediction rate is 100%,
+	// so the module must flip to training; online learning then drives
+	// the rate down and it flips back.
+	net := nn.New(4, 6, rand.New(rand.NewSource(2)))
+	for i := range net.WO {
+		net.WO[i] = 0
+	}
+	net.WO[len(net.WO)-1] = -2
+	m := NewModule(net, Config{N: 2, CheckInterval: 50, MispredThreshold: 0.05, LearningRate: 0.5})
+	if m.Mode() != Testing {
+		t.Fatal("module must start in testing mode with weights")
+	}
+	// A small recurring set of dependences.
+	ds := seqAt(0x4000, 4)
+	for i := 0; i < 3000 && m.Mode() == Testing; i++ {
+		m.OnDep(ds[i%len(ds)])
+	}
+	if m.Mode() != Training {
+		t.Fatal("module never entered training mode at 100% misprediction")
+	}
+	for i := 0; i < 50_000 && m.Mode() == Training; i++ {
+		m.OnDep(ds[i%len(ds)])
+	}
+	if m.Mode() != Testing {
+		t.Fatal("module never returned to testing mode after learning")
+	}
+	if m.Stats().ModeSwitches < 2 {
+		t.Fatalf("mode switches = %d", m.Stats().ModeSwitches)
+	}
+}
+
+func TestTrainingModeStillLogs(t *testing.T) {
+	net := nn.New(4, 4, rand.New(rand.NewSource(3)))
+	for i := range net.WO {
+		net.WO[i] = 0
+	}
+	net.WO[len(net.WO)-1] = -5
+	m := NewModule(net, Config{N: 2, LearningRate: 1e-9, CheckInterval: 1 << 30})
+	m.ForceMode(Training)
+	m.OnDep(deps.Dep{S: 1, L: 2})
+	m.OnDep(deps.Dep{S: 3, L: 4})
+	if len(m.DebugBuffer()) == 0 {
+		t.Fatal("training mode must still log predicted-invalid sequences")
+	}
+	if m.Stats().TrainingDeps != 2 {
+		t.Fatalf("training deps = %d", m.Stats().TrainingDeps)
+	}
+}
+
+func TestSaveLoadWeights(t *testing.T) {
+	net := nn.New(4, 4, rand.New(rand.NewSource(4)))
+	m := NewModule(net, Config{N: 2})
+	w := m.SaveWeights()
+	m2 := NewModule(nn.New(4, 4, rand.New(rand.NewSource(99))), Config{N: 2})
+	if err := m2.LoadWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, 0.2, 0.3, 0.4}
+	if math.Abs(m.Network().Forward(x)-m2.Network().Forward(x)) > 1e-12 {
+		t.Fatal("restored weights disagree")
+	}
+	if err := m2.LoadWeights(w[1:]); err == nil {
+		t.Fatal("short weight vector accepted")
+	}
+}
+
+func TestModuleConfigValidation(t *testing.T) {
+	net := nn.New(4, 4, rand.New(rand.NewSource(5)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("N > IGB size must panic")
+		}
+	}()
+	NewModule(net, Config{N: 9, IGBSize: 5})
+}
+
+func TestWeightBinary(t *testing.T) {
+	wb := NewWeightBinary(4, 4)
+	if wb.Has(0) {
+		t.Fatal("fresh binary claims weights")
+	}
+	wb.Patch(2, []float64{1, 2, 3})
+	if !wb.Has(2) || wb.Has(1) {
+		t.Fatal("chkwt semantics broken")
+	}
+	got := wb.Get(2)
+	got[0] = 99 // must not alias the stored copy
+	if wb.Get(2)[0] != 1 {
+		t.Fatal("Get aliases internal storage")
+	}
+	wb.PatchAll(3, []float64{7})
+	if th := wb.Threads(); len(th) != 3 || th[0] != 0 || th[2] != 2 {
+		t.Fatalf("threads %v, want [0 1 2]", th)
+	}
+}
+
+func TestTrackerUnseenThreadStartsTraining(t *testing.T) {
+	wb := AlwaysValidBinary(4, 10, 1) // only thread 0 has weights
+	tk := NewTracker(wb, TrackerConfig{Module: Config{N: 2}})
+	if tk.Module(0).Mode() != Testing {
+		t.Fatal("thread 0 with weights should start testing")
+	}
+	if tk.Module(1).Mode() != Training {
+		t.Fatal("thread 1 without weights should start training")
+	}
+}
+
+func TestTrackerShutdownPatchesBinary(t *testing.T) {
+	wb := AlwaysValidBinary(4, 10, 1)
+	tk := NewTracker(wb, TrackerConfig{Module: Config{N: 2}})
+	tk.OnRecord(recordOf(1, 0x10, 0x1000, true))
+	tk.OnRecord(recordOf(1, 0x14, 0x1000, false))
+	tk.Shutdown()
+	if !wb.Has(1) {
+		t.Fatal("shutdown did not patch thread 1's learned weights")
+	}
+}
+
+func TestTeachInvalid(t *testing.T) {
+	wb := AlwaysValidBinary(4, 10, 1)
+	tk := NewTracker(wb, TrackerConfig{Module: Config{N: 2}})
+	m := tk.Module(0)
+	bad := deps.Sequence{{S: 0x111, L: 0x222}, {S: 0x333, L: 0x444, Inter: true}}
+	if _, inv := m.OnDep(bad[1]); inv {
+		t.Skip("already rejected; nothing to teach")
+	}
+	if !m.TeachInvalid(bad) {
+		t.Fatal("TeachInvalid failed to make the network reject the sequence")
+	}
+	// Short sequences are padded like the IGB would.
+	if !m.TeachInvalid(deps.Sequence{{S: 0x999, L: 0xAAA}}) {
+		t.Fatal("TeachInvalid with a short sequence failed")
+	}
+}
+
+func TestPerThreadWeightsDiverge(t *testing.T) {
+	// Two untrained threads learn different dependence streams online;
+	// after Shutdown the patched binary holds different weights.
+	wb := NewWeightBinary(4, 6)
+	tk := NewTracker(wb, TrackerConfig{Module: Config{N: 2, CheckInterval: 50}, Seed: 5})
+	for i := uint64(0); i < 2000; i++ {
+		tk.Module(0).OnDep(deps.Dep{S: 0x100 + i%3, L: 0x200 + i%3})
+		tk.Module(1).OnDep(deps.Dep{S: 0x900 + i%7, L: 0xA00 + i%7, Inter: true})
+	}
+	tk.Shutdown()
+	w0, w1 := wb.Get(0), wb.Get(1)
+	same := true
+	for i := range w0 {
+		if w0[i] != w1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("threads with different streams ended with identical weights")
+	}
+}
+
+func TestAlwaysValidBinary(t *testing.T) {
+	wb := AlwaysValidBinary(4, 10, 2)
+	tk := NewTracker(wb, TrackerConfig{Module: Config{N: 2}})
+	m := tk.Module(0)
+	for i := uint64(0); i < 20; i++ {
+		if _, inv := m.OnDep(deps.Dep{S: i * 7, L: i * 13}); inv {
+			t.Fatal("always-valid binary rejected a dependence")
+		}
+	}
+}

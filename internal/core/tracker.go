@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"act/internal/deps"
+	"act/internal/nn"
+	"act/internal/trace"
+)
+
+// WeightBinary models the program binary augmented with per-thread
+// network topology and weights (Section IV-B/IV-C): the thread-creation
+// hook checks for a thread's weights (chkwt), loads them (stwt loop) or
+// falls back to default weights that force online training; the
+// thread-termination hook reads the registers back (ldwt loop) so one
+// execution's learning patches the binary for the next.
+type WeightBinary struct {
+	NIn, NHidden int
+	byThread     map[int][]float64
+}
+
+// NewWeightBinary creates a binary image for the given topology.
+func NewWeightBinary(nIn, nHidden int) *WeightBinary {
+	return &WeightBinary{NIn: nIn, NHidden: nHidden, byThread: make(map[int][]float64)}
+}
+
+// Has implements chkwt: does thread tid have stored weights?
+func (wb *WeightBinary) Has(tid int) bool {
+	_, ok := wb.byThread[tid]
+	return ok
+}
+
+// Get returns thread tid's weights, or nil if absent.
+func (wb *WeightBinary) Get(tid int) []float64 {
+	w, ok := wb.byThread[tid]
+	if !ok {
+		return nil
+	}
+	return append([]float64(nil), w...)
+}
+
+// Patch stores thread tid's weights (the post-run binary patching step).
+func (wb *WeightBinary) Patch(tid int, w []float64) {
+	wb.byThread[tid] = append([]float64(nil), w...)
+}
+
+// PatchAll stores the same weights for thread ids 0..n-1, the common
+// case after offline training where every thread shares one topology
+// and the initial weights.
+func (wb *WeightBinary) PatchAll(n int, w []float64) {
+	for t := 0; t < n; t++ {
+		wb.Patch(t, w)
+	}
+}
+
+// Threads returns the thread ids with stored weights, ascending.
+func (wb *WeightBinary) Threads() []int {
+	out := make([]int, 0, len(wb.byThread))
+	for t := range wb.byThread {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AlwaysValidBinary returns a weight binary whose network classifies
+// every input as valid (zero weights, strongly positive output bias),
+// patched for the first nThreads threads. Timing experiments use it to
+// model a converged, misprediction-free deployment without running
+// offline training.
+func AlwaysValidBinary(nIn, nHidden, nThreads int) *WeightBinary {
+	wb := NewWeightBinary(nIn, nHidden)
+	w := make([]float64, nHidden*(nIn+1)+nHidden+1)
+	w[len(w)-1] = 4 // output bias: sigmoid(4) ≈ 0.98
+	wb.PatchAll(nThreads, w)
+	return wb
+}
+
+// Tracker deploys one ACT Module per processor and routes the RAW
+// dependence stream to them. Threads are pinned one-to-one to
+// processors, matching the simulated machine. The Tracker is the
+// functional (timing-free) deployment used for diagnosis experiments;
+// the timing simulator wires the same Modules into its cores.
+type Tracker struct {
+	cfg     Config
+	binary  *WeightBinary
+	ext     *deps.Extractor
+	modules map[uint16]*Module
+	seed    int64
+}
+
+// TrackerConfig bundles deployment parameters.
+type TrackerConfig struct {
+	Module      Config
+	Granularity uint64 // last-writer granule; default word
+	FilterStack bool
+	Seed        int64 // initialization of default (untrained) weights
+}
+
+// NewTracker creates a deployment backed by the given weight binary.
+func NewTracker(binary *WeightBinary, cfg TrackerConfig) *Tracker {
+	mc := cfg.Module.withDefaults()
+	want := deps.InputLen(mc.Encoder, mc.N)
+	if binary.NIn != want {
+		panic(fmt.Sprintf("core: binary topology input %d, want %d for N=%d", binary.NIn, want, mc.N))
+	}
+	t := &Tracker{
+		cfg:     mc,
+		binary:  binary,
+		modules: make(map[uint16]*Module),
+		seed:    cfg.Seed,
+	}
+	t.ext = deps.NewExtractor(deps.ExtractorConfig{
+		N:           mc.N,
+		Granularity: cfg.Granularity,
+		FilterStack: cfg.FilterStack,
+	})
+	t.ext.OnDep = func(tid uint16, d deps.Dep) {
+		t.Module(int(tid)).OnDep(d)
+	}
+	return t
+}
+
+// Module returns (creating on first use — the pthread_create hook) the
+// ACT Module of the processor running thread tid. A thread with stored
+// weights starts in testing mode; one without gets random default
+// weights and starts in training mode, exactly the fallback the paper
+// describes for threads unseen during offline training.
+func (t *Tracker) Module(tid int) *Module {
+	if m, ok := t.modules[uint16(tid)]; ok {
+		return m
+	}
+	net := nn.New(t.binary.NIn, t.binary.NHidden, rand.New(rand.NewSource(t.seed+int64(tid))))
+	m := NewModule(net, t.cfg)
+	if w := t.binary.Get(tid); w != nil {
+		if err := m.LoadWeights(w); err != nil {
+			panic(err) // topology checked in NewTracker; unreachable
+		}
+	} else {
+		m.ForceMode(Training)
+	}
+	t.modules[uint16(tid)] = m
+	return m
+}
+
+// OnRecord feeds one memory-trace record through last-writer tracking;
+// loads that close a dependence reach the owning module.
+func (t *Tracker) OnRecord(r trace.Record) {
+	if r.Store {
+		t.ext.Store(r.Tid, r.PC, r.Addr, r.Stack)
+	} else {
+		t.ext.Load(r.Tid, r.PC, r.Addr, r.Stack)
+	}
+}
+
+// Replay feeds a whole trace through the tracker.
+func (t *Tracker) Replay(tr *trace.Trace) {
+	for _, r := range tr.Records {
+		t.OnRecord(r)
+	}
+}
+
+// DebugBuffers concatenates every module's Debug Buffer, ordered by
+// processor then age — the log handed to offline postprocessing after a
+// failure.
+func (t *Tracker) DebugBuffers() []DebugEntry {
+	tids := make([]int, 0, len(t.modules))
+	for tid := range t.modules {
+		tids = append(tids, int(tid))
+	}
+	sort.Ints(tids)
+	var out []DebugEntry
+	for _, tid := range tids {
+		out = append(out, t.modules[uint16(tid)].DebugBuffer()...)
+	}
+	return out
+}
+
+// Shutdown reads back every module's weights into the binary (the
+// pthread_exit hook plus binary patching), so a subsequent Tracker
+// benefits from this execution's online learning.
+func (t *Tracker) Shutdown() {
+	for tid, m := range t.modules {
+		t.binary.Patch(int(tid), m.SaveWeights())
+	}
+}
+
+// Stats sums all module counters.
+func (t *Tracker) Stats() Stats {
+	var s Stats
+	for _, m := range t.modules {
+		ms := m.Stats()
+		s.Deps += ms.Deps
+		s.Sequences += ms.Sequences
+		s.PredictedInvalid += ms.PredictedInvalid
+		s.Updates += ms.Updates
+		s.ModeSwitches += ms.ModeSwitches
+		s.TrainingDeps += ms.TrainingDeps
+	}
+	return s
+}

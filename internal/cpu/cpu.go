@@ -1,0 +1,273 @@
+// Package cpu models the out-of-order core timing of Table III: a
+// 2-issue/3-retire pipeline with a 140-entry reorder buffer. The
+// functional execution comes from the VM (instructions execute when
+// issued); this package accounts for when they complete and retire, and
+// implements the one architectural interaction ACT adds — a load whose
+// RAW dependence the neural network's input FIFO cannot yet accept is
+// held at the head of the ROB until the FIFO drains (Section III-C).
+package cpu
+
+import (
+	"act/internal/isa"
+	"act/internal/mem"
+	"act/internal/vm"
+)
+
+// Config sets the core's widths and latencies.
+type Config struct {
+	IssueWidth  int // default 2
+	RetireWidth int // default 3
+	ROBSize     int // default 140
+
+	ALULat    int // default 1
+	MulLat    int // default 3
+	DivLat    int // default 12
+	BranchLat int // default 1
+	SyncLat   int // lock/unlock/fence overhead; default 2
+}
+
+func (c Config) withDefaults() Config {
+	if c.IssueWidth == 0 {
+		c.IssueWidth = 2
+	}
+	if c.RetireWidth == 0 {
+		c.RetireWidth = 3
+	}
+	if c.ROBSize == 0 {
+		c.ROBSize = 140
+	}
+	if c.ALULat == 0 {
+		c.ALULat = 1
+	}
+	if c.MulLat == 0 {
+		c.MulLat = 3
+	}
+	if c.DivLat == 0 {
+		c.DivLat = 12
+	}
+	if c.BranchLat == 0 {
+		c.BranchLat = 1
+	}
+	if c.SyncLat == 0 {
+		c.SyncLat = 2
+	}
+	return c
+}
+
+// ACTHook is the per-core ACT Module attachment. A nil hook models the
+// baseline machine without ACT.
+type ACTHook interface {
+	// OnLoadComplete delivers a finished load's last-writer observation.
+	// It returns true when a dependence was formed and the load must be
+	// accepted by the neural network's input FIFO before retiring.
+	OnLoadComplete(ev vm.Event, r mem.Result) bool
+	// TryAccept asks the input FIFO to take the pending input; false
+	// stalls retirement this cycle.
+	TryAccept() bool
+	// Tick advances the neural hardware one cycle.
+	Tick()
+}
+
+// entry is one ROB slot.
+type entry struct {
+	completeAt int64
+	needAccept bool // load waiting for NN FIFO acceptance
+	accepted   bool
+}
+
+// Stats counts core activity.
+type Stats struct {
+	Cycles       int64
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	NNStalls     int64 // retire cycles lost to a full NN input FIFO
+	ROBStalls    int64 // issue cycles lost to a full ROB
+	IdleCycles   int64 // cycles with nothing to issue (blocked/halted thread)
+}
+
+// Core drives one hardware thread. Exec produces the next functional
+// instruction (the VM step); Mem provides memory timing and last-writer
+// metadata.
+type Core struct {
+	ID   int
+	cfg  Config
+	mach *vm.VM
+	tid  int
+	hier *mem.Hierarchy
+	hook ACTHook
+
+	rob      []entry
+	head     int
+	count    int
+	now      int64
+	stallTo  int64              // context-switch/migration stall deadline
+	regReady [isa.NumRegs]int64 // scoreboard: cycle each register's value is available
+	srcBuf   []uint8
+	st       Stats
+}
+
+// New builds a core for thread tid of the given VM.
+func New(id int, cfg Config, mach *vm.VM, tid int, hier *mem.Hierarchy, hook ACTHook) *Core {
+	cfg = cfg.withDefaults()
+	return &Core{
+		ID: id, cfg: cfg, mach: mach, tid: tid, hier: hier, hook: hook,
+		rob: make([]entry, cfg.ROBSize),
+	}
+}
+
+// Stats returns a copy of the counters.
+func (c *Core) Stats() Stats { return c.st }
+
+// Thread returns the hardware thread the core currently runs.
+func (c *Core) Thread() int { return c.tid }
+
+// SetThread migrates a (drained) core to another thread. Callers model
+// the OS cost separately with AddStall.
+func (c *Core) SetThread(tid int) { c.tid = tid }
+
+// Drained reports whether the ROB holds no in-flight instructions — the
+// precondition for a context switch.
+func (c *Core) Drained() bool { return c.count == 0 }
+
+// AddStall keeps the core from issuing or retiring for the given number
+// of cycles — the weight save/restore sequence (ldwt/stwt loops) plus
+// pipeline flush of a context switch or migration.
+func (c *Core) AddStall(cycles int64) {
+	if until := c.now + cycles; until > c.stallTo {
+		c.stallTo = until
+	}
+}
+
+// Quiesce models the OS waiting out the in-flight instructions at a
+// context switch: the ROB empties (their functional effects are already
+// applied) and the scoreboard resets; the caller charges the time via
+// AddStall.
+func (c *Core) Quiesce() {
+	c.head = 0
+	c.count = 0
+	for i := range c.regReady {
+		c.regReady[i] = 0
+	}
+}
+
+// Done reports whether the thread has finished and the ROB drained.
+func (c *Core) Done() bool {
+	return c.count == 0 && c.mach.Status(c.tid) != vm.Running && c.mach.Status(c.tid) != vm.Blocked
+}
+
+// latencyFor returns the execution latency of a non-memory instruction.
+func (c *Core) latencyFor(op isa.Op) int {
+	switch {
+	case op == isa.Mul:
+		return c.cfg.MulLat
+	case op == isa.Div || op == isa.Rem:
+		return c.cfg.DivLat
+	case op.IsBranch():
+		return c.cfg.BranchLat
+	case op.IsSync():
+		return c.cfg.SyncLat
+	default:
+		return c.cfg.ALULat
+	}
+}
+
+// Cycle advances the core one clock: tick the NN hardware, retire, then
+// issue. It returns the number of instructions retired.
+func (c *Core) Cycle() int {
+	c.now++
+	c.st.Cycles++
+	if c.hook != nil {
+		c.hook.Tick()
+	}
+	if c.now < c.stallTo {
+		return 0
+	}
+
+	// Retire in order, up to RetireWidth.
+	retired := 0
+	for retired < c.cfg.RetireWidth && c.count > 0 {
+		e := &c.rob[c.head]
+		if e.completeAt > c.now {
+			break
+		}
+		if e.needAccept && !e.accepted {
+			if !c.hook.TryAccept() {
+				c.st.NNStalls++
+				break
+			}
+			e.accepted = true
+		}
+		c.head = (c.head + 1) % len(c.rob)
+		c.count--
+		retired++
+		c.st.Instructions++
+	}
+
+	// Issue up to IssueWidth new instructions, respecting operand
+	// readiness (scoreboard): a dependent instruction waits for its
+	// producer to complete.
+	issued := 0
+	for issued < c.cfg.IssueWidth {
+		if c.count == len(c.rob) {
+			c.st.ROBStalls++
+			break
+		}
+		next, can := c.mach.Peek(c.tid)
+		if !can {
+			if issued == 0 && retired == 0 {
+				c.st.IdleCycles++
+			}
+			break
+		}
+		ready := true
+		c.srcBuf = next.SrcRegs(c.srcBuf[:0])
+		for _, r := range c.srcBuf {
+			if c.regReady[r] > c.now {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			break
+		}
+		ev, ok := c.mach.StepThread(c.tid)
+		if !ok {
+			break
+		}
+		e := entry{}
+		switch ev.Op {
+		case isa.Load:
+			c.st.Loads++
+			r := c.hier.Access(c.ID, ev.Addr, false, ev.PC)
+			e.completeAt = c.now + int64(r.Cycles)
+			if c.hook != nil && c.hook.OnLoadComplete(ev, r) {
+				e.needAccept = true
+			}
+		case isa.Store:
+			c.st.Stores++
+			r := c.hier.Access(c.ID, ev.Addr, true, ev.PC)
+			e.completeAt = c.now + int64(r.Cycles)
+		case isa.Atomic:
+			c.st.Loads++
+			c.st.Stores++
+			// Read-modify-write: the read observes the previous writer,
+			// then the write claims the line.
+			rl := c.hier.Access(c.ID, ev.Addr, false, ev.PC)
+			c.hier.Access(c.ID, ev.Addr, true, ev.PC)
+			e.completeAt = c.now + int64(rl.Cycles) + int64(c.cfg.SyncLat)
+			if c.hook != nil && c.hook.OnLoadComplete(ev, rl) {
+				e.needAccept = true
+			}
+		default:
+			e.completeAt = c.now + int64(c.latencyFor(ev.Op))
+		}
+		if rd, hasDest := next.DestReg(); hasDest {
+			c.regReady[rd] = e.completeAt
+		}
+		c.rob[(c.head+c.count)%len(c.rob)] = e
+		c.count++
+		issued++
+	}
+	return retired
+}

@@ -1,0 +1,158 @@
+package cpu
+
+import (
+	"testing"
+
+	"act/internal/mem"
+	"act/internal/program"
+	"act/internal/vm"
+)
+
+func machine(t *testing.T, build func(b *program.Builder)) (*vm.VM, *mem.Hierarchy) {
+	t.Helper()
+	pb := program.New("cpu-test")
+	b := pb.Thread()
+	build(b)
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm.New(p), mem.New(mem.Config{Cores: 1, LineSize: 64, L1Size: 1 << 10, L1Ways: 2, L2Size: 4 << 10, L2Ways: 2})
+}
+
+// runCore cycles the core to completion, bounded.
+func runCore(t *testing.T, c *Core) {
+	t.Helper()
+	for i := 0; !c.Done(); i++ {
+		if i > 1_000_000 {
+			t.Fatal("core wedged")
+		}
+		c.Cycle()
+	}
+}
+
+func TestIndependentOpsDualIssue(t *testing.T) {
+	// 40 independent immediates: a 2-wide core should sustain IPC near 2.
+	mach, hier := machine(t, func(b *program.Builder) {
+		for i := 0; i < 40; i++ {
+			b.Li(uint8(1+i%20), int64(i))
+		}
+		b.Halt()
+	})
+	c := New(0, Config{}, mach, 0, hier, nil)
+	runCore(t, c)
+	st := c.Stats()
+	ipc := float64(st.Instructions) / float64(st.Cycles)
+	if ipc < 1.5 {
+		t.Fatalf("IPC %.2f for independent ops, want near 2", ipc)
+	}
+}
+
+func TestDependentChainSerializes(t *testing.T) {
+	// A multiply chain: each result feeds the next, so the scoreboard
+	// must hold issue for MulLat cycles per link.
+	const n = 30
+	mach, hier := machine(t, func(b *program.Builder) {
+		b.Li(1, 1)
+		b.Li(2, 3)
+		for i := 0; i < n; i++ {
+			b.Mul(1, 1, 2)
+		}
+		b.Halt()
+	})
+	c := New(0, Config{}, mach, 0, hier, nil)
+	runCore(t, c)
+	st := c.Stats()
+	if st.Cycles < int64(n*Config{}.withDefaults().MulLat) {
+		t.Fatalf("chain of %d muls finished in %d cycles: scoreboard broken", n, st.Cycles)
+	}
+}
+
+func TestLoadLatencyRespected(t *testing.T) {
+	// A load followed by a dependent add: the add must wait for the
+	// cold-miss latency.
+	mach, hier := machine(t, func(b *program.Builder) {
+		b.Li(1, 0x10000000)
+		b.Store(1, 1, 0) // warm nothing: cold store is the miss
+		b.Load(2, 1, 0)
+		b.Addi(3, 2, 1)
+		b.Halt()
+	})
+	c := New(0, Config{}, mach, 0, hier, nil)
+	runCore(t, c)
+	// Default memory round trip is 300 cycles plus 30 bus cycles; the
+	// cold store alone costs that much before the dependent ops finish.
+	if c.Stats().Cycles < 330 {
+		t.Fatalf("cycles %d below the memory fill latency", c.Stats().Cycles)
+	}
+}
+
+type stubHook struct {
+	offered  int
+	accepted int
+	budget   int // accept this many, then refuse forever
+	ticks    int
+}
+
+func (h *stubHook) OnLoadComplete(vm.Event, mem.Result) bool { return true }
+func (h *stubHook) TryAccept() bool {
+	h.offered++
+	if h.accepted < h.budget {
+		h.accepted++
+		return true
+	}
+	return false
+}
+func (h *stubHook) Tick() { h.ticks++ }
+
+func TestNNStallBlocksRetirement(t *testing.T) {
+	mach, hier := machine(t, func(b *program.Builder) {
+		b.Li(1, 0x10000000)
+		b.Store(1, 1, 0)
+		b.Load(2, 1, 0)
+		b.Load(3, 1, 8)
+		b.Halt()
+	})
+	h := &stubHook{budget: 1}
+	c := New(0, Config{}, mach, 0, hier, h)
+	for i := 0; i < 5000 && !c.Done(); i++ {
+		c.Cycle()
+	}
+	if c.Done() {
+		t.Fatal("core retired a load the NN FIFO refused")
+	}
+	if c.Stats().NNStalls == 0 {
+		t.Fatal("no NN stalls counted")
+	}
+	if h.ticks == 0 {
+		t.Fatal("hook never ticked")
+	}
+}
+
+func TestQuiesceAndStall(t *testing.T) {
+	mach, hier := machine(t, func(b *program.Builder) {
+		for i := 0; i < 10; i++ {
+			b.Li(1, int64(i))
+		}
+		b.Halt()
+	})
+	c := New(0, Config{}, mach, 0, hier, nil)
+	c.Cycle()
+	c.AddStall(100)
+	before := c.Stats().Instructions
+	for i := 0; i < 50; i++ {
+		c.Cycle()
+	}
+	if c.Stats().Instructions != before {
+		t.Fatal("core made progress during a stall")
+	}
+	c.Quiesce()
+	if !c.Drained() {
+		t.Fatal("Quiesce left the ROB occupied")
+	}
+	runCore(t, c)
+	if c.Thread() != 0 {
+		t.Fatal("thread changed unexpectedly")
+	}
+	c.SetThread(0)
+}

@@ -1,0 +1,214 @@
+// Package deps implements RAW (read-after-write) data-communication
+// tracking: extracting dependences from memory traces, grouping them into
+// the N-long sequences the neural network classifies, synthesizing the
+// negative examples used for offline training, and encoding sequences as
+// neural-network input vectors.
+//
+// A RAW dependence S→L pairs the instruction address S of the store that
+// last wrote a memory granule with the instruction address L of a load
+// reading it. The dependence belongs to the processor executing L; each
+// dependence is labelled inter- or intra-thread. Sequences are the last N
+// dependences observed by one processor, oldest first.
+package deps
+
+import "fmt"
+
+// Dep is one RAW dependence.
+type Dep struct {
+	S     uint64 // store instruction address (last writer)
+	L     uint64 // load instruction address
+	Inter bool   // writer executed on a different thread than the reader
+}
+
+// String renders the dependence in the paper's S→L notation.
+func (d Dep) String() string {
+	kind := "intra"
+	if d.Inter {
+		kind = "inter"
+	}
+	return fmt.Sprintf("%#x→%#x(%s)", d.S, d.L, kind)
+}
+
+// Sequence is an ordered group of N consecutive RAW dependences from one
+// processor, oldest first, newest (the dependence under test) last.
+type Sequence []Dep
+
+// Key returns a canonical map key for the sequence.
+func (s Sequence) Key() string {
+	b := make([]byte, 0, len(s)*17)
+	for _, d := range s {
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(d.S>>(8*i)))
+		}
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(d.L>>(8*i)))
+		}
+		if d.Inter {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return string(b)
+}
+
+// Clone returns a copy of the sequence.
+func (s Sequence) Clone() Sequence {
+	c := make(Sequence, len(s))
+	copy(c, s)
+	return c
+}
+
+func (s Sequence) String() string {
+	out := "("
+	for i, d := range s {
+		if i > 0 {
+			out += ", "
+		}
+		out += d.String()
+	}
+	return out + ")"
+}
+
+// writer identifies the thread and instruction of a store.
+type writer struct {
+	pc  uint64
+	tid uint16
+}
+
+// Extractor turns an ordered stream of memory records into RAW
+// dependences and sequences. Granularity controls the address granule at
+// which the last writer is tracked: the word size models the paper's
+// precise per-word extension, a cache-line size models the cheap
+// line-granularity mode whose false sharing the evaluation measures.
+type Extractor struct {
+	n           int
+	granularity uint64
+	filterStack bool
+	trackPrev   bool
+
+	last    map[uint64]writer
+	prev    map[uint64]writer
+	windows map[uint16][]Dep
+
+	// OnDep, if set, observes every formed dependence before windowing.
+	OnDep func(tid uint16, d Dep)
+	// OnSequence observes every full-length positive sequence.
+	OnSequence func(tid uint16, s Sequence)
+	// OnNegative observes every synthesized invalid sequence (offline
+	// training only; requires TrackPrev).
+	OnNegative func(tid uint16, s Sequence)
+}
+
+// ExtractorConfig configures an Extractor.
+type ExtractorConfig struct {
+	N           int    // sequence length; must be >= 1
+	Granularity uint64 // bytes per last-writer granule; 0 means 8 (word)
+	FilterStack bool   // drop stack-addressed records
+	TrackPrev   bool   // keep before-last writers to form negative examples
+}
+
+// NewExtractor returns an extractor for the given configuration.
+func NewExtractor(cfg ExtractorConfig) *Extractor {
+	if cfg.N < 1 {
+		panic(fmt.Sprintf("deps: invalid sequence length %d", cfg.N))
+	}
+	g := cfg.Granularity
+	if g == 0 {
+		g = 8
+	}
+	if g&(g-1) != 0 {
+		panic(fmt.Sprintf("deps: granularity %d is not a power of two", g))
+	}
+	e := &Extractor{
+		n:           cfg.N,
+		granularity: g,
+		filterStack: cfg.FilterStack,
+		trackPrev:   cfg.TrackPrev,
+		last:        make(map[uint64]writer),
+		windows:     make(map[uint16][]Dep),
+	}
+	if cfg.TrackPrev {
+		e.prev = make(map[uint64]writer)
+	}
+	return e
+}
+
+// N returns the configured sequence length.
+func (e *Extractor) N() int { return e.n }
+
+// Reset clears all last-writer and window state (e.g. between traces)
+// while keeping the configuration and callbacks.
+func (e *Extractor) Reset() {
+	clear(e.last)
+	if e.prev != nil {
+		clear(e.prev)
+	}
+	clear(e.windows)
+}
+
+// granule maps an address to its tracking granule.
+func (e *Extractor) granule(addr uint64) uint64 { return addr &^ (e.granularity - 1) }
+
+// Store records a store by tid at instruction pc to addr.
+func (e *Extractor) Store(tid uint16, pc, addr uint64, stack bool) {
+	if e.filterStack && stack {
+		return
+	}
+	g := e.granule(addr)
+	if e.trackPrev {
+		if w, ok := e.last[g]; ok {
+			e.prev[g] = w
+		}
+	}
+	e.last[g] = writer{pc: pc, tid: tid}
+}
+
+// Load records a load by tid at instruction pc from addr, forming a
+// dependence if a last writer is known. It returns the dependence and
+// whether one was formed.
+func (e *Extractor) Load(tid uint16, pc, addr uint64, stack bool) (Dep, bool) {
+	if e.filterStack && stack {
+		return Dep{}, false
+	}
+	g := e.granule(addr)
+	w, ok := e.last[g]
+	if !ok {
+		return Dep{}, false
+	}
+	d := Dep{S: w.pc, L: pc, Inter: w.tid != tid}
+	if e.OnDep != nil {
+		e.OnDep(tid, d)
+	}
+	win := append(e.windows[tid], d)
+	if len(win) > e.n {
+		win = win[len(win)-e.n:]
+	}
+	e.windows[tid] = win
+	// A window shorter than N (execution start, or right after a thread's
+	// first dependences) is padded at the front with zero dependences, so
+	// even a processor's very first dependence is classified — a failure
+	// in early execution must still reach the Debug Buffer.
+	seq := make(Sequence, e.n)
+	copy(seq[e.n-len(win):], win)
+	if e.OnSequence != nil {
+		e.OnSequence(tid, seq)
+	}
+	if e.trackPrev && e.OnNegative != nil {
+		// The store before the last store to the same granule, when
+		// it is a different instruction, yields an invalid variant
+		// of this sequence: same history, wrong final writer.
+		if pw, ok := e.prev[g]; ok && pw.pc != w.pc {
+			neg := seq.Clone()
+			neg[len(neg)-1] = Dep{S: pw.pc, L: pc, Inter: pw.tid != tid}
+			e.OnNegative(tid, neg)
+		}
+	}
+	return d, true
+}
+
+// Window returns a copy of tid's current dependence window (most recent
+// last). The window may be shorter than N early in an execution.
+func (e *Extractor) Window(tid uint16) Sequence {
+	return Sequence(e.windows[tid]).Clone()
+}

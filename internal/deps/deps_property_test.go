@@ -1,0 +1,164 @@
+package deps
+
+import (
+	"testing"
+	"testing/quick"
+
+	"act/internal/trace"
+)
+
+// TestExtractorDeterminism: identical record streams produce identical
+// dependence and sequence streams.
+func TestExtractorDeterminism(t *testing.T) {
+	f := func(ops []uint32, n uint8) bool {
+		nn := 1 + int(n)%5
+		run := func() []string {
+			e := NewExtractor(ExtractorConfig{N: nn, TrackPrev: true})
+			var keys []string
+			e.OnSequence = func(_ uint16, s Sequence) { keys = append(keys, "+"+s.Key()) }
+			e.OnNegative = func(_ uint16, s Sequence) { keys = append(keys, "-"+s.Key()) }
+			for _, op := range ops {
+				tid := uint16(op >> 30)
+				pc := uint64(op&0xffff) * 4
+				addr := uint64(op>>16&0x3f) * 8
+				if op&1 == 0 {
+					e.Store(tid, pc, addr, false)
+				} else {
+					e.Load(tid, pc, addr, false)
+				}
+			}
+			return keys
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSequencesAlwaysFullLength: every emitted sequence has exactly N
+// entries (front-padded when necessary) and ends with a real dependence.
+func TestSequencesAlwaysFullLength(t *testing.T) {
+	f := func(ops []uint32, n uint8) bool {
+		nn := 1 + int(n)%5
+		e := NewExtractor(ExtractorConfig{N: nn})
+		ok := true
+		e.OnSequence = func(_ uint16, s Sequence) {
+			if len(s) != nn || s[len(s)-1] == (Dep{}) {
+				ok = false
+			}
+		}
+		for _, op := range ops {
+			pc := uint64(op&0xffff) * 4
+			addr := uint64(op>>16&0x3f) * 8
+			if op&1 == 0 {
+				e.Store(0, pc, addr, false)
+			} else {
+				e.Load(0, pc, addr, false)
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMatchCountBounds: 0 <= MatchCount(s) <= len(s), and members match
+// fully.
+func TestMatchCountBounds(t *testing.T) {
+	f := func(seqs [][3]uint64, probe [3]uint64) bool {
+		ss := NewSeqSet(3)
+		var members []Sequence
+		for _, v := range seqs {
+			s := Sequence{{S: v[0], L: v[0] + 1}, {S: v[1], L: v[1] + 1}, {S: v[2], L: v[2] + 1}}
+			ss.Add(s)
+			members = append(members, s)
+		}
+		p := Sequence{{S: probe[0], L: probe[0] + 1}, {S: probe[1], L: probe[1] + 1}, {S: probe[2], L: probe[2] + 1}}
+		if m := ss.MatchCount(p); m < 0 || m > len(p) {
+			return false
+		}
+		for _, s := range members {
+			if ss.MatchCount(s) != len(s) || !ss.Contains(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncoderInRange: every encoder output lies strictly inside (0, 1)
+// for arbitrary dependences.
+func TestEncoderInRange(t *testing.T) {
+	f := func(s1, l1, s2, l2 uint64, i1, i2 bool) bool {
+		seq := Sequence{{S: s1, L: l1, Inter: i1}, {S: s2, L: l2, Inter: i2}}
+		for _, enc := range []Encoder{EncodeDefault, EncodePairHash} {
+			for _, v := range enc(seq, nil) {
+				if v <= 0 || v >= 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGeneratorNeverConflicts: no sequence appears as both positive and
+// negative in a finalized dataset, and the prior points collide with no
+// positive.
+func TestGeneratorNeverConflicts(t *testing.T) {
+	f := func(ops []uint32) bool {
+		g := NewGeneratorFull(GeneratorConfig{
+			Extractor:       ExtractorConfig{N: 2},
+			RandomNegatives: 2,
+			Seed:            7,
+		}, nil)
+		tr := opsToTrace(ops)
+		g.Add(tr)
+		ds := g.Dataset()
+		pos := map[string]bool{}
+		for _, ex := range ds.Examples {
+			if ex.Valid {
+				pos[ex.Seq.Key()] = true
+			}
+		}
+		for _, ex := range ds.Examples {
+			if !ex.Valid && pos[ex.Seq.Key()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func opsToTrace(ops []uint32) *trace.Trace {
+	tr := &trace.Trace{}
+	for i, op := range ops {
+		tr.Records = append(tr.Records, trace.Record{
+			Seq: uint64(i), Tid: uint16(op >> 30),
+			PC:    uint64(op&0xffff) * 4,
+			Addr:  uint64(op>>16&0x3f) * 8,
+			Store: op&1 == 0,
+		})
+	}
+	return tr
+}

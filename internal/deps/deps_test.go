@@ -1,0 +1,274 @@
+package deps
+
+import (
+	"testing"
+)
+
+// Figure 2(c) of the paper: T1 does I1: p=malloc, later I2: p=NULL;
+// T2 does J1: if(p!=NULL), J2: p->... Valid sequences end with I1→J2
+// after I1→J1; the buggy interleaving yields (I1→J1, I2→J2).
+const (
+	i1 = uint64(0x1000)
+	i2 = uint64(0x1004)
+	j1 = uint64(0x2000)
+	j2 = uint64(0x2004)
+	pv = uint64(0x10000000) // address of p
+)
+
+func TestConcurrencyBugSequences(t *testing.T) {
+	e := NewExtractor(ExtractorConfig{N: 2})
+	var seqs []Sequence
+	e.OnSequence = func(_ uint16, s Sequence) { seqs = append(seqs, s) }
+
+	// Correct interleaving: I1; J1; J2; I2.
+	e.Store(1, i1, pv, false)
+	d1, ok := e.Load(2, j1, pv, false)
+	if !ok || d1.S != i1 || !d1.Inter {
+		t.Fatalf("dep 1 = %+v ok=%v", d1, ok)
+	}
+	d2, _ := e.Load(2, j2, pv, false)
+	if d2.S != i1 {
+		t.Fatalf("dep 2 = %+v", d2)
+	}
+	// Two sequences: the first padded (startup), the second full.
+	if len(seqs) != 2 {
+		t.Fatalf("sequences = %d, want 2", len(seqs))
+	}
+	pad := Sequence{{}, {S: i1, L: j1, Inter: true}}
+	if seqs[0].Key() != pad.Key() {
+		t.Fatalf("startup sequence %v, want padded %v", seqs[0], pad)
+	}
+	want := Sequence{{S: i1, L: j1, Inter: true}, {S: i1, L: j2, Inter: true}}
+	if seqs[1].Key() != want.Key() {
+		t.Fatalf("sequence %v, want %v", seqs[1], want)
+	}
+
+	// Buggy interleaving: I1; J1; I2; J2 — the sequence the NN must flag.
+	e.Reset()
+	seqs = nil
+	e.Store(1, i1, pv, false)
+	e.Load(2, j1, pv, false)
+	e.Store(1, i2, pv, false)
+	e.Load(2, j2, pv, false)
+	bad := Sequence{{S: i1, L: j1, Inter: true}, {S: i2, L: j2, Inter: true}}
+	if len(seqs) != 2 || seqs[1].Key() != bad.Key() {
+		t.Fatalf("buggy sequence %v, want %v", seqs, bad)
+	}
+}
+
+func TestIntraVsInterLabel(t *testing.T) {
+	e := NewExtractor(ExtractorConfig{N: 1})
+	e.Store(3, 0x10, 0x100, false)
+	d, _ := e.Load(3, 0x14, 0x100, false)
+	if d.Inter {
+		t.Error("same-thread dependence labelled inter")
+	}
+	d, _ = e.Load(4, 0x18, 0x100, false)
+	if !d.Inter {
+		t.Error("cross-thread dependence labelled intra")
+	}
+}
+
+func TestNoDepWithoutWriter(t *testing.T) {
+	e := NewExtractor(ExtractorConfig{N: 1})
+	if _, ok := e.Load(0, 0x14, 0x999, false); ok {
+		t.Error("dependence formed with no known writer")
+	}
+}
+
+func TestStackFilter(t *testing.T) {
+	e := NewExtractor(ExtractorConfig{N: 1, FilterStack: true})
+	e.Store(0, 0x10, 0x100, true)
+	if _, ok := e.Load(0, 0x14, 0x100, false); ok {
+		t.Error("stack store should have been filtered")
+	}
+	e.Store(0, 0x10, 0x100, false)
+	if _, ok := e.Load(0, 0x14, 0x100, true); ok {
+		t.Error("stack load should have been filtered")
+	}
+}
+
+func TestGranularityFalseSharing(t *testing.T) {
+	// At word granularity, a store to word 0 and a load of word 1 are
+	// unrelated. At 64-byte line granularity they alias.
+	word := NewExtractor(ExtractorConfig{N: 1})
+	word.Store(0, 0x10, 0x1000, false)
+	if _, ok := word.Load(1, 0x14, 0x1008, false); ok {
+		t.Error("word granularity aliased distinct words")
+	}
+	line := NewExtractor(ExtractorConfig{N: 1, Granularity: 64})
+	line.Store(0, 0x10, 0x1000, false)
+	d, ok := line.Load(1, 0x14, 0x1008, false)
+	if !ok || d.S != 0x10 {
+		t.Error("line granularity failed to alias words in one line")
+	}
+}
+
+func TestBadGranularityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-power-of-two granularity")
+		}
+	}()
+	NewExtractor(ExtractorConfig{N: 1, Granularity: 48})
+}
+
+func TestNegativeExamples(t *testing.T) {
+	e := NewExtractor(ExtractorConfig{N: 1, TrackPrev: true})
+	var negs []Sequence
+	e.OnNegative = func(_ uint16, s Sequence) { negs = append(negs, s) }
+	e.Store(0, 0xA, 0x100, false) // before-last writer
+	e.Store(0, 0xB, 0x100, false) // last writer
+	e.Load(0, 0xC, 0x100, false)
+	if len(negs) != 1 {
+		t.Fatalf("negatives = %d, want 1", len(negs))
+	}
+	if negs[0][0].S != 0xA {
+		t.Fatalf("negative uses S=%#x, want before-last store 0xA", negs[0][0].S)
+	}
+}
+
+func TestNegativeSkippedWhenSameStorePC(t *testing.T) {
+	// A loop storing from the same PC must not generate negatives equal
+	// to positives.
+	e := NewExtractor(ExtractorConfig{N: 1, TrackPrev: true})
+	var negs int
+	e.OnNegative = func(uint16, Sequence) { negs++ }
+	for i := 0; i < 5; i++ {
+		e.Store(0, 0xA, 0x100, false)
+		e.Load(0, 0xC, 0x100, false)
+	}
+	if negs != 0 {
+		t.Fatalf("negatives = %d, want 0 (same-PC before-last store)", negs)
+	}
+}
+
+func TestWindowSliding(t *testing.T) {
+	e := NewExtractor(ExtractorConfig{N: 3})
+	var got []Sequence
+	e.OnSequence = func(_ uint16, s Sequence) { got = append(got, s) }
+	for i := uint64(0); i < 5; i++ {
+		e.Store(0, 0x100+i, 0x1000+8*i, false)
+		e.Load(0, 0x200+i, 0x1000+8*i, false)
+	}
+	if len(got) != 5 {
+		t.Fatalf("sequences = %d, want 5 (2 padded + 3 full)", len(got))
+	}
+	// The first two are front-padded.
+	if got[0][0] != (Dep{}) || got[0][1] != (Dep{}) || got[1][0] != (Dep{}) {
+		t.Errorf("startup sequences not padded: %v, %v", got[0], got[1])
+	}
+	// The last sequence must contain deps 2,3,4 in order.
+	last := got[4]
+	for k, wantS := range []uint64{0x102, 0x103, 0x104} {
+		if last[k].S != wantS {
+			t.Errorf("last seq dep %d: S=%#x, want %#x", k, last[k].S, wantS)
+		}
+	}
+}
+
+func TestWindowsPerThread(t *testing.T) {
+	// Dependences belong to the processor executing the load; windows
+	// must not mix threads.
+	e := NewExtractor(ExtractorConfig{N: 2})
+	var byTid = map[uint16]int{}
+	e.OnSequence = func(tid uint16, s Sequence) { byTid[tid]++ }
+	for i := uint64(0); i < 3; i++ {
+		e.Store(0, 0x100, 0x1000, false)
+		e.Load(1, 0x200, 0x1000, false)
+		e.Store(0, 0x104, 0x2000, false)
+		e.Load(2, 0x204, 0x2000, false)
+	}
+	if byTid[1] != 3 || byTid[2] != 3 {
+		t.Fatalf("per-thread sequences = %v, want 3 each for t1,t2", byTid)
+	}
+}
+
+func TestSequenceKeyUniqueness(t *testing.T) {
+	a := Sequence{{S: 1, L: 2}}
+	b := Sequence{{S: 1, L: 2, Inter: true}}
+	c := Sequence{{S: 2, L: 1}}
+	if a.Key() == b.Key() || a.Key() == c.Key() || b.Key() == c.Key() {
+		t.Fatal("distinct sequences share a key")
+	}
+	if a.Key() != (Sequence{{S: 1, L: 2}}).Key() {
+		t.Fatal("equal sequences have different keys")
+	}
+}
+
+func TestSeqSetMatchCount(t *testing.T) {
+	// The worked example from Section III-D: Correct Set contains
+	// (A1,A2,A3) and (B1,B2,B3); debug sequences (A1,A2,A4) matches 2,
+	// (A1,A5,A6) matches 1, (B1,B2,B3) matches 3 (pruned).
+	A := func(i uint64) Dep { return Dep{S: 0xA00 + i, L: 0xA80 + i} }
+	B := func(i uint64) Dep { return Dep{S: 0xB00 + i, L: 0xB80 + i} }
+	ss := NewSeqSet(3)
+	ss.Add(Sequence{A(1), A(2), A(3)})
+	ss.Add(Sequence{B(1), B(2), B(3)})
+
+	if got := ss.MatchCount(Sequence{A(1), A(2), A(4)}); got != 2 {
+		t.Errorf("(A1,A2,A4) match = %d, want 2", got)
+	}
+	if got := ss.MatchCount(Sequence{A(1), A(5), A(6)}); got != 1 {
+		t.Errorf("(A1,A5,A6) match = %d, want 1", got)
+	}
+	if !ss.Contains(Sequence{B(1), B(2), B(3)}) {
+		t.Error("(B1,B2,B3) should be in the correct set")
+	}
+	if got := ss.MatchCount(Sequence{B(1), B(2), B(3)}); got != 3 {
+		t.Errorf("full member match = %d, want 3", got)
+	}
+	if got := ss.MatchCount(Sequence{A(9), A(8), A(7)}); got != 0 {
+		t.Errorf("alien sequence match = %d, want 0", got)
+	}
+}
+
+func TestEncodeDefault(t *testing.T) {
+	s := Sequence{{S: 0x1000, L: 0x2000}, {S: 0x1000, L: 0x2000, Inter: true}}
+	x := EncodeDefault(s, nil)
+	if len(x) != 4 {
+		t.Fatalf("feature width = %d, want 4", len(x))
+	}
+	for i, v := range x {
+		if v <= 0 || v >= 1 {
+			t.Errorf("feature %d = %v out of (0,1)", i, v)
+		}
+	}
+	// Same S: identical f1. Different label: different f2 halves.
+	if x[0] != x[2] {
+		t.Error("same store address must map to the same S feature")
+	}
+	if x[1] >= 0.5 || x[3] < 0.5 {
+		t.Errorf("label halves wrong: intra=%v inter=%v", x[1], x[3])
+	}
+	// Deterministic.
+	y := EncodeDefault(s, nil)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("encoding not deterministic")
+		}
+	}
+}
+
+func TestEncodePairHash(t *testing.T) {
+	s := Sequence{{S: 1, L: 2}, {S: 3, L: 4, Inter: true}}
+	x := EncodePairHash(s, nil)
+	if len(x) != 2 {
+		t.Fatalf("width = %d, want 2", len(x))
+	}
+	// Label must change the hash.
+	s2 := Sequence{{S: 1, L: 2, Inter: true}, {S: 3, L: 4, Inter: true}}
+	y := EncodePairHash(s2, nil)
+	if x[0] == y[0] {
+		t.Error("label ignored by pair-hash encoding")
+	}
+}
+
+func TestInputLen(t *testing.T) {
+	if got := InputLen(EncodeDefault, 5); got != 10 {
+		t.Errorf("InputLen(default,5) = %d, want 10", got)
+	}
+	if got := InputLen(EncodePairHash, 5); got != 5 {
+		t.Errorf("InputLen(pairhash,5) = %d, want 5", got)
+	}
+}

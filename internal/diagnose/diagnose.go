@@ -1,0 +1,171 @@
+// Package diagnose runs ACT's end-to-end failure-diagnosis pipeline on a
+// bug workload: offline training on correct executions, deployment of
+// per-processor ACT Modules, one production failure, and offline
+// postprocessing that prunes and ranks the Debug Buffer — without ever
+// reproducing the failure. It is the engine behind Tables V and VI.
+package diagnose
+
+import (
+	"fmt"
+
+	"act/internal/core"
+	"act/internal/deps"
+	"act/internal/ranking"
+	"act/internal/trace"
+	"act/internal/train"
+	"act/internal/workloads"
+)
+
+// Config parameterizes a diagnosis experiment.
+type Config struct {
+	// TrainRuns is the number of correct executions used for offline
+	// training (the paper uses up to 15 execution profiles). Default 10.
+	TrainRuns int
+	// TestRuns is the number of held-out correct executions used for
+	// topology selection. Default 4.
+	TestRuns int
+	// CorrectSetRuns is the number of fresh correct executions collected
+	// by postprocessing for pruning (the paper re-runs ~20 times).
+	// Default 20.
+	CorrectSetRuns int
+	// Train overrides pieces of the offline-training configuration.
+	Train train.Config
+	// Module overrides the ACT Module configuration (N is set from the
+	// topology search result).
+	Module core.Config
+	// Exclude withholds matching dependences from training (Table VI's
+	// new-code experiments).
+	Exclude func(deps.Dep) bool
+	// FailSeedBase is where the search for a failing execution starts.
+	FailSeedBase int64
+	// MaxFailures is how many distinct production failures to diagnose
+	// before giving up (each is analyzed independently, never
+	// reproduced); default 3. A deployment occasionally accepts one
+	// occurrence of a buggy sequence — the next failure of the same bug
+	// is then diagnosed instead.
+	MaxFailures int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TrainRuns == 0 {
+		c.TrainRuns = 10
+	}
+	if c.TestRuns == 0 {
+		c.TestRuns = 4
+	}
+	if c.CorrectSetRuns == 0 {
+		c.CorrectSetRuns = 20
+	}
+	if c.MaxFailures == 0 {
+		c.MaxFailures = 3
+	}
+	return c
+}
+
+// Outcome reports one diagnosed failure, with the columns of Table V.
+type Outcome struct {
+	Bug      workloads.Bug
+	Training *train.Result
+
+	FailSeed      int64
+	FailuresTried int     // production failures analyzed before success
+	DebugLen      int     // entries in the Debug Buffer at failure
+	DebugPos      int     // 1-based position (newest first) of the root cause in the buffer
+	FilterPct     float64 // % of entries removed by pruning
+	Rank          int     // final rank of the root cause (0 = not found)
+	Candidates    int     // survivors after pruning
+	Report        *ranking.Report
+}
+
+// Diagnose runs the full pipeline for one bug.
+func Diagnose(b workloads.Bug, cfg Config) (*Outcome, error) {
+	cfg = cfg.withDefaults()
+
+	// Offline training on correct executions (the program's test suite).
+	correct, err := workloads.CollectOutcome(b, false, cfg.TrainRuns+cfg.TestRuns, 0)
+	if err != nil {
+		return nil, fmt.Errorf("diagnose %s: collecting training runs: %w", b.Name, err)
+	}
+	trainTraces := tracesOf(correct[:cfg.TrainRuns])
+	testTraces := tracesOf(correct[cfg.TrainRuns:])
+	tc := cfg.Train
+	tc.Exclude = cfg.Exclude
+	tr, err := train.Train(trainTraces, testTraces, tc)
+	if err != nil {
+		return nil, fmt.Errorf("diagnose %s: offline training: %w", b.Name, err)
+	}
+
+	// Offline postprocessing support: fresh correct runs build the
+	// Correct Set once; the failure is never reproduced.
+	pruneRuns, err := workloads.CollectOutcome(b, false, cfg.CorrectSetRuns, 50_000)
+	if err != nil {
+		return nil, fmt.Errorf("diagnose %s: collecting correct-set runs: %w", b.Name, err)
+	}
+	correctSet := deps.CollectSequences(tracesOf(pruneRuns), deps.ExtractorConfig{N: tr.N})
+
+	// Production failures: each failing execution drives a fresh
+	// deployment once; its Debug Buffer is pruned and ranked. If one
+	// occurrence slipped past the network, the bug's next failure is
+	// diagnosed instead.
+	var out *Outcome
+	seedBase := cfg.FailSeedBase
+	for attempt := 1; attempt <= cfg.MaxFailures; attempt++ {
+		fails, err := workloads.CollectOutcome(b, true, 1, seedBase)
+		if err != nil {
+			if out != nil {
+				return out, nil
+			}
+			return nil, fmt.Errorf("diagnose %s: no failing execution found: %w", b.Name, err)
+		}
+		fail := fails[0]
+		seedBase = fail.Seed + 1
+
+		mc := cfg.Module
+		mc.N = tr.N
+		mc.Encoder = tr.Encoder
+		binary := core.NewWeightBinary(tr.Net.NIn, tr.Net.NHidden)
+		binary.PatchAll(fail.Program.NumThreads(), tr.Net.Flatten(nil))
+		tracker := core.NewTracker(binary, core.TrackerConfig{Module: mc})
+		tracker.Replay(fail.Trace)
+		debug := tracker.DebugBuffers()
+
+		rep := ranking.Rank(debug, correctSet)
+		match := b.Matcher(fail.Program)
+		out = &Outcome{
+			Bug:           b,
+			Training:      tr,
+			FailSeed:      fail.Seed,
+			FailuresTried: attempt,
+			DebugLen:      len(debug),
+			DebugPos:      debugPos(debug, match),
+			FilterPct:     rep.FilterPct(),
+			Rank:          rep.RankOf(match),
+			Candidates:    len(rep.Ranked),
+			Report:        rep,
+		}
+		if out.Rank > 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// tracesOf extracts the traces from collected runs.
+func tracesOf(runs []workloads.Run) []*trace.Trace {
+	out := make([]*trace.Trace, len(runs))
+	for i, r := range runs {
+		out[i] = r.Trace
+	}
+	return out
+}
+
+// debugPos returns the 1-based position, newest entry first, of the
+// first root-cause sequence in the Debug Buffer (0 if absent).
+func debugPos(debug []core.DebugEntry, match func(deps.Sequence) bool) int {
+	for i := len(debug) - 1; i >= 0; i-- {
+		if match(debug[i].Seq) {
+			return len(debug) - i
+		}
+	}
+	return 0
+}

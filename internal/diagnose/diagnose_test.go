@@ -1,0 +1,112 @@
+package diagnose
+
+import (
+	"testing"
+
+	"act/internal/nn"
+	"act/internal/train"
+	"act/internal/workloads"
+)
+
+// fastCfg keeps unit-test diagnosis cheap; the bench harness uses the
+// full configuration.
+func fastCfg() Config {
+	return Config{
+		TrainRuns: 8, TestRuns: 3, CorrectSetRuns: 10,
+		Train: train.Config{
+			Ns:              []int{2, 3},
+			Hs:              []int{6, 10},
+			RandomNegatives: 3,
+			SearchFit:       nn.FitConfig{MaxEpochs: 400, Seed: 1},
+			FinalFit:        nn.FitConfig{MaxEpochs: 6000, Seed: 1, Patience: 800},
+		},
+		FailSeedBase: 100_000,
+	}
+}
+
+func TestDiagnoseApache(t *testing.T) {
+	b, err := workloads.BugByName("apache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Diagnose(b, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("apache: debugLen=%d pos=%d filter=%.0f%% rank=%d (of %d) topo=%s",
+		out.DebugLen, out.DebugPos, out.FilterPct, out.Rank, out.Candidates, out.Training.Topology())
+	if out.DebugPos == 0 {
+		t.Fatal("root cause never reached the debug buffer")
+	}
+	if out.Rank == 0 {
+		t.Fatal("root cause pruned away or unranked")
+	}
+	if out.Rank > 10 {
+		t.Errorf("rank %d too deep", out.Rank)
+	}
+}
+
+func TestDiagnoseAllRealBugs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table V sweep")
+	}
+	for _, b := range workloads.RealBugs() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			out, err := Diagnose(b, fastCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-10s debugLen=%-3d pos=%-3d filter=%3.0f%% rank=%d/%d",
+				b.Name, out.DebugLen, out.DebugPos, out.FilterPct, out.Rank, out.Candidates)
+			if out.DebugPos == 0 {
+				t.Error("root cause never reached the debug buffer")
+			}
+			if out.Rank == 0 {
+				t.Error("root cause pruned away or unranked")
+			} else if out.Rank > 10 {
+				t.Errorf("rank %d deeper than the paper's worst (8)", out.Rank)
+			}
+		})
+	}
+}
+
+func TestDiagnoseInjectedBugs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table VI sweep")
+	}
+	for _, ib := range workloads.InjectedBugs() {
+		ib := ib
+		t.Run(ib.Name, func(t *testing.T) {
+			// Table VI: the injected function is new code — its
+			// dependences are withheld from training.
+			p, _ := ib.Gen(0)
+			cfg := fastCfg()
+			cfg.Exclude = ib.NewCodeFilter(p)
+			out, err := Diagnose(ib.Bug, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-22s debugLen=%-3d pos=%-3d filter=%3.0f%% rank=%d/%d",
+				ib.Name, out.DebugLen, out.DebugPos, out.FilterPct, out.Rank, out.Candidates)
+			if out.Rank == 0 || out.Rank > 10 {
+				t.Errorf("rank = %d, want 1..10", out.Rank)
+			}
+		})
+	}
+}
+
+func TestDiagnoseGzip(t *testing.T) {
+	b, err := workloads.BugByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Diagnose(b, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("gzip: debugLen=%d pos=%d filter=%.0f%% rank=%d", out.DebugLen, out.DebugPos, out.FilterPct, out.Rank)
+	if out.Rank == 0 || out.Rank > 10 {
+		t.Fatalf("rank = %d, want 1..10", out.Rank)
+	}
+}

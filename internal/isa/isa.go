@@ -1,0 +1,174 @@
+// Package isa defines the small RISC-like instruction set executed by the
+// workload virtual machine. Programs built from this ISA stand in for the
+// x86 binaries the ACT paper instruments with PIN: every instruction has a
+// stable instruction address (PC), loads and stores carry effective
+// addresses, and that is all ACT's communication tracking consumes.
+package isa
+
+import "fmt"
+
+// Op enumerates the operations of the ISA.
+type Op uint8
+
+// Operation codes. Arithmetic operates on 64-bit signed registers.
+const (
+	Nop    Op = iota
+	Li        // rd <- imm
+	Mov       // rd <- rs1
+	Add       // rd <- rs1 + rs2
+	Addi      // rd <- rs1 + imm
+	Sub       // rd <- rs1 - rs2
+	Mul       // rd <- rs1 * rs2
+	Div       // rd <- rs1 / rs2 (0 if rs2 == 0)
+	Rem       // rd <- rs1 % rs2 (0 if rs2 == 0)
+	And       // rd <- rs1 & rs2
+	Or        // rd <- rs1 | rs2
+	Xor       // rd <- rs1 ^ rs2
+	Shl       // rd <- rs1 << (rs2 & 63)
+	Shr       // rd <- rs1 >> (rs2 & 63) (logical)
+	Slt       // rd <- 1 if rs1 < rs2 else 0
+	Seq       // rd <- 1 if rs1 == rs2 else 0
+	Load      // rd <- mem[rs1 + imm]
+	Store     // mem[rs1 + imm] <- rs2
+	Beqz      // if rs1 == 0 jump to Target
+	Bnez      // if rs1 != 0 jump to Target
+	Jmp       // jump to Target
+	Lock      // acquire lock at address rs1 + imm (blocks)
+	Unlock    // release lock at address rs1 + imm
+	Fence     // full memory fence (ordering no-op in the functional VM)
+	Atomic    // mem[rs1+imm] <- mem[rs1+imm] + rs2, rd <- old value (atomic)
+	Assert    // fail the thread if rs1 == 0
+	Out       // append rs1 to the thread's output stream
+	Pause     // scheduling hint: likely context-switch point
+	Halt      // stop the thread
+)
+
+var opNames = [...]string{
+	Nop: "nop", Li: "li", Mov: "mov", Add: "add", Addi: "addi", Sub: "sub",
+	Mul: "mul", Div: "div", Rem: "rem", And: "and", Or: "or", Xor: "xor",
+	Shl: "shl", Shr: "shr", Slt: "slt", Seq: "seq", Load: "load",
+	Store: "store", Beqz: "beqz", Bnez: "bnez", Jmp: "jmp", Lock: "lock",
+	Unlock: "unlock", Fence: "fence", Atomic: "atomic", Assert: "assert",
+	Out: "out", Pause: "pause", Halt: "halt",
+}
+
+// String returns the mnemonic for the op.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsMem reports whether the op accesses data memory.
+func (o Op) IsMem() bool { return o == Load || o == Store || o == Atomic }
+
+// IsBranch reports whether the op may redirect control flow.
+func (o Op) IsBranch() bool { return o == Beqz || o == Bnez || o == Jmp }
+
+// IsSync reports whether the op is a synchronization operation.
+func (o Op) IsSync() bool { return o == Lock || o == Unlock || o == Fence || o == Atomic }
+
+// Register indices. The ISA has 32 general-purpose registers; by
+// convention SP and FP mirror x86's ESP/EBP so that ACT's stack-load
+// filter ("ignore any load that uses stack registers") has something to
+// key on.
+const (
+	NumRegs = 32
+	SP      = 30 // stack pointer
+	FP      = 31 // frame pointer
+)
+
+// Instr is a single decoded instruction. Instructions are kept decoded
+// (rather than bit-packed) because nothing in the reproduction needs the
+// packed form; the PC assigned by the containing program is the identity
+// that ACT tracks.
+type Instr struct {
+	Op     Op
+	Rd     uint8 // destination register
+	Rs1    uint8 // first source register (base register for memory ops)
+	Rs2    uint8 // second source register (value register for Store/Atomic)
+	Imm    int64 // immediate / memory displacement
+	Target int32 // branch target (instruction index within the thread)
+}
+
+// UsesStackReg reports whether a memory instruction addresses through the
+// stack or frame pointer. ACT filters such loads to cut tracking overhead.
+func (in Instr) UsesStackReg() bool {
+	return in.Op.IsMem() && (in.Rs1 == SP || in.Rs1 == FP)
+}
+
+// SrcRegs appends the registers this instruction reads to dst. The
+// timing core's scoreboard uses this to serialize dependent issues.
+func (in Instr) SrcRegs(dst []uint8) []uint8 {
+	switch in.Op {
+	case Nop, Li, Jmp, Fence, Pause, Halt:
+		return dst
+	case Mov, Addi, Load, Beqz, Bnez, Lock, Unlock, Assert, Out:
+		return append(dst, in.Rs1)
+	default: // two-source ALU ops, Store, Atomic
+		return append(dst, in.Rs1, in.Rs2)
+	}
+}
+
+// DestReg returns the register this instruction writes and whether it
+// writes one.
+func (in Instr) DestReg() (uint8, bool) {
+	switch in.Op {
+	case Li, Mov, Add, Addi, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+		Slt, Seq, Load, Atomic:
+		return in.Rd, true
+	default:
+		return 0, false
+	}
+}
+
+// String renders a human-readable disassembly of the instruction.
+func (in Instr) String() string {
+	switch in.Op {
+	case Nop, Fence, Pause, Halt:
+		return in.Op.String()
+	case Li:
+		return fmt.Sprintf("li r%d, %d", in.Rd, in.Imm)
+	case Mov:
+		return fmt.Sprintf("mov r%d, r%d", in.Rd, in.Rs1)
+	case Addi:
+		return fmt.Sprintf("addi r%d, r%d, %d", in.Rd, in.Rs1, in.Imm)
+	case Load:
+		return fmt.Sprintf("load r%d, %d(r%d)", in.Rd, in.Imm, in.Rs1)
+	case Store:
+		return fmt.Sprintf("store r%d, %d(r%d)", in.Rs2, in.Imm, in.Rs1)
+	case Atomic:
+		return fmt.Sprintf("atomic r%d, r%d, %d(r%d)", in.Rd, in.Rs2, in.Imm, in.Rs1)
+	case Beqz, Bnez:
+		return fmt.Sprintf("%s r%d, @%d", in.Op, in.Rs1, in.Target)
+	case Jmp:
+		return fmt.Sprintf("jmp @%d", in.Target)
+	case Lock, Unlock:
+		return fmt.Sprintf("%s %d(r%d)", in.Op, in.Imm, in.Rs1)
+	case Assert, Out:
+		return fmt.Sprintf("%s r%d", in.Op, in.Rs1)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+}
+
+// PCStride is the byte distance between consecutive instruction
+// addresses; thread t's instruction i has PC ThreadBase(t) + i*PCStride.
+const PCStride = 4
+
+// ThreadBase returns the base instruction address of thread t's code.
+// Each thread gets a disjoint 16 MiB code region so PCs never collide.
+func ThreadBase(t int) uint64 { return 0x400000 + uint64(t)<<24 }
+
+// PC computes the instruction address of instruction index i in thread t.
+func PC(t, i int) uint64 { return ThreadBase(t) + uint64(i)*PCStride }
+
+// ThreadOf recovers the thread index from an instruction address produced
+// by PC.
+func ThreadOf(pc uint64) int { return int((pc - 0x400000) >> 24) }
+
+// IndexOf recovers the instruction index from an instruction address.
+func IndexOf(pc uint64) int {
+	return int((pc - ThreadBase(ThreadOf(pc))) / PCStride)
+}

@@ -1,0 +1,133 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	for op := Nop; op <= Halt; op++ {
+		if s := op.String(); s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("op %d has no mnemonic", op)
+		}
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("unknown op renders %q", got)
+	}
+}
+
+func TestOpClasses(t *testing.T) {
+	memOps := map[Op]bool{Load: true, Store: true, Atomic: true}
+	branchOps := map[Op]bool{Beqz: true, Bnez: true, Jmp: true}
+	syncOps := map[Op]bool{Lock: true, Unlock: true, Fence: true, Atomic: true}
+	for op := Nop; op <= Halt; op++ {
+		if op.IsMem() != memOps[op] {
+			t.Errorf("%v: IsMem = %v", op, op.IsMem())
+		}
+		if op.IsBranch() != branchOps[op] {
+			t.Errorf("%v: IsBranch = %v", op, op.IsBranch())
+		}
+		if op.IsSync() != syncOps[op] {
+			t.Errorf("%v: IsSync = %v", op, op.IsSync())
+		}
+	}
+}
+
+func TestPCRoundTrip(t *testing.T) {
+	f := func(tid uint8, idx uint16) bool {
+		tt, ii := int(tid%64), int(idx)
+		pc := PC(tt, ii)
+		return ThreadOf(pc) == tt && IndexOf(pc) == ii
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadBasesDisjoint(t *testing.T) {
+	for a := 0; a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			// A thread's code region is 16 MiB; bases must be at least
+			// that far apart.
+			if ThreadBase(b)-ThreadBase(a) < 1<<24 {
+				t.Fatalf("thread %d and %d code regions overlap", a, b)
+			}
+		}
+	}
+}
+
+func TestUsesStackReg(t *testing.T) {
+	if !(Instr{Op: Load, Rs1: SP}).UsesStackReg() {
+		t.Error("load via SP not flagged as stack")
+	}
+	if !(Instr{Op: Store, Rs1: FP}).UsesStackReg() {
+		t.Error("store via FP not flagged as stack")
+	}
+	if (Instr{Op: Load, Rs1: 3}).UsesStackReg() {
+		t.Error("load via r3 flagged as stack")
+	}
+	if (Instr{Op: Add, Rs1: SP}).UsesStackReg() {
+		t.Error("non-memory op flagged as stack")
+	}
+}
+
+func TestSrcDestRegs(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		srcs []uint8
+		dest int // -1 = none
+	}{
+		{Instr{Op: Nop}, nil, -1},
+		{Instr{Op: Li, Rd: 3}, nil, 3},
+		{Instr{Op: Mov, Rd: 1, Rs1: 2}, []uint8{2}, 1},
+		{Instr{Op: Add, Rd: 1, Rs1: 2, Rs2: 3}, []uint8{2, 3}, 1},
+		{Instr{Op: Addi, Rd: 1, Rs1: 2}, []uint8{2}, 1},
+		{Instr{Op: Load, Rd: 4, Rs1: 5}, []uint8{5}, 4},
+		{Instr{Op: Store, Rs1: 5, Rs2: 6}, []uint8{5, 6}, -1},
+		{Instr{Op: Atomic, Rd: 4, Rs1: 5, Rs2: 6}, []uint8{5, 6}, 4},
+		{Instr{Op: Beqz, Rs1: 7}, []uint8{7}, -1},
+		{Instr{Op: Jmp}, nil, -1},
+		{Instr{Op: Assert, Rs1: 8}, []uint8{8}, -1},
+		{Instr{Op: Halt}, nil, -1},
+	}
+	for _, c := range cases {
+		got := c.in.SrcRegs(nil)
+		if len(got) != len(c.srcs) {
+			t.Errorf("%v: srcs %v, want %v", c.in, got, c.srcs)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.srcs[i] {
+				t.Errorf("%v: srcs %v, want %v", c.in, got, c.srcs)
+			}
+		}
+		rd, has := c.in.DestReg()
+		if c.dest == -1 && has {
+			t.Errorf("%v: unexpected dest %d", c.in, rd)
+		}
+		if c.dest >= 0 && (!has || rd != uint8(c.dest)) {
+			t.Errorf("%v: dest %d/%v, want %d", c.in, rd, has, c.dest)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: Li, Rd: 1, Imm: 42}, "li r1, 42"},
+		{Instr{Op: Load, Rd: 2, Rs1: 3, Imm: 8}, "load r2, 8(r3)"},
+		{Instr{Op: Store, Rs2: 4, Rs1: 5, Imm: -8}, "store r4, -8(r5)"},
+		{Instr{Op: Beqz, Rs1: 6, Target: 12}, "beqz r6, @12"},
+		{Instr{Op: Jmp, Target: 3}, "jmp @3"},
+		{Instr{Op: Halt}, "halt"},
+		{Instr{Op: Add, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

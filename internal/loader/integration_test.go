@@ -1,0 +1,81 @@
+package loader
+
+import (
+	"testing"
+
+	"act/internal/trace"
+	"act/internal/train"
+	"act/internal/workloads"
+)
+
+// shift relocates every instruction address in a trace by delta — the
+// effect of the loader mapping the (single-module) program at a
+// different base in this execution.
+func shift(t *trace.Trace, delta uint64) *trace.Trace {
+	out := &trace.Trace{Program: t.Program, Seed: t.Seed, Steps: t.Steps,
+		Records: make([]trace.Record, len(t.Records))}
+	for i, r := range t.Records {
+		r.PC += delta
+		out.Records[i] = r
+	}
+	return out
+}
+
+// TestASLRTrainingEndToEnd: with per-run randomized load addresses, raw
+// PCs carry no cross-run invariants — training collapses. Canonicalizing
+// through the layout restores them. This is the system-level consequence
+// of Section V's library-id+offset encoding.
+func TestASLRTrainingEndToEnd(t *testing.T) {
+	w, err := workloads.KernelByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The program's code fits one module; every run maps it elsewhere.
+	const modSize = 1 << 22
+	sizes := map[uint16]uint64{0: modSize}
+	collect := func(seed int64) (*trace.Trace, *Layout) {
+		tr, _ := trace.Collect(w.Build(seed), w.Sched(seed))
+		l := Randomized(seed*31+7, sizes)
+		base := l.mods[0].Base
+		// Relocate the run: raw PCs = canonical PCs + (base - original).
+		return shift(tr, base-0x400000), l
+	}
+
+	var rawTrain, rawTest, canTrain, canTest []*trace.Trace
+	for s := int64(0); s < 8; s++ {
+		tr, l := collect(s)
+		rawTrain = append(rawTrain, tr)
+		c, unknown := l.Canonicalize(tr)
+		if unknown != 0 {
+			t.Fatalf("seed %d: %d PCs outside the module", s, unknown)
+		}
+		canTrain = append(canTrain, c)
+	}
+	for s := int64(100); s < 104; s++ {
+		tr, l := collect(s)
+		rawTest = append(rawTest, tr)
+		c, _ := l.Canonicalize(tr)
+		canTest = append(canTest, c)
+	}
+
+	cfg := train.Config{Ns: []int{2}, Hs: []int{8}, Seed: 1}
+
+	canon, err := train.Train(canTrain, canTest, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Mispred > 0.05 {
+		t.Fatalf("canonicalized training FP %.3f: invariants should survive ASLR", canon.Mispred)
+	}
+
+	raw, err := train.Train(rawTrain, rawTest, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("FP raw=%.3f canonical=%.3f", raw.Mispred, canon.Mispred)
+	if raw.Mispred <= canon.Mispred {
+		t.Fatalf("raw PCs trained as well as canonical ones (%.3f vs %.3f): ASLR should break raw-PC invariants",
+			raw.Mispred, canon.Mispred)
+	}
+}

@@ -1,0 +1,112 @@
+// Package loader handles dynamically loaded code (Section V): when a
+// library is mapped at a different base address in every execution
+// (ASLR), raw instruction addresses are useless as invariants — the same
+// store appears at a different PC each run. ACT's fix is to store the
+// last-writer address "in the form of a library id and an offset into
+// the library"; this package implements that canonicalization for
+// traces.
+//
+// A Layout describes where each module (main binary or library) was
+// mapped in one execution. Canonicalize rewrites a trace's instruction
+// addresses into the stable encoding id:offset, so training and
+// deployment agree across executions no matter where the loader put the
+// code.
+package loader
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"act/internal/trace"
+)
+
+// Module is one mapped code region.
+type Module struct {
+	ID   uint16 // library id (0 = main binary)
+	Base uint64 // load address in this execution
+	Size uint64 // region size in bytes
+}
+
+// Layout is the memory map of one execution.
+type Layout struct {
+	mods []Module // sorted by Base
+}
+
+// NewLayout builds a layout from modules; bases must not overlap.
+func NewLayout(mods []Module) (*Layout, error) {
+	sorted := append([]Module(nil), mods...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Base < sorted[j].Base })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].Base+sorted[i-1].Size > sorted[i].Base {
+			return nil, fmt.Errorf("loader: modules %d and %d overlap", sorted[i-1].ID, sorted[i].ID)
+		}
+	}
+	return &Layout{mods: sorted}, nil
+}
+
+// Randomized returns a layout for the given module ids and sizes with
+// ASLR-style bases drawn deterministically from the seed. Bases are
+// 4 KiB aligned and non-overlapping.
+func Randomized(seed int64, sizes map[uint16]uint64) *Layout {
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]uint16, 0, len(sizes))
+	for id := range sizes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// Shuffle the mapping order, then pack with random gaps.
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	base := uint64(0x400000)
+	var mods []Module
+	for _, id := range ids {
+		base += uint64(rng.Intn(1<<12)) << 12 // random gap, page aligned
+		mods = append(mods, Module{ID: id, Base: base, Size: sizes[id]})
+		base += (sizes[id] + 0xfff) &^ 0xfff
+	}
+	l, err := NewLayout(mods)
+	if err != nil {
+		panic(err) // construction guarantees non-overlap
+	}
+	return l
+}
+
+// Resolve maps a raw instruction address to (module id, offset). The
+// second result is false for addresses outside every module.
+func (l *Layout) Resolve(pc uint64) (uint16, uint64, bool) {
+	i := sort.Search(len(l.mods), func(i int) bool { return l.mods[i].Base > pc })
+	if i == 0 {
+		return 0, 0, false
+	}
+	m := l.mods[i-1]
+	if pc >= m.Base+m.Size {
+		return 0, 0, false
+	}
+	return m.ID, pc - m.Base, true
+}
+
+// Canonical encodes (module id, offset) as a single stable 64-bit
+// instruction identity: the id in the top 16 bits. Offsets are bounded
+// by module sizes, far below 2^48.
+func Canonical(id uint16, offset uint64) uint64 {
+	return uint64(id)<<48 | offset
+}
+
+// Canonicalize rewrites every instruction address in the trace to its
+// stable id:offset form under the layout. Addresses outside all modules
+// (JIT stubs, trampolines) are left untouched; the count of such records
+// is returned alongside the rewritten trace.
+func (l *Layout) Canonicalize(t *trace.Trace) (*trace.Trace, int) {
+	out := &trace.Trace{Program: t.Program, Seed: t.Seed, Steps: t.Steps,
+		Records: make([]trace.Record, len(t.Records))}
+	unknown := 0
+	for i, r := range t.Records {
+		if id, off, ok := l.Resolve(r.PC); ok {
+			r.PC = Canonical(id, off)
+		} else {
+			unknown++
+		}
+		out.Records[i] = r
+	}
+	return out, unknown
+}

@@ -1,0 +1,134 @@
+package loader
+
+import (
+	"testing"
+	"testing/quick"
+
+	"act/internal/deps"
+	"act/internal/trace"
+)
+
+func TestResolve(t *testing.T) {
+	l, err := NewLayout([]Module{
+		{ID: 0, Base: 0x400000, Size: 0x1000},
+		{ID: 3, Base: 0x7f0000, Size: 0x2000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, off, ok := l.Resolve(0x400010); !ok || id != 0 || off != 0x10 {
+		t.Fatalf("resolve main: %d %#x %v", id, off, ok)
+	}
+	if id, off, ok := l.Resolve(0x7f1fff); !ok || id != 3 || off != 0x1fff {
+		t.Fatalf("resolve lib: %d %#x %v", id, off, ok)
+	}
+	for _, pc := range []uint64{0x3fffff, 0x401000, 0x7f2000, 0} {
+		if _, _, ok := l.Resolve(pc); ok {
+			t.Errorf("pc %#x resolved but is outside every module", pc)
+		}
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	_, err := NewLayout([]Module{
+		{ID: 0, Base: 0x1000, Size: 0x1000},
+		{ID: 1, Base: 0x1800, Size: 0x1000},
+	})
+	if err == nil {
+		t.Fatal("overlapping modules accepted")
+	}
+}
+
+func TestCanonicalStableAcrossLayouts(t *testing.T) {
+	// The same (module, offset) resolves to the same canonical identity
+	// under any randomized layout — the property that keeps last-writer
+	// invariants valid across ASLR'd executions.
+	sizes := map[uint16]uint64{0: 0x4000, 1: 0x2000, 2: 0x1000}
+	f := func(seedA, seedB int64, id16 uint16, off uint16) bool {
+		id := id16 % 3
+		offset := uint64(off) % sizes[id]
+		a := Randomized(seedA, sizes)
+		b := Randomized(seedB, sizes)
+		var pcA, pcB uint64
+		for _, m := range a.mods {
+			if m.ID == id {
+				pcA = m.Base + offset
+			}
+		}
+		for _, m := range b.mods {
+			if m.ID == id {
+				pcB = m.Base + offset
+			}
+		}
+		idA, offA, okA := a.Resolve(pcA)
+		idB, offB, okB := b.Resolve(pcB)
+		return okA && okB && Canonical(idA, offA) == Canonical(idB, offB)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestASLRBreaksRawPCsButNotCanonical: the end-to-end motivation. A
+// "library" store feeds a load; across two executions with different
+// load addresses, raw-PC dependences differ but canonicalized ones are
+// identical.
+func TestASLRBreaksRawPCsButNotCanonical(t *testing.T) {
+	sizes := map[uint16]uint64{0: 0x1000, 7: 0x1000}
+	mkTrace := func(seed int64) (*trace.Trace, *Layout) {
+		l := Randomized(seed, sizes)
+		var libBase uint64
+		for _, m := range l.mods {
+			if m.ID == 7 {
+				libBase = m.Base
+			}
+		}
+		// The library's store at offset 0x20 and load at offset 0x24.
+		return &trace.Trace{Records: []trace.Record{
+			{Seq: 0, PC: libBase + 0x20, Addr: 0x10000000, Tid: 0, Store: true},
+			{Seq: 1, PC: libBase + 0x24, Addr: 0x10000000, Tid: 0},
+		}}, l
+	}
+	depsOf := func(tr *trace.Trace) deps.Dep {
+		var got deps.Dep
+		e := deps.NewExtractor(deps.ExtractorConfig{N: 1})
+		e.OnDep = func(_ uint16, d deps.Dep) { got = d }
+		for _, r := range tr.Records {
+			if r.Store {
+				e.Store(r.Tid, r.PC, r.Addr, r.Stack)
+			} else {
+				e.Load(r.Tid, r.PC, r.Addr, r.Stack)
+			}
+		}
+		return got
+	}
+
+	trA, la := mkTrace(1)
+	trB, lb := mkTrace(2)
+	if depsOf(trA) == depsOf(trB) {
+		t.Skip("layouts happened to coincide; unusual but possible")
+	}
+	ca, unkA := la.Canonicalize(trA)
+	cb, unkB := lb.Canonicalize(trB)
+	if unkA != 0 || unkB != 0 {
+		t.Fatalf("unknown PCs: %d, %d", unkA, unkB)
+	}
+	da, db := depsOf(ca), depsOf(cb)
+	if da != db {
+		t.Fatalf("canonicalized deps differ: %v vs %v", da, db)
+	}
+	if da.S != Canonical(7, 0x20) || da.L != Canonical(7, 0x24) {
+		t.Fatalf("canonical dep %v", da)
+	}
+}
+
+func TestCanonicalizePreservesUnknown(t *testing.T) {
+	l := Randomized(1, map[uint16]uint64{0: 0x1000})
+	tr := &trace.Trace{Records: []trace.Record{
+		{PC: 0x1, Addr: 0x10000000, Store: true}, // outside every module
+	}}
+	out, unknown := l.Canonicalize(tr)
+	if unknown != 1 || out.Records[0].PC != 0x1 {
+		t.Fatalf("unknown handling: %d, %+v", unknown, out.Records[0])
+	}
+}

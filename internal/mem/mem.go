@@ -1,0 +1,455 @@
+// Package mem models the multicore memory hierarchy of Table III:
+// per-core private L1 and L2 caches, a snoopy MESI bus at the L2 level,
+// and the cache-line extension that stores the last writer's instruction
+// address. It implements the paper's three cost simplifications
+// (Section V): last-writer tracking at configurable granularity
+// (word or line), no write-back of last-writer metadata on eviction, and
+// piggybacking of last-writer information only on cache-to-cache
+// transfers of dirty lines.
+//
+// The hierarchy tracks timing and metadata only; data values live in the
+// functional VM.
+package mem
+
+import "fmt"
+
+// State is a MESI coherence state.
+type State uint8
+
+// MESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String names the state.
+func (s State) String() string { return [...]string{"I", "S", "E", "M"}[s] }
+
+// Config describes the hierarchy. Defaults mirror Table III's bold
+// entries.
+type Config struct {
+	Cores    int // default 8
+	LineSize int // bytes; 4..128, default 64
+
+	L1Size int // bytes; default 32 KiB
+	L1Ways int // default 4
+	L2Size int // bytes; default 512 KiB
+	L2Ways int // default 8
+
+	L1Latency  int // round trip, cycles; default 2
+	L2Latency  int // default 10
+	BusLatency int // bus arbitration + transfer; default 30
+	MemLatency int // default 300
+
+	// WordGranularity tracks one last writer per 8-byte word instead of
+	// one per line (the expensive precise mode; default off).
+	WordGranularity bool
+	// WritebackLastWriter preserves last-writer metadata across
+	// evictions in a memory-side table (the paper drops it; default off).
+	WritebackLastWriter bool
+	// PiggybackAll attaches last-writer metadata to every data transfer
+	// instead of only cache-to-cache transfers of dirty lines (the
+	// paper's default is dirty-only; default off = paper behaviour).
+	PiggybackAll bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 {
+		c.Cores = 8
+	}
+	if c.LineSize == 0 {
+		c.LineSize = 64
+	}
+	if c.L1Size == 0 {
+		c.L1Size = 32 << 10
+	}
+	if c.L1Ways == 0 {
+		c.L1Ways = 4
+	}
+	if c.L2Size == 0 {
+		c.L2Size = 512 << 10
+	}
+	if c.L2Ways == 0 {
+		c.L2Ways = 8
+	}
+	if c.L1Latency == 0 {
+		c.L1Latency = 2
+	}
+	if c.L2Latency == 0 {
+		c.L2Latency = 10
+	}
+	if c.BusLatency == 0 {
+		c.BusLatency = 30
+	}
+	if c.MemLatency == 0 {
+		c.MemLatency = 300
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		panic(fmt.Sprintf("mem: line size %d not a power of two", c.LineSize))
+	}
+	return c
+}
+
+// writer identifies a store instruction and its core.
+type writer struct {
+	pc   uint64
+	core int16
+	ok   bool
+}
+
+// line is one L2 cache line with coherence state and last-writer
+// metadata (one writer per granule).
+type line struct {
+	tag     uint64
+	state   State
+	writers []writer
+	lru     uint64
+}
+
+// cache is a set-associative tag array.
+type cache struct {
+	sets    [][]line
+	setMask uint64
+	ways    int
+	granule int // writers per line (1, or words per line)
+	tick    uint64
+}
+
+func newCache(size, ways, lineSize, granules int) *cache {
+	lines := size / lineSize
+	sets := lines / ways
+	if sets == 0 {
+		sets = 1
+	}
+	c := &cache{setMask: uint64(sets - 1), ways: ways, granule: granules}
+	c.sets = make([][]line, sets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, ways)
+	}
+	return c
+}
+
+// lookup returns the line holding tag, or nil.
+func (c *cache) lookup(set, tag uint64) *line {
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.state != Invalid && l.tag == tag {
+			c.tick++
+			l.lru = c.tick
+			return l
+		}
+	}
+	return nil
+}
+
+// victim returns the line to fill (an invalid way, or the LRU way).
+func (c *cache) victim(set uint64) *line {
+	ways := c.sets[set]
+	best := &ways[0]
+	for i := range ways {
+		l := &ways[i]
+		if l.state == Invalid {
+			return l
+		}
+		if l.lru < best.lru {
+			best = l
+		}
+	}
+	return best
+}
+
+// install fills a line (resetting metadata) and returns it.
+func (c *cache) install(set, tag uint64, st State) *line {
+	l := c.victim(set)
+	l.tag = tag
+	l.state = st
+	if len(l.writers) != c.granule {
+		l.writers = make([]writer, c.granule)
+	} else {
+		for i := range l.writers {
+			l.writers[i] = writer{}
+		}
+	}
+	c.tick++
+	l.lru = c.tick
+	return l
+}
+
+// Result reports one access's timing and the last-writer metadata a load
+// observed.
+type Result struct {
+	Cycles    int
+	WriterPC  uint64
+	WriterTid int
+	HasWriter bool
+	Level     Level
+}
+
+// Level says where an access was satisfied.
+type Level uint8
+
+// Access service levels.
+const (
+	L1 Level = iota
+	L2
+	Remote // cache-to-cache transfer
+	Memory
+)
+
+// String names the level.
+func (l Level) String() string { return [...]string{"L1", "L2", "remote", "memory"}[l] }
+
+// Stats counts hierarchy activity.
+type Stats struct {
+	Accesses     uint64
+	L1Hits       uint64
+	L2Hits       uint64
+	RemoteHits   uint64
+	MemFills     uint64
+	Invalidation uint64
+	Writebacks   uint64
+	Piggybacked  uint64 // transfers that carried last-writer metadata
+	DroppedMeta  uint64 // evictions that discarded last-writer metadata
+}
+
+// Hierarchy is the full multicore memory system.
+type Hierarchy struct {
+	cfg  Config
+	l1   []*cache
+	l2   []*cache
+	memW map[uint64]writer // memory-side last-writer table (optional)
+	st   Stats
+}
+
+// New builds a hierarchy for the configuration.
+func New(cfg Config) *Hierarchy {
+	cfg = cfg.withDefaults()
+	gran := 1
+	if cfg.WordGranularity {
+		gran = cfg.LineSize / 8
+		if gran == 0 {
+			gran = 1
+		}
+	}
+	h := &Hierarchy{cfg: cfg}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1 = append(h.l1, newCache(cfg.L1Size, cfg.L1Ways, cfg.LineSize, gran))
+		h.l2 = append(h.l2, newCache(cfg.L2Size, cfg.L2Ways, cfg.LineSize, gran))
+	}
+	if cfg.WritebackLastWriter {
+		h.memW = make(map[uint64]writer)
+	}
+	return h
+}
+
+// Config returns the (defaulted) configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns a copy of the counters.
+func (h *Hierarchy) Stats() Stats { return h.st }
+
+func (h *Hierarchy) lineAddr(addr uint64) uint64 { return addr &^ uint64(h.cfg.LineSize-1) }
+
+func (h *Hierarchy) setTag(c *cache, addr uint64) (set, tag uint64) {
+	la := addr / uint64(h.cfg.LineSize)
+	return la & c.setMask, la
+}
+
+// granuleIdx returns the writer slot for addr within a line.
+func (h *Hierarchy) granuleIdx(c *cache, addr uint64) int {
+	if c.granule == 1 {
+		return 0
+	}
+	return int(addr%uint64(h.cfg.LineSize)) / 8
+}
+
+// Access performs one memory access by core on addr: write=true for
+// stores (pc is the store's instruction address), write=false for loads
+// (the result carries the observed last writer, if any).
+func (h *Hierarchy) Access(core int, addr uint64, write bool, pc uint64) Result {
+	h.st.Accesses++
+	l2 := h.l2[core]
+	set2, tag := h.setTag(l2, addr)
+	l1 := h.l1[core]
+	set1, _ := h.setTag(l1, addr)
+
+	res := Result{}
+	ln2 := l2.lookup(set2, tag)
+	ln1 := l1.lookup(set1, tag)
+
+	switch {
+	case ln1 != nil && ln2 != nil && (!write || ln2.state == Modified || ln2.state == Exclusive):
+		// L1 hit with sufficient permission.
+		res.Cycles = h.cfg.L1Latency
+		res.Level = L1
+		h.st.L1Hits++
+	case ln2 != nil && (!write || ln2.state == Modified || ln2.state == Exclusive):
+		// L2 hit; refill L1 tags.
+		res.Cycles = h.cfg.L2Latency
+		res.Level = L2
+		h.st.L2Hits++
+		l1.install(set1, tag, ln2.state)
+	default:
+		// Bus transaction: upgrade, cache-to-cache transfer, or memory.
+		ln2 = h.busTransaction(core, addr, write, &res)
+		l1.install(set1, tag, ln2.state)
+	}
+
+	gi := h.granuleIdx(l2, addr)
+	if ln2 == nil {
+		// busTransaction installed it; re-look it up.
+		ln2 = l2.lookup(set2, tag)
+	}
+	if write {
+		if ln2.state != Modified {
+			ln2.state = Modified
+		}
+		ln2.writers[gi] = writer{pc: pc, core: int16(core), ok: true}
+		if w1 := l1.lookup(set1, tag); w1 != nil {
+			w1.state = Modified
+		}
+	} else if w := ln2.writers[gi]; w.ok {
+		res.WriterPC = w.pc
+		res.WriterTid = int(w.core)
+		res.HasWriter = true
+	}
+	return res
+}
+
+// busTransaction services an L2 miss or write upgrade, returning the
+// (installed or upgraded) local line.
+func (h *Hierarchy) busTransaction(core int, addr uint64, write bool, res *Result) *line {
+	l2 := h.l2[core]
+	set2, tag := h.setTag(l2, addr)
+
+	// Snoop the other cores.
+	var owner *line
+	ownerCore := -1
+	anyShared := false
+	for c := range h.l2 {
+		if c == core {
+			continue
+		}
+		oset, _ := h.setTag(h.l2[c], addr)
+		if ln := h.l2[c].lookup(oset, tag); ln != nil {
+			anyShared = true
+			if ln.state == Modified || ln.state == Exclusive {
+				owner, ownerCore = ln, c
+			}
+			if write {
+				// BusRdX: invalidate every other copy (and its L1 tag).
+				ln.state = Invalid
+				h.invalidateL1(c, addr)
+				h.st.Invalidation++
+			} else if ln.state == Modified || ln.state == Exclusive {
+				ln.state = Shared
+			}
+		}
+	}
+
+	// Write upgrade on a locally Shared line avoids a refill.
+	if local := l2.lookup(set2, tag); local != nil {
+		res.Cycles = h.cfg.BusLatency + h.cfg.L2Latency
+		res.Level = L2
+		h.st.L2Hits++
+		local.state = Modified
+		return local
+	}
+
+	st := Exclusive
+	if !write && anyShared {
+		st = Shared
+	}
+	if write {
+		st = Modified
+	}
+
+	var filled *line
+	switch {
+	case owner != nil && owner.state != Invalid || ownerCore >= 0 && write:
+		// Cache-to-cache transfer from the previous owner. The paper
+		// piggybacks last-writer metadata only when the source line was
+		// dirty (a read miss on a dirty line); PiggybackAll relaxes it.
+		res.Cycles = h.cfg.BusLatency + 2*h.cfg.L2Latency
+		res.Level = Remote
+		h.st.RemoteHits++
+		filled = h.installEvicting(l2, set2, tag, st)
+		if owner != nil {
+			dirty := true // owner was M or E before downgrade; treat E as clean
+			if h.cfg.PiggybackAll || dirty {
+				copy(filled.writers, owner.writers)
+				h.st.Piggybacked++
+			}
+		}
+	default:
+		// Fill from memory.
+		res.Cycles = h.cfg.BusLatency + h.cfg.MemLatency
+		res.Level = Memory
+		h.st.MemFills++
+		filled = h.installEvicting(l2, set2, tag, st)
+		if h.memW != nil {
+			gran := uint64(h.cfg.LineSize)
+			if l2.granule > 1 {
+				gran = 8
+			}
+			base := h.lineAddr(addr)
+			for i := range filled.writers {
+				if w, ok := h.memW[base+uint64(i)*gran]; ok {
+					filled.writers[i] = w
+				}
+			}
+		}
+	}
+	return filled
+}
+
+// installEvicting installs a line, handling the victim's writeback and
+// metadata fate first.
+func (h *Hierarchy) installEvicting(c *cache, set, tag uint64, st State) *line {
+	v := c.victim(set)
+	if v.state != Invalid {
+		if v.state == Modified {
+			h.st.Writebacks++
+		}
+		// Eviction drops last-writer metadata unless the memory-side
+		// table is enabled (Section V simplification 2).
+		if h.memW != nil {
+			gran := uint64(h.cfg.LineSize)
+			if c.granule > 1 {
+				gran = 8
+			}
+			base := v.tag * uint64(h.cfg.LineSize)
+			for i, w := range v.writers {
+				if w.ok {
+					h.memW[base+uint64(i)*gran] = w
+				}
+			}
+		} else {
+			for _, w := range v.writers {
+				if w.ok {
+					h.st.DroppedMeta++
+					break
+				}
+			}
+		}
+		// Inclusion: the L1 copy goes too. The victim belongs to the
+		// core whose cache this is; find it by identity.
+		for core, l2c := range h.l2 {
+			if l2c == c {
+				h.invalidateL1(core, v.tag*uint64(h.cfg.LineSize))
+			}
+		}
+	}
+	return c.install(set, tag, st)
+}
+
+// invalidateL1 drops the L1 copy of addr's line on the given core.
+func (h *Hierarchy) invalidateL1(core int, addr uint64) {
+	l1 := h.l1[core]
+	set, tag := h.setTag(l1, addr)
+	if ln := l1.lookup(set, tag); ln != nil {
+		ln.state = Invalid
+	}
+}

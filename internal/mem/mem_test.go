@@ -1,0 +1,195 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() Config {
+	return Config{Cores: 2, LineSize: 64, L1Size: 1 << 10, L1Ways: 2, L2Size: 4 << 10, L2Ways: 2}
+}
+
+func TestHitLatencies(t *testing.T) {
+	h := New(small())
+	cfg := h.Config()
+	// Cold store: memory fill.
+	r := h.Access(0, 0x1000, true, 0x400000)
+	if r.Level != Memory || r.Cycles != cfg.BusLatency+cfg.MemLatency {
+		t.Fatalf("cold store: %+v", r)
+	}
+	// Load hit in L1.
+	r = h.Access(0, 0x1008, false, 0)
+	if r.Level != L1 || r.Cycles != cfg.L1Latency {
+		t.Fatalf("L1 hit: %+v", r)
+	}
+}
+
+func TestLastWriterLineGranularity(t *testing.T) {
+	h := New(small())
+	h.Access(0, 0x1000, true, 0xAAAA)
+	// Same line, different word: line granularity reports the writer.
+	r := h.Access(0, 0x1008, false, 0)
+	if !r.HasWriter || r.WriterPC != 0xAAAA {
+		t.Fatalf("line-granularity writer: %+v", r)
+	}
+}
+
+func TestLastWriterWordGranularity(t *testing.T) {
+	cfg := small()
+	cfg.WordGranularity = true
+	h := New(cfg)
+	h.Access(0, 0x1000, true, 0xAAAA)
+	h.Access(0, 0x1008, true, 0xBBBB)
+	r := h.Access(0, 0x1000, false, 0)
+	if !r.HasWriter || r.WriterPC != 0xAAAA {
+		t.Fatalf("word 0 writer: %+v", r)
+	}
+	r = h.Access(0, 0x1008, false, 0)
+	if !r.HasWriter || r.WriterPC != 0xBBBB {
+		t.Fatalf("word 1 writer: %+v", r)
+	}
+	r = h.Access(0, 0x1010, false, 0)
+	if r.HasWriter {
+		t.Fatalf("unwritten word has a writer: %+v", r)
+	}
+}
+
+func TestCacheToCacheTransferPiggybacksWriter(t *testing.T) {
+	h := New(small())
+	h.Access(0, 0x2000, true, 0xCAFE) // core 0 owns the line Modified
+	r := h.Access(1, 0x2000, false, 0)
+	if r.Level != Remote {
+		t.Fatalf("expected cache-to-cache transfer, got %v", r.Level)
+	}
+	if !r.HasWriter || r.WriterPC != 0xCAFE || r.WriterTid != 0 {
+		t.Fatalf("piggybacked writer: %+v", r)
+	}
+	if h.Stats().Piggybacked == 0 {
+		t.Fatal("piggyback not counted")
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	h := New(small())
+	h.Access(0, 0x3000, true, 0x1)
+	h.Access(1, 0x3000, false, 0) // now shared
+	h.Access(1, 0x3000, true, 0x2)
+	if h.Stats().Invalidation == 0 {
+		t.Fatal("no invalidation on write to shared line")
+	}
+	// Core 0's next load must miss locally and see core 1's writer.
+	r := h.Access(0, 0x3000, false, 0)
+	if r.Level == L1 {
+		t.Fatalf("stale L1 hit after remote write: %+v", r)
+	}
+	if !r.HasWriter || r.WriterPC != 0x2 || r.WriterTid != 1 {
+		t.Fatalf("writer after invalidation: %+v", r)
+	}
+}
+
+func TestEvictionDropsMetadata(t *testing.T) {
+	cfg := small()
+	h := New(cfg)
+	h.Access(0, 0x1000, true, 0xAA)
+	// Walk addresses mapping to the same set until 0x1000 is evicted.
+	setStride := uint64(cfg.L2Size / cfg.L2Ways)
+	for i := uint64(1); i <= uint64(cfg.L2Ways); i++ {
+		h.Access(0, 0x1000+i*setStride, true, 0xBB)
+	}
+	r := h.Access(0, 0x1000, false, 0)
+	if r.HasWriter {
+		t.Fatalf("metadata survived eviction without write-back: %+v", r)
+	}
+	if h.Stats().DroppedMeta == 0 {
+		t.Fatal("dropped metadata not counted")
+	}
+}
+
+func TestWritebackLastWriterPreservesMetadata(t *testing.T) {
+	cfg := small()
+	cfg.WritebackLastWriter = true
+	h := New(cfg)
+	h.Access(0, 0x1000, true, 0xAA)
+	setStride := uint64(cfg.L2Size / cfg.L2Ways)
+	for i := uint64(1); i <= uint64(cfg.L2Ways); i++ {
+		h.Access(0, 0x1000+i*setStride, true, 0xBB)
+	}
+	r := h.Access(0, 0x1000, false, 0)
+	if !r.HasWriter || r.WriterPC != 0xAA {
+		t.Fatalf("metadata lost despite write-back: %+v", r)
+	}
+}
+
+func TestFalseSharingAtLineGranularity(t *testing.T) {
+	// Two cores write disjoint words of one line; at line granularity
+	// the reader sees the *other* core's store as the writer of its own
+	// word — the false sharing Section VI's last experiment measures.
+	h := New(small())
+	h.Access(0, 0x4000, true, 0x111)
+	h.Access(1, 0x4008, true, 0x222) // other word, same line
+	r := h.Access(0, 0x4000, false, 0)
+	if !r.HasWriter || r.WriterPC != 0x222 {
+		t.Fatalf("expected false-shared writer 0x222, got %+v", r)
+	}
+	// Word granularity fixes it.
+	cfg := small()
+	cfg.WordGranularity = true
+	h = New(cfg)
+	h.Access(0, 0x4000, true, 0x111)
+	h.Access(1, 0x4008, true, 0x222)
+	r = h.Access(0, 0x4000, false, 0)
+	if !r.HasWriter || r.WriterPC != 0x111 {
+		t.Fatalf("word granularity: %+v", r)
+	}
+}
+
+func TestBadLineSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-power-of-two line size")
+		}
+	}()
+	New(Config{LineSize: 48})
+}
+
+func TestCoherenceInvariantProperty(t *testing.T) {
+	// Property: after any access sequence, no line is Modified or
+	// Exclusive in more than one core's L2.
+	f := func(ops []uint16) bool {
+		h := New(small())
+		for _, op := range ops {
+			core := int(op>>15) & 1
+			write := op>>14&1 == 1
+			addr := uint64(op&0x3ff) * 8
+			h.Access(core, addr, write, uint64(op))
+		}
+		owned := make(map[uint64]int)
+		for c, l2 := range h.l2 {
+			for _, set := range l2.sets {
+				for _, ln := range set {
+					if ln.state == Modified || ln.state == Exclusive {
+						if prev, ok := owned[ln.tag]; ok && prev != c {
+							return false
+						}
+						owned[ln.tag] = c
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	h := New(small())
+	h.Access(0, 0x100, true, 1)
+	h.Access(0, 0x100, false, 0)
+	h.Access(1, 0x100, false, 0)
+	st := h.Stats()
+	if st.Accesses != 3 || st.L1Hits != 1 || st.RemoteHits != 1 || st.MemFills != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}

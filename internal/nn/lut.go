@@ -1,0 +1,63 @@
+package nn
+
+import "math"
+
+// SigmoidLUT is the hardware sigmoid table of Section IV-A: the neuron
+// computes its weighted sum and looks the activation up in a quantized
+// table instead of evaluating exp. The table covers [-Range, Range];
+// inputs beyond saturate to the table ends, matching a fixed-size ROM.
+type SigmoidLUT struct {
+	Range   float64
+	Entries int
+	table   []float64
+}
+
+// NewSigmoidLUT builds a table with the given number of entries over
+// [-rng, rng]. The paper-scale default is 256 entries over [-8, 8].
+func NewSigmoidLUT(entries int, rng float64) *SigmoidLUT {
+	if entries < 2 {
+		entries = 2
+	}
+	if rng <= 0 {
+		rng = 8
+	}
+	l := &SigmoidLUT{Range: rng, Entries: entries, table: make([]float64, entries)}
+	for i := range l.table {
+		x := -rng + 2*rng*float64(i)/float64(entries-1)
+		l.table[i] = Sigmoid(x)
+	}
+	return l
+}
+
+// DefaultLUT is the hardware-default 256-entry table over [-8, 8].
+func DefaultLUT() *SigmoidLUT { return NewSigmoidLUT(256, 8) }
+
+// Apply looks up the quantized sigmoid of x.
+func (l *SigmoidLUT) Apply(x float64) float64 {
+	if x <= -l.Range {
+		return l.table[0]
+	}
+	if x >= l.Range {
+		return l.table[l.Entries-1]
+	}
+	i := int(math.Round((x + l.Range) / (2 * l.Range) * float64(l.Entries-1)))
+	return l.table[i]
+}
+
+// Activation returns the LUT as an Activation, for plugging into a
+// Network to model hardware inference.
+func (l *SigmoidLUT) Activation() Activation { return l.Apply }
+
+// MaxError returns the worst-case absolute error of the table against
+// the exact sigmoid over its range, sampled at 10x table resolution.
+func (l *SigmoidLUT) MaxError() float64 {
+	worst := 0.0
+	steps := l.Entries * 10
+	for i := 0; i <= steps; i++ {
+		x := -l.Range + 2*l.Range*float64(i)/float64(steps)
+		if e := math.Abs(l.Apply(x) - Sigmoid(x)); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

@@ -1,0 +1,59 @@
+package nn
+
+import "math"
+
+// Weight quantization. The hardware's weight registers are fixed-point,
+// not float64: this models storing weights in signed Qm.f format (f
+// fractional bits) and answers the fidelity question of how many bits
+// the ACT Module's registers need before classification quality decays.
+
+// Quantize rounds every weight to the nearest multiple of 2^-fracBits,
+// saturating at the representable range of a signed 16-bit register
+// (the natural register width for the paper's 4-byte weight entries
+// holding weight plus metadata). It returns the largest absolute
+// rounding error introduced.
+func (n *Network) Quantize(fracBits int) float64 {
+	step := math.Ldexp(1, -fracBits)
+	limit := math.Ldexp(1, 15-fracBits) - step // int16 range in Q-format
+	worst := 0.0
+	q := func(w float64) float64 {
+		v := math.Round(w/step) * step
+		if v > limit {
+			v = limit
+		}
+		if v < -limit {
+			v = -limit
+		}
+		if e := math.Abs(v - w); e > worst {
+			worst = e
+		}
+		return v
+	}
+	for h := range n.WH {
+		for i, w := range n.WH[h] {
+			n.WH[h][i] = q(w)
+		}
+	}
+	for i, w := range n.WO {
+		n.WO[i] = q(w)
+	}
+	return worst
+}
+
+// QuantizedDisagreement returns the fraction of inputs on which the
+// quantized copy of the network disagrees with the original's
+// classification.
+func QuantizedDisagreement(n *Network, fracBits int, inputs [][]float64) float64 {
+	if len(inputs) == 0 {
+		return 0
+	}
+	qn := n.Clone()
+	qn.Quantize(fracBits)
+	diff := 0
+	for _, x := range inputs {
+		if n.Valid(x) != qn.Valid(x) {
+			diff++
+		}
+	}
+	return float64(diff) / float64(len(inputs))
+}

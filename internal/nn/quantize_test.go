@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQuantizeErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := New(4, 8, rng)
+	worst := n.Quantize(12)
+	if worst > math.Ldexp(1, -13)+1e-12 {
+		t.Fatalf("rounding error %v exceeds half a step", worst)
+	}
+	// All weights must now be exact multiples of the step.
+	step := math.Ldexp(1, -12)
+	for _, w := range n.Flatten(nil) {
+		if r := math.Abs(w/step - math.Round(w/step)); r > 1e-9 {
+			t.Fatalf("weight %v not on the Q-grid", w)
+		}
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := New(2, 2, rng)
+	n.WO[0] = 1e6
+	n.WO[1] = -1e6
+	n.Quantize(12)
+	limit := math.Ldexp(1, 3) // 2^(15-12)
+	if n.WO[0] > limit || n.WO[1] < -limit {
+		t.Fatalf("saturation failed: %v %v", n.WO[0], n.WO[1])
+	}
+}
+
+func TestQuantizedClassificationSurvives(t *testing.T) {
+	// Train a small classifier, then check that 12 fractional bits keep
+	// its decisions, while 2 bits wreck them.
+	rng := rand.New(rand.NewSource(3))
+	var samples []Sample
+	for i := 0; i < 16; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		y := TargetInvalid
+		if i%2 == 0 {
+			y = TargetValid
+		}
+		samples = append(samples, Sample{X: x, Y: y})
+	}
+	n, _ := TrainNew(4, 8, samples, FitConfig{Seed: 4, MaxEpochs: 8000, Patience: 8000})
+	if Evaluate(n, samples) > 0 {
+		t.Skip("fixture did not converge")
+	}
+	var xs [][]float64
+	for _, s := range samples {
+		xs = append(xs, s.X)
+	}
+	// Q6.9: 9 fractional bits with a ±64 range — wide enough for the
+	// magnitudes momentum-trained weights reach.
+	if d := QuantizedDisagreement(n, 9, xs); d > 0 {
+		t.Errorf("9 fractional bits changed %v of decisions", d)
+	}
+	coarse := QuantizedDisagreement(n, 2, xs)
+	fine := QuantizedDisagreement(n, 9, xs)
+	if coarse < fine {
+		t.Errorf("coarser quantization disagreed less (%v) than finer (%v)", coarse, fine)
+	}
+}

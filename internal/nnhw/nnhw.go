@@ -1,0 +1,204 @@
+// Package nnhw models the timing of ACT's neural hardware (Section
+// IV-A): a partially configurable one-hidden-layer network mapped onto a
+// three-stage pipeline — S1, an input FIFO; S2, the hidden layer of M
+// neurons; S3, the single output neuron — with the number of
+// multiply-add units per neuron as the latency knob. The package also
+// models the fully configurable, time-multiplexed design of
+// Esmaeilzadeh et al. that the paper compares against.
+//
+// Functional classification lives in internal/nn; this package answers
+// the cycle-accounting questions: how long does a neuron take, how often
+// can the pipeline accept an input, and when does a full FIFO stall the
+// load at the head of the ROB.
+package nnhw
+
+import "fmt"
+
+// Config describes one neuron's datapath and the module's FIFO.
+type Config struct {
+	MaxInputs   int // M: neuron fan-in and hidden-layer width; default 10
+	MulAddUnits int // cascaded multiply-add units per neuron; default 1
+	TMulAdd     int // latency of one multiply-add, cycles; default 1
+	TRest       int // accumulator + sigmoid table, cycles; default 2
+	FIFODepth   int // input FIFO entries; default 8
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInputs == 0 {
+		c.MaxInputs = 10
+	}
+	if c.MulAddUnits == 0 {
+		c.MulAddUnits = 1
+	}
+	if c.TMulAdd == 0 {
+		c.TMulAdd = 1
+	}
+	if c.TRest == 0 {
+		c.TRest = 2
+	}
+	if c.FIFODepth == 0 {
+		c.FIFODepth = 8
+	}
+	return c
+}
+
+// NeuronLatency returns T, the cycles one neuron needs for an input:
+// ceil(M/x)·T_muladd + T_rest. With x multiply-add units the M
+// multiplications and additions complete in ceil(M/x) waves.
+func (c Config) NeuronLatency() int {
+	c = c.withDefaults()
+	waves := (c.MaxInputs + c.MulAddUnits - 1) / c.MulAddUnits
+	return waves*c.TMulAdd + c.TRest
+}
+
+// TestingInterval returns the pipeline's steady-state initiation
+// interval in testing mode: one input every T cycles when the FIFO is
+// full (S2 and S3 each take T; S1 takes one cycle).
+func (c Config) TestingInterval() int { return c.NeuronLatency() }
+
+// TrainingInterval returns the initiation interval in training mode:
+// back-propagation makes the stage connections bidirectional, so the
+// network finishes one input completely before accepting another —
+// every 4T cycles when the FIFO is full (Section IV-A).
+func (c Config) TrainingInterval() int { return 4 * c.NeuronLatency() }
+
+// Pipeline is the cycle-level occupancy model of the three-stage design.
+// It tracks only timing: the caller performs the functional
+// classification with the software network and uses the pipeline to know
+// when inputs are accepted and when results complete.
+type Pipeline struct {
+	cfg      Config
+	training bool
+
+	queue   int   // occupied FIFO entries
+	busy    int   // cycles until the compute stages accept the next input
+	inUnit  int   // inputs currently inside S2/S3
+	done    []int // countdowns for in-flight inputs (completion cycles)
+	Stats   PipeStats
+	current int64 // current cycle
+}
+
+// PipeStats counts pipeline activity.
+type PipeStats struct {
+	Accepted  uint64 // inputs accepted into the FIFO
+	Rejected  uint64 // offers rejected because the FIFO was full
+	Completed uint64 // classifications finished
+	Flushed   uint64 // inputs discarded by a context-switch flush
+	Cycles    int64  // cycles ticked
+}
+
+// NewPipeline returns an idle pipeline.
+func NewPipeline(cfg Config) *Pipeline {
+	return &Pipeline{cfg: cfg.withDefaults()}
+}
+
+// Config returns the (defaulted) configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// SetTraining switches between testing mode (pipelined, interval T) and
+// training mode (serialized, interval 4T). The in-flight inputs drain at
+// their already-scheduled times.
+func (p *Pipeline) SetTraining(training bool) { p.training = training }
+
+// Training reports the current mode.
+func (p *Pipeline) Training() bool { return p.training }
+
+// interval returns the current initiation interval.
+func (p *Pipeline) interval() int {
+	if p.training {
+		return p.cfg.TrainingInterval()
+	}
+	return p.cfg.TestingInterval()
+}
+
+// latency returns the FIFO-to-result latency for an input issued now:
+// S1 (1 cycle) + S2 (T) + S3 (T) in testing; a full serialized pass in
+// training.
+func (p *Pipeline) latency() int {
+	t := p.cfg.NeuronLatency()
+	if p.training {
+		return 1 + 4*t
+	}
+	return 1 + 2*t
+}
+
+// Offer presents one input (a formed RAW dependence sequence). It
+// returns false when the FIFO is full — the hardware condition that
+// stalls the corresponding load's retirement.
+func (p *Pipeline) Offer() bool {
+	if p.queue >= p.cfg.FIFODepth {
+		p.Stats.Rejected++
+		return false
+	}
+	p.queue++
+	p.Stats.Accepted++
+	return true
+}
+
+// Full reports whether the FIFO has no free entry.
+func (p *Pipeline) Full() bool { return p.queue >= p.cfg.FIFODepth }
+
+// Occupancy returns the number of queued plus in-flight inputs.
+func (p *Pipeline) Occupancy() int { return p.queue + p.inUnit }
+
+// Tick advances one cycle and returns the number of classifications that
+// completed this cycle.
+func (p *Pipeline) Tick() int {
+	p.current++
+	p.Stats.Cycles++
+	if p.busy > 0 {
+		p.busy--
+	}
+	// Issue from the FIFO into the compute stages.
+	if p.queue > 0 && p.busy == 0 {
+		p.queue--
+		p.inUnit++
+		p.done = append(p.done, p.latency())
+		p.busy = p.interval()
+	}
+	completed := 0
+	for i := 0; i < len(p.done); {
+		p.done[i]--
+		if p.done[i] <= 0 {
+			p.done = append(p.done[:i], p.done[i+1:]...)
+			p.inUnit--
+			completed++
+			continue
+		}
+		i++
+	}
+	p.Stats.Completed += uint64(completed)
+	return completed
+}
+
+// Flush discards all queued and in-flight inputs — the paper's "flush
+// the in-flight inputs before context switch or thread migration". It
+// returns how many inputs were discarded.
+func (p *Pipeline) Flush() int {
+	n := p.queue + p.inUnit
+	p.queue = 0
+	p.inUnit = 0
+	p.done = p.done[:0]
+	p.busy = 0
+	p.Stats.Flushed += uint64(n)
+	return n
+}
+
+// Drain runs the pipeline until empty and returns the cycles it took.
+func (p *Pipeline) Drain() int {
+	cycles := 0
+	for p.queue > 0 || p.inUnit > 0 {
+		p.Tick()
+		cycles++
+		if cycles > 1<<24 {
+			panic("nnhw: pipeline failed to drain")
+		}
+	}
+	return cycles
+}
+
+// String summarizes the design point.
+func (c Config) String() string {
+	c = c.withDefaults()
+	return fmt.Sprintf("M=%d muladd=%d T=%d fifo=%d", c.MaxInputs, c.MulAddUnits, c.NeuronLatency(), c.FIFODepth)
+}

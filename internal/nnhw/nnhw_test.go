@@ -1,0 +1,155 @@
+package nnhw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNeuronLatencyKnob(t *testing.T) {
+	// Table III varies multiply-add units over 1, 2, 5, 10 with M=10,
+	// T_muladd=1, T_rest=2: T = ceil(10/x) + 2.
+	want := map[int]int{1: 12, 2: 7, 5: 4, 10: 3}
+	for x, wantT := range want {
+		c := Config{MaxInputs: 10, MulAddUnits: x, TMulAdd: 1, TRest: 2}
+		if got := c.NeuronLatency(); got != wantT {
+			t.Errorf("x=%d: T=%d, want %d", x, got, wantT)
+		}
+	}
+}
+
+func TestLatencyMonotonicInUnits(t *testing.T) {
+	f := func(m, x uint8) bool {
+		mm := 1 + int(m)%10
+		xx := 1 + int(x)%10
+		a := Config{MaxInputs: mm, MulAddUnits: xx}.NeuronLatency()
+		b := Config{MaxInputs: mm, MulAddUnits: xx + 1}.NeuronLatency()
+		return b <= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainingIntervalIs4T(t *testing.T) {
+	c := Config{}
+	if c.TrainingInterval() != 4*c.TestingInterval() {
+		t.Fatalf("training interval %d, want 4×%d", c.TrainingInterval(), c.TestingInterval())
+	}
+}
+
+func TestPipelineThroughputTesting(t *testing.T) {
+	p := NewPipeline(Config{FIFODepth: 4})
+	T := p.Config().NeuronLatency()
+	// Fill the FIFO, then measure steady-state completions.
+	for i := 0; i < 4; i++ {
+		if !p.Offer() {
+			t.Fatalf("offer %d rejected with empty pipeline", i)
+		}
+	}
+	if p.Offer() {
+		t.Fatal("offer accepted with full FIFO")
+	}
+	total := 0
+	cycles := 0
+	for total < 4 {
+		total += p.Tick()
+		cycles++
+		if cycles > 100*T {
+			t.Fatal("pipeline wedged")
+		}
+	}
+	// Pipelined: after the fill latency, roughly one result per T cycles.
+	maxExpected := p.latencyForTest() + 4*T
+	if cycles > maxExpected {
+		t.Errorf("4 results took %d cycles, want <= %d", cycles, maxExpected)
+	}
+}
+
+// latencyForTest exposes the internal latency for bounds in tests.
+func (p *Pipeline) latencyForTest() int { return p.latency() }
+
+func TestPipelineTrainingSerializes(t *testing.T) {
+	test := NewPipeline(Config{FIFODepth: 8})
+	train := NewPipeline(Config{FIFODepth: 8})
+	train.SetTraining(true)
+	for i := 0; i < 8; i++ {
+		test.Offer()
+		train.Offer()
+	}
+	testCycles := test.Drain()
+	trainCycles := train.Drain()
+	if trainCycles <= 2*testCycles {
+		t.Errorf("training drain %d not substantially slower than testing %d", trainCycles, testCycles)
+	}
+}
+
+func TestPipelineStats(t *testing.T) {
+	p := NewPipeline(Config{FIFODepth: 2})
+	p.Offer()
+	p.Offer()
+	p.Offer() // rejected
+	p.Drain()
+	if p.Stats.Accepted != 2 || p.Stats.Rejected != 1 || p.Stats.Completed != 2 {
+		t.Fatalf("stats %+v", p.Stats)
+	}
+	if p.Occupancy() != 0 {
+		t.Fatal("pipeline not empty after drain")
+	}
+}
+
+func TestPipelineConservation(t *testing.T) {
+	// Property: accepted = completed after drain, for arbitrary offer
+	// patterns and configurations.
+	f := func(offers []bool, units, fifo uint8) bool {
+		p := NewPipeline(Config{
+			MulAddUnits: 1 + int(units)%10,
+			FIFODepth:   1 + int(fifo)%16,
+		})
+		for i, o := range offers {
+			if o {
+				p.Offer()
+			}
+			if i%3 == 0 {
+				p.Tick()
+			}
+			if i%17 == 0 {
+				p.SetTraining(!p.Training())
+			}
+		}
+		p.Drain()
+		return p.Stats.Accepted == p.Stats.Completed
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNPULatency(t *testing.T) {
+	n := NPU{}
+	// A 10-10-1 topology on 8 PEs: hidden layer needs 2 batches.
+	lat := n.InferenceLatency(10, 10)
+	if lat <= 0 {
+		t.Fatal("non-positive latency")
+	}
+	// More PEs must not be slower.
+	big := NPU{PEs: 32}
+	if big.InferenceLatency(10, 10) > lat {
+		t.Error("more PEs slowed the NPU down")
+	}
+	if n.TrainingLatency(10, 10) <= 2*lat {
+		t.Error("training should cost several forward passes")
+	}
+}
+
+// TestPipelineBeatsNPUForACT is contribution 3's claim: for ACT's small
+// i-h-1 topologies at high input rates, the dedicated pipeline
+// sustains a higher throughput than the time-multiplexed NPU.
+func TestPipelineBeatsNPUForACT(t *testing.T) {
+	cfg := Config{MaxInputs: 10, MulAddUnits: 1}
+	pipeInterval := cfg.TestingInterval()
+	npuInterval := NPU{}.Interval(10, 10)
+	if pipeInterval >= npuInterval {
+		t.Fatalf("pipeline interval %d >= NPU interval %d: design advantage gone",
+			pipeInterval, npuInterval)
+	}
+}

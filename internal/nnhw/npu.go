@@ -1,0 +1,63 @@
+package nnhw
+
+// NPU models the fully configurable neural accelerator of Esmaeilzadeh
+// et al. that Section IV-A argues against for ACT's use case: a fixed
+// pool of processing engines onto which an arbitrary topology is
+// time-multiplexed by a scheduler. Flexibility costs a per-layer
+// scheduling overhead and serializes layers whenever the layer is wider
+// than the PE pool; the comparison bench quantifies the gap against the
+// three-stage pipeline for ACT's i-h-1 topologies.
+type NPU struct {
+	PEs           int // processing engines; default 8
+	TMulAdd       int // multiply-add latency per input weight; default 1
+	TRest         int // accumulate + activation; default 2
+	SchedOverhead int // cycles to (re)schedule one layer; default 4
+}
+
+func (n NPU) withDefaults() NPU {
+	if n.PEs == 0 {
+		n.PEs = 8
+	}
+	if n.TMulAdd == 0 {
+		n.TMulAdd = 1
+	}
+	if n.TRest == 0 {
+		n.TRest = 2
+	}
+	if n.SchedOverhead == 0 {
+		n.SchedOverhead = 4
+	}
+	return n
+}
+
+// LayerLatency returns the cycles to evaluate one layer of `neurons`
+// neurons with `fanIn` inputs each: the scheduler configures the layer,
+// the PE pool processes ceil(neurons/PEs) batches, and each neuron needs
+// fanIn multiply-adds plus the activation.
+func (n NPU) LayerLatency(neurons, fanIn int) int {
+	n = n.withDefaults()
+	batches := (neurons + n.PEs - 1) / n.PEs
+	perNeuron := fanIn*n.TMulAdd + n.TRest
+	return n.SchedOverhead + batches*perNeuron
+}
+
+// InferenceLatency returns the cycles for one i-h-1 inference. Layers
+// run back to back — the time-multiplexed design cannot pipeline across
+// layers because the PE pool is reused.
+func (n NPU) InferenceLatency(inputs, hidden int) int {
+	return n.LayerLatency(hidden, inputs) + n.LayerLatency(1, hidden)
+}
+
+// Interval returns the initiation interval: with one shared PE pool a
+// new inference starts only after the previous one finishes.
+func (n NPU) Interval(inputs, hidden int) int { return n.InferenceLatency(inputs, hidden) }
+
+// TrainingLatency returns the cycles for one backpropagation pass:
+// forward, output-layer update, hidden-layer update, and weight
+// write-back all serialize on the PE pool (≈ 4 forward passes plus
+// rescheduling), mirroring the 4T factor of the pipelined design but
+// with the scheduling tax on every phase.
+func (n NPU) TrainingLatency(inputs, hidden int) int {
+	fwd := n.InferenceLatency(inputs, hidden)
+	return 4*fwd + 2*n.withDefaults().SchedOverhead
+}

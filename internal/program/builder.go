@@ -1,0 +1,267 @@
+package program
+
+import (
+	"fmt"
+
+	"act/internal/isa"
+)
+
+// Builder assembles one thread's instruction sequence. Branch targets are
+// symbolic labels resolved at Build time; Mark records named instruction
+// positions so experiments can locate known root-cause instructions by
+// name instead of hard-coded indices.
+type Builder struct {
+	code   []isa.Instr
+	labels map[string]int
+	marks  map[string]int
+	fixups []fixup
+}
+
+type fixup struct {
+	at    int
+	label string
+}
+
+// NewBuilder returns an empty thread builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int), marks: make(map[string]int)}
+}
+
+// Len returns the number of instructions emitted so far, which is also
+// the index of the next instruction.
+func (b *Builder) Len() int { return len(b.code) }
+
+// Label binds name to the next instruction.
+func (b *Builder) Label(name string) {
+	if _, ok := b.labels[name]; ok {
+		panic(fmtErr("program: duplicate label %q", name))
+	}
+	b.labels[name] = len(b.code)
+}
+
+// Mark names the next instruction so its PC can be recovered from the
+// built Program.
+func (b *Builder) Mark(name string) { b.marks[name] = len(b.code) }
+
+// Marks returns the recorded mark positions (instruction indexes within
+// this thread). Used when splicing separately built code into an
+// existing program.
+func (b *Builder) Marks() map[string]int {
+	m := make(map[string]int, len(b.marks))
+	for k, v := range b.marks {
+		m[k] = v
+	}
+	return m
+}
+
+func (b *Builder) emit(in isa.Instr) { b.code = append(b.code, in) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(isa.Instr{Op: isa.Nop}) }
+
+// Li loads an immediate into rd.
+func (b *Builder) Li(rd uint8, imm int64) { b.emit(isa.Instr{Op: isa.Li, Rd: rd, Imm: imm}) }
+
+// LiAddr loads a data address into rd.
+func (b *Builder) LiAddr(rd uint8, addr uint64) { b.Li(rd, int64(addr)) }
+
+// Mov copies rs into rd.
+func (b *Builder) Mov(rd, rs uint8) { b.emit(isa.Instr{Op: isa.Mov, Rd: rd, Rs1: rs}) }
+
+// Add emits rd <- rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 uint8) {
+	b.emit(isa.Instr{Op: isa.Add, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Addi emits rd <- rs1 + imm.
+func (b *Builder) Addi(rd, rs1 uint8, imm int64) {
+	b.emit(isa.Instr{Op: isa.Addi, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Sub emits rd <- rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 uint8) {
+	b.emit(isa.Instr{Op: isa.Sub, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Mul emits rd <- rs1 * rs2.
+func (b *Builder) Mul(rd, rs1, rs2 uint8) {
+	b.emit(isa.Instr{Op: isa.Mul, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Div emits rd <- rs1 / rs2 (0 when rs2 is 0).
+func (b *Builder) Div(rd, rs1, rs2 uint8) {
+	b.emit(isa.Instr{Op: isa.Div, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Rem emits rd <- rs1 % rs2 (0 when rs2 is 0).
+func (b *Builder) Rem(rd, rs1, rs2 uint8) {
+	b.emit(isa.Instr{Op: isa.Rem, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// And emits rd <- rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 uint8) {
+	b.emit(isa.Instr{Op: isa.And, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Or emits rd <- rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 uint8) {
+	b.emit(isa.Instr{Op: isa.Or, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Xor emits rd <- rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 uint8) {
+	b.emit(isa.Instr{Op: isa.Xor, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Shl emits rd <- rs1 << rs2.
+func (b *Builder) Shl(rd, rs1, rs2 uint8) {
+	b.emit(isa.Instr{Op: isa.Shl, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Shr emits rd <- rs1 >> rs2.
+func (b *Builder) Shr(rd, rs1, rs2 uint8) {
+	b.emit(isa.Instr{Op: isa.Shr, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Slt emits rd <- (rs1 < rs2).
+func (b *Builder) Slt(rd, rs1, rs2 uint8) {
+	b.emit(isa.Instr{Op: isa.Slt, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Seq emits rd <- (rs1 == rs2).
+func (b *Builder) Seq(rd, rs1, rs2 uint8) {
+	b.emit(isa.Instr{Op: isa.Seq, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Load emits rd <- mem[base + off].
+func (b *Builder) Load(rd, base uint8, off int64) {
+	b.emit(isa.Instr{Op: isa.Load, Rd: rd, Rs1: base, Imm: off})
+}
+
+// Store emits mem[base + off] <- val.
+func (b *Builder) Store(val, base uint8, off int64) {
+	b.emit(isa.Instr{Op: isa.Store, Rs2: val, Rs1: base, Imm: off})
+}
+
+// Atomic emits an atomic fetch-and-add: rd <- mem[base+off],
+// mem[base+off] <- rd + val.
+func (b *Builder) Atomic(rd, val, base uint8, off int64) {
+	b.emit(isa.Instr{Op: isa.Atomic, Rd: rd, Rs2: val, Rs1: base, Imm: off})
+}
+
+// Beqz branches to label when rs is zero.
+func (b *Builder) Beqz(rs uint8, label string) {
+	b.fixups = append(b.fixups, fixup{len(b.code), label})
+	b.emit(isa.Instr{Op: isa.Beqz, Rs1: rs})
+}
+
+// Bnez branches to label when rs is non-zero.
+func (b *Builder) Bnez(rs uint8, label string) {
+	b.fixups = append(b.fixups, fixup{len(b.code), label})
+	b.emit(isa.Instr{Op: isa.Bnez, Rs1: rs})
+}
+
+// Jmp branches unconditionally to label.
+func (b *Builder) Jmp(label string) {
+	b.fixups = append(b.fixups, fixup{len(b.code), label})
+	b.emit(isa.Instr{Op: isa.Jmp})
+}
+
+// Lock acquires the lock at address base+off, blocking until available.
+func (b *Builder) Lock(base uint8, off int64) {
+	b.emit(isa.Instr{Op: isa.Lock, Rs1: base, Imm: off})
+}
+
+// Unlock releases the lock at address base+off.
+func (b *Builder) Unlock(base uint8, off int64) {
+	b.emit(isa.Instr{Op: isa.Unlock, Rs1: base, Imm: off})
+}
+
+// Fence emits a full memory fence.
+func (b *Builder) Fence() { b.emit(isa.Instr{Op: isa.Fence}) }
+
+// Assert fails the program when rs is zero.
+func (b *Builder) Assert(rs uint8) { b.emit(isa.Instr{Op: isa.Assert, Rs1: rs}) }
+
+// Out appends rs to the thread's output stream.
+func (b *Builder) Out(rs uint8) { b.emit(isa.Instr{Op: isa.Out, Rs1: rs}) }
+
+// Pause emits a scheduling hint marking a likely preemption point.
+func (b *Builder) Pause() { b.emit(isa.Instr{Op: isa.Pause}) }
+
+// Halt stops the thread.
+func (b *Builder) Halt() { b.emit(isa.Instr{Op: isa.Halt}) }
+
+// Build resolves labels and returns the finished instruction sequence.
+func (b *Builder) Build() ([]isa.Instr, error) {
+	for _, f := range b.fixups {
+		at, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmtErr("program: undefined label %q", f.label)
+		}
+		b.code[f.at].Target = int32(at)
+	}
+	return b.code, nil
+}
+
+// ProgramBuilder assembles a whole multi-threaded Program: an address
+// space plus one Builder per thread.
+type ProgramBuilder struct {
+	name    string
+	space   *Space
+	threads []*Builder
+	init    map[uint64]int64
+}
+
+// New returns a ProgramBuilder with a fresh address space.
+func New(name string) *ProgramBuilder {
+	return &ProgramBuilder{name: name, space: NewSpace(), init: make(map[uint64]int64)}
+}
+
+// Space returns the program's data address space.
+func (pb *ProgramBuilder) Space() *Space { return pb.space }
+
+// Thread appends a new thread and returns its Builder.
+func (pb *ProgramBuilder) Thread() *Builder {
+	b := NewBuilder()
+	pb.threads = append(pb.threads, b)
+	return b
+}
+
+// SetInit sets the initial value of a data word.
+func (pb *ProgramBuilder) SetInit(addr uint64, v int64) { pb.init[addr] = v }
+
+// Build finalizes every thread and returns the Program. Marks from
+// thread t are exposed in Program.Marks under "t<t>.<name>".
+func (pb *ProgramBuilder) Build() (*Program, error) {
+	p := &Program{
+		Name:  pb.name,
+		Init:  pb.init,
+		Vars:  pb.space.Vars(),
+		Marks: make(map[string]uint64),
+	}
+	for t, b := range pb.threads {
+		code, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("thread %d: %w", t, err)
+		}
+		p.Threads = append(p.Threads, code)
+		for name, idx := range b.marks {
+			p.Marks[fmt.Sprintf("t%d.%s", t, name)] = isa.PC(t, idx)
+		}
+	}
+	if len(p.Threads) == 0 {
+		return nil, fmtErr("program %q has no threads", pb.name)
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for use in workload
+// constructors whose inputs are static.
+func (pb *ProgramBuilder) MustBuild() *Program {
+	p, err := pb.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,154 @@
+// Package program models the multi-threaded workload programs that the
+// reproduction runs in place of the paper's native applications. A
+// Program is a fixed set of per-thread instruction sequences over the
+// tiny ISA plus an initial data-memory image; a Builder assembles a
+// thread with symbolic labels, and a Space hands out disjoint data
+// addresses for shared and private variables.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"act/internal/isa"
+)
+
+// WordSize is the size in bytes of a data word. All loads and stores in
+// the workload programs are word-sized and word-aligned.
+const WordSize = 8
+
+// Program is a complete multi-threaded workload.
+type Program struct {
+	Name    string
+	Threads [][]isa.Instr
+	// Init is the initial data-memory image, keyed by byte address.
+	Init map[uint64]int64
+	// Vars records the named variables for debugging and for locating
+	// known root-cause instructions in experiments.
+	Vars map[string]Var
+	// Marks maps "t<thread>.<name>" to the instruction address recorded
+	// with Builder.Mark, so experiments can name root-cause instructions.
+	Marks map[string]uint64
+}
+
+// MarkPC returns the instruction address recorded under the given mark
+// name, panicking if absent (marks are set by static workload code).
+func (p *Program) MarkPC(name string) uint64 {
+	pc, ok := p.Marks[name]
+	if !ok {
+		panic(fmtErr("program: unknown mark %q", name))
+	}
+	return pc
+}
+
+// FindMark is MarkPC without the panic: it reports whether the mark
+// exists. Useful when a mark is only emitted on some code paths (e.g. a
+// bug present only for certain inputs).
+func (p *Program) FindMark(name string) (uint64, bool) {
+	pc, ok := p.Marks[name]
+	return pc, ok
+}
+
+// Var is a named region of the data address space.
+type Var struct {
+	Addr  uint64
+	Words int
+}
+
+// NumThreads returns the number of threads in the program.
+func (p *Program) NumThreads() int { return len(p.Threads) }
+
+// PCOf returns the instruction address of instruction index i in thread t.
+func (p *Program) PCOf(t, i int) uint64 { return isa.PC(t, i) }
+
+// Disasm renders a human-readable listing of the program.
+func (p *Program) Disasm() string {
+	s := fmt.Sprintf("program %s: %d thread(s)\n", p.Name, len(p.Threads))
+	for t, code := range p.Threads {
+		s += fmt.Sprintf("thread %d:\n", t)
+		for i, in := range code {
+			s += fmt.Sprintf("  %#x [%3d] %s\n", isa.PC(t, i), i, in)
+		}
+	}
+	return s
+}
+
+// Space allocates data addresses. The data segment starts high enough
+// that it can never collide with instruction addresses, and a fresh
+// guard word is left between allocations so that an out-of-bounds access
+// of one word (the ptx/paste overflow workloads) lands on a dedicated,
+// observable address rather than inside an unrelated variable —
+// except when allocations are made with AllocAdjacent, which packs the
+// next variable flush against the previous one to model real overflows.
+type Space struct {
+	next uint64
+	vars map[string]Var
+}
+
+// DataBase is the first data address handed out by a Space.
+const DataBase = 0x10000000
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space {
+	return &Space{next: DataBase, vars: make(map[string]Var)}
+}
+
+// Alloc reserves words data words under the given name and returns the
+// base address. Alloc panics if the name was already used; workload
+// construction is programmer-controlled, so misuse is a bug.
+func (s *Space) Alloc(name string, words int) uint64 {
+	if words <= 0 {
+		panic(fmtErr("program: Alloc %q with %d words", name, words))
+	}
+	if _, ok := s.vars[name]; ok {
+		panic(fmtErr("program: duplicate variable %q", name))
+	}
+	base := s.next
+	s.next += uint64(words+1) * WordSize // +1 guard word
+	s.vars[name] = Var{Addr: base, Words: words}
+	return base
+}
+
+// AllocAdjacent reserves words data words immediately after the most
+// recent allocation with no guard word, so that overflowing the previous
+// variable by one word lands on this one.
+func (s *Space) AllocAdjacent(name string, words int) uint64 {
+	if _, ok := s.vars[name]; ok {
+		panic(fmtErr("program: duplicate variable %q", name))
+	}
+	base := s.next - WordSize // reuse the guard word of the previous alloc
+	s.next = base + uint64(words)*WordSize + WordSize
+	s.vars[name] = Var{Addr: base, Words: words}
+	return base
+}
+
+// Addr returns the base address of a named variable, panicking if the
+// name is unknown.
+func (s *Space) Addr(name string) uint64 {
+	v, ok := s.vars[name]
+	if !ok {
+		panic(fmtErr("program: unknown variable %q", name))
+	}
+	return v.Addr
+}
+
+// Vars returns a copy of the allocation table.
+func (s *Space) Vars() map[string]Var {
+	m := make(map[string]Var, len(s.vars))
+	for k, v := range s.vars {
+		m[k] = v
+	}
+	return m
+}
+
+// Names returns the allocated variable names in address order.
+func (s *Space) Names() []string {
+	names := make([]string, 0, len(s.vars))
+	for k := range s.vars {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool { return s.vars[names[i]].Addr < s.vars[names[j]].Addr })
+	return names
+}
+
+func fmtErr(format string, args ...any) error { return fmt.Errorf(format, args...) }

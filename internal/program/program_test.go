@@ -1,0 +1,149 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"act/internal/isa"
+)
+
+func TestSpaceAlloc(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", 1)
+	b := s.Alloc("b", 4)
+	if a < DataBase {
+		t.Fatalf("first alloc %#x below data base", a)
+	}
+	if b <= a {
+		t.Fatalf("allocations not increasing: a=%#x b=%#x", a, b)
+	}
+	// Guard word: b must not be adjacent to a's single word.
+	if b-a < 2*WordSize {
+		t.Fatalf("no guard word between a and b: a=%#x b=%#x", a, b)
+	}
+	if got := s.Addr("a"); got != a {
+		t.Errorf("Addr(a) = %#x, want %#x", got, a)
+	}
+}
+
+func TestSpaceAllocAdjacent(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("buf", 3)
+	over := s.AllocAdjacent("over", 1)
+	if over != a+3*WordSize {
+		t.Fatalf("adjacent alloc at %#x, want %#x (flush after buf)", over, a+3*WordSize)
+	}
+}
+
+func TestSpacePanics(t *testing.T) {
+	s := NewSpace()
+	s.Alloc("x", 1)
+	for name, f := range map[string]func(){
+		"duplicate": func() { s.Alloc("x", 1) },
+		"zero":      func() { s.Alloc("y", 0) },
+		"unknown":   func() { s.Addr("nope") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSpaceNamesSorted(t *testing.T) {
+	s := NewSpace()
+	s.Alloc("c", 1)
+	s.Alloc("a", 1)
+	s.Alloc("b", 1)
+	names := s.Names()
+	if len(names) != 3 || names[0] != "c" || names[1] != "a" || names[2] != "b" {
+		t.Errorf("Names() = %v, want allocation (address) order [c a b]", names)
+	}
+}
+
+func TestBuilderLabels(t *testing.T) {
+	b := NewBuilder()
+	b.Li(1, 3)
+	b.Label("loop")
+	b.Addi(1, 1, -1)
+	b.Bnez(1, "loop")
+	b.Halt()
+	code, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code[2].Target != 1 {
+		t.Errorf("bnez target = %d, want 1", code[2].Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("Build() error = %v, want undefined-label error", err)
+	}
+}
+
+func TestBuilderDuplicateLabelPanics(t *testing.T) {
+	b := NewBuilder()
+	b.Label("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate label did not panic")
+		}
+	}()
+	b.Label("x")
+}
+
+func TestProgramBuilderMarks(t *testing.T) {
+	pb := New("demo")
+	b0 := pb.Thread()
+	b0.Li(1, 1)
+	b0.Mark("theLoad")
+	b0.Load(2, 1, 0)
+	b0.Halt()
+	b1 := pb.Thread()
+	b1.Halt()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.MarkPC("t0.theLoad"), isa.PC(0, 1); got != want {
+		t.Errorf("mark PC = %#x, want %#x", got, want)
+	}
+	if p.NumThreads() != 2 {
+		t.Errorf("NumThreads = %d", p.NumThreads())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown mark did not panic")
+		}
+	}()
+	p.MarkPC("t9.missing")
+}
+
+func TestEmptyProgram(t *testing.T) {
+	if _, err := New("empty").Build(); err == nil {
+		t.Fatal("empty program built without error")
+	}
+}
+
+func TestDisasmMentionsEveryInstr(t *testing.T) {
+	pb := New("d")
+	b := pb.Thread()
+	b.Li(1, 7)
+	b.Out(1)
+	b.Halt()
+	p := pb.MustBuild()
+	d := p.Disasm()
+	for _, frag := range []string{"li r1, 7", "out r1", "halt"} {
+		if !strings.Contains(d, frag) {
+			t.Errorf("Disasm missing %q:\n%s", frag, d)
+		}
+	}
+}

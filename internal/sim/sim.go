@@ -1,0 +1,263 @@
+// Package sim assembles the simulated multicore of Table III: one timing
+// core per thread, the shared MESI memory hierarchy, and (optionally)
+// a per-core ACT Module with its pipelined neural hardware. Its product
+// is cycle counts — the execution-overhead and sensitivity experiments
+// compare runs with ACT enabled against the baseline machine.
+package sim
+
+import (
+	"fmt"
+
+	"act/internal/core"
+	"act/internal/cpu"
+	"act/internal/deps"
+	"act/internal/mem"
+	"act/internal/nnhw"
+	"act/internal/program"
+	"act/internal/vm"
+)
+
+// Config assembles a machine.
+type Config struct {
+	CPU  cpu.Config
+	Mem  mem.Config
+	NNHW nnhw.Config
+
+	// ACT enables the per-core modules; Module configures them and
+	// Binary supplies trained weights (nil: modules start untrained in
+	// online-training mode).
+	ACT    bool
+	Module core.Config
+	Binary *core.WeightBinary
+
+	// FilterStack skips loads addressed through stack registers.
+	FilterStack bool
+	// MigrateEvery rotates threads across cores every this many cycles
+	// (0 disables), exercising Section IV-D: the OS saves and restores
+	// the weight registers (a ldwt/stwt loop per weight) and the NN
+	// pipeline flushes its in-flight inputs.
+	MigrateEvery int64
+	// MaxCycles bounds the run; default 200 million.
+	MaxCycles int64
+}
+
+// Result reports one simulated execution.
+type Result struct {
+	Cycles       int64
+	Instructions uint64
+	Cores        []cpu.Stats
+	Mem          mem.Stats
+	Module       core.Stats
+	Pipe         nnhw.PipeStats
+	Migrations   int
+	TimedOut     bool
+	Failed       bool
+	FailReason   string
+}
+
+// IPC returns retired instructions per cycle across the machine.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// hook adapts one core's ACT Module + NN pipeline to the cpu.ACTHook
+// interface.
+type hook struct {
+	module      *core.Module
+	pipe        *nnhw.Pipeline
+	filterStack bool
+	tid         uint16
+}
+
+func (h *hook) OnLoadComplete(ev vm.Event, r mem.Result) bool {
+	if h.filterStack && ev.Stack {
+		return false
+	}
+	if !r.HasWriter {
+		return false
+	}
+	d := deps.Dep{S: r.WriterPC, L: ev.PC, Inter: r.WriterTid != int(h.tid)}
+	h.module.OnDep(d)
+	h.pipe.SetTraining(h.module.Mode() == core.Training)
+	return true
+}
+
+func (h *hook) TryAccept() bool { return h.pipe.Offer() }
+func (h *hook) Tick()           { h.pipe.Tick() }
+
+// Run simulates the program to completion and returns the cycle count
+// and statistics.
+func Run(p *program.Program, cfg Config) (*Result, error) {
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 200_000_000
+	}
+	nThreads := p.NumThreads()
+	if cfg.Mem.Cores == 0 {
+		cfg.Mem.Cores = nThreads
+	}
+	if cfg.Mem.Cores < nThreads {
+		return nil, fmt.Errorf("sim: %d threads need %d cores, have %d", nThreads, nThreads, cfg.Mem.Cores)
+	}
+
+	mach := vm.New(p)
+	hier := mem.New(cfg.Mem)
+	res := &Result{}
+
+	var hooks []*hook
+	cores := make([]*cpu.Core, nThreads)
+	for t := 0; t < nThreads; t++ {
+		var hk cpu.ACTHook
+		if cfg.ACT {
+			var module *core.Module
+			if cfg.Binary != nil {
+				tracker := core.NewTracker(cfg.Binary, core.TrackerConfig{Module: cfg.Module})
+				module = tracker.Module(t)
+			} else {
+				mc := cfg.Module
+				binary := core.NewWeightBinary(deps.InputLen(depsEncoder(mc), moduleN(mc)), 10)
+				tracker := core.NewTracker(binary, core.TrackerConfig{Module: mc, Seed: int64(t) + 1})
+				module = tracker.Module(t)
+			}
+			h := &hook{
+				module:      module,
+				pipe:        nnhw.NewPipeline(cfg.NNHW),
+				filterStack: cfg.FilterStack,
+				tid:         uint16(t),
+			}
+			h.pipe.SetTraining(module.Mode() == core.Training)
+			hooks = append(hooks, h)
+			hk = h
+		}
+		cores[t] = cpu.New(t, cfg.CPU, mach, t, hier, hk)
+	}
+
+	var cycles int64
+	for cycles = 0; cycles < cfg.MaxCycles; cycles++ {
+		if cfg.MigrateEvery > 0 && cycles > 0 && cycles%cfg.MigrateEvery == 0 && nThreads > 1 {
+			hs := hooks
+			if len(hs) != len(cores) {
+				hs = nil
+			}
+			migrate(cores, hs)
+			res.Migrations++
+		}
+		done := true
+		for _, c := range cores {
+			c.Cycle()
+			if !c.Done() {
+				done = false
+			}
+		}
+		if failed, _, _ := mach.Failed(); failed {
+			break
+		}
+		if mach.Deadlocked() {
+			break
+		}
+		if done {
+			break
+		}
+	}
+
+	res.Cycles = cycles
+	res.Mem = hier.Stats()
+	for _, c := range cores {
+		st := c.Stats()
+		res.Cores = append(res.Cores, st)
+		res.Instructions += st.Instructions
+	}
+	for _, h := range hooks {
+		ms := h.module.Stats()
+		res.Module.Deps += ms.Deps
+		res.Module.Sequences += ms.Sequences
+		res.Module.PredictedInvalid += ms.PredictedInvalid
+		res.Module.Updates += ms.Updates
+		res.Module.ModeSwitches += ms.ModeSwitches
+		res.Module.TrainingDeps += ms.TrainingDeps
+		ps := h.pipe.Stats
+		res.Pipe.Accepted += ps.Accepted
+		res.Pipe.Rejected += ps.Rejected
+		res.Pipe.Completed += ps.Completed
+		res.Pipe.Cycles += ps.Cycles
+	}
+	res.TimedOut = cycles >= cfg.MaxCycles
+	res.Failed, res.FailReason, _ = mach.Failed()
+	return res, nil
+}
+
+// migrate rotates the thread-to-core assignment by one: the OS drains
+// each core, saves the departing thread's weight registers, restores
+// them on the destination core, and flushes the NN pipelines. The cost
+// is charged as a per-core stall (one cycle per ldwt plus one per stwt,
+// plus a fixed switch overhead).
+func migrate(cores []*cpu.Core, hooks []*hook) {
+	n := len(cores)
+	const switchOverhead = 50 // OS entry/exit, TLB shootdown stand-in
+	// Save each thread's weights from the core it is leaving.
+	saved := make(map[int][]float64, n)
+	tids := make([]int, n)
+	for i, c := range cores {
+		tids[i] = c.Thread()
+		if hooks != nil {
+			saved[c.Thread()] = hooks[i].module.SaveWeights()
+		}
+	}
+	for i, c := range cores {
+		newTid := tids[(i+1)%n]
+		c.Quiesce()
+		c.SetThread(newTid)
+		stall := int64(switchOverhead)
+		if hooks != nil {
+			h := hooks[i]
+			h.pipe.Flush()
+			if w := saved[newTid]; w != nil {
+				if err := h.module.LoadWeights(w); err == nil {
+					stall += 2 * int64(len(w)) // ldwt out + stwt in
+				}
+			}
+			h.tid = uint16(newTid)
+		}
+		c.AddStall(stall)
+	}
+}
+
+// moduleN returns the module's effective sequence length.
+func moduleN(mc core.Config) int {
+	if mc.N == 0 {
+		return 3
+	}
+	return mc.N
+}
+
+// depsEncoder returns the module's effective encoder.
+func depsEncoder(mc core.Config) deps.Encoder {
+	if mc.Encoder == nil {
+		return deps.EncodeDefault
+	}
+	return mc.Encoder
+}
+
+// Overhead runs the program with and without ACT and returns the
+// fractional slowdown ((cyclesACT − cyclesBase) / cyclesBase) along with
+// both results.
+func Overhead(p *program.Program, cfg Config) (float64, *Result, *Result, error) {
+	base := cfg
+	base.ACT = false
+	rb, err := Run(p, base)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	withACT := cfg
+	withACT.ACT = true
+	ra, err := Run(p, withACT)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if rb.Cycles == 0 {
+		return 0, rb, ra, fmt.Errorf("sim: baseline ran zero cycles")
+	}
+	return float64(ra.Cycles-rb.Cycles) / float64(rb.Cycles), rb, ra, nil
+}

@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"testing"
+
+	"act/internal/core"
+	"act/internal/cpu"
+	"act/internal/mem"
+	"act/internal/nnhw"
+	"act/internal/workloads"
+)
+
+func smallMem() mem.Config {
+	return mem.Config{LineSize: 64, L1Size: 4 << 10, L1Ways: 2, L2Size: 32 << 10, L2Ways: 4}
+}
+
+func TestBaselineRunsKernel(t *testing.T) {
+	w, err := workloads.KernelByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build(1)
+	res, err := Run(p, Config{Mem: smallMem()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut || res.Failed {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.Instructions == 0 || res.Cycles == 0 {
+		t.Fatal("no work simulated")
+	}
+	if ipc := res.IPC(); ipc <= 0 || ipc > 3 {
+		t.Errorf("IPC %v outside (0, retire width]", ipc)
+	}
+}
+
+func TestACTRunProducesModuleActivity(t *testing.T) {
+	w, err := workloads.KernelByName("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build(1)
+	res, err := Run(p, Config{Mem: smallMem(), ACT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("timed out")
+	}
+	if res.Module.Deps == 0 {
+		t.Fatal("ACT enabled but no dependences observed")
+	}
+	if res.Pipe.Accepted == 0 {
+		t.Fatal("no NN pipeline activity")
+	}
+	if res.Pipe.Accepted != res.Pipe.Completed {
+		// Pipeline may hold a few in-flight entries at program end;
+		// allow a small residue bounded by FIFO+stages.
+		if res.Pipe.Accepted-res.Pipe.Completed > 32 {
+			t.Fatalf("pipeline lost inputs: %+v", res.Pipe)
+		}
+	}
+}
+
+func trainedBinary(threads int) *core.WeightBinary {
+	return core.AlwaysValidBinary(6, 10, threads)
+}
+
+func TestOverheadTrainedDeployment(t *testing.T) {
+	// A converged deployment (testing mode) should cost single-digit
+	// percent on a typical kernel at the default design point.
+	w, err := workloads.KernelByName("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build(1)
+	ov, rb, ra, err := Overhead(p, Config{Mem: smallMem(), Binary: trainedBinary(p.NumThreads())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("lu overhead: %.2f%% (base %d, act %d cycles; %d NN stalls)",
+		100*ov, rb.Cycles, ra.Cycles, totalNNStalls(ra))
+	if ov < 0 {
+		t.Errorf("ACT made the program faster? overhead %v", ov)
+	}
+	if ov > 0.15 {
+		t.Errorf("overhead %.1f%% too high for a trained deployment", 100*ov)
+	}
+}
+
+func TestOverheadUntrainedIsHigher(t *testing.T) {
+	// An untrained deployment runs in online-training mode (interval
+	// 4T), so it must cost at least as much as the trained one.
+	w, err := workloads.KernelByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build(1)
+	trained, _, _, err := Overhead(p, Config{Mem: smallMem(), Binary: trainedBinary(p.NumThreads())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	untrained, _, _, err := Overhead(p, Config{Mem: smallMem()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fft overhead: trained %.1f%%, untrained %.1f%%", 100*trained, 100*untrained)
+	if untrained < trained {
+		t.Errorf("untrained (%.3f) cheaper than trained (%.3f)", untrained, trained)
+	}
+}
+
+func TestWorstCaseOverheadBounded(t *testing.T) {
+	// mcf's pointer chase is the dep-densest kernel: the worst case at
+	// the default design point, still bounded well below the untrained
+	// disaster zone.
+	w, _ := workloads.KernelByName("mcf")
+	p := w.Build(1)
+	ov, _, _, err := Overhead(p, Config{Mem: smallMem(), Binary: trainedBinary(p.NumThreads())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mcf worst-case overhead: %.1f%%", 100*ov)
+	if ov > 1.5 {
+		t.Errorf("worst case %.1f%% out of band", 100*ov)
+	}
+}
+
+func TestOverheadDropsWithMoreMulAddUnits(t *testing.T) {
+	// Fewer cycles per neuron -> faster NN interval -> fewer retire
+	// stalls. The sensitivity experiment's expected shape.
+	w, err := workloads.KernelByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build(1)
+	slow, _, ra1, err := Overhead(p, Config{Mem: smallMem(), NNHW: nnhw.Config{MulAddUnits: 1, FIFODepth: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, _, ra2, err := Overhead(p, Config{Mem: smallMem(), NNHW: nnhw.Config{MulAddUnits: 10, FIFODepth: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("overhead x1=%.2f%% (stalls %d) x10=%.2f%% (stalls %d)",
+		100*slow, totalNNStalls(ra1), 100*fast, totalNNStalls(ra2))
+	if fast > slow+0.01 {
+		t.Errorf("more multiply-add units increased overhead: %.3f -> %.3f", slow, fast)
+	}
+}
+
+func totalNNStalls(r *Result) int64 {
+	var n int64
+	for _, c := range r.Cores {
+		n += c.NNStalls
+	}
+	return n
+}
+
+func TestTooManyThreadsRejected(t *testing.T) {
+	w, _ := workloads.KernelByName("radix") // 4 threads
+	p := w.Build(1)
+	cfg := Config{Mem: smallMem()}
+	cfg.Mem.Cores = 2
+	if _, err := Run(p, cfg); err == nil {
+		t.Fatal("4 threads on 2 cores accepted")
+	}
+}
+
+func TestSimulatedFailureReported(t *testing.T) {
+	b, err := workloads.BugByName("ptx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a failing input (seed): ptx fails for odd trailing-backslash
+	// counts, seed%4 == 0 or 2.
+	p, _ := b.Gen(0)
+	res, err := Run(p, Config{Mem: smallMem(), ACT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed {
+		t.Fatal("buggy input did not fail under the timing simulator")
+	}
+}
+
+func TestThreadMigration(t *testing.T) {
+	// Section IV-D: rotate threads across cores periodically; weights
+	// travel with the threads and the machine still completes correctly.
+	w, _ := workloads.KernelByName("fft")
+	p := w.Build(1)
+	cfg := Config{
+		Mem:          smallMem(),
+		ACT:          true,
+		Binary:       trainedBinary(p.NumThreads()),
+		MigrateEvery: 500,
+	}
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut || res.Failed {
+		t.Fatalf("migrated run broken: %+v", res)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("no migrations happened")
+	}
+	// Migration costs cycles: the same run without migration is faster.
+	noMig := cfg
+	noMig.MigrateEvery = 0
+	base, err := Run(p, noMig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fft: %d cycles without migration, %d with (%d migrations)",
+		base.Cycles, res.Cycles, res.Migrations)
+	if res.Cycles < base.Cycles {
+		t.Errorf("migration made the run faster (%d < %d)", res.Cycles, base.Cycles)
+	}
+}
+
+func TestMigrationWithoutACT(t *testing.T) {
+	w, _ := workloads.KernelByName("canneal")
+	p := w.Build(1)
+	res, err := Run(p, Config{Mem: smallMem(), MigrateEvery: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut || res.Failed || res.Migrations == 0 {
+		t.Fatalf("baseline migration run: %+v", res)
+	}
+}
+
+func TestDeterministicCycles(t *testing.T) {
+	w, _ := workloads.KernelByName("canneal")
+	p := w.Build(2)
+	cfg := Config{Mem: smallMem(), ACT: true, CPU: cpu.Config{}, Module: core.Config{CheckInterval: 100}}
+	a, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(w.Build(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
+		t.Fatalf("nondeterministic simulation: %d/%d vs %d/%d cycles/instr",
+			a.Cycles, a.Instructions, b.Cycles, b.Instructions)
+	}
+}

@@ -1,0 +1,117 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness reports: means, standard deviations, confidence
+// intervals and rate summaries over repeated (re-seeded) runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary; an empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[s.N-1]
+	if s.N%2 == 1 {
+		s.Median = sorted[s.N/2]
+	} else {
+		s.Median = (sorted[s.N/2-1] + sorted[s.N/2]) / 2
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval for the mean (0 for samples smaller than 2).
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// String renders "mean ± ci95 [min, max]".
+func (s Summary) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("%.3f ± %.3f [%.3f, %.3f] (n=%d)", s.Mean, s.CI95(), s.Min, s.Max, s.N)
+}
+
+// Rate is a counted proportion with a convenience constructor, used for
+// misprediction and hit rates.
+type Rate struct {
+	Num, Den int
+}
+
+// Value returns the proportion (0 when the denominator is 0).
+func (r Rate) Value() float64 {
+	if r.Den == 0 {
+		return 0
+	}
+	return float64(r.Num) / float64(r.Den)
+}
+
+// Pct returns the proportion in percent.
+func (r Rate) Pct() float64 { return 100 * r.Value() }
+
+// Wilson95 returns the Wilson-score 95% confidence interval for the
+// proportion — well-behaved near 0 and 1 where rates like misprediction
+// live.
+func (r Rate) Wilson95() (lo, hi float64) {
+	if r.Den == 0 {
+		return 0, 0
+	}
+	const z = 1.96
+	n := float64(r.Den)
+	p := r.Value()
+	z2 := z * z
+	den := 1 + z2/n
+	center := (p + z2/(2*n)) / den
+	half := z * math.Sqrt(p*(1-p)/n+z2/(4*n*n)) / den
+	return math.Max(0, center-half), math.Min(1, center+half)
+}
+
+// GeoMean returns the geometric mean of strictly positive samples, the
+// conventional average for speedups; non-positive inputs return 0.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

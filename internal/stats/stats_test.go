@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.StdDev-2.138) > 0.01 {
+		t.Errorf("stddev = %v", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 || s.Median != 4.5 || s.N != 8 {
+		t.Errorf("summary %+v", s)
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.String() != "n=0" {
+		t.Errorf("empty: %+v", s)
+	}
+	one := Summarize([]float64{3})
+	if one.Mean != 3 || one.StdDev != 0 || one.CI95() != 0 || one.Median != 3 {
+		t.Errorf("singleton: %+v", one)
+	}
+}
+
+func TestSummaryInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true
+			}
+		}
+		s := Summarize(xs)
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRate(t *testing.T) {
+	r := Rate{Num: 3, Den: 1000}
+	if r.Value() != 0.003 || r.Pct() != 0.3 {
+		t.Errorf("rate %v", r)
+	}
+	lo, hi := r.Wilson95()
+	if lo < 0 || hi > 1 || lo > r.Value() || hi < r.Value() {
+		t.Errorf("wilson [%v, %v] around %v", lo, hi, r.Value())
+	}
+	if (Rate{}).Value() != 0 {
+		t.Error("zero denominator")
+	}
+	lo, hi = Rate{Num: 0, Den: 10}.Wilson95()
+	if lo != 0 || hi <= 0 {
+		t.Errorf("wilson at p=0: [%v, %v]", lo, hi)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); g != 2 {
+		t.Errorf("geomean = %v", g)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, 0}) != 0 {
+		t.Error("degenerate geomean")
+	}
+}

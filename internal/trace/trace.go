@@ -1,0 +1,206 @@
+// Package trace defines the memory-access trace format that stands in
+// for the paper's PIN-collected execution traces. A trace is the ordered
+// sequence of retired memory operations of one execution: instruction
+// address, effective address, thread, and load/store direction. Offline
+// training, the Correct Set used by postprocessing, and the baselines all
+// consume this format.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"act/internal/isa"
+	"act/internal/program"
+	"act/internal/vm"
+)
+
+// Record is one retired memory operation.
+type Record struct {
+	Seq   uint64 // global dynamic instruction number
+	PC    uint64 // instruction address
+	Addr  uint64 // effective address
+	Tid   uint16 // executing thread (== processor: threads are pinned)
+	Store bool   // true for the write half, false for the read half
+	Stack bool   // addressed through a stack register
+}
+
+// Trace is one execution's worth of records plus provenance.
+type Trace struct {
+	Program string
+	Seed    int64
+	Steps   uint64 // total dynamic instructions in the execution
+	Records []Record
+}
+
+// Collect runs the program under the given scheduler configuration and
+// returns its memory trace together with the execution result. An Atomic
+// instruction contributes two records, the read before the write, which
+// is how a read-modify-write interacts with last-writer tracking.
+func Collect(p *program.Program, cfg vm.SchedConfig) (*Trace, *vm.Result) {
+	tr := &Trace{Program: p.Name, Seed: cfg.Seed}
+	prev := cfg.OnEvent
+	cfg.OnEvent = func(ev vm.Event) {
+		switch ev.Op {
+		case isa.Load:
+			tr.Records = append(tr.Records, Record{
+				Seq: ev.Seq, PC: ev.PC, Addr: ev.Addr, Tid: uint16(ev.Tid), Stack: ev.Stack,
+			})
+		case isa.Store:
+			tr.Records = append(tr.Records, Record{
+				Seq: ev.Seq, PC: ev.PC, Addr: ev.Addr, Tid: uint16(ev.Tid), Store: true, Stack: ev.Stack,
+			})
+		case isa.Atomic:
+			tr.Records = append(tr.Records,
+				Record{Seq: ev.Seq, PC: ev.PC, Addr: ev.Addr, Tid: uint16(ev.Tid), Stack: ev.Stack},
+				Record{Seq: ev.Seq, PC: ev.PC, Addr: ev.Addr, Tid: uint16(ev.Tid), Store: true, Stack: ev.Stack},
+			)
+		}
+		if prev != nil {
+			prev(ev)
+		}
+	}
+	res := vm.Run(p, cfg)
+	tr.Steps = res.Steps
+	return tr, res
+}
+
+// FilterStack returns a copy of the trace with stack-addressed records
+// removed, implementing the paper's load-filtering optimization.
+func (t *Trace) FilterStack() *Trace {
+	out := &Trace{Program: t.Program, Seed: t.Seed, Steps: t.Steps, Records: make([]Record, 0, len(t.Records))}
+	for _, r := range t.Records {
+		if !r.Stack {
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out
+}
+
+// Binary trace format:
+//
+//	magic "ACTT" | u16 version | u16 reserved
+//	u64 seed | u64 steps | u32 name length | name bytes | u64 record count
+//	records: u64 seq | u64 pc | u64 addr | u16 tid | u8 flags
+//
+// flags bit0 = store, bit1 = stack.
+const (
+	magic   = "ACTT"
+	version = 2
+)
+
+// Write serializes the trace to w in the binary format.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 2+2+8+8+4)
+	binary.LittleEndian.PutUint16(hdr[0:], version)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(t.Seed))
+	binary.LittleEndian.PutUint64(hdr[12:], t.Steps)
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(len(t.Program)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Program); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(len(t.Records)))
+	if _, err := bw.Write(cnt[:]); err != nil {
+		return err
+	}
+	rec := make([]byte, 8+8+8+2+1)
+	for _, r := range t.Records {
+		binary.LittleEndian.PutUint64(rec[0:], r.Seq)
+		binary.LittleEndian.PutUint64(rec[8:], r.PC)
+		binary.LittleEndian.PutUint64(rec[16:], r.Addr)
+		binary.LittleEndian.PutUint16(rec[24:], r.Tid)
+		var flags byte
+		if r.Store {
+			flags |= 1
+		}
+		if r.Stack {
+			flags |= 2
+		}
+		rec[26] = flags
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4+2+2+8+8+4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head[:4]) != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	if v := binary.LittleEndian.Uint16(head[4:]); v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	t := &Trace{
+		Seed:  int64(binary.LittleEndian.Uint64(head[8:])),
+		Steps: binary.LittleEndian.Uint64(head[16:]),
+	}
+	nameLen := binary.LittleEndian.Uint32(head[24:])
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	t.Program = string(name)
+	var cnt [8]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(cnt[:])
+	if n > 1<<32 {
+		return nil, fmt.Errorf("trace: implausible record count %d", n)
+	}
+	t.Records = make([]Record, 0, n)
+	rec := make([]byte, 27)
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
+		}
+		t.Records = append(t.Records, Record{
+			Seq:   binary.LittleEndian.Uint64(rec[0:]),
+			PC:    binary.LittleEndian.Uint64(rec[8:]),
+			Addr:  binary.LittleEndian.Uint64(rec[16:]),
+			Tid:   binary.LittleEndian.Uint16(rec[24:]),
+			Store: rec[26]&1 != 0,
+			Stack: rec[26]&2 != 0,
+		})
+	}
+	return t, nil
+}
+
+// Dump writes a human-readable listing of the trace to w.
+func (t *Trace) Dump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# trace of %s seed=%d records=%d\n", t.Program, t.Seed, len(t.Records))
+	for _, r := range t.Records {
+		dir := "LD"
+		if r.Store {
+			dir = "ST"
+		}
+		stack := ""
+		if r.Stack {
+			stack = " stack"
+		}
+		fmt.Fprintf(bw, "%10d t%-2d %s pc=%#x addr=%#x%s\n", r.Seq, r.Tid, dir, r.PC, r.Addr, stack)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"act/internal/program"
+	"act/internal/vm"
+)
+
+func sampleProgram() *program.Program {
+	pb := program.New("sample")
+	x := pb.Space().Alloc("x", 1)
+	b := pb.Thread()
+	b.LiAddr(1, x)
+	b.Li(2, 5)
+	b.Store(2, 1, 0)
+	b.Load(3, 1, 0)
+	b.Atomic(4, 2, 1, 0)
+	b.Halt()
+	return pb.MustBuild()
+}
+
+func TestCollect(t *testing.T) {
+	p := sampleProgram()
+	tr, res := Collect(p, vm.SchedConfig{Seed: 1})
+	if res.Failed {
+		t.Fatalf("unexpected failure: %s", res.Reason)
+	}
+	// store, load, atomic(load+store) = 4 records
+	if len(tr.Records) != 4 {
+		t.Fatalf("records = %d, want 4:\n%+v", len(tr.Records), tr.Records)
+	}
+	if !tr.Records[0].Store || tr.Records[1].Store {
+		t.Error("first record should be store, second load")
+	}
+	// Atomic: read before write.
+	if tr.Records[2].Store || !tr.Records[3].Store {
+		t.Error("atomic must produce load then store")
+	}
+	if tr.Records[2].Seq != tr.Records[3].Seq {
+		t.Error("atomic halves must share a sequence number")
+	}
+	if tr.Program != "sample" {
+		t.Errorf("program name %q", tr.Program)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := sampleProgram()
+	tr, _ := Collect(p, vm.SchedConfig{Seed: 3})
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != tr.Program || got.Seed != tr.Seed || got.Steps != tr.Steps {
+		t.Errorf("header mismatch: %+v vs %+v", got, tr)
+	}
+	if tr.Steps == 0 {
+		t.Error("collected trace has zero step count")
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("record count %d vs %d", len(got.Records), len(tr.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Errorf("record %d: %+v vs %+v", i, got.Records[i], tr.Records[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, name string, seqs []uint64) bool {
+		if len(name) > 100 {
+			name = name[:100]
+		}
+		tr := &Trace{Program: name, Seed: seed}
+		for i, s := range seqs {
+			tr.Records = append(tr.Records, Record{
+				Seq: s, PC: s * 3, Addr: s * 7, Tid: uint16(i % 8),
+				Store: i%2 == 0, Stack: i%3 == 0,
+			})
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || got.Program != name || got.Seed != seed || len(got.Records) != len(tr.Records) {
+			return false
+		}
+		for i := range got.Records {
+			if got.Records[i] != tr.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a trace at all, definitely")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader("AC")); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+}
+
+func TestFilterStack(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{PC: 1, Stack: true},
+		{PC: 2},
+		{PC: 3, Stack: true},
+		{PC: 4},
+	}}
+	got := tr.FilterStack()
+	if len(got.Records) != 2 || got.Records[0].PC != 2 || got.Records[1].PC != 4 {
+		t.Fatalf("FilterStack = %+v", got.Records)
+	}
+	if len(tr.Records) != 4 {
+		t.Fatal("FilterStack mutated its receiver")
+	}
+}
+
+func TestDump(t *testing.T) {
+	p := sampleProgram()
+	tr, _ := Collect(p, vm.SchedConfig{Seed: 1})
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ST") || !strings.Contains(out, "LD") {
+		t.Errorf("dump lacks load/store markers:\n%s", out)
+	}
+}

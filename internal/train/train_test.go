@@ -1,0 +1,187 @@
+package train
+
+import (
+	"testing"
+
+	"act/internal/deps"
+	"act/internal/isa"
+	"act/internal/nn"
+	"act/internal/trace"
+	"act/internal/workloads"
+)
+
+// collect gathers traces from a kernel across distinct seeds.
+func collect(t *testing.T, name string, seeds []int64) []*trace.Trace {
+	t.Helper()
+	w, err := workloads.KernelByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*trace.Trace
+	for _, s := range seeds {
+		tr, res := trace.Collect(w.Build(s), w.Sched(s))
+		if res.Failed {
+			t.Fatalf("%s seed %d failed: %s", name, s, res.Reason)
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+func seedsRange(lo, hi int64) []int64 {
+	var s []int64
+	for i := lo; i < hi; i++ {
+		s = append(s, i)
+	}
+	return s
+}
+
+// testCfg keeps the search cheap for unit tests.
+func testCfg() Config {
+	return Config{
+		Ns:        []int{2, 3},
+		Hs:        []int{4, 8},
+		SearchFit: nn.FitConfig{MaxEpochs: 120, Seed: 1},
+		FinalFit:  nn.FitConfig{MaxEpochs: 800, Seed: 1, Patience: 150},
+	}
+}
+
+func TestTrainKernelLowFalsePositives(t *testing.T) {
+	for _, name := range []string{"mcf", "lu"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			trainTr := collect(t, name, seedsRange(0, 8))
+			testTr := collect(t, name, seedsRange(100, 104))
+			res, err := Train(trainTr, testTr, testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Mispred > 0.05 {
+				t.Errorf("false-positive rate %.4f too high (topology %s, %d pos, %d neg)",
+					res.Mispred, res.Topology(), res.Positives, res.Negatives)
+			}
+			if res.UniqueDeps == 0 || res.TotalDeps < res.UniqueDeps {
+				t.Errorf("dep counts implausible: unique=%d total=%d", res.UniqueDeps, res.TotalDeps)
+			}
+			if len(res.Trials) != 4 {
+				t.Errorf("trials = %d, want 4", len(res.Trials))
+			}
+		})
+	}
+}
+
+func TestTrainDetectsInvalidDeps(t *testing.T) {
+	trainTr := collect(t, "mcf", seedsRange(0, 8))
+	testTr := collect(t, "mcf", seedsRange(100, 104))
+	res, err := Train(trainTr, testTr, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := FalseNegativeRate(res, testTr, 0, false)
+	if fn > 0.25 {
+		t.Errorf("false-negative rate %.4f: synthesized invalid deps mostly accepted", fn)
+	}
+}
+
+func TestTrainValidSetPopulated(t *testing.T) {
+	trainTr := collect(t, "mcf", seedsRange(0, 6))
+	testTr := collect(t, "mcf", seedsRange(100, 103))
+	res, err := Train(trainTr, testTr, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainValid == nil || res.TrainValid.Len() == 0 {
+		t.Fatal("TrainValid not populated")
+	}
+	// Every positive training sequence must be in the set.
+	if res.Positives == 0 {
+		t.Fatal("no positives recorded")
+	}
+}
+
+func TestTrainPriorDisabled(t *testing.T) {
+	trainTr := collect(t, "mcf", seedsRange(0, 6))
+	testTr := collect(t, "mcf", seedsRange(100, 103))
+	cfg := testCfg()
+	cfg.PriorNegatives = -1
+	cfg.RandomNegatives = -1
+	res, err := Train(trainTr, testTr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With both sampling mechanisms off, negatives are the paper's
+	// before-last flavour only — far fewer than with the prior.
+	withPrior, err := Train(trainTr, testTr, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Negatives >= withPrior.Negatives {
+		t.Errorf("disabled sampling should shrink negatives: %d vs %d",
+			res.Negatives, withPrior.Negatives)
+	}
+}
+
+func TestTrainErrorsWithoutTraces(t *testing.T) {
+	tr := collect(t, "mcf", []int64{0})
+	if _, err := Train(nil, tr, testCfg()); err == nil {
+		t.Error("no training traces accepted")
+	}
+	if _, err := Train(tr, nil, testCfg()); err == nil {
+		t.Error("no test traces accepted")
+	}
+}
+
+func TestTrainExclusionAdaptivity(t *testing.T) {
+	// Hide one "function" (a PC range of thread 1) from training; the
+	// trained network should still accept most of its sequences — the
+	// similarity property behind Figure 7(b).
+	trainTr := collect(t, "lu", seedsRange(0, 8))
+	testTr := collect(t, "lu", seedsRange(100, 103))
+	lo, hi := isa.ThreadBase(1), isa.ThreadBase(1)+40*isa.PCStride
+	depIn := func(d deps.Dep) bool { return d.L >= lo && d.L < hi }
+	inRange := func(s deps.Sequence) bool {
+		for _, d := range s {
+			if depIn(d) {
+				return true
+			}
+		}
+		return false
+	}
+	cfg := testCfg()
+	cfg.Exclude = depIn
+	res, err := Train(trainTr, testTr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Evaluate on the excluded sequences from held-out traces.
+	var wrong, total int
+	ec := deps.ExtractorConfig{N: res.N}
+	for _, tr := range testTr {
+		e := deps.NewExtractor(ec)
+		e.OnSequence = func(_ uint16, s deps.Sequence) {
+			if !inRange(s) {
+				return
+			}
+			total++
+			if !res.Net.Valid(res.Encoder(s, nil)) {
+				wrong++
+			}
+		}
+		for _, r := range tr.Records {
+			if r.Store {
+				e.Store(r.Tid, r.PC, r.Addr, r.Stack)
+			} else {
+				e.Load(r.Tid, r.PC, r.Addr, r.Stack)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no excluded-region sequences found in test traces")
+	}
+	rate := float64(wrong) / float64(total)
+	t.Logf("new-code incorrect prediction rate: %.4f (%d/%d)", rate, wrong, total)
+	if rate > 0.5 {
+		t.Errorf("adaptivity broken: %.0f%% of new-code sequences rejected", 100*rate)
+	}
+}

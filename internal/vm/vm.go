@@ -1,0 +1,392 @@
+// Package vm executes workload programs functionally and emits the
+// dynamic instruction stream. It is the reproduction's substitute for
+// PIN-instrumented native execution: every executed instruction becomes
+// an Event carrying the PC, and memory operations carry their effective
+// address — exactly the information ACT's trace collector and the timing
+// simulator consume.
+//
+// The VM is deliberately deterministic: given a program, a scheduler
+// configuration and a seed, the interleaving (and therefore the set of
+// RAW dependences) is reproducible. Concurrency-bug workloads exploit
+// this to produce correct runs and failure runs on demand.
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"act/internal/isa"
+	"act/internal/program"
+)
+
+// Event describes one executed dynamic instruction.
+type Event struct {
+	Seq   uint64 // global dynamic instruction number
+	Tid   int    // executing thread
+	PC    uint64 // instruction address
+	Op    isa.Op // operation
+	Addr  uint64 // effective address (memory ops only)
+	Value int64  // value loaded (Load/Atomic) or stored (Store)
+	Stack bool   // memory op addressed through SP/FP
+}
+
+// Status is a thread's scheduling state.
+type Status int
+
+// Thread states.
+const (
+	Running Status = iota // runnable
+	Blocked               // waiting on a lock
+	Halted                // executed Halt or ran off the end
+	Faulted               // failed an Assert
+)
+
+// VM is the functional interpreter state for one execution.
+type VM struct {
+	prog    *program.Program
+	mem     map[uint64]int64
+	threads []*thread
+	locks   map[uint64]int // lock address -> owner tid
+	seq     uint64
+	outputs [][]int64
+
+	failed  bool
+	reason  string
+	failPC  uint64
+	failTid int
+}
+
+type thread struct {
+	pc     int
+	regs   [isa.NumRegs]int64
+	status Status
+}
+
+// New creates a VM for the program with its initial memory image loaded
+// and every thread's stack pointer initialized to a disjoint region.
+func New(p *program.Program) *VM {
+	m := &VM{
+		prog:    p,
+		mem:     make(map[uint64]int64, len(p.Init)),
+		locks:   make(map[uint64]int),
+		outputs: make([][]int64, len(p.Threads)),
+	}
+	for a, v := range p.Init {
+		m.mem[a&^7] = v
+	}
+	for t := range p.Threads {
+		th := &thread{}
+		// Per-thread stacks live far above the data segment.
+		th.regs[isa.SP] = int64(0x7000_0000 + uint64(t)<<20)
+		th.regs[isa.FP] = th.regs[isa.SP]
+		m.threads = append(m.threads, th)
+	}
+	return m
+}
+
+// Status returns thread t's scheduling state, re-checking lock
+// availability for blocked threads.
+func (m *VM) Status(t int) Status {
+	th := m.threads[t]
+	if th.status == Blocked {
+		in := m.prog.Threads[t][th.pc]
+		addr := uint64(th.regs[in.Rs1]+in.Imm) &^ 7
+		if _, held := m.locks[addr]; !held {
+			th.status = Running
+		}
+	}
+	return th.status
+}
+
+// Done reports whether execution is over: a failure occurred, or no
+// thread can make progress.
+func (m *VM) Done() bool {
+	if m.failed {
+		return true
+	}
+	for t := range m.threads {
+		if s := m.Status(t); s == Running {
+			return false
+		}
+	}
+	return true
+}
+
+// Deadlocked reports whether at least one thread is blocked while no
+// thread is runnable.
+func (m *VM) Deadlocked() bool {
+	anyBlocked := false
+	for t := range m.threads {
+		switch m.Status(t) {
+		case Running:
+			return false
+		case Blocked:
+			anyBlocked = true
+		}
+	}
+	return anyBlocked
+}
+
+// Failed reports whether an Assert failed, with the reason and PC.
+func (m *VM) Failed() (bool, string, uint64) { return m.failed, m.reason, m.failPC }
+
+// FailTid returns the thread that failed the Assert.
+func (m *VM) FailTid() int { return m.failTid }
+
+// Output returns the values thread t emitted with Out.
+func (m *VM) Output(t int) []int64 { return m.outputs[t] }
+
+// ReadWord returns the current value of the data word at addr.
+func (m *VM) ReadWord(addr uint64) int64 { return m.mem[addr&^7] }
+
+// Steps returns the number of dynamic instructions executed so far.
+func (m *VM) Steps() uint64 { return m.seq }
+
+// Peek returns thread t's next instruction without executing it, and
+// whether the thread can currently run. The timing simulator uses it to
+// check operand readiness before committing to an issue.
+func (m *VM) Peek(t int) (isa.Instr, bool) {
+	if m.Status(t) != Running {
+		return isa.Instr{}, false
+	}
+	th := m.threads[t]
+	code := m.prog.Threads[t]
+	if th.pc >= len(code) {
+		return isa.Instr{}, false
+	}
+	return code[th.pc], true
+}
+
+// StepThread executes one instruction of thread t. It returns the
+// resulting event and true, or a zero Event and false if the thread
+// cannot execute (halted, faulted, or blocked on a lock).
+func (m *VM) StepThread(t int) (Event, bool) {
+	th := m.threads[t]
+	if m.Status(t) != Running {
+		return Event{}, false
+	}
+	code := m.prog.Threads[t]
+	if th.pc >= len(code) {
+		th.status = Halted
+		return Event{}, false
+	}
+	in := code[th.pc]
+	ev := Event{Seq: m.seq, Tid: t, PC: isa.PC(t, th.pc), Op: in.Op}
+	next := th.pc + 1
+	r := &th.regs
+
+	switch in.Op {
+	case isa.Nop, isa.Fence, isa.Pause:
+	case isa.Li:
+		r[in.Rd] = in.Imm
+	case isa.Mov:
+		r[in.Rd] = r[in.Rs1]
+	case isa.Add:
+		r[in.Rd] = r[in.Rs1] + r[in.Rs2]
+	case isa.Addi:
+		r[in.Rd] = r[in.Rs1] + in.Imm
+	case isa.Sub:
+		r[in.Rd] = r[in.Rs1] - r[in.Rs2]
+	case isa.Mul:
+		r[in.Rd] = r[in.Rs1] * r[in.Rs2]
+	case isa.Div:
+		if r[in.Rs2] == 0 {
+			r[in.Rd] = 0
+		} else {
+			r[in.Rd] = r[in.Rs1] / r[in.Rs2]
+		}
+	case isa.Rem:
+		if r[in.Rs2] == 0 {
+			r[in.Rd] = 0
+		} else {
+			r[in.Rd] = r[in.Rs1] % r[in.Rs2]
+		}
+	case isa.And:
+		r[in.Rd] = r[in.Rs1] & r[in.Rs2]
+	case isa.Or:
+		r[in.Rd] = r[in.Rs1] | r[in.Rs2]
+	case isa.Xor:
+		r[in.Rd] = r[in.Rs1] ^ r[in.Rs2]
+	case isa.Shl:
+		r[in.Rd] = r[in.Rs1] << (uint64(r[in.Rs2]) & 63)
+	case isa.Shr:
+		r[in.Rd] = int64(uint64(r[in.Rs1]) >> (uint64(r[in.Rs2]) & 63))
+	case isa.Slt:
+		r[in.Rd] = b2i(r[in.Rs1] < r[in.Rs2])
+	case isa.Seq:
+		r[in.Rd] = b2i(r[in.Rs1] == r[in.Rs2])
+	case isa.Load:
+		addr := uint64(r[in.Rs1]+in.Imm) &^ 7
+		v := m.mem[addr]
+		r[in.Rd] = v
+		ev.Addr, ev.Value, ev.Stack = addr, v, in.UsesStackReg()
+	case isa.Store:
+		addr := uint64(r[in.Rs1]+in.Imm) &^ 7
+		m.mem[addr] = r[in.Rs2]
+		ev.Addr, ev.Value, ev.Stack = addr, r[in.Rs2], in.UsesStackReg()
+	case isa.Atomic:
+		addr := uint64(r[in.Rs1]+in.Imm) &^ 7
+		old := m.mem[addr]
+		m.mem[addr] = old + r[in.Rs2]
+		r[in.Rd] = old
+		ev.Addr, ev.Value, ev.Stack = addr, old, in.UsesStackReg()
+	case isa.Beqz:
+		if r[in.Rs1] == 0 {
+			next = int(in.Target)
+			ev.Value = 1 // taken
+		}
+	case isa.Bnez:
+		if r[in.Rs1] != 0 {
+			next = int(in.Target)
+			ev.Value = 1
+		}
+	case isa.Jmp:
+		next = int(in.Target)
+		ev.Value = 1
+	case isa.Lock:
+		addr := uint64(r[in.Rs1]+in.Imm) &^ 7
+		if owner, held := m.locks[addr]; held && owner != t {
+			th.status = Blocked
+			return Event{}, false
+		}
+		m.locks[addr] = t
+	case isa.Unlock:
+		addr := uint64(r[in.Rs1]+in.Imm) &^ 7
+		delete(m.locks, addr)
+	case isa.Assert:
+		if r[in.Rs1] == 0 {
+			th.status = Faulted
+			m.failed = true
+			m.reason = fmt.Sprintf("assertion failed at %#x (thread %d)", ev.PC, t)
+			m.failPC = ev.PC
+			m.failTid = t
+		}
+	case isa.Out:
+		m.outputs[t] = append(m.outputs[t], r[in.Rs1])
+	case isa.Halt:
+		th.status = Halted
+	default:
+		panic(fmt.Sprintf("vm: unknown op %v at %#x", in.Op, ev.PC))
+	}
+
+	th.pc = next
+	if th.pc >= len(code) && th.status == Running {
+		th.status = Halted
+	}
+	m.seq++
+	return ev, true
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SchedConfig controls the deterministic scheduler used by Run.
+type SchedConfig struct {
+	// Seed seeds the burst-length generator; the same seed reproduces
+	// the same interleaving.
+	Seed int64
+	// MeanBurst is the average number of instructions a thread runs
+	// before the scheduler preempts it. Zero means 50.
+	MeanBurst int
+	// PreemptOnPause forces a context switch at every Pause hint, the
+	// mechanism the concurrency-bug workloads use to open their race
+	// windows deterministically.
+	PreemptOnPause bool
+	// PausePct preempts at a Pause hint with the given probability in
+	// percent (0-100), modelling race windows that are hit only
+	// sometimes. Ignored when PreemptOnPause is set.
+	PausePct int
+	// MaxSteps bounds total dynamic instructions. Zero means 50 million.
+	MaxSteps uint64
+	// OnEvent, when non-nil, observes every executed instruction.
+	OnEvent func(Event)
+}
+
+// Result summarizes one execution.
+type Result struct {
+	Failed   bool   // an Assert failed
+	Reason   string // failure description
+	FailPC   uint64 // PC of the failed Assert
+	FailTid  int    // thread that failed
+	Deadlock bool   // all non-halted threads blocked
+	TimedOut bool   // MaxSteps exhausted
+	Steps    uint64 // dynamic instructions executed
+	Outputs  [][]int64
+}
+
+// Run executes the program to completion under the configured scheduler
+// and returns the outcome.
+func Run(p *program.Program, cfg SchedConfig) *Result {
+	if cfg.MeanBurst <= 0 {
+		cfg.MeanBurst = 50
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 50_000_000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := New(p)
+	n := len(p.Threads)
+	cur := 0
+	budget := burst(rng, cfg.MeanBurst)
+
+	for !m.Done() && m.seq < cfg.MaxSteps {
+		if m.Status(cur) != Running {
+			cur = m.nextRunnable(cur)
+			budget = burst(rng, cfg.MeanBurst)
+			continue
+		}
+		ev, ok := m.StepThread(cur)
+		if !ok {
+			cur = m.nextRunnable(cur)
+			budget = burst(rng, cfg.MeanBurst)
+			continue
+		}
+		if cfg.OnEvent != nil {
+			cfg.OnEvent(ev)
+		}
+		budget--
+		switchNow := budget <= 0
+		if ev.Op == isa.Pause {
+			switchNow = switchNow || cfg.PreemptOnPause ||
+				(cfg.PausePct > 0 && rng.Intn(100) < cfg.PausePct)
+		}
+		if switchNow && n > 1 {
+			cur = m.nextRunnable(cur)
+			budget = burst(rng, cfg.MeanBurst)
+		}
+	}
+
+	res := &Result{Steps: m.seq, Outputs: m.outputs}
+	res.Failed, res.Reason, res.FailPC = m.Failed()
+	res.FailTid = m.failTid
+	res.Deadlock = m.Deadlocked()
+	if res.Deadlock && !res.Failed {
+		res.Failed = true
+		res.Reason = "deadlock"
+	}
+	if m.seq >= cfg.MaxSteps {
+		res.TimedOut = true
+	}
+	return res
+}
+
+// nextRunnable returns the next thread after cur that can run, or cur if
+// none can.
+func (m *VM) nextRunnable(cur int) int {
+	n := len(m.threads)
+	for i := 1; i <= n; i++ {
+		t := (cur + i) % n
+		if m.Status(t) == Running {
+			return t
+		}
+	}
+	return cur
+}
+
+func burst(rng *rand.Rand, mean int) int {
+	return 1 + rng.Intn(2*mean)
+}

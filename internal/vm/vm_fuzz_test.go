@@ -1,0 +1,102 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"act/internal/isa"
+	"act/internal/program"
+)
+
+// randomProgram builds an arbitrary but well-formed program: random ALU
+// and memory operations, forward-only branches (so loops cannot hang),
+// and a final Halt per thread.
+func randomProgram(seed int64, threads int) *program.Program {
+	rng := rand.New(rand.NewSource(seed))
+	pb := program.New("fuzz")
+	data := pb.Space().Alloc("data", 64)
+	for t := 0; t < threads; t++ {
+		b := pb.Thread()
+		b.LiAddr(1, data)
+		n := 20 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			rd := uint8(2 + rng.Intn(20))
+			rs1 := uint8(2 + rng.Intn(20))
+			rs2 := uint8(2 + rng.Intn(20))
+			switch rng.Intn(10) {
+			case 0:
+				b.Li(rd, int64(rng.Intn(1000)))
+			case 1:
+				b.Add(rd, rs1, rs2)
+			case 2:
+				b.Mul(rd, rs1, rs2)
+			case 3:
+				b.Div(rd, rs1, rs2)
+			case 4:
+				// bounded data address: base + (0..63)*8
+				off := int64(rng.Intn(64)) * 8
+				b.Load(rd, 1, off)
+			case 5:
+				off := int64(rng.Intn(64)) * 8
+				b.Store(rs1, 1, off)
+			case 6:
+				off := int64(rng.Intn(64)) * 8
+				b.Atomic(rd, rs1, 1, off)
+			case 7:
+				b.Pause()
+			case 8:
+				b.Slt(rd, rs1, rs2)
+			case 9:
+				b.Xor(rd, rs1, rs2)
+			}
+		}
+		b.Halt()
+	}
+	return pb.MustBuild()
+}
+
+// TestFuzzRandomProgramsTerminate: arbitrary branch-free programs
+// terminate, never panic, and are deterministic under a fixed seed.
+func TestFuzzRandomProgramsTerminate(t *testing.T) {
+	f := func(seed int64, nt uint8) bool {
+		threads := 1 + int(nt)%4
+		p := randomProgram(seed, threads)
+		cfg := SchedConfig{Seed: seed, MeanBurst: 10, PausePct: 30, MaxSteps: 1_000_000}
+		a := Run(p, cfg)
+		b := Run(p, cfg)
+		if a.TimedOut || a.Failed {
+			return false
+		}
+		return a.Steps == b.Steps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzEventStreamWellFormed: every memory event carries an address
+// inside the data segment, and Seq numbers increase.
+func TestFuzzEventStreamWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		p := randomProgram(seed, 2)
+		lastSeq := int64(-1)
+		ok := true
+		Run(p, SchedConfig{Seed: seed, OnEvent: func(ev Event) {
+			if int64(ev.Seq) <= lastSeq {
+				ok = false
+			}
+			lastSeq = int64(ev.Seq)
+			if ev.Op.IsMem() && ev.Addr < program.DataBase {
+				ok = false
+			}
+			if ev.Op == isa.Load && ev.Addr%8 != 0 {
+				ok = false
+			}
+		}})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

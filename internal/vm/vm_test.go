@@ -1,0 +1,375 @@
+package vm
+
+import (
+	"testing"
+
+	"act/internal/isa"
+	"act/internal/program"
+)
+
+// buildCounter returns a single-threaded program that sums 1..n into a
+// shared word and Outs the result.
+func buildCounter(n int64) *program.Program {
+	pb := program.New("counter")
+	sum := pb.Space().Alloc("sum", 1)
+	b := pb.Thread()
+	b.LiAddr(1, sum) // r1 = &sum
+	b.Li(2, n)       // r2 = n (counts down)
+	b.Label("loop")
+	b.Load(3, 1, 0)   // r3 = sum
+	b.Add(3, 3, 2)    // r3 += r2
+	b.Store(3, 1, 0)  // sum = r3
+	b.Addi(2, 2, -1)  // r2--
+	b.Bnez(2, "loop") // while r2 != 0
+	b.Load(4, 1, 0)
+	b.Out(4)
+	b.Halt()
+	return pb.MustBuild()
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	p := buildCounter(10)
+	res := Run(p, SchedConfig{Seed: 1})
+	if res.Failed {
+		t.Fatalf("unexpected failure: %s", res.Reason)
+	}
+	if len(res.Outputs[0]) != 1 || res.Outputs[0][0] != 55 {
+		t.Fatalf("output = %v, want [55]", res.Outputs[0])
+	}
+}
+
+func TestALUOps(t *testing.T) {
+	pb := program.New("alu")
+	b := pb.Thread()
+	b.Li(1, 12)
+	b.Li(2, 5)
+	b.Sub(3, 1, 2) // 7
+	b.Out(3)
+	b.Mul(3, 1, 2) // 60
+	b.Out(3)
+	b.Div(3, 1, 2) // 2
+	b.Out(3)
+	b.Rem(3, 1, 2) // 2
+	b.Out(3)
+	b.And(3, 1, 2) // 4
+	b.Out(3)
+	b.Or(3, 1, 2) // 13
+	b.Out(3)
+	b.Xor(3, 1, 2) // 9
+	b.Out(3)
+	b.Li(2, 2)
+	b.Shl(3, 1, 2) // 48
+	b.Out(3)
+	b.Shr(3, 1, 2) // 3
+	b.Out(3)
+	b.Slt(3, 2, 1) // 1
+	b.Out(3)
+	b.Seq(3, 1, 1) // 1
+	b.Out(3)
+	b.Li(2, 0)
+	b.Div(3, 1, 2) // div by zero -> 0
+	b.Out(3)
+	b.Rem(3, 1, 2) // rem by zero -> 0
+	b.Out(3)
+	b.Halt()
+	p := pb.MustBuild()
+	res := Run(p, SchedConfig{Seed: 1})
+	want := []int64{7, 60, 2, 2, 4, 13, 9, 48, 3, 1, 1, 0, 0}
+	got := res.Outputs[0]
+	if len(got) != len(want) {
+		t.Fatalf("outputs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("output[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAssertFailure(t *testing.T) {
+	pb := program.New("assert")
+	b := pb.Thread()
+	b.Li(1, 0)
+	b.Mark("boom")
+	b.Assert(1)
+	b.Halt()
+	p := pb.MustBuild()
+	res := Run(p, SchedConfig{Seed: 1})
+	if !res.Failed {
+		t.Fatal("expected failure")
+	}
+	if res.FailPC != p.MarkPC("t0.boom") {
+		t.Errorf("FailPC = %#x, want %#x", res.FailPC, p.MarkPC("t0.boom"))
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	// Two threads each do 1000 locked increments; without mutual
+	// exclusion under preemption the count would be lost.
+	pb := program.New("mutex")
+	cnt := pb.Space().Alloc("cnt", 1)
+	lk := pb.Space().Alloc("lk", 1)
+	for i := 0; i < 2; i++ {
+		b := pb.Thread()
+		b.LiAddr(1, cnt)
+		b.LiAddr(2, lk)
+		b.Li(3, 1000)
+		b.Label("loop")
+		b.Lock(2, 0)
+		b.Load(4, 1, 0)
+		b.Pause() // preemption point inside the critical section
+		b.Addi(4, 4, 1)
+		b.Store(4, 1, 0)
+		b.Unlock(2, 0)
+		b.Addi(3, 3, -1)
+		b.Bnez(3, "loop")
+		b.Halt()
+	}
+	p := pb.MustBuild()
+	m := runToEnd(t, p, SchedConfig{Seed: 7, MeanBurst: 3, PreemptOnPause: true})
+	if got := m.ReadWord(cnt); got != 2000 {
+		t.Fatalf("count = %d, want 2000 (mutual exclusion broken)", got)
+	}
+}
+
+// runToEnd runs the program via the low-level stepping interface using
+// the same policy as Run, returning the final VM for state inspection.
+func runToEnd(t *testing.T, p *program.Program, cfg SchedConfig) *VM {
+	t.Helper()
+	m := New(p)
+	cur := 0
+	for steps := 0; !m.Done(); steps++ {
+		if steps > 10_000_000 {
+			t.Fatal("program did not terminate")
+		}
+		if m.Status(cur) != Running {
+			cur = m.nextRunnable(cur)
+			continue
+		}
+		ev, ok := m.StepThread(cur)
+		if !ok {
+			cur = m.nextRunnable(cur)
+			continue
+		}
+		if cfg.PreemptOnPause && ev.Op == isa.Pause {
+			cur = m.nextRunnable(cur)
+		}
+	}
+	return m
+}
+
+func TestRaceWithoutLock(t *testing.T) {
+	// The same increment loop without the lock, with forced preemption
+	// at the Pause inside the (non-)critical section, must lose updates.
+	pb := program.New("racy")
+	cnt := pb.Space().Alloc("cnt", 1)
+	for i := 0; i < 2; i++ {
+		b := pb.Thread()
+		b.LiAddr(1, cnt)
+		b.Li(3, 100)
+		b.Label("loop")
+		b.Load(4, 1, 0)
+		b.Pause()
+		b.Addi(4, 4, 1)
+		b.Store(4, 1, 0)
+		b.Addi(3, 3, -1)
+		b.Bnez(3, "loop")
+		b.Halt()
+	}
+	p := pb.MustBuild()
+	m := runToEnd(t, p, SchedConfig{PreemptOnPause: true})
+	if got := m.ReadWord(cnt); got >= 200 {
+		t.Fatalf("count = %d, expected lost updates (< 200)", got)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	pb := program.New("deadlock")
+	a := pb.Space().Alloc("a", 1)
+	bb := pb.Space().Alloc("b", 1)
+	t0 := pb.Thread()
+	t0.LiAddr(1, a)
+	t0.LiAddr(2, bb)
+	t0.Lock(1, 0)
+	t0.Pause()
+	t0.Lock(2, 0)
+	t0.Halt()
+	t1 := pb.Thread()
+	t1.LiAddr(1, a)
+	t1.LiAddr(2, bb)
+	t1.Lock(2, 0)
+	t1.Pause()
+	t1.Lock(1, 0)
+	t1.Halt()
+	p := pb.MustBuild()
+	res := Run(p, SchedConfig{Seed: 1, PreemptOnPause: true})
+	if !res.Deadlock {
+		t.Fatal("deadlock not detected")
+	}
+	if !res.Failed || res.Reason != "deadlock" {
+		t.Fatalf("Failed=%v Reason=%q, want deadlock failure", res.Failed, res.Reason)
+	}
+}
+
+func TestAtomicFetchAdd(t *testing.T) {
+	pb := program.New("atomic")
+	cnt := pb.Space().Alloc("cnt", 1)
+	for i := 0; i < 4; i++ {
+		b := pb.Thread()
+		b.LiAddr(1, cnt)
+		b.Li(2, 1)
+		b.Li(3, 500)
+		b.Label("loop")
+		b.Atomic(4, 2, 1, 0)
+		b.Addi(3, 3, -1)
+		b.Bnez(3, "loop")
+		b.Halt()
+	}
+	p := pb.MustBuild()
+	m := runToEnd(t, p, SchedConfig{})
+	if got := m.ReadWord(cnt); got != 2000 {
+		t.Fatalf("count = %d, want 2000", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := buildCounter(50)
+	var seqs [2][]uint64
+	for run := 0; run < 2; run++ {
+		Run(p, SchedConfig{Seed: 42, OnEvent: func(ev Event) {
+			seqs[run] = append(seqs[run], ev.PC)
+		}})
+	}
+	if len(seqs[0]) == 0 || len(seqs[0]) != len(seqs[1]) {
+		t.Fatalf("event counts differ: %d vs %d", len(seqs[0]), len(seqs[1]))
+	}
+	for i := range seqs[0] {
+		if seqs[0][i] != seqs[1][i] {
+			t.Fatalf("event %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	pb := program.New("spin")
+	b := pb.Thread()
+	b.Label("forever")
+	b.Jmp("forever")
+	p := pb.MustBuild()
+	res := Run(p, SchedConfig{Seed: 1, MaxSteps: 1000})
+	if !res.TimedOut {
+		t.Fatal("infinite loop not cut off")
+	}
+	if res.Steps > 1001 {
+		t.Fatalf("ran %d steps past the budget", res.Steps)
+	}
+}
+
+func TestInitialMemoryImage(t *testing.T) {
+	pb := program.New("init")
+	v := pb.Space().Alloc("v", 1)
+	pb.SetInit(v, 99)
+	b := pb.Thread()
+	b.LiAddr(1, v)
+	b.Load(2, 1, 0)
+	b.Out(2)
+	b.Halt()
+	res := Run(pb.MustBuild(), SchedConfig{Seed: 1})
+	if res.Outputs[0][0] != 99 {
+		t.Fatalf("initial value = %d, want 99", res.Outputs[0][0])
+	}
+}
+
+func TestStackEventFlag(t *testing.T) {
+	pb := program.New("stack")
+	b := pb.Thread()
+	b.Store(2, isa.SP, 8)
+	b.Load(3, isa.SP, 8)
+	b.Halt()
+	var stackEvents int
+	Run(pb.MustBuild(), SchedConfig{Seed: 1, OnEvent: func(ev Event) {
+		if ev.Stack {
+			stackEvents++
+		}
+	}})
+	if stackEvents != 2 {
+		t.Fatalf("stack-flagged events = %d, want 2", stackEvents)
+	}
+}
+
+func TestLockReentrantSameThread(t *testing.T) {
+	// The owner re-acquiring its own lock must not deadlock (the lock
+	// model is per-thread ownership, like a spinlock the owner already
+	// holds conceptually re-entering a guarded region).
+	pb := program.New("reentrant")
+	lk := pb.Space().Alloc("lk", 1)
+	b := pb.Thread()
+	b.LiAddr(1, lk)
+	b.Lock(1, 0)
+	b.Lock(1, 0) // same owner: proceeds
+	b.Unlock(1, 0)
+	b.Halt()
+	res := Run(pb.MustBuild(), SchedConfig{Seed: 1, MaxSteps: 1000})
+	if res.Failed || res.TimedOut || res.Deadlock {
+		t.Fatalf("reentrant lock broke: %+v", res)
+	}
+}
+
+func TestUnlockWithoutLockIsHarmless(t *testing.T) {
+	pb := program.New("unlock")
+	lk := pb.Space().Alloc("lk", 1)
+	b := pb.Thread()
+	b.LiAddr(1, lk)
+	b.Unlock(1, 0)
+	b.Halt()
+	res := Run(pb.MustBuild(), SchedConfig{Seed: 1})
+	if res.Failed {
+		t.Fatalf("stray unlock failed the program: %+v", res)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	pb := program.New("peek")
+	b := pb.Thread()
+	b.Li(1, 42)
+	b.Halt()
+	m := New(pb.MustBuild())
+	in, ok := m.Peek(0)
+	if !ok || in.Op != isa.Li || in.Imm != 42 {
+		t.Fatalf("peek = %v %v", in, ok)
+	}
+	// Peek must not advance execution.
+	if in2, ok2 := m.Peek(0); !ok2 || in2 != in {
+		t.Fatal("peek advanced the thread")
+	}
+	m.StepThread(0)
+	if in, _ = m.Peek(0); in.Op != isa.Halt {
+		t.Fatalf("after step, peek = %v", in)
+	}
+	m.StepThread(0)
+	if _, ok = m.Peek(0); ok {
+		t.Fatal("peek succeeded on a halted thread")
+	}
+}
+
+func TestBranchOutcomeInEvent(t *testing.T) {
+	pb := program.New("branch")
+	b := pb.Thread()
+	b.Li(1, 0)
+	b.Beqz(1, "taken") // taken
+	b.Nop()
+	b.Label("taken")
+	b.Li(1, 1)
+	b.Beqz(1, "end") // not taken
+	b.Label("end")
+	b.Halt()
+	var outcomes []int64
+	Run(pb.MustBuild(), SchedConfig{Seed: 1, OnEvent: func(ev Event) {
+		if ev.Op == isa.Beqz {
+			outcomes = append(outcomes, ev.Value)
+		}
+	}})
+	if len(outcomes) != 2 || outcomes[0] != 1 || outcomes[1] != 0 {
+		t.Fatalf("branch outcomes = %v, want [1 0]", outcomes)
+	}
+}

@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"fmt"
+
+	"act/internal/deps"
+	"act/internal/program"
+	"act/internal/trace"
+	"act/internal/vm"
+)
+
+// Bug is one of the evaluation's buggy applications. A single generator
+// produces every execution; whether a run fails depends on the seed —
+// through the interleaving for concurrency bugs, through the synthesized
+// input for sequential bugs — exactly as outcomes depend on timing and
+// input in the original applications.
+type Bug struct {
+	Name    string
+	Desc    string // Table V description
+	Status  string // "Crash" or "Comp." (completes with ill effects)
+	Class   string // "order", "atomicity", "semantic", "overflow"
+	Threads int
+	// Gen builds the program and scheduling for one execution.
+	Gen func(seed int64) (*program.Program, vm.SchedConfig)
+	// RootS and RootL name the marks of the root-cause dependence: the
+	// store whose value the load at RootL must not (or must) see.
+	RootS, RootL string
+	// RootMatch, when set, overrides the default root-cause recognizer
+	// (bugs whose root cause is a relationship between dependences, not
+	// a single store-load pair, need one).
+	RootMatch func(p *program.Program) func(deps.Sequence) bool
+}
+
+// Matcher returns the root-cause recognizer for a built instance of the
+// bug program: a predicate over dependence sequences that is true for
+// the sequence a correct diagnosis must surface.
+func (b Bug) Matcher(p *program.Program) func(deps.Sequence) bool {
+	if b.RootMatch != nil {
+		return b.RootMatch(p)
+	}
+	s, okS := p.FindMark(b.RootS)
+	l, okL := p.FindMark(b.RootL)
+	if !okS || !okL {
+		// The buggy code path is absent from this build (input-dependent
+		// bugs): the root cause cannot occur.
+		return func(deps.Sequence) bool { return false }
+	}
+	return func(seq deps.Sequence) bool {
+		for _, d := range seq {
+			if d.S == s && d.L == l {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// RealBugs returns the eleven Table V bug applications.
+func RealBugs() []Bug {
+	return []Bug{
+		Aget(), Apache(), Memcached(), MySQL1(), MySQL2(), MySQL3(),
+		PBzip2(), Gzip(), Seq(), Ptx(), Paste(),
+	}
+}
+
+// BugByName returns the named bug program.
+func BugByName(name string) (Bug, error) {
+	for _, b := range RealBugs() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	for _, b := range InjectedBugs() {
+		if b.Name == name {
+			return b.Bug, nil
+		}
+	}
+	return Bug{}, fmt.Errorf("workloads: unknown bug %q", name)
+}
+
+// Run is one collected execution of a bug program.
+type Run struct {
+	Seed    int64
+	Program *program.Program
+	Trace   *trace.Trace
+	Result  *vm.Result
+}
+
+// CollectOutcome runs the bug generator over successive seeds starting
+// at seedBase, keeping executions whose failure status matches wantFail,
+// until n are collected. It gives up after maxTries seeds.
+func CollectOutcome(b Bug, wantFail bool, n int, seedBase int64) ([]Run, error) {
+	const maxTriesPerRun = 200
+	var out []Run
+	seed := seedBase
+	for tries := 0; len(out) < n; tries++ {
+		if tries > maxTriesPerRun*n {
+			return out, fmt.Errorf("workloads: %s: only %d/%d runs with fail=%v after %d tries",
+				b.Name, len(out), n, wantFail, tries)
+		}
+		p, sched := b.Gen(seed)
+		tr, res := trace.Collect(p, sched)
+		if res.Failed == wantFail && !res.TimedOut {
+			out = append(out, Run{Seed: seed, Program: p, Trace: tr, Result: res})
+		}
+		seed++
+	}
+	return out, nil
+}
+
+// FailureRate estimates the fraction of executions that fail over the
+// first n seeds — used to sanity-check that bugs are rare but reachable.
+func FailureRate(b Bug, n int, seedBase int64) float64 {
+	fails := 0
+	for i := 0; i < n; i++ {
+		p, sched := b.Gen(seedBase + int64(i))
+		res := vm.Run(p, sched)
+		if res.Failed {
+			fails++
+		}
+	}
+	return float64(fails) / float64(n)
+}

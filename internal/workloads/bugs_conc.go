@@ -1,0 +1,526 @@
+package workloads
+
+import (
+	"act/internal/deps"
+	"act/internal/program"
+	"act/internal/vm"
+)
+
+// Concurrency-bug programs. Each models the communication structure of
+// the original application's bug: the same binary produces correct runs
+// and failure runs depending on interleaving (seed-controlled), the race
+// window is a Pause hint taken with a seed-dependent probability, and
+// the invalid RAW dependence sequence the failure produces mirrors the
+// original root cause.
+
+// Apache models the Apache atomicity violation on a connection object's
+// reference counter: a worker checks the count and then uses the object
+// (non-atomically) while the releaser decrements and frees it in the
+// window — a use-after-free crash.
+func Apache() Bug {
+	gen := func(seed int64) (*program.Program, vm.SchedConfig) {
+		rounds := 10
+		pb := program.New("apache")
+		sp := pb.Space()
+		data := sp.Alloc("data", 1)
+		ref := sp.Alloc("ref", 1)
+		round := sp.Alloc("round", 1)
+		ack1 := sp.Alloc("ack1", 1)
+		ack2 := sp.Alloc("ack2", 1)
+
+		t0 := pb.Thread() // main: per-round object init + round barrier
+		t0.LiAddr(1, data)
+		t0.LiAddr(2, ref)
+		t0.LiAddr(3, round)
+		t0.LiAddr(4, ack1)
+		t0.LiAddr(5, ack2)
+		t0.Li(rK, 0)
+		t0.Label("round")
+		t0.Addi(rT1, rK, 100) // per-round magic value
+		t0.Mark("dataInit")
+		t0.Store(rT1, 1, 0)
+		t0.Li(rT1, 1)
+		t0.Mark("refInit")
+		t0.Store(rT1, 2, 0)
+		t0.Addi(rT1, rK, 1)
+		t0.Store(rT1, 3, 0) // round = k+1: release the workers
+		// wait for both acks
+		t0.Label("wack1")
+		t0.Load(rT2, 4, 0)
+		t0.Pause()
+		t0.Addi(rT1, rK, 1)
+		t0.Slt(rT3, rT2, rT1)
+		t0.Bnez(rT3, "wack1")
+		t0.Label("wack2")
+		t0.Load(rT2, 5, 0)
+		t0.Pause()
+		t0.Addi(rT1, rK, 1)
+		t0.Slt(rT3, rT2, rT1)
+		t0.Bnez(rT3, "wack2")
+		t0.Addi(rK, rK, 1)
+		t0.Li(rT1, int64(rounds))
+		t0.Slt(rT2, rK, rT1)
+		t0.Bnez(rT2, "round")
+		t0.Halt()
+
+		t1 := pb.Thread() // user: check ref then use data
+		t1.LiAddr(1, data)
+		t1.LiAddr(2, ref)
+		t1.LiAddr(3, round)
+		t1.LiAddr(4, ack1)
+		t1.Li(rK, 0)
+		t1.Label("round")
+		t1.Label("wait")
+		t1.Load(rT2, 3, 0)
+		t1.Pause()
+		t1.Addi(rT1, rK, 1)
+		t1.Slt(rT3, rT2, rT1)
+		t1.Bnez(rT3, "wait")
+		t1.Mark("chkLoad")
+		t1.Load(rT2, 2, 0) // if (obj->ref)
+		t1.Beqz(rT2, "skip")
+		t1.Pause() // the atomicity-violation window
+		t1.Mark("useLoad")
+		t1.Load(rT3, 1, 0) // use obj->data
+		t1.Addi(rT1, rK, 100)
+		t1.Seq(rT2, rT3, rT1)
+		t1.Assert(rT2) // crash on freed data
+		t1.Label("skip")
+		t1.Addi(rT1, rK, 1)
+		t1.Store(rT1, 4, 0)
+		t1.Addi(rK, rK, 1)
+		t1.Li(rT1, int64(rounds))
+		t1.Slt(rT2, rK, rT1)
+		t1.Bnez(rT2, "round")
+		t1.Halt()
+
+		t2 := pb.Thread() // releaser: decrement ref, free at zero
+		t2.LiAddr(1, data)
+		t2.LiAddr(2, ref)
+		t2.LiAddr(3, round)
+		t2.LiAddr(5, ack2)
+		t2.Li(rK, 0)
+		t2.Label("round")
+		t2.Label("wait")
+		t2.Load(rT2, 3, 0)
+		t2.Pause()
+		t2.Addi(rT1, rK, 1)
+		t2.Slt(rT3, rT2, rT1)
+		t2.Bnez(rT3, "wait")
+		t2.Mark("decLoad")
+		t2.Load(rT2, 2, 0)
+		t2.Addi(rT2, rT2, -1)
+		t2.Mark("decStore")
+		t2.Store(rT2, 2, 0)
+		t2.Bnez(rT2, "nofree")
+		t2.Li(rT1, 0)
+		t2.Mark("freeStore")
+		t2.Store(rT1, 1, 0) // free(obj): poison data
+		t2.Label("nofree")
+		t2.Addi(rT1, rK, 1)
+		t2.Store(rT1, 5, 0)
+		t2.Addi(rK, rK, 1)
+		t2.Li(rT1, int64(rounds))
+		t2.Slt(rT2, rK, rT1)
+		t2.Bnez(rT2, "round")
+		t2.Halt()
+
+		return pb.MustBuild(), vm.SchedConfig{Seed: seed, MeanBurst: 60, PausePct: int(8 + seed%25)}
+	}
+	return Bug{
+		Name: "apache", Desc: "Atom. vio. on ref. counter", Status: "Crash",
+		Class: "atomicity", Threads: 3, Gen: gen,
+		RootS: "t2.freeStore", RootL: "t1.useLoad",
+	}
+}
+
+// MySQL2 models the MySQL thd->proc_info atomicity violation: a monitor
+// thread (SHOW PROCESSLIST) checks proc_info non-NULL and then
+// dereferences it while the owner clears it in the window.
+func MySQL2() Bug {
+	gen := func(seed int64) (*program.Program, vm.SchedConfig) {
+		rounds := 14
+		polls := 20
+		pb := program.New("mysql2")
+		sp := pb.Space()
+		proc := sp.Alloc("proc", 1)
+		procData := sp.Alloc("procData", 1)
+
+		t0 := pb.Thread() // query executor: publish/clear proc_info
+		t0.LiAddr(1, proc)
+		t0.LiAddr(2, procData)
+		t0.Li(rK, 0)
+		t0.Label("round")
+		t0.Addi(rT1, rK, 500)
+		t0.Mark("setDataStore")
+		t0.Store(rT1, 2, 0) // proc_info string content
+		t0.Li(rT1, 1)
+		t0.Mark("setStore")
+		t0.Store(rT1, 1, 0) // proc_info = <state>
+		// run the query stage (private work)
+		t0.Li(rI, 12)
+		t0.Label("work")
+		t0.Addi(rI, rI, -1)
+		t0.Bnez(rI, "work")
+		t0.Li(rT1, 0)
+		t0.Mark("clrDataStore")
+		t0.Store(rT1, 2, 0) // free the string...
+		t0.Li(rT1, 0)
+		t0.Mark("clrStore")
+		t0.Store(rT1, 1, 0) // ...then proc_info = NULL (wrong order: the bug)
+		t0.Addi(rK, rK, 1)
+		t0.Li(rT1, int64(rounds))
+		t0.Slt(rT2, rK, rT1)
+		t0.Bnez(rT2, "round")
+		t0.Halt()
+
+		t1 := pb.Thread() // monitor: poll proc_info, dereference if set
+		t1.LiAddr(1, proc)
+		t1.LiAddr(2, procData)
+		t1.Li(rK, 0)
+		t1.Label("poll")
+		t1.Mark("monChk")
+		t1.Load(rT2, 1, 0) // if (thd->proc_info)
+		t1.Beqz(rT2, "skip")
+		t1.Pause() // the race window
+		t1.Mark("monUse")
+		t1.Load(rT3, 2, 0) // dereference
+		t1.Assert(rT3)     // crash on cleared string
+		t1.Label("skip")
+		t1.Li(rI, 7)
+		t1.Label("gap")
+		t1.Addi(rI, rI, -1)
+		t1.Bnez(rI, "gap")
+		t1.Addi(rK, rK, 1)
+		t1.Li(rT1, int64(polls))
+		t1.Slt(rT2, rK, rT1)
+		t1.Bnez(rT2, "poll")
+		t1.Halt()
+
+		return pb.MustBuild(), vm.SchedConfig{Seed: seed, MeanBurst: 50, PausePct: int(5 + seed%20)}
+	}
+	return Bug{
+		Name: "mysql2", Desc: "Atom. vio. on thd proc-info", Status: "Crash",
+		Class: "atomicity", Threads: 2, Gen: gen,
+		RootS: "t0.clrDataStore", RootL: "t1.monUse",
+	}
+}
+
+// Memcached models the item-data atomicity violation: the writer updates
+// an item's length and payload non-atomically through two code paths
+// (initial set vs. replace); a torn read pairs one path's length with
+// the other path's payload, corrupting the response.
+func Memcached() Bug {
+	gen := func(seed int64) (*program.Program, vm.SchedConfig) {
+		rounds := 12
+		reads := 24
+		pb := program.New("memcached")
+		sp := pb.Space()
+		length := sp.Alloc("len", 1)
+		payload := sp.Alloc("payload", 1)
+		bad := sp.Alloc("bad", 1)
+
+		t0 := pb.Thread() // writer: alternate set/replace paths
+		t0.LiAddr(1, length)
+		t0.LiAddr(2, payload)
+		t0.Li(rK, 0)
+		t0.Label("round")
+		t0.Li(rT1, 2)
+		t0.Rem(rT1, rK, rT1)
+		t0.Bnez(rT1, "replace")
+		// set path
+		t0.Addi(rT1, rK, 10)
+		t0.Mark("lenStoreA")
+		t0.Store(rT1, 1, 0)
+		t0.Pause() // the torn-update window
+		t0.Li(rT2, 3)
+		t0.Mul(rT1, rT1, rT2)
+		t0.Addi(rT1, rT1, 1)
+		t0.Mark("dataStoreA")
+		t0.Store(rT1, 2, 0)
+		t0.Jmp("next")
+		t0.Label("replace")
+		t0.Addi(rT1, rK, 10)
+		t0.Mark("lenStoreB")
+		t0.Store(rT1, 1, 0)
+		t0.Pause()
+		t0.Li(rT2, 3)
+		t0.Mul(rT1, rT1, rT2)
+		t0.Addi(rT1, rT1, 1)
+		t0.Mark("dataStoreB")
+		t0.Store(rT1, 2, 0)
+		t0.Label("next")
+		// Long think time between item updates: a suspended reader can
+		// straddle at most one update, so every torn observation pairs
+		// adjacent (cross-path) generations.
+		t0.Li(rI, 40)
+		t0.Label("work")
+		t0.Addi(rI, rI, -1)
+		t0.Bnez(rI, "work")
+		t0.Addi(rK, rK, 1)
+		t0.Li(rT1, int64(rounds))
+		t0.Slt(rT2, rK, rT1)
+		t0.Bnez(rT2, "round")
+		t0.Halt()
+
+		t1 := pb.Thread() // reader: get item, verify payload matches length
+		t1.LiAddr(1, length)
+		t1.LiAddr(2, payload)
+		t1.LiAddr(3, bad)
+		t1.Li(rK, 0)
+		t1.Label("get")
+		t1.Mark("lenLoad")
+		t1.Load(rT2, 1, 0)
+		t1.Mark("dataLoad")
+		t1.Load(rT3, 2, 0)
+		t1.Beqz(rT2, "skip") // item not yet written
+		t1.Li(rT1, 3)
+		t1.Mul(rT2, rT2, rT1)
+		t1.Addi(rT2, rT2, 1)
+		t1.Seq(rT1, rT2, rT3)
+		t1.Bnez(rT1, "skip")
+		t1.Li(rT1, 1)
+		t1.Store(rT1, 3, 0) // corrupted response observed
+		t1.Label("skip")
+		t1.Li(rI, 4)
+		t1.Label("gap")
+		t1.Addi(rI, rI, -1)
+		t1.Bnez(rI, "gap")
+		t1.Addi(rK, rK, 1)
+		t1.Li(rT1, int64(reads))
+		t1.Slt(rT2, rK, rT1)
+		t1.Bnez(rT2, "get")
+		// completion check: any corrupted response is the ill effect
+		t1.Load(rT2, 3, 0)
+		t1.Li(rT1, 0)
+		t1.Seq(rT3, rT2, rT1)
+		t1.Mark("illEffect")
+		t1.Assert(rT3)
+		t1.Halt()
+
+		return pb.MustBuild(), vm.SchedConfig{Seed: seed, MeanBurst: 45, PausePct: int(6 + seed%22)}
+	}
+	rootMatch := func(p *program.Program) func(seq deps.Sequence) bool {
+		lenA, lenB := p.MarkPC("t0.lenStoreA"), p.MarkPC("t0.lenStoreB")
+		dataA, dataB := p.MarkPC("t0.dataStoreA"), p.MarkPC("t0.dataStoreB")
+		lenLoad, dataLoad := p.MarkPC("t1.lenLoad"), p.MarkPC("t1.dataLoad")
+		return func(seq deps.Sequence) bool {
+			// The torn read: an adjacent get pairs one update path's
+			// length with the other path's payload.
+			for i := 0; i+1 < len(seq); i++ {
+				a, b := seq[i], seq[i+1]
+				if a.L != lenLoad || b.L != dataLoad {
+					continue
+				}
+				if (a.S == lenA && b.S == dataB) || (a.S == lenB && b.S == dataA) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return Bug{
+		Name: "memcached", Desc: "Atom. vio. on item data", Status: "Comp.",
+		Class: "atomicity", Threads: 2, Gen: gen, RootMatch: rootMatch,
+		RootS: "t0.lenStoreA", RootL: "t1.lenLoad",
+	}
+}
+
+// Aget models the order violation on bwritten: the SIGINT handler saves
+// the download-progress counter without waiting for the downloader
+// threads, so an early signal persists a stale value and the resume log
+// is corrupt.
+func Aget() Bug {
+	gen := func(seed int64) (*program.Program, vm.SchedConfig) {
+		chunks := 20
+		pb := program.New("aget")
+		sp := pb.Space()
+		bwritten := sp.Alloc("bwritten", 1)
+		done := sp.Alloc("done", 1)
+		finished := sp.Alloc("finished", 1)
+		saved := sp.Alloc("saved", 1)
+
+		for w := 0; w < 2; w++ { // downloader threads
+			t := pb.Thread()
+			t.LiAddr(1, bwritten)
+			t.LiAddr(2, done)
+			t.LiAddr(3, finished)
+			t.Li(rK, int64(chunks))
+			t.Label("chunk")
+			t.Li(rI, 5+int64(w)) // receive the chunk (private work)
+			t.Label("recv")
+			t.Addi(rI, rI, -1)
+			t.Bnez(rI, "recv")
+			t.Li(rT1, 1)
+			t.Mark("updAtomic")
+			t.Atomic(rT2, rT1, 1, 0) // bwritten += chunk
+			t.Addi(rK, rK, -1)
+			t.Bnez(rK, "chunk")
+			t.Li(rT1, 1)
+			t.Atomic(rT2, rT1, 2, 0) // done++
+			if w == 0 {
+				// thread 0 doubles as main: join, finalize stats, exit
+				t.Label("join")
+				t.Load(rT2, 2, 0)
+				t.Pause()
+				t.Li(rT1, 2)
+				t.Slt(rT3, rT2, rT1)
+				t.Bnez(rT3, "join")
+				t.Load(rT1, 1, 0)
+				t.Mark("finalizeStore")
+				t.Store(rT1, 1, 0) // final stats write-back
+				t.Li(rT1, 1)
+				t.Store(rT1, 3, 0) // finished = 1
+			}
+			t.Halt()
+		}
+
+		t2 := pb.Thread() // signal handler: save_log()
+		t2.LiAddr(1, bwritten)
+		t2.LiAddr(3, finished)
+		t2.LiAddr(4, saved)
+		// The signal arrival time is the "input": some signals arrive
+		// mid-download, some after completion.
+		delay := 40 + (seed%7)*110
+		t2.Li(rI, delay)
+		t2.Label("idle")
+		t2.Addi(rI, rI, -1)
+		t2.Pause()
+		t2.Bnez(rI, "idle")
+		t2.Mark("saveLoad")
+		t2.Load(rT1, 1, 0) // read bwritten — without waiting (the bug)
+		t2.Mark("saveStore")
+		t2.Store(rT1, 4, 0) // persist resume log
+		// Ill-effect check at exit: the saved log must match the final
+		// counter once the download has finished.
+		t2.Label("fin")
+		t2.Load(rT2, 3, 0)
+		t2.Pause()
+		t2.Beqz(rT2, "fin")
+		t2.Load(rT2, 1, 0)
+		t2.Load(rT3, 4, 0)
+		t2.Seq(rT1, rT2, rT3)
+		t2.Mark("illEffect")
+		t2.Assert(rT1)
+		t2.Halt()
+
+		return pb.MustBuild(), vm.SchedConfig{Seed: seed, MeanBurst: 35}
+	}
+	rootMatch := func(p *program.Program) func(seq deps.Sequence) bool {
+		upd0, upd1 := p.MarkPC("t0.updAtomic"), p.MarkPC("t1.updAtomic")
+		save := p.MarkPC("t2.saveLoad")
+		return func(seq deps.Sequence) bool {
+			// The root cause: save_log reading bwritten straight from a
+			// downloader's in-flight update instead of the finalize path.
+			for _, d := range seq {
+				if d.L == save && (d.S == upd0 || d.S == upd1) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return Bug{
+		Name: "aget", Desc: "Order. vio. on bwritten", Status: "Comp.",
+		Class: "order", Threads: 3, Gen: gen, RootMatch: rootMatch,
+		RootS: "t0.updAtomic", RootL: "t2.saveLoad",
+	}
+}
+
+// PBzip2 models the order violation between the main thread and the
+// consumers: main frees the compression FIFO after a bounded wait
+// instead of joining the consumers, so a slow consumer dereferences
+// freed memory and crashes.
+func PBzip2() Bug {
+	gen := func(seed int64) (*program.Program, vm.SchedConfig) {
+		q := 10
+		pb := program.New("pbzip2")
+		sp := pb.Space()
+		fifo := sp.Alloc("fifo", q)
+		prodCnt := sp.Alloc("prodCnt", 1)
+		consDone := sp.Alloc("consDone", 1)
+
+		t0 := pb.Thread() // main: produce blocks, then free the FIFO
+		t0.LiAddr(1, fifo)
+		t0.LiAddr(2, prodCnt)
+		t0.LiAddr(3, consDone)
+		t0.Li(rI, 0)
+		t0.Li(rT3, int64(q))
+		t0.Label("prod")
+		t0.Li(rT2, 8)
+		t0.Mul(rT1, rI, rT2)
+		t0.Add(rT1, rT1, 1)
+		t0.Addi(rT2, rI, 100)
+		t0.Mark("prodStore")
+		t0.Store(rT2, rT1, 0) // fifo[i] = block
+		t0.Addi(rT2, rI, 1)
+		t0.Store(rT2, 2, 0) // prodCnt = i+1
+		t0.Addi(rI, rI, 1)
+		t0.Slt(rT2, rI, rT3)
+		t0.Bnez(rT2, "prod")
+		// Bounded wait for the consumer — the missing-join bug: the
+		// patience is an "input" (system load); short patience frees
+		// too early.
+		patience := 5 + (seed%6)*50
+		t0.Li(rI, patience)
+		t0.Label("waitc")
+		t0.Load(rT2, 3, 0)
+		t0.Pause()
+		t0.Bnez(rT2, "freeok")
+		t0.Addi(rI, rI, -1)
+		t0.Bnez(rI, "waitc")
+		t0.Label("freeok")
+		// free(fifo): poison every slot
+		t0.Li(rI, 0)
+		t0.Label("free")
+		t0.Li(rT2, 8)
+		t0.Mul(rT1, rI, rT2)
+		t0.Add(rT1, rT1, 1)
+		t0.Li(rT2, 0)
+		t0.Mark("freeStore")
+		t0.Store(rT2, rT1, 0)
+		t0.Addi(rI, rI, 1)
+		t0.Slt(rT2, rI, rT3)
+		t0.Bnez(rT2, "free")
+		t0.Halt()
+
+		t1 := pb.Thread() // consumer: drain the FIFO slowly
+		t1.LiAddr(1, fifo)
+		t1.LiAddr(2, prodCnt)
+		t1.LiAddr(3, consDone)
+		t1.Li(rI, 0)
+		t1.Li(rT3, int64(q))
+		t1.Label("cons")
+		t1.Label("avail")
+		t1.Load(rT2, 2, 0)
+		t1.Pause()
+		t1.Slt(rT1, rI, rT2)
+		t1.Beqz(rT1, "avail")
+		t1.Li(rT2, 8)
+		t1.Mul(rT1, rI, rT2)
+		t1.Add(rT1, rT1, 1)
+		t1.Mark("consLoad")
+		t1.Load(rT2, rT1, 0) // fifo[i]
+		t1.Addi(rT4, rI, 100)
+		t1.Seq(rT4, rT2, rT4)
+		t1.Assert(rT4) // crash on freed block
+		// decompress (private work)
+		t1.Li(rJ, 14)
+		t1.Label("unzip")
+		t1.Addi(rJ, rJ, -1)
+		t1.Bnez(rJ, "unzip")
+		t1.Addi(rI, rI, 1)
+		t1.Slt(rT2, rI, rT3)
+		t1.Bnez(rT2, "cons")
+		t1.Li(rT2, 1)
+		t1.Store(rT2, 3, 0) // consDone = 1
+		t1.Halt()
+
+		return pb.MustBuild(), vm.SchedConfig{Seed: seed, MeanBurst: 30}
+	}
+	return Bug{
+		Name: "pbzip2", Desc: "Order. vio. between threads", Status: "Crash",
+		Class: "order", Threads: 2, Gen: gen,
+		RootS: "t0.freeStore", RootL: "t1.consLoad",
+	}
+}

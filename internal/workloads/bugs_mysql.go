@@ -1,0 +1,279 @@
+package workloads
+
+import (
+	"act/internal/deps"
+	"act/internal/program"
+	"act/internal/vm"
+)
+
+// MySQL1 models the binlog atomicity violation that loses logged data:
+// two session threads append to the log buffer with an unsynchronized
+// position fetch, so both can claim the same slot and interleave their
+// id/stamp stores — one entry is lost and the surviving slot can be torn
+// (id from one thread, stamp from the other). The recovery-time log scan
+// discovers the corruption after the run completes.
+func MySQL1() Bug {
+	gen := func(seed int64) (*program.Program, vm.SchedConfig) {
+		appends := 8
+		slots := 2*appends + 2
+		pb := program.New("mysql1")
+		sp := pb.Space()
+		pos := sp.Alloc("pos", 1)
+		logv := sp.Alloc("log", slots*2) // per slot: [id, stamp]
+		doneCnt := sp.Alloc("done", 1)
+
+		for a := 1; a <= 2; a++ { // session threads append entries
+			t := pb.Thread()
+			t.LiAddr(1, pos)
+			t.LiAddr(2, logv)
+			t.LiAddr(3, doneCnt)
+			t.Li(rK, int64(appends))
+			t.Label("append")
+			t.Mark("posLoad")
+			t.Load(rI, 1, 0) // my_pos = pos        (no lock: the bug)
+			t.Pause()        //                      window 1
+			t.Addi(rT1, rI, 1)
+			t.Mark("posStore")
+			t.Store(rT1, 1, 0) // pos = my_pos + 1
+			// write entry into slot my_pos
+			t.Li(rT2, 16)
+			t.Mul(rT1, rI, rT2)
+			t.Add(rT1, rT1, 2)
+			t.Li(rT2, int64(a))
+			t.Mark("idStore")
+			t.Store(rT2, rT1, 0) // slot.id = my thread tag
+			t.Pause()            //                      window 2
+			t.Li(rJ, 4)          // serialize the entry body (widens the window)
+			t.Label("body")
+			t.Addi(rJ, rJ, -1)
+			t.Bnez(rJ, "body")
+			t.Li(rT2, int64(a))
+			t.Mark("stampStore")
+			t.Store(rT2, rT1, 8) // slot.stamp = my thread tag
+			// prepare next statement (private work)
+			t.Li(rJ, 5)
+			t.Label("work")
+			t.Addi(rJ, rJ, -1)
+			t.Bnez(rJ, "work")
+			t.Addi(rK, rK, -1)
+			t.Bnez(rK, "append")
+			t.Li(rT1, 1)
+			t.Atomic(rT2, rT1, 3, 0)
+			t.Halt()
+		}
+
+		t0 := pb.Thread() // recovery scan after both sessions finish
+		t0.LiAddr(1, pos)
+		t0.LiAddr(2, logv)
+		t0.LiAddr(3, doneCnt)
+		t0.Label("join")
+		t0.Load(rT2, 3, 0)
+		t0.Pause()
+		t0.Li(rT1, 2)
+		t0.Slt(rT3, rT2, rT1)
+		t0.Bnez(rT3, "join")
+		t0.Load(rT3, 1, 0) // final pos
+		t0.Li(rT4, 1)      // consistency accumulator
+		t0.Li(rI, 0)
+		t0.Label("scan")
+		t0.Slt(rT1, rI, rT3)
+		t0.Beqz(rT1, "checkcount")
+		t0.Li(rT2, 16)
+		t0.Mul(rT1, rI, rT2)
+		t0.Add(rT1, rT1, 2)
+		t0.Mark("chkIdLoad")
+		t0.Load(rJ, rT1, 0)
+		t0.Mark("chkStampLoad")
+		t0.Load(rK, rT1, 8)
+		t0.Seq(rT2, rJ, rK) // entry self-consistent?
+		t0.Mul(rT4, rT4, rT2)
+		t0.Addi(rI, rI, 1)
+		t0.Jmp("scan")
+		t0.Label("checkcount")
+		// A torn entry (id and stamp from different sessions) is the
+		// visible corruption. A cleanly overwritten (silently lost)
+		// entry is not noticed — as in production.
+		t0.Mark("illEffect")
+		t0.Assert(rT4)
+		t0.Halt()
+
+		return pb.MustBuild(), vm.SchedConfig{Seed: seed, MeanBurst: 55, PausePct: int(4 + seed%18)}
+	}
+	rootMatch := func(p *program.Program) func(deps.Sequence) bool {
+		id1, st1 := p.MarkPC("t0.idStore"), p.MarkPC("t0.stampStore")
+		id2, st2 := p.MarkPC("t1.idStore"), p.MarkPC("t1.stampStore")
+		chkID, chkSt := p.MarkPC("t2.chkIdLoad"), p.MarkPC("t2.chkStampLoad")
+		return func(seq deps.Sequence) bool {
+			// The root cause is a torn log entry: the scan's *adjacent*
+			// id/stamp reads of one slot come from different sessions.
+			for i := 0; i+1 < len(seq); i++ {
+				a, b := seq[i], seq[i+1]
+				if a.L != chkID || b.L != chkSt {
+					continue
+				}
+				if (a.S == id1 && b.S == st2) || (a.S == id2 && b.S == st1) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return Bug{
+		Name: "mysql1", Desc: "Atom. vio. causing a loss of logged data", Status: "Comp.",
+		Class: "atomicity", Threads: 3, Gen: gen, RootMatch: rootMatch,
+		RootS: "t0.stampStore", RootL: "t2.chkStampLoad",
+	}
+}
+
+// MySQL3 models the join-init-cache atomicity violation: the cache
+// refill writes the record count before the payload, and the two refill
+// paths (small and large join) fill different extents. A scan that reads
+// the count from one path while the payload is still the other path's
+// iterates out of step with the contents and crashes.
+func MySQL3() Bug {
+	gen := func(seed int64) (*program.Program, vm.SchedConfig) {
+		const ka, kb = 4, 8
+		rounds := 10
+		scans := 16
+		pb := program.New("mysql3")
+		sp := pb.Space()
+		records := sp.Alloc("records", 1)
+		buf := sp.Alloc("buf", kb)
+
+		t0 := pb.Thread() // cache refill; the join type rarely changes
+		t0.LiAddr(1, records)
+		t0.LiAddr(2, buf)
+		// allocate the cache: calloc zeroes the buffer
+		t0.Li(rI, 0)
+		t0.Label("alloc")
+		t0.Li(rT2, 8)
+		t0.Mul(rT1, rI, rT2)
+		t0.Add(rT1, rT1, 2)
+		t0.Li(rT2, 0)
+		t0.Mark("allocStore")
+		t0.Store(rT2, rT1, 0)
+		t0.Addi(rI, rI, 1)
+		t0.Li(rT2, kb)
+		t0.Slt(rT1, rI, rT2)
+		t0.Bnez(rT1, "alloc")
+		t0.Li(rK, 0)
+		t0.Label("round")
+		// path selection: the large-join path runs only when
+		// (3k + seed) % 5 == 0, so most refills repeat the same path and
+		// are invisible to a concurrent scan — only a path *switch*
+		// racing a scan can crash.
+		t0.Li(rT2, 3)
+		t0.Mul(rT1, rK, rT2)
+		t0.Addi(rT1, rT1, seed%5)
+		t0.Li(rT2, 5)
+		t0.Rem(rT1, rT1, rT2)
+		t0.Beqz(rT1, "big")
+		// small-join path: records = ka, fill buf[0..ka) with ka
+		t0.Li(rT1, ka)
+		t0.Mark("recStoreA")
+		t0.Store(rT1, 1, 0)
+		t0.Pause() // count published before payload: the window
+		t0.Li(rI, 0)
+		t0.Label("fillA")
+		t0.Li(rT2, 8)
+		t0.Mul(rT1, rI, rT2)
+		t0.Add(rT1, rT1, 2)
+		t0.Li(rT2, ka)
+		t0.Mark("fillStoreA")
+		t0.Store(rT2, rT1, 0)
+		t0.Addi(rI, rI, 1)
+		t0.Li(rT2, ka)
+		t0.Slt(rT1, rI, rT2)
+		t0.Bnez(rT1, "fillA")
+		t0.Jmp("next")
+		t0.Label("big")
+		// large-join path: records = kb, fill buf[0..kb) with kb
+		t0.Li(rT1, kb)
+		t0.Mark("recStoreB")
+		t0.Store(rT1, 1, 0)
+		t0.Pause()
+		t0.Li(rI, 0)
+		t0.Label("fillB")
+		t0.Li(rT2, 8)
+		t0.Mul(rT1, rI, rT2)
+		t0.Add(rT1, rT1, 2)
+		t0.Li(rT2, kb)
+		t0.Mark("fillStoreB")
+		t0.Store(rT2, rT1, 0)
+		t0.Addi(rI, rI, 1)
+		t0.Li(rT2, kb)
+		t0.Slt(rT1, rI, rT2)
+		t0.Bnez(rT1, "fillB")
+		t0.Label("next")
+		// prepare the next join (private work keeps refills apart)
+		t0.Li(rJ, 40)
+		t0.Label("prep")
+		t0.Addi(rJ, rJ, -1)
+		t0.Bnez(rJ, "prep")
+		t0.Addi(rK, rK, 1)
+		t0.Li(rT1, int64(rounds))
+		t0.Slt(rT2, rK, rT1)
+		t0.Bnez(rT2, "round")
+		t0.Halt()
+
+		t1 := pb.Thread() // join scan: re-read the count each iteration
+		t1.LiAddr(1, records)
+		t1.LiAddr(2, buf)
+		t1.Li(rK, 0)
+		t1.Label("scan")
+		t1.Li(rI, 0)
+		t1.Label("iter")
+		t1.Mark("recLoad")
+		t1.Load(rT3, 1, 0) // cache->records (unsynchronized: the bug)
+		t1.Beqz(rT3, "skip")
+		t1.Slt(rT1, rI, rT3)
+		t1.Beqz(rT1, "skip")
+		t1.Li(rT2, 8)
+		t1.Mul(rT1, rI, rT2)
+		t1.Add(rT1, rT1, 2)
+		t1.Mark("bufLoad")
+		t1.Load(rT2, rT1, 0)
+		t1.Seq(rT4, rT2, rT3) // payload must match the count's path
+		t1.Assert(rT4)        // out-of-step iteration: crash
+		t1.Addi(rI, rI, 1)
+		t1.Jmp("iter")
+		t1.Label("skip")
+		t1.Li(rJ, 25)
+		t1.Label("gap")
+		t1.Addi(rJ, rJ, -1)
+		t1.Bnez(rJ, "gap")
+		t1.Addi(rK, rK, 1)
+		t1.Li(rT1, int64(scans))
+		t1.Slt(rT2, rK, rT1)
+		t1.Bnez(rT2, "scan")
+		t1.Halt()
+
+		return pb.MustBuild(), vm.SchedConfig{Seed: seed, MeanBurst: 90, PausePct: int(3 + seed%12)}
+	}
+	rootMatch := func(p *program.Program) func(deps.Sequence) bool {
+		recA, recB := p.MarkPC("t0.recStoreA"), p.MarkPC("t0.recStoreB")
+		fillA, fillB := p.MarkPC("t0.fillStoreA"), p.MarkPC("t0.fillStoreB")
+		recLoad, bufLoad := p.MarkPC("t1.recLoad"), p.MarkPC("t1.bufLoad")
+		return func(seq deps.Sequence) bool {
+			// The root cause pairs a count with a payload that the
+			// count's refill path did not write: the other path's fill,
+			// or the allocator's zeroes on the first-refill race.
+			for i := 0; i+1 < len(seq); i++ {
+				a, b := seq[i], seq[i+1]
+				if a.L != recLoad || b.L != bufLoad {
+					continue
+				}
+				if (a.S == recA || a.S == recB) &&
+					!(a.S == recA && b.S == fillA) && !(a.S == recB && b.S == fillB) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return Bug{
+		Name: "mysql3", Desc: "Atom. vio. in join-init-cache causing out of bound loop", Status: "Crash",
+		Class: "atomicity", Threads: 2, Gen: gen, RootMatch: rootMatch,
+		RootS: "t0.recStoreB", RootL: "t1.recLoad",
+	}
+}

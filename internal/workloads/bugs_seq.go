@@ -1,0 +1,369 @@
+package workloads
+
+import (
+	"act/internal/program"
+	"act/internal/vm"
+)
+
+// Sequential bugs: the failure depends on the synthesized input (derived
+// from the seed), not on thread interleaving — gzip's and seq's semantic
+// bugs and the ptx/paste buffer overflows of Table V.
+
+// Gzip models the get_method file-descriptor semantic bug of Figure
+// 2(d): processing "-" (stdin) reuses the ifd variable, so when "-"
+// appears after a normal file, get_method receives the previous file's
+// descriptor instead of stdin's and the wrong stream is processed. The
+// buggy RAW dependence is S3→S2: get_method's stdin path reading an ifd
+// written by open_input_file.
+func Gzip() Bug {
+	gen := func(seed int64) (*program.Program, vm.SchedConfig) {
+		nArgs := 6
+		// The input: a list of "files" where 0 encodes "-". Roughly a
+		// third of the inputs put "-" first (correct), a third have no
+		// "-" at all (correct), a third bury it in the middle (failure).
+		dashPos := int(seed % int64(nArgs*2))
+		pb := program.New("gzip")
+		sp := pb.Space()
+		args := sp.Alloc("args", nArgs)
+		ifd := sp.Alloc("ifd", 1)
+		processed := sp.Alloc("processed", nArgs)
+		for i := 0; i < nArgs; i++ {
+			v := int64(i + 1) // normal file: fd source i+1
+			if i == dashPos {
+				v = 0 // "-": stdin
+			}
+			pb.SetInit(args+uint64(i)*8, v)
+		}
+
+		b := pb.Thread()
+		b.LiAddr(1, args)
+		b.LiAddr(2, ifd)
+		b.LiAddr(3, processed)
+		// S1: ifd = 0 (stdin descriptor)
+		b.Li(rT1, 0)
+		b.Mark("S1")
+		b.Store(rT1, 2, 0)
+		b.Li(rI, 0)
+		b.Li(rT3, int64(nArgs))
+		b.Label("loop")
+		b.Li(rT2, 8)
+		b.Mul(rT1, rI, rT2)
+		b.Add(rT1, rT1, 1)
+		b.Load(rT4, rT1, 0) // arg[i]
+		b.Bnez(rT4, "file")
+		// "-": process stdin — S2: get_method(ifd)
+		b.Mark("S2")
+		b.Load(rJ, 2, 0)
+		// get_method on a non-stdin descriptor here is the ill effect:
+		// stdin silently not processed.
+		b.Li(rT2, 0)
+		b.Seq(rT2, rJ, rT2)
+		b.Mark("illEffect")
+		b.Assert(rT2)
+		b.Jmp("record")
+		b.Label("file")
+		// normal file — S3: ifd = open_input_file(...)
+		b.Mark("S3")
+		b.Store(rT4, 2, 0)
+		// S4: get_method(ifd)
+		b.Mark("S4")
+		b.Load(rJ, 2, 0)
+		b.Label("record")
+		// process the stream (uses the descriptor)
+		b.Li(rT2, 8)
+		b.Mul(rT1, rI, rT2)
+		b.Add(rT1, rT1, 3)
+		b.Store(rJ, rT1, 0)
+		b.Addi(rI, rI, 1)
+		b.Slt(rT2, rI, rT3)
+		b.Bnez(rT2, "loop")
+		b.Halt()
+
+		return pb.MustBuild(), vm.SchedConfig{Seed: seed, MeanBurst: 50}
+	}
+	return Bug{
+		Name: "gzip", Desc: "Semantic bug for get_method wrong file descriptor seq", Status: "Comp.",
+		Class: "semantic", Threads: 1, Gen: gen,
+		RootS: "t0.S3", RootL: "t0.S2",
+	}
+}
+
+// Seq models the coreutils seq terminator semantic bug: under a rarely
+// used format the option parser writes the separator into the
+// terminator's slot (an off-by-one in the format buffer), so
+// print_numbers emits the separator where the terminator belongs.
+func Seq() Bug {
+	gen := func(seed int64) (*program.Program, vm.SchedConfig) {
+		count := 8
+		customFormat := seed%3 == 1 // the rarely used format
+		pb := program.New("seq")
+		sp := pb.Space()
+		fmtbuf := sp.Alloc("fmtbuf", 2) // [separator, terminator]
+		nums := sp.Alloc("nums", count)
+		optfmt := sp.Alloc("optfmt", 1) // the command line: 1 = custom format
+		for i := 0; i < count; i++ {
+			pb.SetInit(nums+uint64(i)*8, int64(10+i))
+		}
+		if customFormat {
+			pb.SetInit(optfmt, 1)
+		}
+		const sepVal, termVal = 44, 10 // ',' and '\n'
+
+		b := pb.Thread()
+		b.LiAddr(1, fmtbuf)
+		b.LiAddr(2, nums)
+		b.LiAddr(3, optfmt)
+		// option parsing
+		b.Li(rT1, sepVal)
+		b.Mark("sepStore")
+		b.Store(rT1, 1, 0) // fmtbuf[0] = separator
+		b.Load(rT2, 3, 0)  // which format did the user ask for?
+		b.Beqz(rT2, "stdfmt")
+		// the bug: the custom-format path writes the separator at the
+		// terminator's offset and never sets the terminator
+		b.Li(rT1, sepVal)
+		b.Mark("sepStoreBug")
+		b.Store(rT1, 1, 8)
+		b.Jmp("parsed")
+		b.Label("stdfmt")
+		b.Li(rT1, termVal)
+		b.Mark("termStore")
+		b.Store(rT1, 1, 8) // fmtbuf[1] = terminator
+		b.Label("parsed")
+		// print_numbers
+		b.Li(rI, 0)
+		b.Li(rT3, int64(count))
+		b.Label("print")
+		b.Li(rT2, 8)
+		b.Mul(rT1, rI, rT2)
+		b.Add(rT1, rT1, 2)
+		b.Load(rT4, rT1, 0)
+		b.Out(rT4)
+		b.Addi(rT1, rI, 1)
+		b.Slt(rT2, rT1, rT3)
+		b.Beqz(rT2, "last")
+		b.Mark("sepLoad")
+		b.Load(rT4, 1, 0) // separator between numbers
+		b.Out(rT4)
+		b.Jmp("cont")
+		b.Label("last")
+		b.Mark("termLoad")
+		b.Load(rT4, 1, 8) // terminator after the last number
+		b.Out(rT4)
+		// the ill effect: terminator must be '\n'
+		b.Li(rT2, termVal)
+		b.Seq(rT2, rT4, rT2)
+		b.Mark("illEffect")
+		b.Assert(rT2)
+		b.Label("cont")
+		b.Addi(rI, rI, 1)
+		b.Slt(rT2, rI, rT3)
+		b.Bnez(rT2, "print")
+		b.Halt()
+
+		return pb.MustBuild(), vm.SchedConfig{Seed: seed, MeanBurst: 50}
+	}
+	return Bug{
+		Name: "seq", Desc: "Semantic bug for wrong terminator in print numbers", Status: "Comp.",
+		Class: "semantic", Threads: 1, Gen: gen,
+		RootS: "t0.sepStoreBug", RootL: "t0.termLoad",
+	}
+}
+
+// Ptx models the GNU ptx buffer overflow of Figure 2(e): a scan that
+// advances two positions for escaped characters walks past the end of
+// the string buffer when the input ends with an odd run of backslashes,
+// so the copy loop's load depends on whatever instruction last wrote the
+// adjacent memory.
+func Ptx() Bug {
+	gen := func(seed int64) (*program.Program, vm.SchedConfig) {
+		n := 12
+		pb := program.New("ptx")
+		sp := pb.Space()
+		str := sp.Alloc("string", n)
+		next := sp.AllocAdjacent("next", 1) // whatever lives after string
+		dst := sp.Alloc("dst", n+2)
+		const backslash, letter = 92, 7
+
+		b := pb.Thread()
+		b.LiAddr(1, str)
+		b.LiAddr(2, dst)
+		b.LiAddr(4, next)
+		// S1: unrelated code writes the word after the buffer
+		b.Li(rT1, 999)
+		b.Mark("S1")
+		b.Store(rT1, 4, 0)
+		// S2: initialize string; input ends with an odd or even run of
+		// backslashes depending on the seed
+		tail := 1 + int(seed%4) // 1..4 trailing backslashes; odd = overflow
+		b.Li(rI, 0)
+		b.Li(rT3, int64(n))
+		b.Label("init")
+		b.Li(rT4, letter)
+		b.Li(rT2, int64(n-tail))
+		b.Slt(rT2, rI, rT2)
+		b.Bnez(rT2, "plain")
+		b.Li(rT4, backslash)
+		b.Label("plain")
+		b.Li(rT2, 8)
+		b.Mul(rT1, rI, rT2)
+		b.Add(rT1, rT1, 1)
+		b.Mark("S2")
+		b.Store(rT4, rT1, 0)
+		b.Addi(rI, rI, 1)
+		b.Slt(rT2, rI, rT3)
+		b.Bnez(rT2, "init")
+		// copy loop: S3: *x++ = *string++, and for an escape a second
+		// *x++ = *string++ without re-checking the bound (the bug)
+		b.Li(rI, 0) // src index
+		b.Li(rJ, 0) // dst index
+		b.Label("copy")
+		b.Li(rT2, 8)
+		b.Mul(rT1, rI, rT2)
+		b.Add(rT1, rT1, 1)
+		b.Mark("S3")
+		b.Load(rT4, rT1, 0) // *string
+		b.Li(rT2, 8)
+		b.Mul(rT1, rJ, rT2)
+		b.Add(rT1, rT1, 2)
+		b.Store(rT4, rT1, 0) // *x++
+		b.Addi(rJ, rJ, 1)
+		// escape? copy the escaped character too, unchecked
+		b.Li(rT2, backslash)
+		b.Seq(rT2, rT4, rT2)
+		b.Beqz(rT2, "advance")
+		b.Addi(rI, rI, 1)
+		b.Li(rT2, 8)
+		b.Mul(rT1, rI, rT2)
+		b.Add(rT1, rT1, 1)
+		b.Mark("escLoad")
+		b.Load(rT4, rT1, 0) // may read past the end of string
+		// reading past the buffer returns the unrelated word — the
+		// visible corruption
+		b.Li(rT2, 999)
+		b.Seq(rT2, rT4, rT2)
+		b.Li(rT1, 1)
+		b.Sub(rT2, rT1, rT2) // 0 iff corrupted
+		b.Mark("illEffect")
+		b.Assert(rT2)
+		b.Li(rT2, 8)
+		b.Mul(rT1, rJ, rT2)
+		b.Add(rT1, rT1, 2)
+		b.Store(rT4, rT1, 0)
+		b.Addi(rJ, rJ, 1)
+		b.Label("advance")
+		b.Addi(rI, rI, 1)
+		b.Slt(rT2, rI, rT3)
+		b.Bnez(rT2, "copy")
+		b.Halt()
+
+		return pb.MustBuild(), vm.SchedConfig{Seed: seed, MeanBurst: 50}
+	}
+	return Bug{
+		Name: "ptx", Desc: "Buffer overflow of string in get_method func.", Status: "Comp.",
+		Class: "overflow", Threads: 1, Gen: gen,
+		RootS: "t0.S1", RootL: "t0.escLoad",
+	}
+}
+
+// Paste models the coreutils paste collapse_escapes over-read: the
+// delimiter-list scanner consumes two characters for a backslash, so a
+// list ending in a lone backslash sends the read index past the buffer
+// into the adjacent allocation and paste crashes on the garbage
+// delimiter.
+func Paste() Bug {
+	gen := func(seed int64) (*program.Program, vm.SchedConfig) {
+		k := 6
+		pb := program.New("paste")
+		sp := pb.Space()
+		delims := sp.Alloc("delims", k)
+		post := sp.AllocAdjacent("post", 1)
+		out := sp.Alloc("out", k+2)
+		const backslash = 92
+
+		b := pb.Thread()
+		b.LiAddr(1, delims)
+		b.LiAddr(2, out)
+		b.LiAddr(4, post)
+		// unrelated allocation after the delimiter buffer
+		b.Li(rT1, 31337)
+		b.Mark("postStore")
+		b.Store(rT1, 4, 0)
+		// build the delimiter list from the "command line"; a trailing
+		// backslash (seed-dependent input) is the failing case
+		trailing := seed%3 == 2
+		lastChar := sp.Alloc("lastChar", 1)
+		if trailing {
+			pb.SetInit(lastChar, backslash)
+		} else {
+			pb.SetInit(lastChar, 45)
+		}
+		b.LiAddr(5, lastChar)
+		b.Li(rI, 0)
+		b.Li(rT3, int64(k))
+		b.Label("init")
+		b.Addi(rT4, rI, 40)
+		b.Li(rT2, int64(k-1))
+		b.Seq(rT2, rI, rT2)
+		b.Beqz(rT2, "plain")
+		b.Load(rT4, 5, 0) // final character comes from the input
+		b.Label("plain")
+		b.Li(rT2, 8)
+		b.Mul(rT1, rI, rT2)
+		b.Add(rT1, rT1, 1)
+		b.Mark("delimStore")
+		b.Store(rT4, rT1, 0)
+		b.Addi(rI, rI, 1)
+		b.Slt(rT2, rI, rT3)
+		b.Bnez(rT2, "init")
+		// collapse_escapes: walk the list, consuming two chars per escape
+		b.Li(rI, 0)
+		b.Li(rJ, 0)
+		b.Label("collapse")
+		b.Li(rT2, 8)
+		b.Mul(rT1, rI, rT2)
+		b.Add(rT1, rT1, 1)
+		b.Mark("collapseLoad")
+		b.Load(rT4, rT1, 0)
+		// a delimiter read from beyond the list crashes paste
+		b.Li(rT2, 31337)
+		b.Seq(rT2, rT4, rT2)
+		b.Li(rT1, 1)
+		b.Sub(rT2, rT1, rT2)
+		b.Mark("crash")
+		b.Assert(rT2)
+		b.Li(rT2, backslash)
+		b.Seq(rT2, rT4, rT2)
+		b.Beqz(rT2, "plainc")
+		// escape: read the escaped char (one past; may be out of bounds)
+		b.Addi(rI, rI, 1)
+		b.Li(rT2, 8)
+		b.Mul(rT1, rI, rT2)
+		b.Add(rT1, rT1, 1)
+		b.Mark("escLoad")
+		b.Load(rT4, rT1, 0)
+		b.Li(rT2, 31337)
+		b.Seq(rT2, rT4, rT2)
+		b.Li(rT1, 1)
+		b.Sub(rT2, rT1, rT2)
+		b.Assert(rT2)
+		b.Label("plainc")
+		// emit collapsed delimiter
+		b.Li(rT2, 8)
+		b.Mul(rT1, rJ, rT2)
+		b.Add(rT1, rT1, 2)
+		b.Store(rT4, rT1, 0)
+		b.Addi(rJ, rJ, 1)
+		b.Addi(rI, rI, 1)
+		b.Slt(rT2, rI, rT3)
+		b.Bnez(rT2, "collapse")
+		b.Halt()
+
+		return pb.MustBuild(), vm.SchedConfig{Seed: seed, MeanBurst: 50}
+	}
+	return Bug{
+		Name: "paste", Desc: "collapse escapes reads out of buffer of string", Status: "Crash",
+		Class: "overflow", Threads: 1, Gen: gen,
+		RootS: "t0.postStore", RootL: "t0.escLoad",
+	}
+}

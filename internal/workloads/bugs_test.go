@@ -1,0 +1,143 @@
+package workloads
+
+import (
+	"testing"
+
+	"act/internal/deps"
+)
+
+func TestRealBugsBothOutcomesReachable(t *testing.T) {
+	for _, b := range RealBugs() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			rate := FailureRate(b, 60, 0)
+			t.Logf("failure rate: %.2f", rate)
+			if rate == 0 {
+				t.Fatal("bug never fails")
+			}
+			if rate == 1 {
+				t.Fatal("bug always fails: no correct runs to train on")
+			}
+		})
+	}
+}
+
+func TestInjectedBugsBothOutcomesReachable(t *testing.T) {
+	for _, b := range InjectedBugs() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			rate := FailureRate(b.Bug, 40, 0)
+			t.Logf("failure rate: %.2f", rate)
+			if rate == 0 || rate == 1 {
+				t.Fatalf("failure rate %v: need both outcomes", rate)
+			}
+		})
+	}
+}
+
+// TestFailingRunContainsRootDep checks that a failing execution's trace
+// actually produces the dependence sequence the diagnosis must find.
+func TestFailingRunContainsRootDep(t *testing.T) {
+	var all []Bug
+	all = append(all, RealBugs()...)
+	for _, ib := range InjectedBugs() {
+		all = append(all, ib.Bug)
+	}
+	for _, b := range all {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			runs, err := CollectOutcome(b, true, 3, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, run := range runs {
+				match := b.Matcher(run.Program)
+				found := false
+				e := deps.NewExtractor(deps.ExtractorConfig{N: 3})
+				e.OnSequence = func(_ uint16, s deps.Sequence) {
+					if match(s) {
+						found = true
+					}
+				}
+				for _, r := range run.Trace.Records {
+					if r.Store {
+						e.Store(r.Tid, r.PC, r.Addr, r.Stack)
+					} else {
+						e.Load(r.Tid, r.PC, r.Addr, r.Stack)
+					}
+				}
+				if !found {
+					t.Errorf("seed %d: failing trace lacks the root-cause sequence", run.Seed)
+				}
+			}
+		})
+	}
+}
+
+// TestCorrectRunLacksRootDep checks the converse: correct executions
+// must not contain the root-cause sequence (otherwise it could not be an
+// invariant violation).
+func TestCorrectRunLacksRootDep(t *testing.T) {
+	for _, b := range RealBugs() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			runs, err := CollectOutcome(b, false, 5, 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, run := range runs {
+				match := b.Matcher(run.Program)
+				e := deps.NewExtractor(deps.ExtractorConfig{N: 3})
+				found := false
+				e.OnSequence = func(_ uint16, s deps.Sequence) {
+					if match(s) {
+						found = true
+					}
+				}
+				for _, r := range run.Trace.Records {
+					if r.Store {
+						e.Store(r.Tid, r.PC, r.Addr, r.Stack)
+					} else {
+						e.Load(r.Tid, r.PC, r.Addr, r.Stack)
+					}
+				}
+				if found {
+					t.Errorf("seed %d: correct trace contains the root-cause sequence", run.Seed)
+				}
+			}
+		})
+	}
+}
+
+func TestCollectOutcome(t *testing.T) {
+	b := Gzip()
+	fails, err := CollectOutcome(b, true, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range fails {
+		if !r.Result.Failed {
+			t.Error("collected non-failing run as failure")
+		}
+	}
+	oks, err := CollectOutcome(b, false, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range oks {
+		if r.Result.Failed {
+			t.Error("collected failing run as correct")
+		}
+	}
+}
+
+func TestBugByName(t *testing.T) {
+	for _, name := range []string{"apache", "gzip", "injected-lu"} {
+		if _, err := BugByName(name); err != nil {
+			t.Errorf("BugByName(%q): %v", name, err)
+		}
+	}
+	if _, err := BugByName("no-such-bug"); err == nil {
+		t.Error("unknown bug accepted")
+	}
+}

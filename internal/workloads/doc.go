@@ -1,0 +1,57 @@
+package workloads
+
+// The bug catalogue and its real-world counterparts.
+//
+// Table V (real bugs). Each program models the communication structure
+// of a documented bug in the named application:
+//
+//   - aget: the downloader's SIGINT handler persists the shared
+//     `bwritten` progress counter without synchronizing with the
+//     worker threads — an order violation; an early signal saves a stale
+//     resume offset and the resume log is corrupt.
+//   - apache: a connection object's reference counter is checked and the
+//     object used non-atomically while another thread decrements the
+//     count and frees the object — use-after-free crash (the classic
+//     atomicity violation of the paper's Figure 2(c) family).
+//   - memcached: an item's length and payload are updated through two
+//     code paths without making the pair atomic; a get can return a torn
+//     item (one path's length, the other's payload).
+//   - mysql1: two session threads claim the same binlog slot because the
+//     position fetch is unsynchronized; interleaved id/stamp stores leave
+//     a torn (or silently lost) log entry, discovered by the recovery
+//     scan.
+//   - mysql2: SHOW PROCESSLIST reads thd->proc_info after a non-NULL
+//     check while the owner clears it in the window — NULL dereference.
+//   - mysql3: the join cache's record count is published before the
+//     payload and the two refill paths fill different extents; a
+//     concurrent scan iterates out of step with the contents (the
+//     paper's out-of-bound loop).
+//   - pbzip2: the main thread frees the block FIFO after a bounded wait
+//     instead of joining the consumers — use-after-free crash in a slow
+//     consumer.
+//   - gzip: the paper's own Figure 2(d): processing "-" reuses the ifd
+//     descriptor variable, so stdin inherits the previous file's
+//     descriptor (buggy dependence S3→S2).
+//   - seq: a rarely used format's parsing writes the separator into the
+//     terminator slot; print_numbers ends the output with the wrong
+//     character.
+//   - ptx: the paper's Figure 2(e): the escape-copying loop steps past
+//     the end of `string` on an odd run of trailing backslashes and the
+//     load observes whatever instruction last wrote the adjacent word.
+//   - paste: collapse_escapes consumes two characters per backslash, so
+//     a delimiter list ending in a lone backslash reads past the buffer
+//     and paste crashes on the garbage delimiter.
+//
+// Table VI (injected bugs). An atomicity violation
+// (publish / check-then-use / retract-in-the-window) is spliced into new
+// code appended to barnes (TouchArray), ocean (VListInteraction),
+// fluidanimate (ComputeDensities-MT), lu (TouchA) and swaptions
+// (worker); training never sees the function (NewCodeFilter).
+//
+// Outcome labelling. "Crash" bugs assert at the faulting access; "Comp."
+// bugs run to completion and assert on the ill effect (corrupt log,
+// wrong output) at the end — standing in for the user noticing the
+// corruption. Whether a given execution fails depends on the seed:
+// through the interleaving (Pause race windows taken with seed-dependent
+// probability) for the concurrency bugs, through the synthesized input
+// for the sequential ones.

@@ -1,0 +1,189 @@
+package workloads
+
+import (
+	"fmt"
+
+	"act/internal/deps"
+	"act/internal/isa"
+	"act/internal/program"
+	"act/internal/vm"
+)
+
+// InjectedBug is a Table VI experiment: a communication bug injected
+// into *new* code — a function appended to a kernel whose dependences
+// are withheld from training, modelling a buggy function added after the
+// program shipped.
+type InjectedBug struct {
+	Bug
+	Kernel string // base kernel the code is injected into
+	Func   string // the injected function's name (Table VI's column)
+}
+
+// InjectedBugs returns the five Table VI experiments.
+func InjectedBugs() []InjectedBug {
+	specs := []struct{ kernel, fn string }{
+		{"barnes", "TouchArray"},
+		{"ocean", "VListInteraction"},
+		{"fluidanimate", "ComputeDensities-MT"},
+		{"lu", "TouchA"},
+		{"swaptions", "worker"},
+	}
+	out := make([]InjectedBug, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, injectedInto(s.kernel, s.fn))
+	}
+	return out
+}
+
+// InjectedBugByName returns the injected bug for the given kernel.
+func InjectedBugByName(kernel string) (InjectedBug, error) {
+	for _, b := range InjectedBugs() {
+		if b.Kernel == kernel {
+			return b, nil
+		}
+	}
+	return InjectedBug{}, fmt.Errorf("workloads: no injected bug for kernel %q", kernel)
+}
+
+// NewCodeFilter returns a predicate for dependences that belong to the
+// injected code of a built instance: either endpoint in the appended
+// region. Training withholds these; that is what makes the code "new".
+func (ib InjectedBug) NewCodeFilter(p *program.Program) func(deps.Dep) bool {
+	lo0 := p.MarkPC("t0.injStart")
+	lo1 := p.MarkPC("t1.injStart")
+	in := func(pc uint64) bool {
+		t := isa.ThreadOf(pc)
+		return (t == 0 && pc >= lo0) || (t == 1 && pc >= lo1)
+	}
+	return func(d deps.Dep) bool { return in(d.L) || in(d.S) }
+}
+
+// injectedInto builds the Table VI bug for one kernel: an atomicity
+// violation (publish/check-then-use/retract) spliced into threads 0 and
+// 1 after the kernel's own work, with a handshake so both threads are in
+// the new code together.
+func injectedInto(kernel, fn string) InjectedBug {
+	gen := func(seed int64) (*program.Program, vm.SchedConfig) {
+		w, err := KernelByName(kernel)
+		if err != nil {
+			panic(err)
+		}
+		p := w.Build(seed)
+
+		// Fresh shared variables above every existing allocation.
+		top := uint64(program.DataBase)
+		for _, v := range p.Vars {
+			if end := v.Addr + uint64(v.Words+2)*8; end > top {
+				top = end
+			}
+		}
+		iflag := top + 64
+		idata := iflag + 8
+		istart := idata + 8
+		bready := istart + 8
+
+		// Thread 0: the owner — publishes the object repeatedly.
+		a := program.NewBuilder()
+		a.Mark("injStart")
+		a.LiAddr(1, iflag)
+		a.LiAddr(2, idata)
+		a.LiAddr(3, istart)
+		a.LiAddr(4, bready)
+		a.Li(rT1, 1)
+		a.Store(rT1, 3, 0) // istart = 1
+		a.Label("waitb")
+		a.Load(rT2, 4, 0)
+		a.Pause()
+		a.Beqz(rT2, "waitb")
+		a.Li(rK, 12) // publish/retract cycles
+		a.Label("cycle")
+		a.Addi(rT1, rK, 700)
+		a.Mark("injData")
+		a.Store(rT1, 2, 0) // data = valid payload
+		a.Li(rT1, 1)
+		a.Mark("injSet")
+		a.Store(rT1, 1, 0) // flag = published
+		a.Li(rI, 9)
+		a.Label("hold")
+		a.Addi(rI, rI, -1)
+		a.Bnez(rI, "hold")
+		a.Li(rT1, 0)
+		a.Mark("injClear")
+		a.Store(rT1, 2, 0) // retract payload first (the injected bug:
+		a.Li(rT1, 0)       // wrong order, like freeing before unlinking)
+		a.Mark("injUnset")
+		a.Store(rT1, 1, 0)
+		a.Addi(rK, rK, -1)
+		a.Bnez(rK, "cycle")
+		a.Halt()
+
+		// Thread 1: the user — check-then-use with a window.
+		b := program.NewBuilder()
+		b.Mark("injStart")
+		b.LiAddr(1, iflag)
+		b.LiAddr(2, idata)
+		b.LiAddr(3, istart)
+		b.LiAddr(4, bready)
+		b.Label("waita")
+		b.Load(rT2, 3, 0)
+		b.Pause()
+		b.Beqz(rT2, "waita")
+		b.Li(rT1, 1)
+		b.Store(rT1, 4, 0) // bready = 1
+		b.Li(rK, 30)       // polls
+		b.Label("poll")
+		b.Mark("injChk")
+		b.Load(rT2, 1, 0) // if (flag)
+		b.Beqz(rT2, "skip")
+		b.Pause() // the race window
+		b.Mark("injUse")
+		b.Load(rT3, 2, 0) // use data
+		b.Assert(rT3)     // crash on retracted payload
+		b.Label("skip")
+		b.Li(rI, 4)
+		b.Label("gap")
+		b.Addi(rI, rI, -1)
+		b.Bnez(rI, "gap")
+		b.Addi(rK, rK, -1)
+		b.Bnez(rK, "poll")
+		b.Halt()
+
+		mustAppend(p, 0, a)
+		mustAppend(p, 1, b)
+		sched := w.Sched(seed)
+		sched.PausePct = int(6 + seed%20)
+		return p, sched
+	}
+	return InjectedBug{
+		Bug: Bug{
+			Name: "injected-" + kernel, Desc: "Injected atom. vio. in " + fn,
+			Status: "Crash", Class: "atomicity", Threads: 0, Gen: gen,
+			RootS: "t0.injClear", RootL: "t1.injUse",
+		},
+		Kernel: kernel, Func: fn,
+	}
+}
+
+// mustAppend splices separately built code onto the end of thread t,
+// replacing the trailing Halt; branch targets and marks are rebased.
+func mustAppend(p *program.Program, t int, b *program.Builder) {
+	snippet, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	code := p.Threads[t]
+	if n := len(code); n > 0 && code[n-1].Op == isa.Halt {
+		code = code[:n-1]
+	}
+	base := int32(len(code))
+	for _, in := range snippet {
+		if in.Op.IsBranch() {
+			in.Target += base
+		}
+		code = append(code, in)
+	}
+	p.Threads[t] = code
+	for name, idx := range b.Marks() {
+		p.Marks[fmt.Sprintf("t%d.%s", t, name)] = isa.PC(t, int(base)+idx)
+	}
+}

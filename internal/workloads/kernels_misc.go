@@ -1,0 +1,317 @@
+package workloads
+
+import (
+	"act/internal/program"
+)
+
+// GCC is the SPEC INT gcc stand-in: a sequential, branch-heavy token
+// state machine over an input stream, with a state table that is read
+// and updated as tokens are consumed — irregular intra-thread RAW
+// chains steered by data-dependent branches.
+func GCC() Workload {
+	build := func(seed int64) *program.Program {
+		tokens := 50 + 10*int(seed%3)
+		states := 6
+		pb := program.New("gcc")
+		sp := pb.Space()
+		input := sp.Alloc("input", tokens)
+		stab := sp.Alloc("stab", states)  // state table: visit counts
+		cur := sp.Alloc("cur", 1)         // current state
+		emitted := sp.Alloc("emitted", 1) // output counter
+		for i := 0; i < tokens; i++ {
+			pb.SetInit(input+uint64(i)*8, (int64(i)*7+seed)%4)
+		}
+
+		b := pb.Thread()
+		b.LiAddr(1, input)
+		b.LiAddr(2, stab)
+		b.LiAddr(3, cur)
+		b.LiAddr(4, emitted)
+		// parser init
+		b.Li(rT1, 0)
+		b.Mark("stateInit")
+		b.Store(rT1, 3, 0)
+		b.Li(rI, 0)
+		b.Li(rT3, int64(tokens))
+		b.Label("token")
+		b.Li(rT2, 8)
+		b.Mul(rT1, rI, rT2)
+		b.Add(rT1, rT1, 1)
+		b.Load(rT4, rT1, 0) // tok = input[i]
+		b.Mark("stateLoad")
+		b.Load(rJ, 3, 0) // s = cur
+		// branchy transition: keywords advance, operators reset,
+		// identifiers self-loop, literals skip-advance
+		b.Beqz(rT4, "reset")
+		b.Li(rT2, 1)
+		b.Seq(rT2, rT4, rT2)
+		b.Bnez(rT2, "selfloop")
+		b.Li(rT2, 2)
+		b.Seq(rT2, rT4, rT2)
+		b.Bnez(rT2, "skipadv")
+		// keyword: s = (s + 1) % states
+		b.Addi(rJ, rJ, 1)
+		b.Li(rT2, int64(states))
+		b.Rem(rJ, rJ, rT2)
+		b.Mark("advStore")
+		b.Store(rJ, 3, 0)
+		b.Jmp("account")
+		b.Label("reset")
+		b.Li(rJ, 0)
+		b.Mark("resetStore")
+		b.Store(rJ, 3, 0)
+		b.Jmp("account")
+		b.Label("selfloop")
+		// identifier: emit in place
+		b.Load(rT2, 4, 0)
+		b.Addi(rT2, rT2, 1)
+		b.Store(rT2, 4, 0)
+		b.Jmp("account")
+		b.Label("skipadv")
+		b.Addi(rJ, rJ, 2)
+		b.Li(rT2, int64(states))
+		b.Rem(rJ, rJ, rT2)
+		b.Mark("skipStore")
+		b.Store(rJ, 3, 0)
+		b.Label("account")
+		// stab[s]++
+		b.Li(rT2, 8)
+		b.Mul(rT1, rJ, rT2)
+		b.Add(rT1, rT1, 2)
+		b.Mark("stabLoad")
+		b.Load(rT2, rT1, 0)
+		b.Addi(rT2, rT2, 1)
+		b.Mark("stabStore")
+		b.Store(rT2, rT1, 0)
+		b.Addi(rI, rI, 1)
+		b.Slt(rT2, rI, rT3)
+		b.Bnez(rT2, "token")
+		b.Load(rT4, 4, 0)
+		b.Out(rT4)
+		b.Halt()
+		return pb.MustBuild()
+	}
+	return Workload{Name: "gcc", Suite: "spec", Threads: 1, Build: build, Sched: defaultSched}
+}
+
+// Dedup is the PARSEC dedup stand-in: a three-stage pipeline (chunker →
+// hasher → writer) over bounded queues, the classic hand-off pattern
+// where each stage's loads depend on the previous stage's stores.
+func Dedup() Workload {
+	const nThreads = 3
+	build := func(seed int64) *program.Program {
+		items := 16 + 4*int(seed%3)
+		qcap := items + 1
+		pb := program.New("dedup")
+		sp := pb.Space()
+		q1 := sp.Alloc("q1", qcap) // chunker -> hasher
+		q1n := sp.Alloc("q1n", 1)
+		q2 := sp.Alloc("q2", qcap) // hasher -> writer
+		q2n := sp.Alloc("q2n", 1)
+		out := sp.Alloc("out", qcap)
+
+		// Stage 1: chunker produces items into q1.
+		t0 := pb.Thread()
+		t0.LiAddr(1, q1)
+		t0.LiAddr(2, q1n)
+		t0.Li(rS, seed*5+3)
+		t0.Li(rI, 0)
+		t0.Li(rT3, int64(items))
+		t0.Label("chunk")
+		lcgStep(t0, rS, rT4, rT1, rT2, 997)
+		t0.Li(rT2, 8)
+		t0.Mul(rT1, rI, rT2)
+		t0.Add(rT1, rT1, 1)
+		t0.Mark("chunkStore")
+		t0.Store(rT4, rT1, 0) // q1[i] = chunk
+		t0.Addi(rT2, rI, 1)
+		t0.Store(rT2, 2, 0) // q1n = i+1
+		t0.Addi(rI, rI, 1)
+		t0.Slt(rT2, rI, rT3)
+		t0.Bnez(rT2, "chunk")
+		t0.Halt()
+
+		// Stage 2: hasher consumes q1, produces q2.
+		t1 := pb.Thread()
+		t1.LiAddr(1, q1)
+		t1.LiAddr(2, q1n)
+		t1.LiAddr(3, q2)
+		t1.LiAddr(4, q2n)
+		t1.Li(rI, 0)
+		t1.Li(rT3, int64(items))
+		t1.Label("hash")
+		t1.Label("avail")
+		t1.Load(rT2, 2, 0)
+		t1.Pause()
+		t1.Slt(rT1, rI, rT2)
+		t1.Beqz(rT1, "avail")
+		t1.Li(rT2, 8)
+		t1.Mul(rT1, rI, rT2)
+		t1.Add(rT1, rT1, 1)
+		t1.Mark("hashLoad")
+		t1.Load(rT4, rT1, 0) // chunk
+		// "hash": a little arithmetic
+		t1.Li(rT2, 2654435761)
+		t1.Mul(rT4, rT4, rT2)
+		t1.Li(rT2, 1<<20)
+		t1.Rem(rT4, rT4, rT2)
+		t1.Li(rT2, 8)
+		t1.Mul(rT1, rI, rT2)
+		t1.Add(rT1, rT1, 3)
+		t1.Mark("hashStore")
+		t1.Store(rT4, rT1, 0) // q2[i] = digest
+		t1.Addi(rT2, rI, 1)
+		t1.Store(rT2, 4, 0) // q2n = i+1
+		t1.Addi(rI, rI, 1)
+		t1.Slt(rT2, rI, rT3)
+		t1.Bnez(rT2, "hash")
+		t1.Halt()
+
+		// Stage 3: writer consumes q2 and deduplicates against a tiny
+		// recent-digest window.
+		t2 := pb.Thread()
+		t2.LiAddr(3, q2)
+		t2.LiAddr(4, q2n)
+		t2.LiAddr(5, out)
+		t2.Li(rI, 0)
+		t2.Li(rK, 0) // written count
+		t2.Li(rT3, int64(items))
+		t2.Label("write")
+		t2.Label("avail")
+		t2.Load(rT2, 4, 0)
+		t2.Pause()
+		t2.Slt(rT1, rI, rT2)
+		t2.Beqz(rT1, "avail")
+		t2.Li(rT2, 8)
+		t2.Mul(rT1, rI, rT2)
+		t2.Add(rT1, rT1, 3)
+		t2.Mark("writeLoad")
+		t2.Load(rT4, rT1, 0)
+		// dedup check against the previous output
+		t2.Li(rJ, 0)
+		t2.Beqz(rK, "fresh")
+		t2.Addi(rJ, rK, -1)
+		t2.Li(rT2, 8)
+		t2.Mul(rJ, rJ, rT2)
+		t2.Add(rJ, rJ, 5)
+		t2.Mark("dedupLoad")
+		t2.Load(rJ, rJ, 0)
+		t2.Seq(rJ, rJ, rT4)
+		t2.Bnez(rJ, "skip")
+		t2.Label("fresh")
+		t2.Li(rT2, 8)
+		t2.Mul(rT1, rK, rT2)
+		t2.Add(rT1, rT1, 5)
+		t2.Mark("writeStore")
+		t2.Store(rT4, rT1, 0)
+		t2.Addi(rK, rK, 1)
+		t2.Label("skip")
+		t2.Addi(rI, rI, 1)
+		t2.Slt(rT2, rI, rT3)
+		t2.Bnez(rT2, "write")
+		t2.Out(rK)
+		t2.Halt()
+		return pb.MustBuild()
+	}
+	return Workload{Name: "dedup", Suite: "parsec", Threads: nThreads, Build: build, Sched: defaultSched}
+}
+
+// Sort is the coreutils sort stand-in: a sequential bottom-up merge sort
+// over an array, alternating between two buffers — dense, phase-shifting
+// intra-thread communication.
+func Sort() Workload {
+	build := func(seed int64) *program.Program {
+		n := 16 + 8*int(seed%2)
+		pb := program.New("sort")
+		sp := pb.Space()
+		a := sp.Alloc("a", n)
+		bbuf := sp.Alloc("b", n)
+		for i := 0; i < n; i++ {
+			pb.SetInit(a+uint64(i)*8, (int64(i)*131+seed*17)%1000)
+		}
+
+		b := pb.Thread()
+		b.LiAddr(1, a)
+		b.LiAddr(2, bbuf)
+		// Bottom-up merge with width doubling; src/dst swap via registers
+		// r5 (src base) and r6 (dst base).
+		b.Mov(5, 1)
+		b.Mov(6, 2)
+		b.Li(rK, 1) // width
+		b.Label("pass")
+		b.Li(rI, 0) // output index
+		b.Li(25, 0) // left cursor
+		b.Add(26, 25, rK)
+		b.Label("merge")
+		// pick from left run if its head is smaller (bounds simplified:
+		// cursor clamping via Slt chains)
+		b.Li(rT2, 8)
+		b.Mul(rT1, 25, rT2)
+		b.Add(rT1, rT1, 5)
+		b.Mark("leftLoad")
+		b.Load(rT3, rT1, 0)
+		b.Li(rT2, 8)
+		b.Mul(rT1, 26, rT2)
+		b.Add(rT1, rT1, 5)
+		b.Mark("rightLoad")
+		b.Load(rT4, rT1, 0)
+		b.Slt(rJ, rT4, rT3)
+		b.Bnez(rJ, "takeRight")
+		b.Mov(rT4, rT3)
+		b.Addi(25, 25, 1)
+		b.Jmp("emit")
+		b.Label("takeRight")
+		b.Addi(26, 26, 1)
+		b.Label("emit")
+		b.Li(rT2, 8)
+		b.Mul(rT1, rI, rT2)
+		b.Add(rT1, rT1, 6)
+		b.Mark("emitStore")
+		b.Store(rT4, rT1, 0)
+		b.Addi(rI, rI, 1)
+		b.Li(rT2, int64(n))
+		b.Slt(rT1, rI, rT2)
+		b.Bnez(rT1, "merge")
+		// swap src/dst, double the width
+		b.Mov(rT1, 5)
+		b.Mov(5, 6)
+		b.Mov(6, rT1)
+		b.Add(rK, rK, rK)
+		b.Li(rT2, int64(n))
+		b.Slt(rT1, rK, rT2)
+		b.Bnez(rT1, "pass")
+		// Output phase: bucket the merged values (data-dependent
+		// indexing) and verify neighbouring order — the summary lines
+		// sort prints at the end.
+		hist := sp.Alloc("hist", 4)
+		b.LiAddr(7, hist)
+		b.Li(rI, 0)
+		b.Label("bucket")
+		b.Li(rT2, 8)
+		b.Mul(rT1, rI, rT2)
+		b.Add(rT1, rT1, 5) // final buffer is the last src
+		b.Mark("resultLoad")
+		b.Load(rT4, rT1, 0)
+		b.Li(rT2, 250)
+		b.Div(rT3, rT4, rT2)
+		b.Li(rT2, 4)
+		b.Rem(rT3, rT3, rT2)
+		b.Li(rT2, 8)
+		b.Mul(rT3, rT3, rT2)
+		b.Add(rT3, rT3, 7)
+		b.Mark("histLoad")
+		b.Load(rT2, rT3, 0)
+		b.Addi(rT2, rT2, 1)
+		b.Mark("histStore")
+		b.Store(rT2, rT3, 0)
+		b.Addi(rI, rI, 1)
+		b.Li(rT2, int64(n))
+		b.Slt(rT1, rI, rT2)
+		b.Bnez(rT1, "bucket")
+		b.Load(rT4, 7, 0)
+		b.Out(rT4)
+		b.Halt()
+		return pb.MustBuild()
+	}
+	return Workload{Name: "sort", Suite: "coreutils", Threads: 1, Build: build, Sched: defaultSched}
+}

@@ -1,0 +1,234 @@
+package workloads
+
+import (
+	"act/internal/program"
+)
+
+// Canneal is the PARSEC canneal stand-in: threads repeatedly pick two
+// pseudo-random elements and swap them under a lock — migratory sharing
+// with lock-serialized read-modify-write pairs.
+func Canneal() Workload {
+	const nThreads = 2
+	build := func(seed int64) *program.Program {
+		elems := 12 + 4*int(seed%2)
+		swaps := 40
+		pb := program.New("canneal")
+		arr := pb.Space().Alloc("elems", elems)
+		lk := pb.Space().Alloc("lock", 1)
+
+		for t := 0; t < nThreads; t++ {
+			b := pb.Thread()
+			b.LiAddr(rA, arr)
+			b.LiAddr(rB, lk)
+			b.Li(rS, seed+int64(t)*104729+3)
+			b.Li(rI, int64(swaps))
+			b.Label("swap")
+			lcgStep(b, rS, rJ, rT2, rT3, int64(elems))
+			lcgStep(b, rS, rK, rT2, rT3, int64(elems))
+			b.Li(rT2, 8)
+			b.Mul(rJ, rJ, rT2)
+			b.Add(rJ, rJ, rA) // &elems[a]
+			b.Mul(rK, rK, rT2)
+			b.Add(rK, rK, rA) // &elems[b]
+			b.Lock(rB, 0)
+			b.Mark("swapLoadA")
+			b.Load(rT1, rJ, 0)
+			b.Load(rT2, rK, 0)
+			b.Mark("swapStoreA")
+			b.Store(rT2, rJ, 0)
+			b.Store(rT1, rK, 0)
+			b.Unlock(rB, 0)
+			b.Addi(rI, rI, -1)
+			b.Bnez(rI, "swap")
+			b.Halt()
+		}
+		return pb.MustBuild()
+	}
+	return Workload{Name: "canneal", Suite: "parsec", Threads: nThreads, Build: build, Sched: defaultSched}
+}
+
+// Fluidanimate is the PARSEC fluidanimate stand-in: threads accumulate
+// densities into cells of their own region and, occasionally, a
+// neighbouring region's boundary cell, each accumulation lock-protected
+// per cell group.
+func Fluidanimate() Workload {
+	const nThreads = 3
+	build := func(seed int64) *program.Program {
+		cellsPer := 6
+		iters := 30 + 5*int(seed%2)
+		total := nThreads * cellsPer
+		pb := program.New("fluidanimate")
+		cells := pb.Space().Alloc("cells", total)
+		locks := pb.Space().Alloc("locks", nThreads)
+
+		for t := 0; t < nThreads; t++ {
+			b := pb.Thread()
+			b.LiAddr(rA, cells)
+			b.LiAddr(rB, locks)
+			b.Li(rS, seed+int64(t)*7+1)
+			b.Li(rI, int64(iters))
+			b.Label("iter")
+			// pick a cell: mostly in own region, every 4th in neighbour's
+			lcgStep(b, rS, rJ, rT2, rT3, int64(cellsPer))
+			b.Li(rT2, 4)
+			b.Rem(rT1, rI, rT2)
+			b.Li(rK, int64(t)) // region = own
+			b.Bnez(rT1, "own")
+			b.Li(rK, int64((t+1)%nThreads)) // region = neighbour
+			b.Label("own")
+			b.Li(rT2, int64(cellsPer))
+			b.Mul(rT1, rK, rT2)
+			b.Add(rJ, rJ, rT1) // cell index
+			// lock region rK
+			b.Li(rT2, 8)
+			b.Mul(rT1, rK, rT2)
+			b.Add(rT1, rT1, rB)
+			b.Lock(rT1, 0)
+			b.Li(rT2, 8)
+			b.Mul(rJ, rJ, rT2)
+			b.Add(rJ, rJ, rA)
+			b.Mark("densLoad")
+			b.Load(rT2, rJ, 0)
+			b.Addi(rT2, rT2, 3)
+			b.Mark("densStore")
+			b.Store(rT2, rJ, 0)
+			b.Unlock(rT1, 0)
+			b.Addi(rI, rI, -1)
+			b.Bnez(rI, "iter")
+			b.Halt()
+		}
+		return pb.MustBuild()
+	}
+	return Workload{Name: "fluidanimate", Suite: "parsec", Threads: nThreads, Build: build, Sched: defaultSched}
+}
+
+// Swaptions is the PARSEC swaptions stand-in: overwhelmingly
+// thread-private Monte-Carlo accumulation with one lock-protected
+// reduction at the end — the low-communication end of the spectrum.
+func Swaptions() Workload {
+	const nThreads = 2
+	build := func(seed int64) *program.Program {
+		paths := 80 + 20*int(seed%2)
+		pb := program.New("swaptions")
+		priv := pb.Space().Alloc("priv", nThreads)
+		total := pb.Space().Alloc("total", 1)
+		lk := pb.Space().Alloc("lock", 1)
+
+		for t := 0; t < nThreads; t++ {
+			b := pb.Thread()
+			b.LiAddr(rA, priv+uint64(t)*8)
+			b.LiAddr(rB, total)
+			b.LiAddr(rC, lk)
+			b.Li(rS, seed+int64(t)*31+7)
+			b.Li(rI, int64(paths))
+			b.Label("path")
+			lcgStep(b, rS, rT1, rT2, rT3, 1000)
+			b.Mark("privLoad")
+			b.Load(rT2, rA, 0)
+			b.Add(rT2, rT2, rT1)
+			b.Store(rT2, rA, 0)
+			// Every 8th path checkpoints the accumulator from a second
+			// static store, giving it multiple writers.
+			b.Li(rT3, 8)
+			b.Rem(rT3, rI, rT3)
+			b.Bnez(rT3, "nockpt")
+			b.Load(rT3, rA, 0)
+			b.Mark("ckptStore")
+			b.Store(rT3, rA, 0)
+			b.Label("nockpt")
+			b.Addi(rI, rI, -1)
+			b.Bnez(rI, "path")
+			// reduction
+			b.Lock(rC, 0)
+			b.Load(rT1, rA, 0)
+			b.Mark("reduceLoad")
+			b.Load(rT2, rB, 0)
+			b.Add(rT2, rT2, rT1)
+			b.Store(rT2, rB, 0)
+			b.Unlock(rC, 0)
+			b.Halt()
+		}
+		return pb.MustBuild()
+	}
+	return Workload{Name: "swaptions", Suite: "parsec", Threads: nThreads, Build: build, Sched: defaultSched}
+}
+
+// Streamcluster is the PARSEC streamcluster stand-in: one thread
+// publishes a read-only point set; workers stream over it computing
+// distances and update a shared best-so-far under a lock.
+func Streamcluster() Workload {
+	const nThreads = 2
+	build := func(seed int64) *program.Program {
+		points := 20 + 4*int(seed%3)
+		pb := program.New("streamcluster")
+		pts := pb.Space().Alloc("pts", points)
+		ready := pb.Space().Alloc("ready", 1)
+		best := pb.Space().Alloc("best", 1)
+		lk := pb.Space().Alloc("lock", 1)
+		pb.SetInit(best, 1<<30)
+
+		t0 := pb.Thread()
+		t0.LiAddr(rA, pts)
+		t0.LiAddr(rB, ready)
+		t0.Li(rS, seed*3+5)
+		t0.Li(rI, 0)
+		t0.Li(rT3, int64(points))
+		t0.Label("pub")
+		lcgStep(t0, rS, rT1, rT2, rT4, 512)
+		t0.Li(rT2, 8)
+		t0.Mul(rT4, rI, rT2)
+		t0.Add(rT4, rT4, rA)
+		t0.Mark("ptStore")
+		t0.Store(rT1, rT4, 0)
+		t0.Addi(rI, rI, 1)
+		t0.Slt(rT2, rI, rT3)
+		t0.Bnez(rT2, "pub")
+		t0.Li(rT2, 1)
+		t0.Store(rT2, rB, 0)
+		emitScan(t0, pts, best, lk, points, 0)
+		t0.Halt()
+
+		t1 := pb.Thread()
+		t1.LiAddr(rA, pts)
+		t1.LiAddr(rB, ready)
+		spinWait(t1, rB, 0, "wait")
+		emitScan(t1, pts, best, lk, points, 1)
+		t1.Halt()
+		return pb.MustBuild()
+	}
+	return Workload{Name: "streamcluster", Suite: "parsec", Threads: nThreads, Build: build, Sched: defaultSched}
+}
+
+// emitScan emits a streaming pass over the points with lock-protected
+// best updates every few points.
+func emitScan(b *program.Builder, pts, best, lk uint64, points, t int) {
+	b.LiAddr(rA, pts)
+	b.LiAddr(rC, best)
+	b.Li(rK, int64(t)) // offset the phase per thread
+	b.Li(rI, 0)
+	b.Li(rT3, int64(points))
+	b.Label("scan")
+	b.Li(rT2, 8)
+	b.Mul(rT1, rI, rT2)
+	b.Add(rT1, rT1, rA)
+	b.Mark("ptLoad")
+	b.Load(rT2, rT1, 0)
+	// every 5th point, update best under lock
+	b.Add(rT4, rI, rK)
+	b.Li(rT1, 5)
+	b.Rem(rT4, rT4, rT1)
+	b.Bnez(rT4, "skip")
+	b.LiAddr(rT4, lk)
+	b.Lock(rT4, 0)
+	b.Mark("bestLoad")
+	b.Load(rT1, rC, 0)
+	b.Add(rT1, rT1, rT2)
+	b.Mark("bestStore")
+	b.Store(rT1, rC, 0) // cost accumulation; both threads' stores hit it
+	b.LiAddr(rT4, lk)
+	b.Unlock(rT4, 0)
+	b.Label("skip")
+	b.Addi(rI, rI, 1)
+	b.Slt(rT2, rI, rT3)
+	b.Bnez(rT2, "scan")
+}

@@ -1,0 +1,125 @@
+package workloads
+
+import (
+	"act/internal/program"
+)
+
+// Bzip2 is the SPEC INT bzip2 stand-in: a sequential run-length-style
+// pass over an input buffer with loop-carried state held in memory —
+// the intra-thread dependence chains typical of compression inner loops.
+func Bzip2() Workload {
+	build := func(seed int64) *program.Program {
+		n := 60 + 10*int(seed%3)
+		pb := program.New("bzip2")
+		in := pb.Space().Alloc("in", n)
+		out := pb.Space().Alloc("out", n)
+		state := pb.Space().Alloc("state", 2) // [prev, runLen]
+		for i := 0; i < n; i++ {
+			// Repetitive input with seed-dependent period to exercise
+			// both branch directions of the run-length test.
+			period := 3 + int(seed%4)
+			pb.SetInit(in+uint64(i)*8, int64(i/period%5))
+		}
+
+		b := pb.Thread()
+		b.LiAddr(rA, in)
+		b.LiAddr(rB, out)
+		b.LiAddr(rC, state)
+		b.Li(rI, 0)
+		b.Li(rT3, int64(n))
+		b.Label("loop")
+		b.Li(rT2, 8)
+		b.Mul(rT1, rI, rT2)
+		b.Add(rT1, rT1, rA)
+		b.Mark("inLoad")
+		b.Load(rT2, rT1, 0) // cur = in[i]
+		b.Mark("prevLoad")
+		b.Load(rT4, rC, 0) // prev
+		b.Seq(rJ, rT2, rT4)
+		b.Beqz(rJ, "newrun")
+		// same as prev: runLen++
+		b.Load(rT4, rC, 8)
+		b.Addi(rT4, rT4, 1)
+		b.Store(rT4, rC, 8)
+		b.Jmp("emit")
+		b.Label("newrun")
+		// flush: out[i] = runLen, reset
+		b.Load(rT4, rC, 8)
+		b.Li(rJ, 8)
+		b.Mul(rK, rI, rJ)
+		b.Add(rK, rK, rB)
+		b.Mark("outStore")
+		b.Store(rT4, rK, 0)
+		b.Li(rT4, 1)
+		b.Store(rT4, rC, 8)
+		b.Label("emit")
+		b.Store(rT2, rC, 0) // prev = cur
+		b.Addi(rI, rI, 1)
+		b.Slt(rT2, rI, rT3)
+		b.Bnez(rT2, "loop")
+		b.Load(rT4, rC, 8)
+		b.Out(rT4)
+		b.Halt()
+		return pb.MustBuild()
+	}
+	return Workload{Name: "bzip2", Suite: "spec", Threads: 1, Build: build, Sched: defaultSched}
+}
+
+// MCF is the SPEC INT mcf stand-in: sequential pointer chasing over a
+// linked structure built earlier in the run — loads whose last writers
+// are the list-construction stores.
+func MCF() Workload {
+	build := func(seed int64) *program.Program {
+		nodes := 16 + 4*int(seed%3)
+		rounds := 4
+		pb := program.New("mcf")
+		// node i occupies two words: [val, next-index]
+		heap := pb.Space().Alloc("heap", nodes*2)
+
+		b := pb.Thread()
+		b.LiAddr(rA, heap)
+		// Build: node i -> next = (i*7+seed)%nodes (a seeded permutation walk)
+		b.Li(rI, 0)
+		b.Li(rT3, int64(nodes))
+		b.Label("build")
+		b.Li(rT2, 16)
+		b.Mul(rT1, rI, rT2)
+		b.Add(rT1, rT1, rA)
+		b.Mark("valStore")
+		b.Store(rI, rT1, 0) // val = i
+		b.Li(rT2, 7)
+		b.Mul(rT4, rI, rT2)
+		b.Addi(rT4, rT4, seed%13+1)
+		b.Rem(rT4, rT4, rT3)
+		b.Mark("nextStore")
+		b.Store(rT4, rT1, 8) // next = walk(i)
+		b.Addi(rI, rI, 1)
+		b.Slt(rT2, rI, rT3)
+		b.Bnez(rT2, "build")
+
+		// Traverse: follow next pointers, summing vals.
+		b.Li(rK, 0) // current node
+		b.Li(rJ, int64(rounds*nodes))
+		b.Li(rT4, 0) // sum
+		b.Label("chase")
+		b.Li(rT2, 16)
+		b.Mul(rT1, rK, rT2)
+		b.Add(rT1, rT1, rA)
+		b.Mark("valLoad")
+		b.Load(rT2, rT1, 0)
+		b.Add(rT4, rT4, rT2)
+		// Relax the node's potential: revisited nodes now depend on this
+		// store instead of the build-phase one.
+		b.Addi(rT2, rT2, 1)
+		b.Mark("valUpdate")
+		b.Store(rT2, rT1, 0)
+		b.Mark("nextLoad")
+		b.Load(rK, rT1, 8) // current = current.next
+		b.Addi(rJ, rJ, -1)
+		b.Bnez(rJ, "chase")
+		b.Out(rT4)
+		b.Halt()
+		return pb.MustBuild()
+	}
+	return Workload{Name: "mcf", Suite: "spec", Threads: 1, Build: build, Sched: defaultSched}
+}

@@ -1,0 +1,434 @@
+package workloads
+
+import (
+	"act/internal/program"
+)
+
+// Register conventions used by the kernel builders.
+const (
+	rA  = 1 // primary base address
+	rB  = 2 // secondary base address
+	rC  = 3 // tertiary base address
+	rT1 = 10
+	rT2 = 11
+	rT3 = 12
+	rT4 = 13
+	rI  = 20 // loop index
+	rJ  = 21 // inner index
+	rK  = 22 // phase index
+	rS  = 23 // LCG state
+)
+
+// spinWait emits a wait loop: load flag word at base+off until non-zero,
+// pausing between polls so the scheduler rotates to the producer.
+func spinWait(b *program.Builder, base uint8, off int64, label string) {
+	b.Label(label)
+	b.Load(rT4, base, off)
+	b.Pause()
+	b.Beqz(rT4, label)
+}
+
+// LU is the SPLASH-2 LU-decomposition stand-in: a pivot-producing thread
+// and workers that consume each pivot row — the classic producer-
+// consumer RAW pattern plus a flag handshake per phase.
+func LU() Workload {
+	const workers = 2
+	build := func(seed int64) *program.Program {
+		n := 6 + int(seed%3) // matrix dimension varies with the input
+		pb := program.New("lu")
+		mat := pb.Space().Alloc("mat", n*n)
+		flag := pb.Space().Alloc("flag", n)
+		priv := make([]uint64, workers)
+		for w := range priv {
+			priv[w] = pb.Space().Alloc("priv"+string(rune('0'+w)), n)
+		}
+
+		t0 := pb.Thread()
+		t0.LiAddr(rA, mat)
+		t0.LiAddr(rB, flag)
+		t0.Li(rK, 0)
+		t0.Li(rT3, int64(n))
+		t0.Label("phase")
+		t0.Li(rJ, 0)
+		t0.Label("row")
+		// mat[k*n+j] = k + j (values are irrelevant; the stores are the point)
+		t0.Mul(rT1, rK, rT3)
+		t0.Add(rT1, rT1, rJ)
+		t0.Li(rT2, 8)
+		t0.Mul(rT1, rT1, rT2)
+		t0.Add(rT1, rT1, rA)
+		t0.Add(rT2, rK, rJ)
+		t0.Mark("pivotStore")
+		t0.Store(rT2, rT1, 0)
+		t0.Addi(rJ, rJ, 1)
+		t0.Slt(rT2, rJ, rT3)
+		t0.Bnez(rT2, "row")
+		// flag[k] = 1
+		t0.Li(rT2, 8)
+		t0.Mul(rT1, rK, rT2)
+		t0.Add(rT1, rT1, rB)
+		t0.Li(rT2, 1)
+		t0.Store(rT2, rT1, 0)
+		t0.Addi(rK, rK, 1)
+		t0.Slt(rT2, rK, rT3)
+		t0.Bnez(rT2, "phase")
+		t0.Halt()
+
+		for w := 0; w < workers; w++ {
+			tw := pb.Thread()
+			tw.LiAddr(rA, mat)
+			tw.LiAddr(rB, flag)
+			tw.LiAddr(rC, priv[w])
+			tw.Li(rK, 0)
+			tw.Li(rT3, int64(n))
+			tw.Label("phase")
+			// wait for flag[k]
+			tw.Li(rT2, 8)
+			tw.Mul(rT1, rK, rT2)
+			tw.Add(rT1, rT1, rB)
+			tw.Label("spin")
+			tw.Load(rT4, rT1, 0)
+			tw.Pause()
+			tw.Beqz(rT4, "spin")
+			// consume pivot row: sum mat[k*n+j]
+			tw.Li(rJ, 0)
+			tw.Li(rT4, 0)
+			tw.Label("consume")
+			tw.Mul(rT1, rK, rT3)
+			tw.Add(rT1, rT1, rJ)
+			tw.Li(rT2, 8)
+			tw.Mul(rT1, rT1, rT2)
+			tw.Add(rT1, rT1, rA)
+			tw.Mark("pivotLoad")
+			tw.Load(rT2, rT1, 0)
+			tw.Add(rT4, rT4, rT2)
+			tw.Addi(rJ, rJ, 1)
+			tw.Slt(rT2, rJ, rT3)
+			tw.Bnez(rT2, "consume")
+			// priv[k] = sum (intra-thread chain across phases)
+			tw.Li(rT2, 8)
+			tw.Mul(rT1, rK, rT2)
+			tw.Add(rT1, rT1, rC)
+			tw.Store(rT4, rT1, 0)
+			tw.Load(rT2, rT1, 0)
+			// trailing update: scale row k+1+w with the pivot sum, as the
+			// real LU updates the submatrix. These stores overwrite cells
+			// t0 later rewrites, so matrix cells gain multiple static
+			// writers (the source of realistic negative examples).
+			tw.Addi(rJ, rK, int64(1+w))
+			tw.Slt(rT2, rJ, rT3)
+			tw.Beqz(rT2, "skipupd")
+			tw.Li(rJ, 0)
+			tw.Label("upd")
+			tw.Addi(rT1, rK, int64(1+w))
+			tw.Mul(rT1, rT1, rT3)
+			tw.Add(rT1, rT1, rJ)
+			tw.Li(rT2, 8)
+			tw.Mul(rT1, rT1, rT2)
+			tw.Add(rT1, rT1, rA)
+			tw.Mark("blockStore")
+			tw.Store(rT4, rT1, 0)
+			tw.Addi(rJ, rJ, 1)
+			tw.Slt(rT2, rJ, rT3)
+			tw.Bnez(rT2, "upd")
+			tw.Label("skipupd")
+			tw.Addi(rK, rK, 1)
+			tw.Slt(rT2, rK, rT3)
+			tw.Bnez(rT2, "phase")
+			tw.Halt()
+		}
+		return pb.MustBuild()
+	}
+	return Workload{Name: "lu", Suite: "splash2", Threads: 1 + workers, Build: build, Sched: defaultSched}
+}
+
+// FFT is the SPLASH-2 FFT stand-in: staged all-to-all exchanges where
+// each stage's loads depend on both threads' previous-stage stores,
+// separated by flag barriers.
+func FFT() Workload {
+	const nThreads = 2
+	build := func(seed int64) *program.Program {
+		n := 8 + 2*int(seed%2) // elements, split between two threads
+		stages := 3
+		pb := program.New("fft")
+		data := pb.Space().Alloc("data", n)
+		done := pb.Space().Alloc("done", stages*nThreads)
+		half := n / 2
+
+		for t := 0; t < nThreads; t++ {
+			b := pb.Thread()
+			b.LiAddr(rA, data)
+			b.LiAddr(rB, done)
+			// initialize own half
+			b.Li(rI, int64(t*half))
+			b.Li(rT3, int64((t+1)*half))
+			b.Label("init")
+			b.Li(rT2, 8)
+			b.Mul(rT1, rI, rT2)
+			b.Add(rT1, rT1, rA)
+			b.Store(rI, rT1, 0)
+			b.Addi(rI, rI, 1)
+			b.Slt(rT2, rI, rT3)
+			b.Bnez(rT2, "init")
+
+			for s := 0; s < stages; s++ {
+				lbl := func(base string) string { return base + string(rune('0'+s)) }
+				// signal stage start: done[s*T+t] = 1
+				b.Li(rT1, int64((s*nThreads+t)*8))
+				b.Add(rT1, rT1, rB)
+				b.Li(rT2, 1)
+				b.Store(rT2, rT1, 0)
+				// wait for partner's signal
+				b.Li(rT1, int64((s*nThreads+(1-t))*8))
+				b.Add(rT1, rT1, rB)
+				spinWait(b, rT1, 0, lbl("wait"))
+				// butterfly: for own half, read partner element, combine, write own
+				b.Li(rI, int64(t*half))
+				b.Li(rT3, int64((t+1)*half))
+				b.Label(lbl("bfly"))
+				// partner index = (i + half) % n
+				b.Addi(rT1, rI, int64(half))
+				b.Li(rT2, int64(n))
+				b.Rem(rT1, rT1, rT2)
+				b.Li(rT2, 8)
+				b.Mul(rT1, rT1, rT2)
+				b.Add(rT1, rT1, rA)
+				b.Mark(lbl("xload"))
+				b.Load(rT2, rT1, 0) // inter-thread load of partner data
+				// own element
+				b.Li(rT4, 8)
+				b.Mul(rT1, rI, rT4)
+				b.Add(rT1, rT1, rA)
+				b.Load(rT4, rT1, 0)
+				b.Add(rT2, rT2, rT4)
+				b.Store(rT2, rT1, 0)
+				b.Addi(rI, rI, 1)
+				b.Slt(rT2, rI, rT3)
+				b.Bnez(rT2, lbl("bfly"))
+			}
+			b.Halt()
+		}
+		return pb.MustBuild()
+	}
+	return Workload{Name: "fft", Suite: "splash2", Threads: nThreads, Build: build, Sched: defaultSched}
+}
+
+// Radix is the SPLASH-2 radix-sort stand-in: threads atomically build a
+// shared histogram; a final thread consumes it once all are done.
+func Radix() Workload {
+	const nThreads = 4
+	build := func(seed int64) *program.Program {
+		items := 40 + 8*int(seed%3)
+		buckets := 8
+		pb := program.New("radix")
+		hist := pb.Space().Alloc("hist", buckets)
+		doneCnt := pb.Space().Alloc("done", 1)
+		sum := pb.Space().Alloc("sum", buckets)
+
+		for t := 0; t < nThreads-1; t++ {
+			b := pb.Thread()
+			b.LiAddr(rA, hist)
+			b.LiAddr(rB, doneCnt)
+			b.Li(rS, int64(seed)+int64(t)*7919+1)
+			b.Li(rI, int64(items))
+			b.Label("loop")
+			lcgStep(b, rS, rT1, rT2, rT3, int64(buckets))
+			b.Li(rT2, 8)
+			b.Mul(rT1, rT1, rT2)
+			b.Add(rT1, rT1, rA)
+			b.Li(rT2, 1)
+			b.Mark("histAdd")
+			b.Atomic(rT3, rT2, rT1, 0)
+			b.Addi(rI, rI, -1)
+			b.Bnez(rI, "loop")
+			b.Li(rT2, 1)
+			b.Atomic(rT3, rT2, rB, 0) // done++
+			b.Halt()
+		}
+
+		// Reducer thread waits for all workers then prefix-sums.
+		b := pb.Thread()
+		b.LiAddr(rA, hist)
+		b.LiAddr(rB, doneCnt)
+		b.LiAddr(rC, sum)
+		b.Label("spin")
+		b.Load(rT4, rB, 0)
+		b.Pause()
+		b.Li(rT2, int64(nThreads-1))
+		b.Slt(rT1, rT4, rT2)
+		b.Bnez(rT1, "spin")
+		b.Li(rI, 0)
+		b.Li(rT3, int64(buckets))
+		b.Li(rT4, 0)
+		b.Label("prefix")
+		b.Li(rT2, 8)
+		b.Mul(rT1, rI, rT2)
+		b.Add(rT1, rT1, rA)
+		b.Mark("histRead")
+		b.Load(rT2, rT1, 0)
+		b.Add(rT4, rT4, rT2)
+		b.Li(rT2, 8)
+		b.Mul(rT1, rI, rT2)
+		b.Add(rT1, rT1, rC)
+		b.Store(rT4, rT1, 0)
+		b.Addi(rI, rI, 1)
+		b.Slt(rT2, rI, rT3)
+		b.Bnez(rT2, "prefix")
+		b.Out(rT4)
+		b.Halt()
+		return pb.MustBuild()
+	}
+	return Workload{Name: "radix", Suite: "splash2", Threads: nThreads, Build: build, Sched: defaultSched}
+}
+
+// Ocean is the SPLASH-2 ocean stand-in: a red-black stencil where each
+// thread sweeps its grid partition reading the neighbour partition's
+// boundary row written in the previous sweep.
+func Ocean() Workload {
+	const nThreads = 2
+	build := func(seed int64) *program.Program {
+		cols := 8
+		rowsPer := 3 + int(seed%2)
+		sweeps := 3
+		pb := program.New("ocean")
+		grid := pb.Space().Alloc("grid", nThreads*rowsPer*cols)
+
+		for t := 0; t < nThreads; t++ {
+			b := pb.Thread()
+			b.LiAddr(rA, grid)
+			base := int64(t * rowsPer * cols)
+			// neighbour boundary row: the other partition's row adjacent
+			// to this partition (its first row for t=0, last for t=1)
+			nbr := int64((1-t)*rowsPer*cols) + int64((rowsPer-1)*cols)*b2i64(t == 1)
+			b.Li(rK, 0)
+			b.Label("sweep")
+			b.Li(rI, 0)
+			b.Li(rT3, int64(rowsPer*cols))
+			b.Label("cell")
+			// own cell address
+			b.Li(rT2, 8)
+			b.Mul(rT1, rI, rT2)
+			b.Addi(rT1, rT1, base*8)
+			b.Add(rT1, rT1, rA)
+			b.Load(rT2, rT1, 0) // own previous value (intra-thread)
+			// neighbour boundary cell (i % cols into the boundary row)
+			b.Li(rT4, int64(cols))
+			b.Rem(rT4, rI, rT4)
+			b.Li(rJ, 8)
+			b.Mul(rT4, rT4, rJ)
+			b.Addi(rT4, rT4, nbr*8)
+			b.Add(rT4, rT4, rA)
+			b.Mark("nbrLoad")
+			b.Load(rT4, rT4, 0) // inter-thread boundary read
+			b.Add(rT2, rT2, rT4)
+			// Red and black sweeps store from different instructions, so
+			// each cell accumulates two static writers across sweeps.
+			b.Li(rT4, 2)
+			b.Rem(rT4, rK, rT4)
+			b.Bnez(rT4, "black")
+			b.Mark("redStore")
+			b.Store(rT2, rT1, 0)
+			b.Jmp("stored")
+			b.Label("black")
+			b.Mark("blackStore")
+			b.Store(rT2, rT1, 0)
+			b.Label("stored")
+			b.Addi(rI, rI, 1)
+			b.Slt(rT2, rI, rT3)
+			b.Bnez(rT2, "cell")
+			b.Pause()
+			b.Addi(rK, rK, 1)
+			b.Li(rT2, int64(sweeps))
+			b.Slt(rT1, rK, rT2)
+			b.Bnez(rT1, "sweep")
+			b.Halt()
+		}
+		return pb.MustBuild()
+	}
+	return Workload{Name: "ocean", Suite: "splash2", Threads: nThreads, Build: build, Sched: defaultSched}
+}
+
+// Barnes is the SPLASH-2 Barnes-Hut stand-in: one thread builds a shared
+// body array, then all threads make irregular (pseudo-random) reads of
+// it while accumulating privately — read-mostly irregular sharing.
+func Barnes() Workload {
+	const nThreads = 2
+	build := func(seed int64) *program.Program {
+		bodies := 16 + 4*int(seed%2)
+		visits := 60
+		pb := program.New("barnes")
+		body := pb.Space().Alloc("body", bodies)
+		ready := pb.Space().Alloc("ready", 1)
+		acc := pb.Space().Alloc("acc", nThreads)
+
+		t0 := pb.Thread()
+		t0.LiAddr(rA, body)
+		t0.LiAddr(rB, ready)
+		t0.Li(rI, 0)
+		t0.Li(rT3, int64(bodies))
+		t0.Label("build")
+		t0.Li(rT2, 8)
+		t0.Mul(rT1, rI, rT2)
+		t0.Add(rT1, rT1, rA)
+		t0.Mark("bodyStore")
+		t0.Store(rI, rT1, 0)
+		t0.Addi(rI, rI, 1)
+		t0.Slt(rT2, rI, rT3)
+		t0.Bnez(rT2, "build")
+		// Perturbation pass: rewrite every body from a second static
+		// store before publishing, as the real code recomputes positions.
+		t0.Li(rI, 0)
+		t0.Label("perturb")
+		t0.Li(rT2, 8)
+		t0.Mul(rT1, rI, rT2)
+		t0.Add(rT1, rT1, rA)
+		t0.Load(rT2, rT1, 0)
+		t0.Addi(rT2, rT2, 5)
+		t0.Mark("bodyPerturb")
+		t0.Store(rT2, rT1, 0)
+		t0.Addi(rI, rI, 1)
+		t0.Slt(rT2, rI, rT3)
+		t0.Bnez(rT2, "perturb")
+		t0.Li(rT2, 1)
+		t0.Store(rT2, rB, 0)
+		// t0 also traverses
+		emitTraversal(t0, acc, 0, bodies, visits, seed+11)
+		t0.Halt()
+
+		t1 := pb.Thread()
+		t1.LiAddr(rA, body)
+		t1.LiAddr(rB, ready)
+		spinWait(t1, rB, 0, "wait")
+		emitTraversal(t1, acc, 1, bodies, visits, seed+23)
+		t1.Halt()
+		return pb.MustBuild()
+	}
+	return Workload{Name: "barnes", Suite: "splash2", Threads: nThreads, Build: build, Sched: defaultSched}
+}
+
+// emitTraversal emits a pseudo-random walk over the body array (base in
+// rA) accumulating into acc[t]. Callers must have rA set.
+func emitTraversal(b *program.Builder, acc uint64, t, bodies, visits int, seed int64) {
+	b.LiAddr(rC, acc+uint64(t)*8)
+	b.Li(rS, seed)
+	b.Li(rI, int64(visits))
+	b.Label("walk")
+	lcgStep(b, rS, rT1, rT2, rT3, int64(bodies))
+	b.Li(rT2, 8)
+	b.Mul(rT1, rT1, rT2)
+	b.Add(rT1, rT1, rA)
+	b.Mark("bodyLoad")
+	b.Load(rT2, rT1, 0)
+	b.Load(rT3, rC, 0)
+	b.Add(rT3, rT3, rT2)
+	b.Store(rT3, rC, 0)
+	b.Addi(rI, rI, -1)
+	b.Bnez(rI, "walk")
+}
+
+func b2i64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,82 @@
+// Package workloads provides the benchmark programs of the evaluation:
+// SPLASH-2- and PARSEC-like parallel kernels, SPEC- and coreutils-like
+// sequential programs, and the eleven real-bug plus five injected-bug
+// programs of Tables V and VI. Each workload is a synthetic program in
+// the reproduction's ISA whose data-communication structure mirrors the
+// original application's; the bug programs additionally reproduce the
+// original failure mechanism (atomicity violation, order violation,
+// semantic error, buffer overflow) under a controllable interleaving.
+package workloads
+
+import (
+	"fmt"
+
+	"act/internal/program"
+	"act/internal/vm"
+)
+
+// Workload is a failure-free benchmark used for training-quality,
+// adaptivity, and overhead experiments.
+type Workload struct {
+	Name    string
+	Suite   string // "splash2", "parsec", "spec", "coreutils"
+	Threads int
+	// Build constructs the program for one input; the seed varies array
+	// sizes and access patterns the way different inputs would.
+	Build func(seed int64) *program.Program
+	// Sched returns the scheduler configuration for one execution.
+	Sched func(seed int64) vm.SchedConfig
+}
+
+// defaultSched is the scheduling most workloads use: moderate bursts,
+// interleaving varied by seed.
+func defaultSched(seed int64) vm.SchedConfig {
+	return vm.SchedConfig{Seed: seed, MeanBurst: 40}
+}
+
+// Kernels returns the failure-free benchmark suite.
+func Kernels() []Workload {
+	return []Workload{
+		LU(), FFT(), Radix(), Ocean(), Barnes(),
+		Canneal(), Fluidanimate(), Swaptions(), Streamcluster(), Dedup(),
+		Bzip2(), MCF(), GCC(), Sort(),
+	}
+}
+
+// KernelByName returns the named kernel.
+func KernelByName(name string) (Workload, error) {
+	for _, w := range Kernels() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown kernel %q", name)
+}
+
+// ConcurrentKernels returns only the multi-threaded kernels (the
+// adaptivity experiment uses these: "the hardest to predict").
+func ConcurrentKernels() []Workload {
+	var out []Workload
+	for _, w := range Kernels() {
+		if w.Threads > 1 {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// lcgStep emits in-program pseudo-random state advance:
+// state = (state*a + c) % m, leaving the new state in rState and
+// state % bound in rOut. Uses rTmp1, rTmp2 as scratch.
+func lcgStep(b *program.Builder, rState, rOut, rTmp1, rTmp2 uint8, bound int64) {
+	b.Li(rTmp1, 1103515245)
+	b.Mul(rState, rState, rTmp1)
+	b.Addi(rState, rState, 12345)
+	b.Li(rTmp1, 1<<31)
+	b.Rem(rState, rState, rTmp1)
+	// keep state positive: state = state*state's sign fix via And mask
+	b.Li(rTmp2, 0x7fffffff)
+	b.And(rState, rState, rTmp2)
+	b.Li(rTmp1, bound)
+	b.Rem(rOut, rState, rTmp1)
+}

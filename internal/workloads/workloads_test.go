@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"testing"
+
+	"act/internal/deps"
+	"act/internal/trace"
+	"act/internal/vm"
+)
+
+func TestKernelsRunClean(t *testing.T) {
+	for _, w := range Kernels() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				p := w.Build(seed)
+				if p.NumThreads() != w.Threads {
+					t.Fatalf("threads = %d, want %d", p.NumThreads(), w.Threads)
+				}
+				res := vm.Run(p, w.Sched(seed))
+				if res.Failed {
+					t.Fatalf("seed %d failed: %s", seed, res.Reason)
+				}
+				if res.TimedOut {
+					t.Fatalf("seed %d timed out after %d steps", seed, res.Steps)
+				}
+				if res.Steps < 100 {
+					t.Fatalf("seed %d trivially short: %d steps", seed, res.Steps)
+				}
+			}
+		})
+	}
+}
+
+func TestKernelsProduceDeps(t *testing.T) {
+	for _, w := range Kernels() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			tr, _ := trace.Collect(w.Build(1), w.Sched(1))
+			gen := deps.NewGenerator(deps.ExtractorConfig{N: 3}, nil)
+			gen.Add(tr)
+			if gen.TotalDeps() < 20 {
+				t.Fatalf("only %d dynamic deps", gen.TotalDeps())
+			}
+			ds := gen.Dataset()
+			if ds.Positives() < 5 {
+				t.Fatalf("only %d unique sequences", ds.Positives())
+			}
+			if w.Threads > 1 {
+				// Multi-threaded kernels must communicate.
+				inter := false
+				for _, ex := range ds.Examples {
+					for _, d := range ex.Seq {
+						if d.Inter {
+							inter = true
+						}
+					}
+				}
+				if !inter {
+					t.Fatal("no inter-thread dependences in a parallel kernel")
+				}
+			}
+		})
+	}
+}
+
+func TestKernelsVaryWithSeed(t *testing.T) {
+	// Different seeds (inputs) must produce at least somewhat different
+	// dynamic behaviour, or the "multiple executions" of the paper's
+	// training methodology would be meaningless.
+	w, err := KernelByName("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr0, _ := trace.Collect(w.Build(0), w.Sched(0))
+	tr1, _ := trace.Collect(w.Build(1), w.Sched(1))
+	if len(tr0.Records) == len(tr1.Records) {
+		t.Log("same record count; checking contents")
+		same := true
+		for i := range tr0.Records {
+			if tr0.Records[i] != tr1.Records[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("seeds 0 and 1 produced identical traces")
+		}
+	}
+}
+
+func TestConcurrentKernels(t *testing.T) {
+	for _, w := range ConcurrentKernels() {
+		if w.Threads < 2 {
+			t.Errorf("%s listed as concurrent with %d threads", w.Name, w.Threads)
+		}
+	}
+	if len(ConcurrentKernels()) < 5 {
+		t.Error("too few concurrent kernels")
+	}
+}
+
+func TestKernelByNameUnknown(t *testing.T) {
+	if _, err := KernelByName("nope"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
