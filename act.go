@@ -44,17 +44,28 @@ import (
 // (store instruction S observed by load instruction L); a Sequence is
 // the N-long dependence window the network classifies.
 type (
-	Record     = trace.Record
-	Trace      = trace.Trace
-	Dep        = deps.Dep
-	Sequence   = deps.Sequence
-	DebugEntry = core.DebugEntry
-	Report     = ranking.Report
-	Candidate  = ranking.Candidate
+	Record           = trace.Record
+	Trace            = trace.Trace
+	Dep              = deps.Dep
+	Sequence         = deps.Sequence
+	DebugEntry       = core.DebugEntry
+	Report           = ranking.Report
+	Candidate        = ranking.Candidate
+	CorruptionReport = trace.CorruptionReport
 )
 
 // ReadTrace reads a binary trace written by Trace.Write (or acttrace).
+// Corruption inside a framed trace is recovered silently; use
+// ReadTraceReport to see what was lost.
 func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// ReadTraceReport reads a trace and reports any corruption the framed
+// reader recovered from: damaged records are skipped, the rest of the
+// trace survives, and the report says how much was lost. The report is
+// non-nil whenever the trace is.
+func ReadTraceReport(r io.Reader) (*Trace, *CorruptionReport, error) {
+	return trace.ReadReport(r)
+}
 
 // Model is a trained communication-invariant classifier: the network
 // topology and weights plus the sequence length it consumes — the
@@ -176,6 +187,23 @@ func LoadModel(r io.Reader) (*Model, error) {
 // Monitor is a deployed set of per-processor ACT Modules: it forms
 // dependences from the loads and stores you feed it, classifies their
 // sequences, logs predicted-invalid ones, and adapts online.
+//
+// A Monitor is not safe for concurrent use. In the hardware it models,
+// events arrive in coherence order over one channel; a software harness
+// feeding it from multiple goroutines must recreate that single total
+// order externally — guard every OnLoad/OnStore/Replay/DebugBuffer/
+// Stats call with one shared sync.Mutex:
+//
+//	var mu sync.Mutex
+//	// in each goroutine:
+//	mu.Lock()
+//	mon.OnLoad(tid, pc, addr)
+//	mu.Unlock()
+//
+// Sharding events by thread id onto separate unlocked Monitors is NOT
+// equivalent: cross-thread dependences — the ones diagnosis exists to
+// watch — form between records of different threads, so all threads'
+// events must pass through the same Monitor under the same lock.
 type Monitor struct {
 	tracker *core.Tracker
 }
@@ -189,8 +217,32 @@ type deployCfg struct {
 
 // WithThreshold sets the misprediction rate that flips a module into
 // online-training mode (default 0.05, Table III).
+//
+// The zero value means "use the default", so it cannot express "train at
+// any rate". Two sentinels cover the ends of the scale: AlwaysTrain
+// locks every module in online-training mode regardless of rate, and
+// NeverTrain locks them in testing mode (pure detection, weights
+// frozen). Any negative rate behaves as AlwaysTrain; any rate above 1 as
+// NeverTrain.
 func WithThreshold(rate float64) DeployOption {
 	return func(c *deployCfg) { c.tracker.Module.MispredThreshold = rate }
+}
+
+// Threshold sentinels for WithThreshold. AlwaysTrain keeps modules
+// learning online permanently; NeverTrain freezes the deployed weights.
+const (
+	AlwaysTrain = core.AlwaysTrain
+	NeverTrain  = core.NeverTrain
+)
+
+// WithRecoveryWindows sets K, the number of consecutive
+// stalled-unhealthy rate windows (misprediction above threshold without
+// improving, or pinned outputs) before a module's breaker restores its
+// last-known-good weight snapshot (default 4). Pass a negative k to
+// disable snapshot/rollback entirely. Recoveries are counted in
+// Stats().Recoveries.
+func WithRecoveryWindows(k int) DeployOption {
+	return func(c *deployCfg) { c.tracker.Module.RecoveryWindows = k }
 }
 
 // WithDebugBuffer sets the Debug Buffer capacity (default 60).
@@ -244,7 +296,10 @@ func (mo *Monitor) Replay(t *Trace) { mo.tracker.Replay(t) }
 // failure.
 func (mo *Monitor) DebugBuffer() []DebugEntry { return mo.tracker.DebugBuffers() }
 
-// Stats summarizes the monitor's activity.
+// Stats summarizes the monitor's activity, including the weight
+// breaker's counters: Snapshots taken on healthy windows and Recoveries
+// performed after divergence (NaN/Inf outputs, pinned outputs, or a
+// persistently stalled misprediction rate).
 func (mo *Monitor) Stats() core.Stats { return mo.tracker.Stats() }
 
 // TeachInvalid feeds a known-buggy dependence sequence back to thread

@@ -2,6 +2,7 @@ package act
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"act/internal/trace"
@@ -164,6 +165,71 @@ func TestWithoutPriorLeansValid(t *testing.T) {
 	t.Logf("unseen flagged: with prior %d, without %d", sf, lf)
 	if lf > sf {
 		t.Errorf("prior-less model flagged more unseen sequences (%d > %d)", lf, sf)
+	}
+}
+
+// TestMonitorSharedMutexFeed drives one Monitor from several goroutines
+// using the locking pattern its doc comment prescribes: a single shared
+// mutex around every call. Run under -race this validates that the
+// pattern is sufficient — the Monitor itself holds no locks.
+func TestMonitorSharedMutexFeed(t *testing.T) {
+	trainTr := kernelTraces(t, "mcf", 6, 0)
+	testTr := kernelTraces(t, "mcf", 3, 10_000)
+	model, err := Train(trainTr, testTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := Deploy(model, 4, WithDebugBuffer(64))
+
+	const goroutines, events = 4, 200
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := uint64(0); i < events; i++ {
+				addr := 0x3000_0000 + i*8 // shared across threads: cross-thread deps form
+				mu.Lock()
+				mon.OnStore(tid, 0xA000_0000+uint64(tid)<<16+i, addr)
+				mon.OnLoad(tid, 0xB000_0000+uint64(tid)<<16+i, addr)
+				if i%50 == 0 {
+					_ = mon.Stats()
+					_ = mon.DebugBuffer()
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := mon.Stats().Deps; got != goroutines*events {
+		t.Fatalf("deps = %d, want %d (every load consumes the store preceding it)", got, goroutines*events)
+	}
+}
+
+// TestThresholdSentinelsPublic checks the sentinel semantics through the
+// public API: AlwaysTrain keeps modules training, NeverTrain keeps them
+// frozen in testing mode.
+func TestThresholdSentinelsPublic(t *testing.T) {
+	trainTr := kernelTraces(t, "mcf", 6, 0)
+	testTr := kernelTraces(t, "mcf", 3, 10_000)
+	model, err := Train(trainTr, testTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := workloads.KernelByName("mcf")
+	tr, _ := trace.Collect(w.Build(99), vm.SchedConfig{Seed: 99})
+
+	always := Deploy(model, 2, WithThreshold(AlwaysTrain), WithCheckInterval(50))
+	always.Replay(tr)
+	if always.Stats().TrainingDeps == 0 {
+		t.Error("AlwaysTrain monitor never trained")
+	}
+
+	never := Deploy(model, 2, WithThreshold(NeverTrain), WithCheckInterval(50))
+	never.Replay(tr)
+	if st := never.Stats(); st.TrainingDeps != 0 {
+		t.Errorf("NeverTrain monitor trained on %d deps", st.TrainingDeps)
 	}
 }
 

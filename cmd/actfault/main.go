@@ -1,0 +1,109 @@
+// Command actfault runs the fault-injection campaign: for each bug
+// workload it trains and deploys the clean ACT pipeline once, then
+// replays the same failing execution under injected faults — corrupted
+// trace bytes, degraded dependence streams, weight-bit upsets — and
+// reports how diagnosis capability degrades with fault type and rate.
+//
+// Usage:
+//
+//	actfault                             # default sweep over apache
+//	actfault -bugs apache,gzip -rates 0.001,0.01,0.1
+//	actfault -kinds weight-seu,dep-stale -seed 42
+//	actfault -list                       # show fault kinds and bugs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"act/internal/faults"
+	"act/internal/train"
+	"act/internal/workloads"
+)
+
+func main() {
+	var (
+		bugs  = flag.String("bugs", "apache", "comma-separated bug workloads")
+		kinds = flag.String("kinds", "all", "comma-separated fault kinds (see -list)")
+		rates = flag.String("rates", "0.001,0.01,0.05", "comma-separated per-record fault rates")
+		seed  = flag.Int64("seed", 1, "campaign master seed")
+		full  = flag.Bool("full", false, "paper-scale training budget per bug")
+		list  = flag.Bool("list", false, "list fault kinds and bug workloads, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("fault kinds:")
+		for _, k := range faults.AllKinds() {
+			fmt.Printf("  %s\n", k)
+		}
+		fmt.Println("bug workloads:")
+		for _, b := range workloads.RealBugs() {
+			fmt.Printf("  %-10s %s\n", b.Name, b.Desc)
+		}
+		return
+	}
+
+	ks, err := faults.ParseKinds(*kinds)
+	if err != nil {
+		fatal(err)
+	}
+	rs, err := parseRates(*rates)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := faults.CampaignConfig{
+		Bugs:  strings.Split(*bugs, ","),
+		Kinds: ks,
+		Rates: rs,
+		Seed:  *seed,
+	}
+	if *full {
+		// Paper-scale topology search (the trainer's own full grid).
+		cfg.TrainRuns, cfg.TestRuns, cfg.CorrectSetRuns = 20, 6, 20
+		cfg.Train = train.Config{
+			Ns:   []int{1, 2, 3, 4, 5},
+			Hs:   []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+			Seed: 1,
+		}
+	}
+
+	res, err := faults.RunCampaign(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Render())
+	fmt.Printf("\ndetection rate under fault: %.0f%% (%d/%d arms)\n",
+		100*res.DetectionRate(), detected(res), len(res.Rows))
+}
+
+func detected(r *faults.Result) int {
+	n := 0
+	for _, row := range r.Rows {
+		if row.Detected {
+			n++
+		}
+	}
+	return n
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "actfault:", err)
+	os.Exit(1)
+}

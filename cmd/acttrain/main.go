@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 
 	"act/internal/bench"
+	"act/internal/loader"
 	"act/internal/trace"
 	"act/internal/train"
 	"act/internal/workloads"
@@ -123,14 +124,12 @@ func readGlob(glob string) ([]*trace.Trace, error) {
 	}
 	var out []*trace.Trace
 	for _, f := range files {
-		fh, err := os.Open(f)
-		if err != nil {
-			return nil, err
-		}
-		tr, err := trace.Read(fh)
-		fh.Close()
+		tr, rep, err := loader.LoadTrace(f, loader.RetryConfig{})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		if rep.Corrupt() {
+			fmt.Fprintf(os.Stderr, "acttrain: %s: corrupt trace recovered (%s)\n", f, rep)
 		}
 		out = append(out, tr)
 	}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"act/internal/deps"
 	"act/internal/nn"
@@ -30,16 +31,53 @@ func (m Mode) String() string {
 	return "training"
 }
 
+// DefaultMispredThreshold is the Table III mode-switch threshold applied
+// when Config.MispredThreshold is zero. The divergence breaker also
+// falls back to it when the configured threshold is a sentinel.
+const DefaultMispredThreshold = 0.05
+
+// Sentinel values for Config.MispredThreshold. The zero value means
+// "use the default", so an explicit request must be out of the [0, 1]
+// range a misprediction rate can take.
+const (
+	// AlwaysTrain (any negative threshold) keeps the module in online
+	// training permanently: no rate is ever low enough to switch back
+	// to testing.
+	AlwaysTrain float64 = -1
+	// NeverTrain (any threshold above 1) pins the module in testing
+	// mode: no misprediction rate can exceed it.
+	NeverTrain float64 = 2
+)
+
 // Config parameterizes an ACT Module. The defaults mirror Table III.
 type Config struct {
-	N                int          // dependences per sequence (network input group)
-	IGBSize          int          // Input Generator Buffer entries; default 5
-	DebugBufSize     int          // Debug Buffer entries; default 60
-	MispredThreshold float64      // mode-switch threshold; default 0.05
-	CheckInterval    int          // dependences between rate checks; default 1000
-	LearningRate     float64      // online backprop rate; default 0.2
-	Encoder          deps.Encoder // feature encoding; default deps.EncodeDefault
-	LUT              *nn.SigmoidLUT
+	N             int     // dependences per sequence (network input group)
+	IGBSize       int     // Input Generator Buffer entries; default 5
+	DebugBufSize  int     // Debug Buffer entries; default 60
+	CheckInterval int     // dependences between rate checks; default 1000
+	LearningRate  float64 // online backprop rate; default 0.2
+	// MispredThreshold is the mode-switch threshold; 0 means the default
+	// 0.05. The zero value cannot express "always train", so the
+	// sentinels exist: any negative value (AlwaysTrain) locks the module
+	// in training mode, any value above 1 (NeverTrain) locks it in
+	// testing mode.
+	MispredThreshold float64
+	// RecoveryWindows is K, the number of consecutive stalled-unhealthy
+	// windows (misprediction rate above threshold without improving, or
+	// fully saturated outputs) before the breaker restores the
+	// last-known-good weight snapshot. Windows in which the rate is
+	// still falling do not count: a module legitimately retraining on
+	// changed code makes progress, corrupted weights stall. 0 means the
+	// default 4; a negative value disables the breaker.
+	RecoveryWindows int
+	// SaturationEps bounds the "pinned output" detector: a window whose
+	// every output is within eps of 0 or 1 counts as unhealthy even when
+	// its misprediction rate looks fine, since saturated-valid outputs
+	// are what corrupted large-magnitude weights produce. 0 means the
+	// default 1e-6.
+	SaturationEps float64
+	Encoder       deps.Encoder // feature encoding; default deps.EncodeDefault
+	LUT           *nn.SigmoidLUT
 }
 
 func (c Config) withDefaults() Config {
@@ -53,13 +91,19 @@ func (c Config) withDefaults() Config {
 		c.DebugBufSize = 60
 	}
 	if c.MispredThreshold == 0 {
-		c.MispredThreshold = 0.05
+		c.MispredThreshold = DefaultMispredThreshold
 	}
 	if c.CheckInterval == 0 {
 		c.CheckInterval = 1000
 	}
 	if c.LearningRate == 0 {
 		c.LearningRate = 0.2
+	}
+	if c.RecoveryWindows == 0 {
+		c.RecoveryWindows = 4
+	}
+	if c.SaturationEps == 0 {
+		c.SaturationEps = 1e-6
 	}
 	if c.Encoder == nil {
 		c.Encoder = deps.EncodeDefault
@@ -68,6 +112,22 @@ func (c Config) withDefaults() Config {
 		c.LUT = nn.DefaultLUT()
 	}
 	return c
+}
+
+// rateImprovementEps is the minimum per-window misprediction-rate drop
+// that counts as training progress for the divergence breaker.
+const rateImprovementEps = 0.01
+
+// breakerThreshold is the rate above which a window counts as unhealthy
+// for the divergence breaker. When the mode-switch threshold is a
+// sentinel (outside [0, 1]), the breaker judges health against the
+// default instead — a permanently-training module must still be able to
+// detect corrupted weights.
+func (c Config) breakerThreshold() float64 {
+	if c.MispredThreshold < 0 || c.MispredThreshold > 1 {
+		return DefaultMispredThreshold
+	}
+	return c.MispredThreshold
 }
 
 // DebugEntry is one Debug Buffer record: a predicted-invalid dependence
@@ -87,6 +147,8 @@ type Stats struct {
 	Updates          uint64 // online backprop weight updates
 	ModeSwitches     uint64 // testing<->training transitions
 	TrainingDeps     uint64 // dependences processed while training
+	Snapshots        uint64 // weight snapshots taken on healthy windows
+	Recoveries       uint64 // rollbacks to the last-known-good snapshot
 }
 
 // Module is one processor's ACT Module. It is not safe for concurrent
@@ -103,6 +165,15 @@ type Module struct {
 
 	invalid int // Invalid Counter since last rate check
 	window  int // dependences since last rate check
+
+	// Snapshot/rollback circuit breaker: snap holds the last-known-good
+	// weights, badWindows counts consecutive stalled unhealthy rate
+	// windows, satWindow counts saturated outputs in the current window,
+	// lastRate is the previous window's misprediction rate.
+	snap       []float64
+	badWindows int
+	satWindow  int
+	lastRate   float64
 
 	xbuf  []float64
 	stats Stats
@@ -122,11 +193,19 @@ func NewModule(net *nn.Network, cfg Config) *Module {
 		panic(fmt.Sprintf("core: network input width %d, want %d for N=%d", net.NIn, want, cfg.N))
 	}
 	net.Act = cfg.LUT.Activation()
-	return &Module{
-		cfg:   cfg,
-		net:   net,
-		debug: make([]DebugEntry, 0, cfg.DebugBufSize),
+	m := &Module{
+		cfg:      cfg,
+		net:      net,
+		debug:    make([]DebugEntry, 0, cfg.DebugBufSize),
+		lastRate: 1,
 	}
+	// The deployment-time weights are the first known-good state: even
+	// an untrained module must have something finite to roll back to
+	// when an SEU lands before the first healthy window.
+	if m.weightsFinite() {
+		m.Snapshot()
+	}
+	return m
 }
 
 // Mode returns the module's current operating mode.
@@ -180,6 +259,19 @@ func (m *Module) OnDep(d deps.Dep) (classified, predictedInvalid bool) {
 		out = m.net.Forward(m.xbuf)
 	}
 
+	// A non-finite output means the weight state itself is poisoned
+	// (an SEU or a runaway update): no amount of further training fixes
+	// NaN, and NaN compares false against every threshold, so the rate
+	// machinery would never notice. Roll back immediately and classify
+	// with the restored weights.
+	if m.cfg.RecoveryWindows >= 0 && (math.IsNaN(out) || math.IsInf(out, 0)) {
+		m.recover()
+		out = m.net.Forward(m.xbuf)
+	}
+	if out <= m.cfg.SaturationEps || out >= 1-m.cfg.SaturationEps {
+		m.satWindow++
+	}
+
 	invalid := out < 0.5
 	if invalid {
 		m.stats.PredictedInvalid++
@@ -194,23 +286,101 @@ func (m *Module) OnDep(d deps.Dep) (classified, predictedInvalid bool) {
 }
 
 // checkRate implements the periodic Invalid Counter inspection that
-// flips the AM between testing and training.
+// flips the AM between testing and training, extended with the
+// snapshot/rollback circuit breaker: healthy testing windows snapshot
+// the weights, K consecutive unhealthy windows restore them.
 func (m *Module) checkRate() {
 	rate := float64(m.invalid) / float64(m.window)
-	switch m.mode {
-	case Testing:
-		if rate > m.cfg.MispredThreshold {
-			m.mode = Training
-			m.stats.ModeSwitches++
+	// A window whose every output was pinned against 0 or 1 is treated
+	// as unhealthy regardless of its rate: corrupted large-magnitude
+	// weights saturate the sigmoid, often on the "valid" side where the
+	// misprediction rate goes quiet.
+	saturated := m.satWindow == m.window
+
+	recovered := false
+	if m.cfg.RecoveryWindows >= 0 {
+		switch {
+		case rate <= m.cfg.breakerThreshold() && !saturated:
+			m.badWindows = 0
+			if m.mode == Testing && m.weightsFinite() {
+				m.Snapshot()
+			}
+		case rate < m.lastRate-rateImprovementEps && !saturated:
+			// Unhealthy but improving: online training is converging on
+			// legitimately changed code. Hold the counter.
+		default:
+			m.badWindows++
+			if m.badWindows >= m.cfg.RecoveryWindows {
+				m.recover()
+				recovered = true
+			}
 		}
-	case Training:
-		if rate < m.cfg.MispredThreshold {
-			m.mode = Testing
-			m.stats.ModeSwitches++
+	}
+	m.lastRate = rate
+
+	if !recovered {
+		switch {
+		case m.cfg.MispredThreshold < 0: // AlwaysTrain sentinel
+			if m.mode == Testing {
+				m.mode = Training
+				m.stats.ModeSwitches++
+			}
+		case m.mode == Testing:
+			if rate > m.cfg.MispredThreshold {
+				m.mode = Training
+				m.stats.ModeSwitches++
+			}
+		case m.mode == Training:
+			if rate < m.cfg.MispredThreshold {
+				m.mode = Testing
+				m.stats.ModeSwitches++
+			}
 		}
 	}
 	m.invalid = 0
 	m.window = 0
+	m.satWindow = 0
+}
+
+// Snapshot records the current weights as the last-known-good state the
+// breaker restores on divergence. The module takes one automatically at
+// construction, after LoadWeights, and on every healthy testing window.
+func (m *Module) Snapshot() {
+	m.snap = m.net.Flatten(m.snap[:0])
+	m.stats.Snapshots++
+}
+
+// recover restores the last-known-good snapshot and returns the module
+// to testing mode (unless it is pinned in training by the AlwaysTrain
+// sentinel), counting the event in Stats.Recoveries.
+func (m *Module) recover() {
+	if m.snap == nil {
+		// Nothing known-good to restore (the module was constructed
+		// with non-finite weights and never loaded sane ones).
+		m.badWindows = 0
+		return
+	}
+	if err := m.net.LoadFlat(m.snap); err != nil {
+		panic(err) // snapshot taken from this network; unreachable
+	}
+	m.stats.Recoveries++
+	m.badWindows = 0
+	m.lastRate = 1
+	if m.mode != Testing && m.cfg.MispredThreshold >= 0 {
+		m.mode = Testing
+		m.stats.ModeSwitches++
+	}
+}
+
+// weightsFinite reports whether every weight register holds a finite
+// value — the precondition for a state to be snapshot-worthy.
+func (m *Module) weightsFinite() bool {
+	for i, n := 0, m.net.WeightCount(); i < n; i++ {
+		if v := m.net.ReadRegister(i); math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // logDebug appends to the Debug Buffer, dropping the oldest entry when
@@ -291,13 +461,18 @@ func (m *Module) SaveWeights() []float64 {
 }
 
 // LoadWeights writes the weight registers (the stwt loop run at thread
-// creation or context-switch restore).
+// creation or context-switch restore). Explicitly loaded weights are
+// taken as known-good: they become the breaker's rollback snapshot,
+// provided they are finite.
 func (m *Module) LoadWeights(w []float64) error {
 	if len(w) != m.net.WeightCount() {
 		return fmt.Errorf("core: weight count %d, want %d", len(w), m.net.WeightCount())
 	}
 	for i, v := range w {
 		m.net.WriteRegister(i, v)
+	}
+	if m.weightsFinite() {
+		m.Snapshot()
 	}
 	return nil
 }

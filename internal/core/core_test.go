@@ -172,6 +172,190 @@ func TestModuleConfigValidation(t *testing.T) {
 	NewModule(net, Config{N: 9, IGBSize: 5})
 }
 
+func TestThresholdSentinels(t *testing.T) {
+	mk := func(thr float64) *Module {
+		net := nn.New(4, 4, rand.New(rand.NewSource(6)))
+		for i := range net.WO {
+			net.WO[i] = 0
+		}
+		net.WO[len(net.WO)-1] = 4 // always valid: rate 0
+		return NewModule(net, Config{N: 2, CheckInterval: 20, MispredThreshold: thr})
+	}
+
+	// AlwaysTrain: even a 0% misprediction rate must not bring the
+	// module back to testing — the zero-value trap this sentinel fixes.
+	m := mk(AlwaysTrain)
+	m.ForceMode(Training)
+	for i := uint64(0); i < 200; i++ {
+		m.OnDep(deps.Dep{S: 1 + i%3, L: 9 + i%3})
+	}
+	if m.Mode() != Training {
+		t.Fatal("AlwaysTrain module left training mode")
+	}
+	if m.Stats().TrainingDeps != 200 {
+		t.Fatalf("training deps = %d, want 200", m.Stats().TrainingDeps)
+	}
+
+	// A testing AlwaysTrain module flips into training at the first
+	// window regardless of its (perfect) rate.
+	m = mk(AlwaysTrain)
+	for i := uint64(0); i < 40; i++ {
+		m.OnDep(deps.Dep{S: 1 + i%3, L: 9 + i%3})
+	}
+	if m.Mode() != Training {
+		t.Fatal("AlwaysTrain module stayed in testing mode")
+	}
+
+	// NeverTrain: an always-invalid network (100% misprediction) must
+	// stay in testing mode. The breaker is disabled so rollback does not
+	// mask the mode decision under test.
+	net := nn.New(4, 4, rand.New(rand.NewSource(7)))
+	for i := range net.WO {
+		net.WO[i] = 0
+	}
+	net.WO[len(net.WO)-1] = -2
+	m = NewModule(net, Config{N: 2, CheckInterval: 20, MispredThreshold: NeverTrain, RecoveryWindows: -1})
+	for i := uint64(0); i < 200; i++ {
+		m.OnDep(deps.Dep{S: 1 + i%3, L: 9 + i%3})
+	}
+	if m.Mode() != Testing {
+		t.Fatal("NeverTrain module entered training mode")
+	}
+
+	// Explicit 0 still means the documented default.
+	if got := (Config{}).withDefaults().MispredThreshold; got != DefaultMispredThreshold {
+		t.Fatalf("zero threshold defaulted to %v", got)
+	}
+}
+
+// healthyModule builds a testing-mode module with an accept-everything
+// network and pushes it through one healthy window so a post-deployment
+// snapshot exists.
+func healthyModule(t *testing.T, interval int) *Module {
+	t.Helper()
+	net := nn.New(4, 6, rand.New(rand.NewSource(8)))
+	for h := range net.WH {
+		for i := range net.WH[h] {
+			net.WH[h][i] = 0.1
+		}
+	}
+	for i := range net.WO {
+		net.WO[i] = 0
+	}
+	net.WO[len(net.WO)-1] = 2 // sigmoid(2) ≈ 0.88: valid, not saturated
+	m := NewModule(net, Config{N: 2, CheckInterval: interval, RecoveryWindows: 3})
+	for i := uint64(0); i < uint64(interval); i++ {
+		if _, inv := m.OnDep(deps.Dep{S: 2 + i%4, L: 100 + i%4}); inv {
+			t.Fatal("fixture network rejected a dependence")
+		}
+	}
+	if m.Stats().Snapshots < 2 { // construction + first healthy window
+		t.Fatalf("snapshots = %d, want construction + healthy window", m.Stats().Snapshots)
+	}
+	return m
+}
+
+func TestRecoverFromNaNWeights(t *testing.T) {
+	m := healthyModule(t, 50)
+	good := m.SaveWeights()
+
+	// An SEU leaves a NaN in weight memory: the very next dependence
+	// must roll the module back, keep it in testing mode, and count the
+	// recovery.
+	m.Network().WriteRegister(0, math.NaN())
+	m.Network().WriteRegister(len(good)-1, math.Inf(1))
+	_, inv := m.OnDep(deps.Dep{S: 2, L: 100})
+	if inv {
+		t.Fatal("restored weights rejected a known-valid dependence")
+	}
+	if got := m.Stats().Recoveries; got != 1 {
+		t.Fatalf("recoveries = %d, want 1", got)
+	}
+	if m.Mode() != Testing {
+		t.Fatalf("mode after recovery = %v", m.Mode())
+	}
+	after := m.SaveWeights()
+	for i := range good {
+		if after[i] != good[i] {
+			t.Fatalf("weight %d not restored: %v vs %v", i, after[i], good[i])
+		}
+	}
+}
+
+func TestRecoverFromDivergedWeights(t *testing.T) {
+	const interval = 50
+	m := healthyModule(t, interval)
+	good := m.SaveWeights()
+
+	// Corrupt the output bias to a huge finite magnitude: every output
+	// saturates against 0, the misprediction rate pins at 100%, and
+	// learning cannot make progress through the dead sigmoid. Within
+	// K = 3 windows the breaker must restore the snapshot and return the
+	// module to testing mode.
+	m.Network().WO[len(m.Network().WO)-1] = -1e6
+	recoveredAt := -1
+	for i := 0; i < 5*interval; i++ {
+		m.OnDep(deps.Dep{S: 2 + uint64(i)%4, L: 100 + uint64(i)%4})
+		if m.Stats().Recoveries > 0 {
+			recoveredAt = i
+			break
+		}
+	}
+	if recoveredAt < 0 {
+		t.Fatal("diverged module never recovered")
+	}
+	if recoveredAt >= 4*interval {
+		t.Fatalf("recovery took %d deps, want within K=3 windows plus slack", recoveredAt)
+	}
+	if m.Mode() != Testing {
+		t.Fatalf("mode after recovery = %v", m.Mode())
+	}
+	after := m.SaveWeights()
+	for i := range good {
+		if after[i] != good[i] {
+			t.Fatalf("weight %d not restored", i)
+		}
+	}
+	// And the module is functional again.
+	if _, inv := m.OnDep(deps.Dep{S: 2, L: 100}); inv {
+		t.Fatal("recovered module rejects valid dependences")
+	}
+}
+
+func TestBreakerSparesLegitimateRetraining(t *testing.T) {
+	// An always-invalid network that CAN learn (healthy gradients): the
+	// module flips to training, improves every window, and must converge
+	// without the breaker yanking it back to the unlearned snapshot.
+	net := nn.New(4, 6, rand.New(rand.NewSource(2)))
+	for i := range net.WO {
+		net.WO[i] = 0
+	}
+	net.WO[len(net.WO)-1] = -2
+	m := NewModule(net, Config{N: 2, CheckInterval: 50, LearningRate: 0.5, RecoveryWindows: 3})
+	ds := seqAt(0x4000, 4)
+	for i := 0; i < 50_000 && (m.Mode() == Training || i < 3000); i++ {
+		m.OnDep(ds[i%len(ds)])
+	}
+	if m.Mode() != Testing {
+		t.Fatal("module never converged back to testing")
+	}
+	if got := m.Stats().Recoveries; got != 0 {
+		t.Fatalf("breaker fired %d times during legitimate retraining", got)
+	}
+}
+
+func TestRecoveryDisabled(t *testing.T) {
+	net := nn.New(4, 4, rand.New(rand.NewSource(9)))
+	m := NewModule(net, Config{N: 2, CheckInterval: 10, RecoveryWindows: -1})
+	m.Network().WriteRegister(0, math.NaN())
+	for i := uint64(0); i < 100; i++ {
+		m.OnDep(deps.Dep{S: 1 + i, L: 2 + i})
+	}
+	if m.Stats().Recoveries != 0 {
+		t.Fatal("disabled breaker still recovered")
+	}
+}
+
 func TestWeightBinary(t *testing.T) {
 	wb := NewWeightBinary(4, 4)
 	if wb.Has(0) {

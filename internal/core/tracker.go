@@ -198,6 +198,8 @@ func (t *Tracker) Stats() Stats {
 		s.Updates += ms.Updates
 		s.ModeSwitches += ms.ModeSwitches
 		s.TrainingDeps += ms.TrainingDeps
+		s.Snapshots += ms.Snapshots
+		s.Recoveries += ms.Recoveries
 	}
 	return s
 }

@@ -1,0 +1,88 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"act/internal/nn"
+	"act/internal/train"
+)
+
+// tinyCampaign is the smallest config that exercises the full pipeline:
+// one bug, a handful of kinds, one rate, minimal training budget.
+func tinyCampaign() CampaignConfig {
+	return CampaignConfig{
+		Bugs:  []string{"apache"},
+		Kinds: []Kind{RecordDrop, DepStale, WeightSEU},
+		Rates: []float64{0.01},
+		Seed:  7,
+		Train: train.Config{
+			Ns:              []int{2},
+			Hs:              []int{6},
+			RandomNegatives: 2,
+			Seed:            1,
+			SearchFit:       nn.FitConfig{MaxEpochs: 200, Seed: 1},
+			FinalFit:        nn.FitConfig{MaxEpochs: 1500, Seed: 1, Patience: 400},
+		},
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign runs the full train+deploy pipeline")
+	}
+	a, err := RunCampaign(tinyCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCampaign(tinyCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different campaigns:\n%s\nvs\n%s", a.Render(), b.Render())
+	}
+
+	// The clean baseline must diagnose the bug, or degradation numbers
+	// mean nothing.
+	if len(a.Baselines) != 1 || !a.Baselines[0].Detected {
+		t.Fatalf("baseline failed to diagnose: %+v", a.Baselines)
+	}
+	if len(a.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(a.Rows))
+	}
+	for _, row := range a.Rows {
+		if row.DebugLen == 0 && row.Kind != TraceTruncate {
+			t.Errorf("%v: empty debug buffer", row.Kind)
+		}
+	}
+	out := a.Render()
+	for _, want := range []string{"apache", "(baseline)", "rec-drop", "dep-stale", "weight-seu"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	all, err := ParseKinds("all")
+	if err != nil || len(all) != len(AllKinds()) {
+		t.Fatalf("all: %v %v", all, err)
+	}
+	got, err := ParseKinds("trace-bits, weight-seu")
+	if err != nil || len(got) != 2 || got[0] != TraceBits || got[1] != WeightSEU {
+		t.Fatalf("parse: %v %v", got, err)
+	}
+	if _, err := ParseKinds("bogus"); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range AllKinds() {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+}

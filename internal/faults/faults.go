@@ -1,0 +1,185 @@
+// Package faults is a deterministic fault injector for the ACT
+// pipeline. Production deployments see three classes of damage the
+// evaluation must survive: trace streams corrupted or truncated on their
+// way to offline tooling, dependence streams degraded by last-writer
+// SRAM-table eviction and false sharing (Section IV/VI-D), and
+// single-event upsets in the AM's weight memory. Every injection draws
+// from one seeded source, so a campaign run is reproducible bit for bit.
+//
+// The injector operates at three levels, mirroring those classes:
+//
+//   - byte level: FlipBits and Truncate damage a serialized trace, the
+//     input to the hardened framed reader;
+//   - record level: Drop/Duplicate/Swap perturb the record stream, and
+//     DropLoads/DropStores/AliasToLine model dependence-stream faults
+//     (a dropped store leaves stale last-writer metadata behind, exactly
+//     what a victimized SRAM entry looks like; line aliasing recreates
+//     false sharing);
+//   - weight level: FlipWeightBit applies an SEU to one network weight.
+package faults
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+
+	"act/internal/nn"
+	"act/internal/trace"
+)
+
+// Injector is a seeded source of faults. It is not safe for concurrent
+// use; campaigns create one per experimental arm.
+type Injector struct {
+	rng *rand.Rand
+}
+
+// New returns an injector drawing from the given seed.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// FlipBits returns a copy of data in which each byte independently had
+// one random bit flipped with the given probability, plus the number of
+// bytes damaged.
+func (in *Injector) FlipBits(data []byte, rate float64) ([]byte, int) {
+	out := append([]byte(nil), data...)
+	flips := 0
+	for i := range out {
+		if in.rng.Float64() < rate {
+			out[i] ^= 1 << uint(in.rng.Intn(8))
+			flips++
+		}
+	}
+	return out, flips
+}
+
+// Truncate cuts data at a random point in its final (1-keepMin) span —
+// the crash-while-writing fault. It returns the prefix and the number of
+// bytes lost.
+func (in *Injector) Truncate(data []byte, keepMin float64) ([]byte, int) {
+	if keepMin < 0 {
+		keepMin = 0
+	} else if keepMin > 1 {
+		keepMin = 1
+	}
+	floor := int(keepMin * float64(len(data)))
+	cut := floor
+	if len(data) > floor {
+		cut = floor + in.rng.Intn(len(data)-floor+1)
+	}
+	return data[:cut], len(data) - cut
+}
+
+// filterRecords copies t, keeping records for which keep returns true.
+func filterRecords(t *trace.Trace, keep func(trace.Record) bool) (*trace.Trace, int) {
+	out := &trace.Trace{Program: t.Program, Seed: t.Seed, Steps: t.Steps,
+		Records: make([]trace.Record, 0, len(t.Records))}
+	dropped := 0
+	for _, r := range t.Records {
+		if keep(r) {
+			out.Records = append(out.Records, r)
+		} else {
+			dropped++
+		}
+	}
+	return out, dropped
+}
+
+// DropRecords removes each record with the given probability.
+func (in *Injector) DropRecords(t *trace.Trace, rate float64) (*trace.Trace, int) {
+	return filterRecords(t, func(trace.Record) bool { return in.rng.Float64() >= rate })
+}
+
+// DropLoads removes each load record with the given probability: a
+// dependence the tracker never sees.
+func (in *Injector) DropLoads(t *trace.Trace, rate float64) (*trace.Trace, int) {
+	return filterRecords(t, func(r trace.Record) bool {
+		return r.Store || in.rng.Float64() >= rate
+	})
+}
+
+// DropStores removes each store record with the given probability. The
+// previous writer of the granule then stays "last": the stale-metadata
+// fault left behind when an SRAM last-writer entry is evicted before a
+// consumer load arrives.
+func (in *Injector) DropStores(t *trace.Trace, rate float64) (*trace.Trace, int) {
+	return filterRecords(t, func(r trace.Record) bool {
+		return !r.Store || in.rng.Float64() >= rate
+	})
+}
+
+// DuplicateRecords re-emits each record immediately with the given
+// probability (a retried write on the collection path). It returns the
+// copy and the number of duplicates inserted.
+func (in *Injector) DuplicateRecords(t *trace.Trace, rate float64) (*trace.Trace, int) {
+	out := &trace.Trace{Program: t.Program, Seed: t.Seed, Steps: t.Steps,
+		Records: make([]trace.Record, 0, len(t.Records))}
+	dups := 0
+	for _, r := range t.Records {
+		out.Records = append(out.Records, r)
+		if in.rng.Float64() < rate {
+			out.Records = append(out.Records, r)
+			dups++
+		}
+	}
+	return out, dups
+}
+
+// SwapRecords exchanges each adjacent record pair with the given
+// probability — locally reordered delivery. It returns the copy and the
+// number of swaps.
+func (in *Injector) SwapRecords(t *trace.Trace, rate float64) (*trace.Trace, int) {
+	out := &trace.Trace{Program: t.Program, Seed: t.Seed, Steps: t.Steps,
+		Records: append([]trace.Record(nil), t.Records...)}
+	swaps := 0
+	for i := 0; i+1 < len(out.Records); i += 2 {
+		if in.rng.Float64() < rate {
+			out.Records[i], out.Records[i+1] = out.Records[i+1], out.Records[i]
+			swaps++
+		}
+	}
+	return out, swaps
+}
+
+// AliasToLine rounds each record's address down to its line-sized
+// granule with the given probability, so unrelated words collide in
+// last-writer tracking — the false-sharing artifact of line-granularity
+// hardware. line must be a power of two.
+func (in *Injector) AliasToLine(t *trace.Trace, rate float64, line uint64) (*trace.Trace, int) {
+	out := &trace.Trace{Program: t.Program, Seed: t.Seed, Steps: t.Steps,
+		Records: append([]trace.Record(nil), t.Records...)}
+	aliased := 0
+	for i := range out.Records {
+		if in.rng.Float64() < rate {
+			out.Records[i].Addr &^= line - 1
+			aliased++
+		}
+	}
+	return out, aliased
+}
+
+// FlipWeightBit applies a single-event upset to the network: one random
+// bit of one random weight register is inverted. It returns the register
+// index and bit position. Flips in the exponent or sign routinely drive
+// the weight to a huge magnitude, NaN, or Inf — the divergence the AM's
+// snapshot/rollback breaker must catch.
+func (in *Injector) FlipWeightBit(net *nn.Network) (reg int, bit uint) {
+	reg = in.rng.Intn(net.WeightCount())
+	bit = uint(in.rng.Intn(64))
+	v := math.Float64bits(net.ReadRegister(reg))
+	net.WriteRegister(reg, math.Float64frombits(v^(1<<bit)))
+	return reg, bit
+}
+
+// CorruptStream serializes the trace in the framed format, damages the
+// bytes with FlipBits at the given rate, and reads it back through the
+// recovering reader — the full ingest round trip a production trace
+// takes. It returns the recovered partial trace and the reader's report.
+func (in *Injector) CorruptStream(t *trace.Trace, rate float64) (*trace.Trace, *trace.CorruptionReport, error) {
+	var buf bytes.Buffer
+	if err := t.Write(&buf); err != nil {
+		return nil, nil, err
+	}
+	data, _ := in.FlipBits(buf.Bytes(), rate)
+	return trace.ReadReport(bytes.NewReader(data))
+}

@@ -1,0 +1,151 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"act/internal/nn"
+	"act/internal/trace"
+)
+
+func sampleTrace(n int) *trace.Trace {
+	tr := &trace.Trace{Program: "sample", Seed: 5, Steps: uint64(n)}
+	for i := 0; i < n; i++ {
+		tr.Records = append(tr.Records, trace.Record{
+			Seq: uint64(i), PC: uint64(0x400000 + i), Addr: uint64(0x10000000 + 8*i),
+			Tid: uint16(i % 2), Store: i%2 == 0,
+		})
+	}
+	return tr
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	tr := sampleTrace(500)
+	run := func() ([]byte, *trace.Trace, int, uint) {
+		in := New(42)
+		data, _ := in.FlipBits(make([]byte, 256), 0.1)
+		dropped, _ := in.DropRecords(tr, 0.05)
+		net := nn.New(4, 4, rand.New(rand.NewSource(1)))
+		reg, bit := in.FlipWeightBit(net)
+		return data, dropped, reg, bit
+	}
+	d1, t1, r1, b1 := run()
+	d2, t2, r2, b2 := run()
+	if !reflect.DeepEqual(d1, d2) || !reflect.DeepEqual(t1, t2) || r1 != r2 || b1 != b2 {
+		t.Fatal("same seed produced different faults")
+	}
+}
+
+func TestDropKinds(t *testing.T) {
+	tr := sampleTrace(1000)
+	in := New(7)
+	loads, dl := in.DropLoads(tr, 0.5)
+	for _, r := range loads.Records {
+		if !r.Store && dl == 0 {
+			break
+		}
+	}
+	if dl == 0 {
+		t.Fatal("no loads dropped at rate 0.5")
+	}
+	stores := 0
+	for _, r := range loads.Records {
+		if r.Store {
+			stores++
+		}
+	}
+	if stores != 500 {
+		t.Fatalf("DropLoads touched stores: %d left, want 500", stores)
+	}
+
+	st, ds := in.DropStores(tr, 0.5)
+	if ds == 0 {
+		t.Fatal("no stores dropped")
+	}
+	loadsLeft := 0
+	for _, r := range st.Records {
+		if !r.Store {
+			loadsLeft++
+		}
+	}
+	if loadsLeft != 500 {
+		t.Fatalf("DropStores touched loads: %d left, want 500", loadsLeft)
+	}
+	if len(tr.Records) != 1000 {
+		t.Fatal("injector mutated its input trace")
+	}
+}
+
+func TestDuplicateAndSwap(t *testing.T) {
+	tr := sampleTrace(100)
+	in := New(3)
+	dup, nd := in.DuplicateRecords(tr, 0.2)
+	if nd == 0 || len(dup.Records) != 100+nd {
+		t.Fatalf("duplicates: %d inserted, %d records", nd, len(dup.Records))
+	}
+	sw, ns := in.SwapRecords(tr, 0.5)
+	if ns == 0 || len(sw.Records) != 100 {
+		t.Fatalf("swaps: %d, %d records", ns, len(sw.Records))
+	}
+}
+
+func TestAliasToLine(t *testing.T) {
+	tr := sampleTrace(64)
+	in := New(9)
+	out, n := in.AliasToLine(tr, 1.0, 64)
+	if n != 64 {
+		t.Fatalf("aliased %d, want all", n)
+	}
+	for _, r := range out.Records {
+		if r.Addr%64 != 0 {
+			t.Fatalf("address %#x not line aligned", r.Addr)
+		}
+	}
+}
+
+func TestFlipWeightBitChangesOneWeight(t *testing.T) {
+	net := nn.New(4, 4, rand.New(rand.NewSource(2)))
+	before := net.Flatten(nil)
+	in := New(11)
+	reg, _ := in.FlipWeightBit(net)
+	after := net.Flatten(nil)
+	diffs := 0
+	for i := range before {
+		bi, ai := math.Float64bits(before[i]), math.Float64bits(after[i])
+		if bi != ai {
+			diffs++
+			if i != reg {
+				t.Fatalf("weight %d changed, reported %d", i, reg)
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("%d weights changed, want exactly 1", diffs)
+	}
+}
+
+func TestCorruptStreamRoundTrip(t *testing.T) {
+	tr := sampleTrace(2000)
+	// Clean pass: everything survives.
+	got, rep, err := New(1).CorruptStream(tr, 0)
+	if err != nil || rep.Corrupt() || len(got.Records) != 2000 {
+		t.Fatalf("clean stream: err=%v rep=%v records=%d", err, rep, len(got.Records))
+	}
+	// A light bit-flip rate (~0.03% of bytes ≈ 1% of 33-byte frames)
+	// yields a partial trace plus a report, never an error.
+	got, rep, err = New(1).CorruptStream(tr, 0.0003)
+	if err != nil {
+		t.Fatalf("corrupted stream errored: %v", err)
+	}
+	if !rep.Corrupt() {
+		t.Fatal("no corruption reported")
+	}
+	if len(got.Records) == 0 || len(got.Records) > 2000+rep.BadSpans {
+		t.Fatalf("recovered %d records", len(got.Records))
+	}
+	if float64(len(got.Records)) < 0.95*2000 {
+		t.Fatalf("lost too much: %d/2000 (report %v)", len(got.Records), rep)
+	}
+}

@@ -1,0 +1,104 @@
+package loader
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"time"
+
+	"act/internal/trace"
+)
+
+// Trace ingest with retry. Production traces arrive over flaky
+// transports — NFS mounts, log shippers, crash-dump collectors — where
+// reads fail transiently. The loader retries those with capped
+// exponential backoff, but fails fast on permanent problems (a missing
+// file, a stream that is not a trace at all): retrying cannot turn a
+// wrong file into a right one. Corruption inside a framed trace is not
+// an error at all — the trace reader already degrades to a partial
+// trace plus a CorruptionReport.
+
+// RetryConfig bounds the retry loop. The zero value gives 4 attempts
+// starting at 10ms, doubling, capped at 250ms per wait.
+type RetryConfig struct {
+	Attempts  int           // total attempts; default 4
+	BaseDelay time.Duration // wait before the second attempt; default 10ms
+	MaxDelay  time.Duration // backoff cap; default 250ms
+	// Sleep replaces time.Sleep, letting tests observe the backoff
+	// schedule without waiting it out.
+	Sleep func(time.Duration)
+	// Transient classifies errors worth retrying. The default treats
+	// everything as transient except a missing file, bad magic, and an
+	// unsupported version.
+	Transient func(error) bool
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.Attempts <= 0 {
+		c.Attempts = 4
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 10 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 250 * time.Millisecond
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	if c.Transient == nil {
+		c.Transient = TransientDefault
+	}
+	return c
+}
+
+// TransientDefault is the default retry classification: permanent
+// failures are those a retry cannot fix.
+func TransientDefault(err error) bool {
+	return !errors.Is(err, trace.ErrBadMagic) &&
+		!errors.Is(err, trace.ErrBadVersion) &&
+		!errors.Is(err, fs.ErrNotExist) &&
+		!errors.Is(err, fs.ErrPermission)
+}
+
+// LoadTraceFrom reads a trace from successive readers produced by open,
+// retrying transient failures under the config. Each attempt gets a
+// fresh reader (a half-consumed stream cannot be resumed). The returned
+// report is non-nil whenever the trace is.
+func LoadTraceFrom(open func() (io.ReadCloser, error), cfg RetryConfig) (*trace.Trace, *trace.CorruptionReport, error) {
+	cfg = cfg.withDefaults()
+	delay := cfg.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			cfg.Sleep(delay)
+			delay *= 2
+			if delay > cfg.MaxDelay {
+				delay = cfg.MaxDelay
+			}
+		}
+		r, err := open()
+		if err == nil {
+			var t *trace.Trace
+			var rep *trace.CorruptionReport
+			t, rep, err = trace.ReadReport(r)
+			r.Close()
+			if err == nil {
+				return t, rep, nil
+			}
+		}
+		lastErr = err
+		if !cfg.Transient(err) {
+			break
+		}
+	}
+	return nil, nil, lastErr
+}
+
+// LoadTrace reads the trace file at path with retry on transient
+// failures. Corrupted framed traces come back as a partial trace plus a
+// report, not an error.
+func LoadTrace(path string, cfg RetryConfig) (*trace.Trace, *trace.CorruptionReport, error) {
+	return LoadTraceFrom(func() (io.ReadCloser, error) { return os.Open(path) }, cfg)
+}

@@ -1,0 +1,150 @@
+package loader
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"act/internal/trace"
+)
+
+func writtenTrace(t *testing.T, n int) ([]byte, *trace.Trace) {
+	t.Helper()
+	tr := &trace.Trace{Program: "retry-fixture", Seed: 4, Steps: uint64(n)}
+	for i := 0; i < n; i++ {
+		tr.Records = append(tr.Records, trace.Record{
+			Seq: uint64(i), PC: uint64(i * 5), Addr: uint64(i * 9), Tid: uint16(i % 2), Store: i%2 == 0,
+		})
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), tr
+}
+
+// noSleep fails the test if the retry loop actually sleeps — used where
+// no retries are expected — or records the schedule.
+func sleepRecorder(t *testing.T) (func(time.Duration), *[]time.Duration) {
+	t.Helper()
+	var waits []time.Duration
+	return func(d time.Duration) { waits = append(waits, d) }, &waits
+}
+
+func TestLoadTraceMissingFileFailsFast(t *testing.T) {
+	sleep, waits := sleepRecorder(t)
+	_, _, err := LoadTrace(filepath.Join(t.TempDir(), "nope.trace"), RetryConfig{Sleep: sleep})
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v, want not-exist", err)
+	}
+	if len(*waits) != 0 {
+		t.Fatalf("missing file was retried %d times", len(*waits))
+	}
+}
+
+func TestLoadTraceBadMagicFailsFast(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.trace")
+	if err := os.WriteFile(path, []byte("this is not a trace, promise"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sleep, waits := sleepRecorder(t)
+	_, _, err := LoadTrace(path, RetryConfig{Sleep: sleep})
+	if !errors.Is(err, trace.ErrBadMagic) {
+		t.Fatalf("err = %v, want bad magic", err)
+	}
+	if len(*waits) != 0 {
+		t.Fatalf("bad magic was retried %d times", len(*waits))
+	}
+}
+
+func TestLoadTraceTruncatedYieldsPartial(t *testing.T) {
+	data, tr := writtenTrace(t, 100)
+	path := filepath.Join(t.TempDir(), "cut.trace")
+	if err := os.WriteFile(path, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := LoadTrace(path, RetryConfig{})
+	if err != nil {
+		t.Fatalf("mid-record truncation must degrade, not fail: %v", err)
+	}
+	if !rep.TruncatedTail || len(got.Records) != len(tr.Records)-1 {
+		t.Fatalf("partial result: rep=%+v records=%d", rep, len(got.Records))
+	}
+}
+
+func TestLoadTraceChecksumMismatchYieldsPartial(t *testing.T) {
+	data, _ := writtenTrace(t, 100)
+	data = append([]byte(nil), data...)
+	data[len(data)-1500] ^= 0xFF // inside some record frame
+	path := filepath.Join(t.TempDir(), "flip.trace")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := LoadTrace(path, RetryConfig{})
+	if err != nil {
+		t.Fatalf("checksum mismatch must degrade, not fail: %v", err)
+	}
+	if !rep.Corrupt() || rep.BadSpans == 0 {
+		t.Fatalf("corruption unreported: %+v", rep)
+	}
+	if len(got.Records) < 90 {
+		t.Fatalf("recovered only %d/100 records", len(got.Records))
+	}
+}
+
+// flakyOpener fails the first n opens with a transient error.
+type flakyOpener struct {
+	fails int
+	data  []byte
+	opens int
+}
+
+func (f *flakyOpener) open() (io.ReadCloser, error) {
+	f.opens++
+	if f.opens <= f.fails {
+		return nil, errors.New("loader test: transient I/O error")
+	}
+	return io.NopCloser(bytes.NewReader(f.data)), nil
+}
+
+func TestLoadTraceRetriesTransient(t *testing.T) {
+	data, tr := writtenTrace(t, 10)
+	fo := &flakyOpener{fails: 2, data: data}
+	sleep, waits := sleepRecorder(t)
+	got, rep, err := LoadTraceFrom(fo.open, RetryConfig{Sleep: sleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt() || len(got.Records) != len(tr.Records) {
+		t.Fatalf("recovered trace wrong: rep=%v records=%d", rep, len(got.Records))
+	}
+	if fo.opens != 3 || len(*waits) != 2 {
+		t.Fatalf("opens=%d waits=%d, want 3 opens after 2 transient failures", fo.opens, len(*waits))
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	fo := &flakyOpener{fails: 100}
+	sleep, waits := sleepRecorder(t)
+	_, _, err := LoadTraceFrom(fo.open, RetryConfig{
+		Attempts: 6, BaseDelay: 40 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Sleep: sleep,
+	})
+	if err == nil {
+		t.Fatal("ever-failing opener succeeded")
+	}
+	want := []time.Duration{40 * time.Millisecond, 80 * time.Millisecond,
+		100 * time.Millisecond, 100 * time.Millisecond, 100 * time.Millisecond}
+	if len(*waits) != len(want) {
+		t.Fatalf("waits %v", *waits)
+	}
+	for i, w := range want {
+		if (*waits)[i] != w {
+			t.Fatalf("wait %d = %v, want %v (schedule %v)", i, (*waits)[i], w, *waits)
+		}
+	}
+}

@@ -32,8 +32,14 @@ func NewSigmoidLUT(entries int, rng float64) *SigmoidLUT {
 // DefaultLUT is the hardware-default 256-entry table over [-8, 8].
 func DefaultLUT() *SigmoidLUT { return NewSigmoidLUT(256, 8) }
 
-// Apply looks up the quantized sigmoid of x.
+// Apply looks up the quantized sigmoid of x. NaN propagates rather than
+// indexing the table with garbage: corrupted weights must surface as a
+// NaN output the module's divergence breaker can detect, not as a crash
+// of the lookup itself.
 func (l *SigmoidLUT) Apply(x float64) float64 {
+	if math.IsNaN(x) {
+		return x
+	}
 	if x <= -l.Range {
 		return l.table[0]
 	}

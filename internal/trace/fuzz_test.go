@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead drives ReadReport with arbitrary bytes: it must never panic,
+// never over-allocate from unvalidated length fields, and never return
+// both a nil trace and a nil error. Seeds cover both formats plus the
+// truncations and bit flips the fault injector produces.
+func FuzzRead(f *testing.F) {
+	mk := func(write func(*Trace, *bytes.Buffer) error) []byte {
+		tr := bigTrace(16)
+		var buf bytes.Buffer
+		if err := write(tr, &buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	framed := mk(func(t *Trace, b *bytes.Buffer) error { return t.Write(b) })
+	legacy := mk(func(t *Trace, b *bytes.Buffer) error { return t.WriteLegacy(b) })
+	f.Add(framed)
+	f.Add(legacy)
+	f.Add(framed[:len(framed)/2])
+	f.Add(legacy[:len(legacy)/2])
+	f.Add(framed[:9])
+	f.Add([]byte("ACTT"))
+	f.Add([]byte{})
+	flipped := append([]byte(nil), framed...)
+	flipped[40] ^= 0x10
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, rep, err := ReadReport(bytes.NewReader(data))
+		if err != nil {
+			if tr != nil {
+				t.Fatalf("error %v with non-nil trace", err)
+			}
+			return
+		}
+		if tr == nil {
+			t.Fatal("nil trace with nil error")
+		}
+		// Every decoded record consumed at least recordPayload input
+		// bytes, so the result is linearly bounded by the input. A
+		// violation means a length field was trusted somewhere.
+		if len(tr.Records)*recordPayload > len(data) {
+			t.Fatalf("%d records from %d input bytes", len(tr.Records), len(data))
+		}
+		if cap(tr.Records) > maxPreallocRecords && cap(tr.Records) > 2*len(tr.Records) {
+			t.Fatalf("capacity %d for %d records: unvalidated preallocation", cap(tr.Records), len(tr.Records))
+		}
+		if rep == nil {
+			t.Fatal("nil report with nil error")
+		}
+	})
+}

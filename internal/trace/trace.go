@@ -80,26 +80,49 @@ func (t *Trace) FilterStack() *Trace {
 	return out
 }
 
-// Binary trace format:
+// Binary trace formats. Both start with the same prologue:
 //
 //	magic "ACTT" | u16 version | u16 reserved
+//
+// The plain format (version 2, the original one) follows with:
+//
 //	u64 seed | u64 steps | u32 name length | name bytes | u64 record count
 //	records: u64 seq | u64 pc | u64 addr | u16 tid | u8 flags
 //
-// flags bit0 = store, bit1 = stack.
+// flags bit0 = store, bit1 = stack. The plain format has no redundancy:
+// one bad byte used to fail the whole trace. The framed format
+// (version 3, written by default — see framed.go) adds a per-section
+// CRC32 and self-delimiting record frames so a reader can skip corrupted
+// spans and resynchronize.
 const (
-	magic   = "ACTT"
-	version = 2
+	magic         = "ACTT"
+	versionPlain  = 2 // original format: fixed-size records, no checksums
+	versionFramed = 3 // hardened format: CRC'd header, self-delimiting frames
 )
 
-// Write serializes the trace to w in the binary format.
-func (t *Trace) Write(w io.Writer) error {
+// Sentinel errors, distinguishable with errors.Is. Loader retry logic
+// treats them as permanent (retrying cannot help a wrong file).
+var (
+	ErrBadMagic   = errors.New("trace: bad magic")
+	ErrBadVersion = errors.New("trace: unsupported version")
+)
+
+// maxPreallocRecords caps the capacity preallocated from an on-disk
+// record count. A corrupt count field can claim up to 2^32 records
+// (~200 GiB of capacity); allocation beyond this cap happens only as
+// records are actually read.
+const maxPreallocRecords = 64 * 1024
+
+// WriteLegacy serializes the trace in the plain (version 2) format —
+// kept so tooling can produce streams for consumers that predate the
+// framed format.
+func (t *Trace) WriteLegacy(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
 	hdr := make([]byte, 2+2+8+8+4)
-	binary.LittleEndian.PutUint16(hdr[0:], version)
+	binary.LittleEndian.PutUint16(hdr[0:], versionPlain)
 	binary.LittleEndian.PutUint64(hdr[4:], uint64(t.Seed))
 	binary.LittleEndian.PutUint64(hdr[12:], t.Steps)
 	binary.LittleEndian.PutUint32(hdr[20:], uint32(len(t.Program)))
@@ -114,20 +137,9 @@ func (t *Trace) Write(w io.Writer) error {
 	if _, err := bw.Write(cnt[:]); err != nil {
 		return err
 	}
-	rec := make([]byte, 8+8+8+2+1)
+	rec := make([]byte, recordPayload)
 	for _, r := range t.Records {
-		binary.LittleEndian.PutUint64(rec[0:], r.Seq)
-		binary.LittleEndian.PutUint64(rec[8:], r.PC)
-		binary.LittleEndian.PutUint64(rec[16:], r.Addr)
-		binary.LittleEndian.PutUint16(rec[24:], r.Tid)
-		var flags byte
-		if r.Store {
-			flags |= 1
-		}
-		if r.Stack {
-			flags |= 2
-		}
-		rec[26] = flags
+		encodeRecord(rec, r)
 		if _, err := bw.Write(rec); err != nil {
 			return err
 		}
@@ -135,24 +147,29 @@ func (t *Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read deserializes a trace written by Write.
+// Read deserializes a trace written by Write or WriteLegacy. For framed
+// streams it recovers from corruption, returning the partial trace and
+// no error; use ReadReport when the caller needs to know what was lost.
 func Read(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	head := make([]byte, 4+2+2+8+8+4)
+	t, _, err := ReadReport(r)
+	return t, err
+}
+
+// readPlain reads the body of a plain-format stream, after the 8-byte
+// prologue has been consumed. Its behavior on well-formed and on
+// corrupted streams is unchanged from the original all-or-nothing
+// reader, except that the record-slice capacity is no longer
+// preallocated from an unvalidated count.
+func readPlain(br *bufio.Reader) (*Trace, error) {
+	head := make([]byte, 8+8+4)
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if string(head[:4]) != magic {
-		return nil, errors.New("trace: bad magic")
-	}
-	if v := binary.LittleEndian.Uint16(head[4:]); v != version {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
-	}
 	t := &Trace{
-		Seed:  int64(binary.LittleEndian.Uint64(head[8:])),
-		Steps: binary.LittleEndian.Uint64(head[16:]),
+		Seed:  int64(binary.LittleEndian.Uint64(head[0:])),
+		Steps: binary.LittleEndian.Uint64(head[8:]),
 	}
-	nameLen := binary.LittleEndian.Uint32(head[24:])
+	nameLen := binary.LittleEndian.Uint32(head[16:])
 	if nameLen > 1<<20 {
 		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
 	}
@@ -169,20 +186,13 @@ func Read(r io.Reader) (*Trace, error) {
 	if n > 1<<32 {
 		return nil, fmt.Errorf("trace: implausible record count %d", n)
 	}
-	t.Records = make([]Record, 0, n)
-	rec := make([]byte, 27)
+	t.Records = make([]Record, 0, min(n, maxPreallocRecords))
+	rec := make([]byte, recordPayload)
 	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(br, rec); err != nil {
 			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
 		}
-		t.Records = append(t.Records, Record{
-			Seq:   binary.LittleEndian.Uint64(rec[0:]),
-			PC:    binary.LittleEndian.Uint64(rec[8:]),
-			Addr:  binary.LittleEndian.Uint64(rec[16:]),
-			Tid:   binary.LittleEndian.Uint16(rec[24:]),
-			Store: rec[26]&1 != 0,
-			Stack: rec[26]&2 != 0,
-		})
+		t.Records = append(t.Records, decodeRecord(rec))
 	}
 	return t, nil
 }

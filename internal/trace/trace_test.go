@@ -107,6 +107,170 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 }
 
+func TestLegacyRoundTrip(t *testing.T) {
+	p := sampleProgram()
+	tr, _ := Collect(p, vm.SchedConfig{Seed: 3})
+	var buf bytes.Buffer
+	if err := tr.WriteLegacy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt() {
+		t.Fatalf("clean legacy stream reported corrupt: %v", rep)
+	}
+	if got.Program != tr.Program || got.Seed != tr.Seed || got.Steps != tr.Steps ||
+		len(got.Records) != len(tr.Records) {
+		t.Fatalf("legacy round trip mismatch: %+v vs %+v", got, tr)
+	}
+	for i := range got.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Fatalf("record %d: %+v vs %+v", i, got.Records[i], tr.Records[i])
+		}
+	}
+}
+
+// TestLegacyBytesUnchanged pins the plain-format reader to the original
+// byte layout: a hand-built version-2 stream must decode to exactly the
+// records it encodes.
+func TestLegacyBytesUnchanged(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("ACTT")
+	buf.Write([]byte{2, 0, 0, 0})                // version 2, reserved
+	buf.Write([]byte{7, 0, 0, 0, 0, 0, 0, 0})    // seed = 7
+	buf.Write([]byte{42, 0, 0, 0, 0, 0, 0, 0})   // steps = 42
+	buf.Write([]byte{2, 0, 0, 0})                // name length
+	buf.WriteString("hi")                        // name
+	buf.Write([]byte{1, 0, 0, 0, 0, 0, 0, 0})    // 1 record
+	buf.Write([]byte{9, 0, 0, 0, 0, 0, 0, 0})    // seq
+	buf.Write([]byte{0x10, 0, 0, 0, 0, 0, 0, 0}) // pc
+	buf.Write([]byte{0x20, 0, 0, 0, 0, 0, 0, 0}) // addr
+	buf.Write([]byte{3, 0})                      // tid
+	buf.Write([]byte{3})                         // flags: store|stack
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Record{Seq: 9, PC: 0x10, Addr: 0x20, Tid: 3, Store: true, Stack: true}
+	if got.Program != "hi" || got.Seed != 7 || got.Steps != 42 ||
+		len(got.Records) != 1 || got.Records[0] != want {
+		t.Fatalf("legacy decode: %+v", got)
+	}
+}
+
+// bigTrace builds a deterministic many-record trace for corruption tests.
+func bigTrace(n int) *Trace {
+	tr := &Trace{Program: "corrupt-me", Seed: 11, Steps: uint64(n)}
+	for i := 0; i < n; i++ {
+		tr.Records = append(tr.Records, Record{
+			Seq: uint64(i), PC: uint64(i * 3), Addr: uint64(i * 7),
+			Tid: uint16(i % 4), Store: i%2 == 0, Stack: i%5 == 0,
+		})
+	}
+	return tr
+}
+
+func TestFramedRecoversFromRecordCorruption(t *testing.T) {
+	const n = 1000
+	tr := bigTrace(n)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt ~1% of the record frames: flip one byte inside ten frames
+	// spread across the stream.
+	headerEnd := 8 + 4 + (8 + 8 + 4 + len(tr.Program) + 8) + 4
+	for k := 0; k < 10; k++ {
+		frame := headerEnd + (k*100+5)*frameSize
+		data[frame+7] ^= 0xFF
+	}
+	got, rep, err := ReadReport(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("corrupted framed stream must not error: %v", err)
+	}
+	if !rep.Corrupt() {
+		t.Fatal("corruption not reported")
+	}
+	if rep.BadSpans != 10 || rep.Lost != 10 || rep.Recovered != n-10 {
+		t.Fatalf("report %+v, want 10 bad spans, 10 lost, %d recovered", rep, n-10)
+	}
+	if got.Program != tr.Program || got.Seed != tr.Seed {
+		t.Fatalf("header lost: %+v", got)
+	}
+	if len(got.Records) != n-10 {
+		t.Fatalf("recovered %d records, want %d", len(got.Records), n-10)
+	}
+	// Survivors are intact and in order.
+	last := int64(-1)
+	for _, r := range got.Records {
+		if int64(r.Seq) <= last {
+			t.Fatalf("recovered records out of order at seq %d", r.Seq)
+		}
+		last = int64(r.Seq)
+		if r.PC != r.Seq*3 || r.Addr != r.Seq*7 {
+			t.Fatalf("recovered record damaged: %+v", r)
+		}
+	}
+}
+
+func TestFramedRecoversFromTruncation(t *testing.T) {
+	tr := bigTrace(100)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-frameSize/2] // cut mid-frame
+	got, rep, err := ReadReport(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TruncatedTail || rep.Lost != 1 || len(got.Records) != 99 {
+		t.Fatalf("truncation: rep=%+v records=%d", rep, len(got.Records))
+	}
+}
+
+func TestFramedHeaderDamage(t *testing.T) {
+	tr := bigTrace(50)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[8+4+2] ^= 0x40 // flip a bit inside the seed field
+	got, rep, err := ReadReport(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HeaderDamaged {
+		t.Fatal("header damage not reported")
+	}
+	if len(got.Records) != 50 {
+		t.Fatalf("records behind a damaged header lost: %d/50", len(got.Records))
+	}
+}
+
+func TestFramedDuplicateAndReorderSurvive(t *testing.T) {
+	// Frames are self-contained, so a duplicated or reordered frame
+	// still decodes; the report only flags the count mismatch.
+	tr := bigTrace(10)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data = append(data, data[len(data)-frameSize:]...) // duplicate last frame
+	got, rep, err := ReadReport(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 11 || rep.Lost != 0 {
+		t.Fatalf("duplicate frame: records=%d rep=%+v", len(got.Records), rep)
+	}
+}
+
 func TestReadRejectsGarbage(t *testing.T) {
 	if _, err := Read(strings.NewReader("not a trace at all, definitely")); err == nil {
 		t.Fatal("garbage accepted")
