@@ -1,0 +1,145 @@
+// Command actagent replays recorded traces through a deployed monitor
+// and ships the resulting Debug Buffers to an actd collector — the
+// standalone form of what act.ShipTo does inside an instrumented
+// program.
+//
+// Usage:
+//
+//	actagent -collector host:7077 -model m.act -outcome failing fail1.trace fail2.trace
+//	actagent -collector host:7077 -model m.act -outcome correct -spool /tmp/agent.spool ok.trace
+//
+// Each trace file is shipped as its own run, so the collector's
+// cross-run counting sees one occurrence per file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"act"
+	"act/internal/core"
+	"act/internal/fleet"
+	"act/internal/wire"
+)
+
+func main() {
+	var (
+		collector = flag.String("collector", "", "actd address (host:port); required")
+		modelPath = flag.String("model", "", "trained model file (acttrain output); required")
+		outcome   = flag.String("outcome", "unknown", "run outcome label: failing, correct, unknown")
+		name      = flag.String("name", "", "agent identity in batches; default hostname")
+		runBase   = flag.Uint64("run", 0, "base run id; default derived from time")
+		spool     = flag.String("spool", "", "spool file for batches while the collector is down")
+	)
+	flag.Parse()
+	if *collector == "" || *modelPath == "" || flag.NArg() == 0 {
+		fatal(fmt.Errorf("need -collector ADDR, -model FILE, and at least one trace file"))
+	}
+	o, err := parseOutcome(*outcome)
+	if err != nil {
+		fatal(err)
+	}
+	if *name == "" {
+		if h, err := os.Hostname(); err == nil {
+			*name = h
+		} else {
+			*name = "actagent"
+		}
+	}
+	if *runBase == 0 {
+		*runBase = uint64(time.Now().UnixNano())
+	}
+
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := act.LoadModel(mf)
+	mf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	for i, path := range flag.Args() {
+		if err := shipTrace(model, path, *collector, *name, *runBase+uint64(i), o, *spool); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+	}
+}
+
+// shipTrace replays one trace through a fresh monitor and ships its
+// Debug Buffer as one run.
+func shipTrace(model *act.Model, path, addr, name string, run uint64, o wire.Outcome, spool string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	tr, rep, err := act.ReadTraceReport(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if rep.Corrupt() {
+		fmt.Fprintf(os.Stderr, "actagent: %s: recovered from corruption: %s\n", path, rep)
+	}
+	mon := act.Deploy(model, threadsOf(tr))
+	mon.Replay(tr)
+
+	src := &monSource{mon: mon}
+	ag, err := fleet.NewAgent(src, fleet.AgentConfig{
+		Addr: addr, Name: name, Run: run, SpoolPath: spool,
+	})
+	if err != nil {
+		return err
+	}
+	ag.SetOutcome(o)
+	ferr := ag.Flush()
+	if cerr := ag.Close(); ferr == nil {
+		ferr = cerr
+	}
+	st := ag.Stats()
+	fmt.Printf("actagent: %s: run %d, %d entries drained, %d batch(es) shipped, %d spooled\n",
+		path, run, st.Drained, st.Shipped, st.Spooled)
+	if ferr != nil && st.Spooled > 0 {
+		// The evidence is safe on disk; the next invocation replays it.
+		fmt.Fprintln(os.Stderr, "actagent:", ferr)
+		return nil
+	}
+	return ferr
+}
+
+// monSource adapts the replayed monitor to the fleet agent.
+type monSource struct{ mon *act.Monitor }
+
+func (s *monSource) Drain() ([]act.DebugEntry, core.Stats) {
+	return s.mon.DrainDebugBuffer(), s.mon.Stats()
+}
+
+func threadsOf(t *act.Trace) int {
+	max := 0
+	for _, r := range t.Records {
+		if int(r.Tid) > max {
+			max = int(r.Tid)
+		}
+	}
+	return max + 1
+}
+
+func parseOutcome(s string) (wire.Outcome, error) {
+	switch s {
+	case "failing":
+		return wire.OutcomeFailing, nil
+	case "correct":
+		return wire.OutcomeCorrect, nil
+	case "unknown":
+		return wire.OutcomeUnknown, nil
+	}
+	return 0, fmt.Errorf("unknown outcome %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "actagent:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command actd is the fleet collector daemon: it listens for actagent
+// (or act.ShipTo) connections, merges Debug Buffer batches from the
+// whole fleet with dedup and cross-run occurrence counting, and prints
+// the ranked report — sequences seen in many failing runs but few
+// correct ones first.
+//
+// Usage:
+//
+//	actd -listen :7077
+//	actd -listen :7077 -snapshot /var/lib/actd.snap -snapshot-every 30s
+//
+// SIGINT/SIGTERM snapshots the state (when -snapshot is set), prints
+// the final ranked report, and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"act/internal/fleet"
+	"act/internal/ranking"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7077", "address to accept agent connections on")
+		snapshot = flag.String("snapshot", "", "snapshot file for state across restarts")
+		every    = flag.Duration("snapshot-every", time.Minute, "periodic snapshot interval (with -snapshot)")
+		top      = flag.Int("top", 10, "ranked sequences to print")
+		prune    = flag.Int("correct-prune", 1, "correct runs that must log a sequence before it is pruned")
+		strategy = flag.String("strategy", "most-matched", "within-run-count order: most-matched, most-mismatched, output")
+	)
+	flag.Parse()
+
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	c := fleet.NewCollector(fleet.CollectorConfig{
+		SnapshotPath: *snapshot,
+		CorrectPrune: *prune,
+		Strategy:     strat,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("actd: listening on %s\n", ln.Addr())
+	if st := c.Stats(); *snapshot != "" {
+		fmt.Printf("actd: snapshot %s (restored %d batches)\n", *snapshot, st.Batches)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := c.Serve(ln); err != nil {
+			fmt.Fprintln(os.Stderr, "actd: serve:", err)
+		}
+	}()
+
+	if *snapshot != "" && *every > 0 {
+		go func() {
+			t := time.NewTicker(*every)
+			defer t.Stop()
+			for range t.C {
+				if err := c.Snapshot(""); err != nil {
+					fmt.Fprintln(os.Stderr, "actd: snapshot:", err)
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	c.Shutdown()
+	<-done
+
+	if *snapshot != "" {
+		if err := c.Snapshot(""); err != nil {
+			fmt.Fprintln(os.Stderr, "actd: final snapshot:", err)
+		}
+	}
+	st := c.Stats()
+	fmt.Printf("actd: %d batches from %d connections (%d dups dropped, %d corrupt spans, %d bytes skipped)\n",
+		st.Batches, st.Conns, st.DupBatches, st.BadSpans, st.SkippedBytes)
+	c.Report().Write(os.Stdout, *top)
+}
+
+func parseStrategy(s string) (ranking.Strategy, error) {
+	switch s {
+	case "most-matched":
+		return ranking.MostMatched, nil
+	case "most-mismatched":
+		return ranking.MostMismatched, nil
+	case "output":
+		return ranking.OutputOnly, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "actd:", err)
+	os.Exit(1)
+}

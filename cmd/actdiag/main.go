@@ -8,6 +8,8 @@
 //	actdiag -bug apache
 //	actdiag -bug injected-lu -newcode     # Table VI: train without the new function
 //	actdiag -bug mysql1 -report 10        # show the top 10 ranked sequences
+//	actdiag -bug apache -save apache.rank # persist the ranked report
+//	actdiag -load apache.rank -strategy output   # re-rank a saved report
 package main
 
 import (
@@ -17,20 +19,30 @@ import (
 
 	"act/internal/diagnose"
 	"act/internal/nn"
+	"act/internal/ranking"
 	"act/internal/train"
 	"act/internal/workloads"
 )
 
 func main() {
 	var (
-		bugName = flag.String("bug", "", "bug program to diagnose (see acttrace -list)")
-		newcode = flag.Bool("newcode", false, "for injected bugs: withhold the injected function from training")
-		report  = flag.Int("report", 5, "ranked sequences to print")
-		full    = flag.Bool("full", false, "paper-scale training budgets")
+		bugName  = flag.String("bug", "", "bug program to diagnose (see acttrace -list)")
+		newcode  = flag.Bool("newcode", false, "for injected bugs: withhold the injected function from training")
+		report   = flag.Int("report", 5, "ranked sequences to print")
+		full     = flag.Bool("full", false, "paper-scale training budgets")
+		savePath = flag.String("save", "", "write the ranked report to this file")
+		loadPath = flag.String("load", "", "re-rank a saved report instead of running diagnosis")
+		strategy = flag.String("strategy", "", "with -load: most-matched, most-mismatched, or output")
 	)
 	flag.Parse()
+	if *loadPath != "" {
+		if err := rerank(*loadPath, *strategy, *report); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *bugName == "" {
-		fatal(fmt.Errorf("need -bug NAME"))
+		fatal(fmt.Errorf("need -bug NAME (or -load FILE)"))
 	}
 
 	b, err := workloads.BugByName(*bugName)
@@ -85,9 +97,57 @@ func main() {
 	}
 	fmt.Println()
 	out.Report.Write(os.Stdout, *report)
+	if *savePath != "" {
+		if err := saveReport(out.Report, *savePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report saved to %s\n", *savePath)
+	}
 	if out.Rank == 0 {
 		os.Exit(2)
 	}
+}
+
+// saveReport persists the ranked report for later re-ranking.
+func saveReport(rep *ranking.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// rerank loads a saved report and reorders it under the given strategy,
+// using the matches and outputs computed at diagnosis time.
+func rerank(path, strategy string, limit int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep, err := ranking.LoadReport(f)
+	if err != nil {
+		return err
+	}
+	switch strategy {
+	case "":
+		// keep the saved order
+	case "most-matched":
+		rep.Resort(ranking.MostMatched)
+	case "most-mismatched":
+		rep.Resort(ranking.MostMismatched)
+	case "output":
+		rep.Resort(ranking.OutputOnly)
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+	rep.WeightByRuns()
+	rep.Write(os.Stdout, limit)
+	return nil
 }
 
 // kernelOf maps "injected-lu" to "lu".

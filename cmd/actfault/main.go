@@ -9,6 +9,8 @@
 //	actfault                             # default sweep over apache
 //	actfault -bugs apache,gzip -rates 0.001,0.01,0.1
 //	actfault -kinds weight-seu,dep-stale -seed 42
+//	actfault -net                        # transport campaign (agent -> collector)
+//	actfault -net -net-kinds net-cut,net-dup
 //	actfault -list                       # show fault kinds and bugs
 package main
 
@@ -32,6 +34,12 @@ func main() {
 		seed  = flag.Int64("seed", 1, "campaign master seed")
 		full  = flag.Bool("full", false, "paper-scale training budget per bug")
 		list  = flag.Bool("list", false, "list fault kinds and bug workloads, then exit")
+
+		net       = flag.Bool("net", false, "run the transport campaign (agent -> collector wire faults) instead")
+		netKinds  = flag.String("net-kinds", "all", "comma-separated transport fault kinds")
+		netFail   = flag.Int("net-failing", 3, "failing runs in the synthetic fleet traffic")
+		netOK     = flag.Int("net-correct", 2, "correct runs in the synthetic fleet traffic")
+		netSweeps = flag.Int("net-sweeps", 10, "seeds swept (victim and damage positions vary per seed)")
 	)
 	flag.Parse()
 
@@ -40,9 +48,20 @@ func main() {
 		for _, k := range faults.AllKinds() {
 			fmt.Printf("  %s\n", k)
 		}
+		fmt.Println("transport fault kinds (-net):")
+		for _, k := range faults.AllNetKinds() {
+			fmt.Printf("  %s\n", k)
+		}
 		fmt.Println("bug workloads:")
 		for _, b := range workloads.RealBugs() {
 			fmt.Printf("  %-10s %s\n", b.Name, b.Desc)
+		}
+		return
+	}
+
+	if *net {
+		if err := runNet(*netKinds, *seed, *netFail, *netOK, *netSweeps); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -79,6 +98,40 @@ func main() {
 	fmt.Print(res.Render())
 	fmt.Printf("\ndetection rate under fault: %.0f%% (%d/%d arms)\n",
 		100*res.DetectionRate(), detected(res), len(res.Rows))
+}
+
+// runNet sweeps the transport campaign over several seeds so the
+// random victim batch and damage positions cover the traffic, and
+// reports whether any arm's ranked output ever diverged.
+func runNet(kinds string, seed int64, failing, correct, sweeps int) error {
+	ks, err := faults.ParseNetKinds(kinds)
+	if err != nil {
+		return err
+	}
+	traffic := faults.SyntheticFleetTraffic(failing, correct)
+	fmt.Printf("traffic: %d failing + %d correct runs, %d batches\n\n", failing, correct, len(traffic))
+	unchanged, arms := 0, 0
+	for s := seed; s < seed+int64(sweeps); s++ {
+		res, err := faults.RunNetCampaign(traffic, faults.NetCampaignConfig{Kinds: ks, Seed: s})
+		if err != nil {
+			return err
+		}
+		if s == seed {
+			fmt.Print(res.Render())
+		}
+		for _, row := range res.Rows {
+			arms++
+			if row.Unchanged {
+				unchanged++
+			}
+		}
+	}
+	fmt.Printf("\nranked output unchanged under transport faults: %d/%d arms (%d seeds)\n",
+		unchanged, arms, sweeps)
+	if unchanged != arms {
+		os.Exit(2)
+	}
+	return nil
 }
 
 func detected(r *faults.Result) int {

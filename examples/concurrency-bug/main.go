@@ -10,9 +10,18 @@
 // sequence.
 //
 //	go run ./examples/concurrency-bug
+//
+// With -ship ADDR the example acts as a tiny fleet: it ships each
+// monitored run's Debug Buffer to a running actd collector (failing
+// runs marked failing, correct runs correct), so the collector's
+// cross-run report can be compared with the local diagnosis:
+//
+//	go run ./cmd/actd -listen :7077 &
+//	go run ./examples/concurrency-bug -ship 127.0.0.1:7077
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -98,7 +107,28 @@ func buildFig2c(rounds int) *program.Program {
 	return pb.MustBuild()
 }
 
+// shipRun replays one trace through a fresh monitor and ships its
+// Debug Buffer to the collector as one labelled run.
+func shipRun(model *act.Model, addr string, run uint64, tr *act.Trace, failed bool) {
+	mon := act.Deploy(model, 2)
+	mon.Replay(tr)
+	sh, err := act.ShipTo(addr, mon, act.WithShipIdentity("fig2c", run))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if failed {
+		sh.MarkFailing()
+	} else {
+		sh.MarkCorrect()
+	}
+	if err := sh.Close(); err != nil {
+		log.Printf("ship run %d: %v", run, err)
+	}
+}
+
 func main() {
+	ship := flag.String("ship", "", "ship each run's Debug Buffer to this actd collector (host:port)")
+	flag.Parse()
 	const rounds = 12
 
 	// Correct executions: the race window never gets hit.
@@ -141,6 +171,15 @@ func main() {
 	monitor.Replay(failTrace)
 	report := act.Diagnose(monitor.DebugBuffer(), testTr, model.SequenceLength())
 	report.Write(os.Stdout, 3)
+
+	if *ship != "" {
+		fmt.Printf("==> shipping runs to actd at %s\n", *ship)
+		shipRun(model, *ship, 1, failTrace, true)
+		for i, tr := range testTr {
+			shipRun(model, *ship, uint64(100+i), tr, false)
+		}
+		fmt.Println("    shipped; check the collector's report (SIGINT actd to print it)")
+	}
 
 	// The invalid dependence is I2→J2: the use observing the free.
 	i2, j2 := failProg.MarkPC("t0.I2"), failProg.MarkPC("t1.J2")

@@ -137,6 +137,7 @@ type DebugEntry struct {
 	Output float64
 	At     uint64 // dependence index within this module's stream
 	Mode   Mode   // mode the module was in when it logged the entry
+	Proc   uint16 // processor that logged it; stamped by Tracker.DebugBuffers
 }
 
 // Stats aggregates a module's activity counters.

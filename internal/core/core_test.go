@@ -448,3 +448,57 @@ func TestAlwaysValidBinary(t *testing.T) {
 		}
 	}
 }
+
+// alwaysInvalidBinary mirrors AlwaysValidBinary with the output bias on
+// the reject side: every sequence is predicted invalid and logged.
+func alwaysInvalidBinary(nIn, nHidden, nThreads int) *WeightBinary {
+	wb := NewWeightBinary(nIn, nHidden)
+	w := make([]float64, nHidden*(nIn+1)+nHidden+1)
+	w[len(w)-1] = -4 // output bias: sigmoid(-4) ≈ 0.02
+	wb.PatchAll(nThreads, w)
+	return wb
+}
+
+func TestDebugBuffersDeterministicOrder(t *testing.T) {
+	feed := func() *Tracker {
+		wb := alwaysInvalidBinary(4, 10, 3)
+		tk := NewTracker(wb, TrackerConfig{Module: Config{N: 2}})
+		// Interleave threads so per-module streams accumulate out of
+		// global order.
+		for i := 0; i < 12; i++ {
+			tid := uint16(2 - i%3)
+			tk.OnRecord(recordOf(tid, 0x10+uint64(i)*4, 0x1000+uint64(tid)*8, true))
+			tk.OnRecord(recordOf(tid, 0x100+uint64(i)*4, 0x1000+uint64(tid)*8, false))
+		}
+		return tk
+	}
+	tk := feed()
+	got := tk.DebugBuffers()
+	if len(got) == 0 {
+		t.Fatal("always-invalid deployment logged nothing")
+	}
+	for i, e := range got {
+		if i > 0 {
+			prev := got[i-1]
+			if e.Proc < prev.Proc || (e.Proc == prev.Proc && e.At < prev.At) {
+				t.Fatalf("entry %d out of (proc, insertion) order: %v after %v", i, e, prev)
+			}
+		}
+	}
+	// A fresh identical deployment must produce the identical log, and
+	// re-reading must not perturb it.
+	again := feed().DebugBuffers()
+	if len(again) != len(got) {
+		t.Fatalf("rerun length %d, want %d", len(again), len(got))
+	}
+	for i := range got {
+		if got[i].Seq.Key() != again[i].Seq.Key() || got[i].Proc != again[i].Proc || got[i].At != again[i].At {
+			t.Fatalf("rerun entry %d differs: %v vs %v", i, got[i], again[i])
+		}
+	}
+
+	tk.ResetDebug()
+	if left := tk.DebugBuffers(); len(left) != 0 {
+		t.Fatalf("ResetDebug left %d entries", len(left))
+	}
+}

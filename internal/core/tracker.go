@@ -163,8 +163,11 @@ func (t *Tracker) Replay(tr *trace.Trace) {
 }
 
 // DebugBuffers concatenates every module's Debug Buffer, ordered by
-// processor then age — the log handed to offline postprocessing after a
-// failure.
+// processor then insertion index — the log handed to offline
+// postprocessing after a failure. Each entry is stamped with the
+// processor that logged it. The order is deterministic for a given
+// deployment history, so dedup hashes computed over the result are
+// stable across runs.
 func (t *Tracker) DebugBuffers() []DebugEntry {
 	tids := make([]int, 0, len(t.modules))
 	for tid := range t.modules {
@@ -173,9 +176,31 @@ func (t *Tracker) DebugBuffers() []DebugEntry {
 	sort.Ints(tids)
 	var out []DebugEntry
 	for _, tid := range tids {
-		out = append(out, t.modules[uint16(tid)].DebugBuffer()...)
+		buf := t.modules[uint16(tid)].DebugBuffer()
+		for i := range buf {
+			buf[i].Proc = uint16(tid)
+		}
+		out = append(out, buf...)
 	}
+	// DebugBuffer already yields each module oldest-first; the explicit
+	// sort pins the (processor, insertion index) contract even if a
+	// module's internal layout changes.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Proc != out[j].Proc {
+			return out[i].Proc < out[j].Proc
+		}
+		return out[i].At < out[j].At
+	})
 	return out
+}
+
+// ResetDebug clears every module's Debug Buffer — the drain step a
+// telemetry agent runs after shipping the entries off the box, so the
+// next drain only sees new suspicions.
+func (t *Tracker) ResetDebug() {
+	for _, m := range t.modules {
+		m.ResetDebug()
+	}
 }
 
 // Shutdown reads back every module's weights into the binary (the

@@ -1,0 +1,329 @@
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"act/internal/core"
+	"act/internal/deps"
+	"act/internal/fleet"
+	"act/internal/ranking"
+	"act/internal/wire"
+)
+
+// Network campaign: the fleet transport's counterpart of the trace
+// campaign. An agent's batches cross a real network to reach the
+// collector, so the evaluation must show that transport damage — a
+// frame corrupted in flight, a connection cut mid-batch, a batch
+// delivered twice by at-least-once retry — changes nothing about the
+// ranked diagnosis. Each arm re-encodes the same batch traffic with one
+// fault injected, replays it through a fresh collector together with
+// the redelivery the agent would perform, and compares the ranked
+// output against the fault-free run. Everything draws from the
+// injector's seed, so an arm is reproducible bit for bit.
+
+// NetKind enumerates the injectable transport fault classes.
+type NetKind int
+
+const (
+	// NetCorrupt flips one bit inside a frame in flight; the frame
+	// fails its CRC, the collector resyncs past it, and the agent
+	// (seeing the write error) redelivers the batch.
+	NetCorrupt NetKind = iota
+	// NetCut ends the connection mid-frame; the agent reconnects and
+	// resends everything not yet acknowledged.
+	NetCut
+	// NetDup delivers one batch twice, as at-least-once retry does when
+	// the ack is lost; the collector's sequence-hash dedup drops it.
+	NetDup
+)
+
+var netKindNames = map[NetKind]string{
+	NetCorrupt: "net-corrupt",
+	NetCut:     "net-cut",
+	NetDup:     "net-dup",
+}
+
+// String names the kind as the campaign tables print it.
+func (k NetKind) String() string {
+	if s, ok := netKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("netkind(%d)", int(k))
+}
+
+// AllNetKinds lists every transport fault class in table order.
+func AllNetKinds() []NetKind { return []NetKind{NetCorrupt, NetCut, NetDup} }
+
+// ParseNetKinds resolves a comma-separated kind list ("all" for all).
+func ParseNetKinds(s string) ([]NetKind, error) {
+	if s == "" || s == "all" {
+		return AllNetKinds(), nil
+	}
+	var out []NetKind
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for k, n := range netKindNames {
+			if n == name {
+				out = append(out, k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("faults: unknown net kind %q", name)
+		}
+	}
+	return out, nil
+}
+
+// NetRow is one experimental arm: the batch traffic under one fault.
+type NetRow struct {
+	Kind      NetKind
+	Victim    int // index of the damaged/duplicated batch
+	Streams   int // connections the delivery took
+	BadSpans  int
+	Skipped   int64 // bytes discarded during resync
+	Dups      uint64
+	Truncated bool
+	Unchanged bool // ranked output identical to the fault-free run
+}
+
+// NetResult is a full network campaign.
+type NetResult struct {
+	Baseline *ranking.Report
+	Rows     []NetRow
+}
+
+// UnchangedRate returns the fraction of arms whose ranked output
+// matched the fault-free run — the campaign's headline number.
+func (r *NetResult) UnchangedRate() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	n := 0
+	for _, row := range r.Rows {
+		if row.Unchanged {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Rows))
+}
+
+// Render formats the campaign as a fixed-width table.
+func (r *NetResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %6s %7s | %8s %7s %5s %5s | %9s\n",
+		"fault", "victim", "streams", "badspans", "skipped", "dups", "trunc", "unchanged")
+	line := strings.Repeat("-", 78)
+	sb.WriteString(line + "\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-12s %6d %7d | %8d %7d %5d %5v | %9v\n",
+			row.Kind, row.Victim, row.Streams, row.BadSpans, row.Skipped,
+			row.Dups, row.Truncated, row.Unchanged)
+	}
+	return sb.String()
+}
+
+// NetCampaignConfig parameterizes a network campaign.
+type NetCampaignConfig struct {
+	Kinds     []NetKind             // default AllNetKinds()
+	Seed      int64                 // default 1
+	Collector fleet.CollectorConfig // per-arm collector config (no snapshot path)
+}
+
+func (c NetCampaignConfig) withDefaults() NetCampaignConfig {
+	if len(c.Kinds) == 0 {
+		c.Kinds = AllNetKinds()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	c.Collector.SnapshotPath = "" // arms must not share state through disk
+	return c
+}
+
+// RunNetCampaign delivers the batch traffic once cleanly and once per
+// fault kind, modelling the agent's at-least-once redelivery, and
+// reports whether each arm's ranked output matched the baseline.
+func RunNetCampaign(batches []*wire.Batch, cfg NetCampaignConfig) (*NetResult, error) {
+	cfg = cfg.withDefaults()
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("faults: net campaign needs batch traffic")
+	}
+
+	base := fleet.NewCollector(cfg.Collector)
+	if _, err := base.IngestStream(bytes.NewReader(mustEncodeStream(batches))); err != nil {
+		return nil, fmt.Errorf("faults: clean delivery failed: %w", err)
+	}
+	res := &NetResult{Baseline: base.Report()}
+	want := rankedSeqKeys(res.Baseline)
+
+	for ki, kind := range cfg.Kinds {
+		in := New(cfg.Seed + int64(ki)*10_000)
+		victim := in.rng.Intn(len(batches))
+		c := fleet.NewCollector(cfg.Collector)
+
+		row := NetRow{Kind: kind, Victim: victim}
+		streams, err := in.netStreams(kind, batches, victim)
+		if err != nil {
+			return nil, err
+		}
+		row.Streams = len(streams)
+		for _, s := range streams {
+			rep, err := c.IngestStream(bytes.NewReader(s))
+			if err != nil {
+				return nil, fmt.Errorf("faults: %s delivery failed: %w", kind, err)
+			}
+			row.BadSpans += rep.BadSpans
+			row.Skipped += rep.SkippedBytes
+			row.Truncated = row.Truncated || rep.Truncated
+		}
+		row.Dups = c.Stats().DupBatches
+		row.Unchanged = sameSeqKeys(rankedSeqKeys(c.Report()), want)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// SyntheticFleetTraffic builds deterministic batch traffic for
+// transport campaigns: failRuns failing runs that all log one bug
+// sequence (output -1.5) plus shared noise and one unique sequence per
+// run (output -2.0, so only cross-run weighting puts the bug first),
+// and correctRuns correct runs logging just the noise — which the
+// collector's cross-run Correct Set then prunes.
+func SyntheticFleetTraffic(failRuns, correctRuns int) []*wire.Batch {
+	seq := func(ids ...uint64) deps.Sequence {
+		s := make(deps.Sequence, len(ids))
+		for i, id := range ids {
+			s[i] = deps.Dep{S: id << 4, L: id<<4 + 1, Inter: true}
+		}
+		return s
+	}
+	entry := func(s deps.Sequence, out float64) core.DebugEntry {
+		return core.DebugEntry{Seq: s, Output: out, Mode: core.Testing}
+	}
+	bug, noise := seq(1, 2, 3), seq(4, 5, 6)
+	var batches []*wire.Batch
+	for i := 0; i < failRuns; i++ {
+		u := uint64(i)
+		batches = append(batches, &wire.Batch{
+			Agent: "f", Run: 101 + u, Outcome: wire.OutcomeFailing,
+			Entries: []core.DebugEntry{
+				entry(bug, -1.5),
+				entry(noise, -0.5),
+				entry(seq(10+u, 20+u, 30+u), -2.0),
+			},
+		})
+	}
+	for i := 0; i < correctRuns; i++ {
+		batches = append(batches, &wire.Batch{
+			Agent: "c", Run: 201 + uint64(i), Outcome: wire.OutcomeCorrect,
+			Entries: []core.DebugEntry{entry(noise, -0.5)},
+		})
+	}
+	return batches
+}
+
+// netStreams builds the wire streams one fault scenario produces: the
+// damaged first connection, then the redelivery connection(s) the
+// agent's retry would open.
+func (in *Injector) netStreams(kind NetKind, batches []*wire.Batch, victim int) ([][]byte, error) {
+	offs, data, err := encodeStreamOffsets(batches)
+	if err != nil {
+		return nil, err
+	}
+	vStart, vEnd := offs[victim], offs[victim+1]
+	if victim == 0 {
+		// The first batch's span includes the stream prologue; damage
+		// there is a protocol error, not frame damage — aim past it.
+		vStart += len(wire.AppendPrologue(nil))
+	}
+
+	switch kind {
+	case NetCorrupt:
+		// Flip one bit inside the victim frame (past its sync bytes so
+		// the reader walks into the frame before the CRC rejects it),
+		// then redeliver the victim on a fresh connection.
+		out := append([]byte(nil), data...)
+		span := vEnd - vStart - 2
+		i := vStart + 2 + in.rng.Intn(span)
+		out[i] ^= 1 << uint(in.rng.Intn(8))
+		redeliver, err := mustEncodeStreamErr(batches[victim : victim+1])
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{out, redeliver}, nil
+	case NetCut:
+		// Cut inside the victim frame; the agent reconnects and resends
+		// from the first unacknowledged batch to the end.
+		cut := vStart + 1 + in.rng.Intn(vEnd-vStart-1)
+		redeliver, err := mustEncodeStreamErr(batches[victim:])
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{data[:cut], redeliver}, nil
+	case NetDup:
+		// The whole traffic arrives, then the victim again: a lost ack.
+		redeliver, err := mustEncodeStreamErr(batches[victim : victim+1])
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{data, redeliver}, nil
+	}
+	return nil, fmt.Errorf("faults: unknown net kind %d", int(kind))
+}
+
+// encodeStreamOffsets encodes batches into one wire stream and returns
+// the byte offset where each batch's frame starts (plus the final
+// length), so faults can target one frame precisely.
+func encodeStreamOffsets(batches []*wire.Batch) ([]int, []byte, error) {
+	var buf bytes.Buffer
+	wr := wire.NewWriter(&buf)
+	offs := make([]int, 0, len(batches)+1)
+	for _, b := range batches {
+		offs = append(offs, buf.Len())
+		if err := wr.WriteBatch(b); err != nil {
+			return nil, nil, err
+		}
+	}
+	offs = append(offs, buf.Len())
+	return offs, buf.Bytes(), nil
+}
+
+func mustEncodeStreamErr(batches []*wire.Batch) ([]byte, error) {
+	_, data, err := encodeStreamOffsets(batches)
+	return data, err
+}
+
+// mustEncodeStream is the baseline path, where encoding our own batches
+// cannot fail for reasons an arm should survive.
+func mustEncodeStream(batches []*wire.Batch) []byte {
+	_, data, err := encodeStreamOffsets(batches)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+func rankedSeqKeys(rep *ranking.Report) []string {
+	out := make([]string, len(rep.Ranked))
+	for i, c := range rep.Ranked {
+		out[i] = c.Entry.Seq.Key()
+	}
+	return out
+}
+
+func sameSeqKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,102 @@
+package faults
+
+import (
+	"testing"
+
+	"act/internal/wire"
+)
+
+// netScenario is the campaign's batch traffic: three failing runs all
+// logging the bug sequence (plus noise that correct runs also log),
+// two correct runs. The fault-free ranked output puts the bug at rank
+// 1 on cross-run weight.
+func netScenario() []*wire.Batch { return SyntheticFleetTraffic(3, 2) }
+
+func TestNetCampaignAllArmsUnchanged(t *testing.T) {
+	res, err := RunNetCampaign(netScenario(), NetCampaignConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(AllNetKinds()) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(AllNetKinds()))
+	}
+	if len(res.Baseline.Ranked) == 0 {
+		t.Fatal("empty baseline ranking")
+	}
+	for _, row := range res.Rows {
+		if !row.Unchanged {
+			t.Errorf("%s (victim %d) changed the ranked output", row.Kind, row.Victim)
+		}
+		switch row.Kind {
+		case NetCorrupt:
+			if row.BadSpans == 0 {
+				t.Errorf("net-corrupt injected no observable damage: %+v", row)
+			}
+			if row.Dups != 0 {
+				t.Errorf("net-corrupt redelivery counted as dup (frame was lost): %+v", row)
+			}
+		case NetCut:
+			if !row.Truncated {
+				t.Errorf("net-cut did not truncate a stream: %+v", row)
+			}
+		case NetDup:
+			if row.Dups != 1 {
+				t.Errorf("net-dup dups = %d, want 1: %+v", row.Dups, row)
+			}
+		}
+		if row.Streams != 2 {
+			t.Errorf("%s used %d streams, want 2 (damage + redelivery)", row.Kind, row.Streams)
+		}
+	}
+	if got := res.UnchangedRate(); got != 1 {
+		t.Fatalf("unchanged rate = %v, want 1", got)
+	}
+	if res.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// TestNetCampaignDeterministic: same seed, same result.
+func TestNetCampaignDeterministic(t *testing.T) {
+	a, err := RunNetCampaign(netScenario(), NetCampaignConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunNetCampaign(netScenario(), NetCampaignConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("campaign not deterministic:\n%s\nvs\n%s", a.Render(), b.Render())
+	}
+}
+
+// TestNetCampaignEverySeed sweeps seeds so the random victim and damage
+// positions cover all batches; no seed may change the ranking.
+func TestNetCampaignEverySeed(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		res, err := RunNetCampaign(netScenario(), NetCampaignConfig{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := res.UnchangedRate(); got != 1 {
+			t.Fatalf("seed %d: unchanged rate = %v\n%s", seed, got, res.Render())
+		}
+	}
+}
+
+func TestNetKindParse(t *testing.T) {
+	ks, err := ParseNetKinds("net-dup, net-cut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 2 || ks[0] != NetDup || ks[1] != NetCut {
+		t.Fatalf("got %v", ks)
+	}
+	if _, err := ParseNetKinds("bogus"); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+	if ks, _ := ParseNetKinds("all"); len(ks) != len(AllNetKinds()) {
+		t.Fatalf("all -> %v", ks)
+	}
+}

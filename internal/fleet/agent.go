@@ -1,0 +1,403 @@
+// Package fleet moves ACT's production telemetry off the box and merges
+// it centrally. The paper's Debug Buffer and misprediction statistics
+// are produced on end-user machines; diagnosing at production scale is
+// an aggregation problem — many instances, one collector. An Agent runs
+// next to a deployed monitor, periodically drains its Debug Buffers
+// into bounded batches and ships them over TCP in the wire format; the
+// Collector receives batches from the whole fleet, deduplicates
+// re-deliveries, counts per-sequence occurrences across runs, and ranks
+// the merged evidence so a sequence seen in many failing runs but few
+// correct ones surfaces first.
+//
+// The transport is at-least-once by design: the agent retries with
+// capped backoff (reusing internal/loader's transient/permanent
+// classification), spools batches to disk while the collector is down,
+// and replays the spool on reconnect. The collector makes redelivery
+// harmless by dropping batches whose sequence hash it has already
+// ingested, and the wire format's per-frame CRCs let a connection
+// survive torn or corrupted frames.
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"act/internal/core"
+	"act/internal/loader"
+	"act/internal/wire"
+)
+
+// Source is what an Agent drains: a deployed monitor (act.Monitor via
+// act.ShipTo) or anything else that accumulates Debug Buffer entries.
+// Drain returns the entries logged since the previous drain — clearing
+// them — plus a snapshot of the cumulative counters.
+type Source interface {
+	Drain() ([]core.DebugEntry, core.Stats)
+}
+
+// AgentConfig parameterizes an Agent.
+type AgentConfig struct {
+	Addr string // collector address (host:port); required
+	Name string // agent identity in batches; default "agent"
+	Run  uint64 // run id, unique per monitored execution; default 1
+
+	// Interval is the drain cadence of the background loop started by
+	// Start; default 2s. Flush drains on demand regardless.
+	Interval time.Duration
+	// MaxBatchEntries caps entries per batch so one frame stays well
+	// under the collector's payload limit; default 256.
+	MaxBatchEntries int
+	// MaxQueue bounds the in-memory batch queue. When the collector is
+	// unreachable and the spool is off (or full), the oldest queued
+	// batch is dropped for each new one — fresh evidence outlives
+	// stale under backpressure; default 64.
+	MaxQueue int
+
+	// SpoolPath, when set, is a file where undeliverable batches are
+	// saved (in wire format) and replayed on the next successful
+	// connect, so a collector outage loses nothing.
+	SpoolPath string
+	// SpoolMaxBytes caps the spool file; when exceeded, the spool is
+	// dropped wholesale and restarted so the newest evidence is what
+	// survives; default 8 MiB.
+	SpoolMaxBytes int64
+
+	// Retry governs per-ship connection attempts; zero value = loader
+	// defaults (4 attempts, 10ms base, 250ms cap). Wire protocol
+	// errors are classified permanent on top of the given policy.
+	Retry loader.RetryConfig
+
+	// Dial replaces the TCP dialer (tests, alternate transports).
+	Dial func(addr string) (net.Conn, error)
+}
+
+func (c AgentConfig) withDefaults() AgentConfig {
+	if c.Name == "" {
+		c.Name = "agent"
+	}
+	if c.Run == 0 {
+		c.Run = 1
+	}
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.MaxBatchEntries <= 0 {
+		c.MaxBatchEntries = 256
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.SpoolMaxBytes <= 0 {
+		c.SpoolMaxBytes = 8 << 20
+	}
+	if c.Dial == nil {
+		c.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	base := c.Retry.Transient
+	if base == nil {
+		base = loader.TransientDefault
+	}
+	c.Retry.Transient = func(err error) bool {
+		return base(err) && !wire.IsProtocolError(err)
+	}
+	return c
+}
+
+// AgentStats counts an agent's activity.
+type AgentStats struct {
+	Drained        uint64 // entries taken from the source
+	Batches        uint64 // batches formed
+	Shipped        uint64 // batches written to the collector
+	Spooled        uint64 // batches written to the spool file
+	Replayed       uint64 // spooled batches re-shipped after reconnect
+	DroppedBatches uint64 // batches lost to queue backpressure
+	SpoolDrops     uint64 // spool resets after exceeding the size cap
+	Dials          uint64 // connection (re)establishments
+}
+
+// Agent drains a Source and ships batches to the collector. All methods
+// are safe for concurrent use with each other; the Source is only ever
+// called from inside the agent's lock, so a Source guarding a monitor
+// needs no locking of its own beyond what the monitor requires.
+type Agent struct {
+	cfg AgentConfig
+	src Source
+
+	mu       sync.Mutex
+	queue    []*wire.Batch
+	seq      uint64
+	outcome  wire.Outcome
+	sentMark bool // the current outcome label has been batched at least once
+	conn     net.Conn
+	wr       *wire.Writer
+	stats    AgentStats
+
+	started  bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewAgent creates an agent shipping src's entries to cfg.Addr. The
+// agent is passive until Start (periodic) or Flush (on demand).
+func NewAgent(src Source, cfg AgentConfig) (*Agent, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("fleet: agent needs a collector address")
+	}
+	return &Agent{
+		cfg:  cfg.withDefaults(),
+		src:  src,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}, nil
+}
+
+// SetOutcome labels batches drained from now on: call with
+// wire.OutcomeFailing when the monitored program crashes, or
+// wire.OutcomeCorrect when it exits clean, then Flush.
+func (a *Agent) SetOutcome(o wire.Outcome) {
+	a.mu.Lock()
+	if a.outcome != o {
+		a.outcome = o
+		a.sentMark = false // next drain emits a batch even when empty
+	}
+	a.mu.Unlock()
+}
+
+// Stats returns a copy of the activity counters.
+func (a *Agent) Stats() AgentStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Tick drains the source into the bounded queue without shipping.
+func (a *Agent) Tick() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.drainLocked()
+}
+
+// drainLocked pulls entries from the source and forms batches, applying
+// drop-oldest backpressure to the queue.
+func (a *Agent) drainLocked() {
+	entries, stats := a.src.Drain()
+	a.stats.Drained += uint64(len(entries))
+	if len(entries) == 0 && a.seq > 0 && a.sentMark {
+		// Nothing new, and the collector has already seen this run
+		// under its current outcome label: skip the empty batch. The
+		// run's first batch and outcome flips always go out.
+		return
+	}
+	a.sentMark = true
+	for first := true; first || len(entries) > 0; first = false {
+		n := len(entries)
+		if n > a.cfg.MaxBatchEntries {
+			n = a.cfg.MaxBatchEntries
+		}
+		b := &wire.Batch{
+			Agent:   a.cfg.Name,
+			Run:     a.cfg.Run,
+			Seq:     a.seq,
+			Outcome: a.outcome,
+			Stats:   stats,
+			Entries: entries[:n:n],
+		}
+		entries = entries[n:]
+		a.seq++
+		a.stats.Batches++
+		if len(a.queue) >= a.cfg.MaxQueue {
+			a.queue = a.queue[1:]
+			a.stats.DroppedBatches++
+		}
+		a.queue = append(a.queue, b)
+	}
+}
+
+// Flush drains the source and ships everything queued (and spooled),
+// synchronously. On failure the batches are spooled (if configured) and
+// the error returned; the queue keeps what could be neither shipped nor
+// spooled, under its drop-oldest bound.
+func (a *Agent) Flush() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.drainLocked()
+	return a.shipLocked()
+}
+
+// Start runs the periodic drain-and-ship loop in the background until
+// Close.
+func (a *Agent) Start() {
+	a.mu.Lock()
+	if a.started {
+		a.mu.Unlock()
+		return
+	}
+	a.started = true
+	a.mu.Unlock()
+	go func() {
+		defer close(a.done)
+		t := time.NewTicker(a.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-a.stop:
+				return
+			case <-t.C:
+				a.mu.Lock()
+				a.drainLocked()
+				a.shipLocked() // errors already counted; spool has the rest
+				a.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// Close stops the loop, attempts a final flush, and closes the
+// connection. The returned error is the final flush's.
+func (a *Agent) Close() error {
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.mu.Lock()
+	started := a.started
+	a.mu.Unlock()
+	if started {
+		<-a.done
+	}
+	err := a.Flush()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.conn != nil {
+		a.conn.Close()
+		a.conn = nil
+		a.wr = nil
+	}
+	return err
+}
+
+// shipLocked writes queued batches to the collector under the retry
+// policy. On success the queue (and any spool) is empty; on failure the
+// queue is spooled to disk when configured.
+func (a *Agent) shipLocked() error {
+	if len(a.queue) == 0 && !a.spoolExists() {
+		return nil
+	}
+	err := loader.Do(a.cfg.Retry, func() error {
+		if a.conn == nil {
+			conn, err := a.cfg.Dial(a.cfg.Addr)
+			if err != nil {
+				return err
+			}
+			a.conn = conn
+			a.wr = wire.NewWriter(conn)
+			a.stats.Dials++
+			if err := a.replaySpoolLocked(); err != nil {
+				a.dropConnLocked()
+				return err
+			}
+		}
+		for len(a.queue) > 0 {
+			if err := a.wr.WriteBatch(a.queue[0]); err != nil {
+				a.dropConnLocked()
+				return err
+			}
+			a.queue = a.queue[1:]
+			a.stats.Shipped++
+		}
+		return nil
+	})
+	if err != nil && a.cfg.SpoolPath != "" {
+		if serr := a.spoolLocked(); serr == nil {
+			return fmt.Errorf("fleet: collector unreachable, %d batch(es) spooled: %w",
+				a.stats.Spooled, err)
+		}
+	}
+	return err
+}
+
+// dropConnLocked abandons the current connection after an error; the
+// next attempt redials. Batches not yet acknowledged stay queued — the
+// collector dedups any frame that did arrive.
+func (a *Agent) dropConnLocked() {
+	if a.conn != nil {
+		a.conn.Close()
+	}
+	a.conn = nil
+	a.wr = nil
+}
+
+// spoolExists reports whether a non-empty spool file is waiting.
+func (a *Agent) spoolExists() bool {
+	if a.cfg.SpoolPath == "" {
+		return false
+	}
+	fi, err := os.Stat(a.cfg.SpoolPath)
+	return err == nil && fi.Size() > 0
+}
+
+// spoolLocked appends the queued batches to the spool file, emptying
+// the queue. A spool past its size cap is dropped and restarted: under
+// sustained outage the newest evidence is the evidence worth keeping.
+func (a *Agent) spoolLocked() error {
+	if len(a.queue) == 0 {
+		return nil
+	}
+	if fi, err := os.Stat(a.cfg.SpoolPath); err == nil && fi.Size() > a.cfg.SpoolMaxBytes {
+		os.Remove(a.cfg.SpoolPath)
+		a.stats.SpoolDrops++
+	}
+	f, err := os.OpenFile(a.cfg.SpoolPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	var wr *wire.Writer
+	if fi.Size() == 0 {
+		wr = wire.NewWriter(f) // fresh spool: full stream with prologue
+	} else {
+		wr = wire.NewRawWriter(f) // appending frames mid-stream
+	}
+	for len(a.queue) > 0 {
+		if err := wr.WriteBatch(a.queue[0]); err != nil {
+			return err
+		}
+		a.queue = a.queue[1:]
+		a.stats.Spooled++
+	}
+	return nil
+}
+
+// replaySpoolLocked re-ships every batch saved in the spool file over
+// the (fresh) connection, then removes the file. Damage inside the
+// spool — a crash mid-append — costs only the damaged frames, exactly
+// like damage on the wire.
+func (a *Agent) replaySpoolLocked() error {
+	if !a.spoolExists() {
+		return nil
+	}
+	f, err := os.Open(a.cfg.SpoolPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rd := wire.NewReader(f, 0)
+	for {
+		b, err := rd.Next()
+		if err != nil {
+			break // EOF or a spool too damaged to continue; ship what we got
+		}
+		if err := a.wr.WriteBatch(b); err != nil {
+			return err
+		}
+		a.stats.Replayed++
+	}
+	return os.Remove(a.cfg.SpoolPath)
+}

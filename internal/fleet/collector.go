@@ -1,0 +1,549 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"act/internal/core"
+	"act/internal/deps"
+	"act/internal/ranking"
+	"act/internal/wire"
+)
+
+// CollectorConfig parameterizes a Collector.
+type CollectorConfig struct {
+	// MaxPayload caps a frame's payload per connection; 0 means
+	// wire.DefaultMaxPayload. It bounds per-connection memory.
+	MaxPayload int
+	// ReadTimeout is the per-read deadline on agent connections; an
+	// agent silent for longer is disconnected (it will redial and the
+	// dedup makes redelivery harmless); default 2 minutes.
+	ReadTimeout time.Duration
+	// MaxConns caps concurrent agent connections; excess connections
+	// are accepted and immediately closed; default 256.
+	MaxConns int
+
+	// SeqLen is N for the Correct Set used in pruning and match
+	// counting; default 3, or inferred from the first ingested entry
+	// when that is longer.
+	SeqLen int
+	// CorrectPrune is the number of distinct correct runs that must
+	// have logged a sequence before it is pruned as a known false
+	// positive; default 1.
+	CorrectPrune int
+	// BaseCorrect seeds the Correct Set from trace-derived sequences
+	// (the paper's offline postprocessing input), merged with what
+	// correct-run agents report. Optional.
+	BaseCorrect *deps.SeqSet
+
+	// Strategy orders candidates within equal cross-run counts;
+	// default MostMatched (the paper's choice).
+	Strategy ranking.Strategy
+
+	// SnapshotPath, when set, is where Snapshot persists the aggregate
+	// state (atomically: temp file + rename) and where NewCollector
+	// reloads it from.
+	SnapshotPath string
+}
+
+func (c CollectorConfig) withDefaults() CollectorConfig {
+	if c.MaxPayload <= 0 {
+		c.MaxPayload = wire.DefaultMaxPayload
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 2 * time.Minute
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 256
+	}
+	if c.SeqLen <= 0 {
+		c.SeqLen = 3
+	}
+	if c.CorrectPrune <= 0 {
+		c.CorrectPrune = 1
+	}
+	return c
+}
+
+// CollectorStats counts a collector's activity.
+type CollectorStats struct {
+	Conns        uint64 // connections accepted
+	Rejected     uint64 // connections refused at the MaxConns cap
+	Batches      uint64 // batches ingested
+	DupBatches   uint64 // redelivered batches dropped by dedup
+	Entries      uint64 // entries ingested (before per-run dedup)
+	BadSpans     uint64 // corrupt spans skipped across all connections
+	SkippedBytes uint64 // bytes discarded across all connections
+}
+
+// seqAgg is the collector's per-sequence aggregate.
+type seqAgg struct {
+	entry       core.DebugEntry     // most negative output observed
+	failRuns    map[uint64]struct{} // failing runs that logged it
+	correctRuns map[uint64]struct{} // correct runs that logged it
+}
+
+// Collector aggregates batches from a fleet of agents. All exported
+// methods are safe for concurrent use.
+type Collector struct {
+	cfg CollectorConfig
+
+	mu       sync.Mutex
+	seen     map[uint64]struct{} // ingested batch keys (dedup)
+	agg      map[string]*seqAgg  // by sequence key
+	outcomes map[uint64]wire.Outcome
+	pending  map[uint64][]string // sequences logged by still-unknown runs
+	stats    CollectorStats
+	conns    int
+
+	lnMu sync.Mutex
+	ln   net.Listener
+}
+
+// NewCollector creates a collector, loading the snapshot at
+// cfg.SnapshotPath when one exists. A damaged snapshot is ignored (the
+// collector starts empty) rather than fatal: it is a cache of evidence
+// the fleet keeps resupplying.
+func NewCollector(cfg CollectorConfig) *Collector {
+	c := &Collector{
+		cfg:      cfg.withDefaults(),
+		seen:     make(map[uint64]struct{}),
+		agg:      make(map[string]*seqAgg),
+		outcomes: make(map[uint64]wire.Outcome),
+		pending:  make(map[uint64][]string),
+	}
+	if c.cfg.SnapshotPath != "" {
+		c.loadSnapshot(c.cfg.SnapshotPath) // best effort
+	}
+	return c
+}
+
+// Stats returns a copy of the activity counters.
+func (c *Collector) Stats() CollectorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Ingest merges one batch into the aggregate. Redelivered batches
+// (same agent, run and sequence number) are dropped. Exported for
+// in-process fleets and tests; the TCP path funnels here too.
+func (c *Collector) Ingest(b *wire.Batch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := b.Key()
+	if _, dup := c.seen[key]; dup {
+		c.stats.DupBatches++
+		return
+	}
+	c.seen[key] = struct{}{}
+	c.stats.Batches++
+	c.stats.Entries += uint64(len(b.Entries))
+
+	run := b.RunKey()
+	c.noteOutcomeLocked(run, b.Outcome)
+	outcome := c.outcomes[run]
+	for _, e := range b.Entries {
+		c.noteEntryLocked(run, outcome, e)
+	}
+}
+
+// noteOutcomeLocked records a run's outcome; a late flip from Unknown
+// re-files the run's sequences under the decided side.
+func (c *Collector) noteOutcomeLocked(run uint64, o wire.Outcome) {
+	prev := c.outcomes[run]
+	if o == wire.OutcomeUnknown || o == prev {
+		return
+	}
+	c.outcomes[run] = o
+	if prev == wire.OutcomeUnknown {
+		for _, k := range c.pending[run] {
+			if agg, ok := c.agg[k]; ok {
+				c.fileRunLocked(agg, run, o)
+			}
+		}
+		delete(c.pending, run)
+	}
+}
+
+// noteEntryLocked merges one entry under the run's current outcome.
+func (c *Collector) noteEntryLocked(run uint64, outcome wire.Outcome, e core.DebugEntry) {
+	k := e.Seq.Key()
+	agg, ok := c.agg[k]
+	if !ok {
+		agg = &seqAgg{entry: e}
+		c.agg[k] = agg
+	} else if e.Output < agg.entry.Output {
+		agg.entry = e
+	}
+	if outcome == wire.OutcomeUnknown {
+		c.pending[run] = append(c.pending[run], k)
+		return
+	}
+	c.fileRunLocked(agg, run, outcome)
+}
+
+// fileRunLocked adds run to the aggregate's failing or correct set.
+func (c *Collector) fileRunLocked(agg *seqAgg, run uint64, o wire.Outcome) {
+	switch o {
+	case wire.OutcomeFailing:
+		if agg.failRuns == nil {
+			agg.failRuns = make(map[uint64]struct{})
+		}
+		agg.failRuns[run] = struct{}{}
+	case wire.OutcomeCorrect:
+		if agg.correctRuns == nil {
+			agg.correctRuns = make(map[uint64]struct{})
+		}
+		agg.correctRuns[run] = struct{}{}
+	}
+}
+
+// Report builds the fleet-wide ranked report: sequences logged by
+// enough correct runs join the Correct Set and prune their failing-run
+// twins (plus any trace-derived BaseCorrect sequences); the survivors
+// are ranked by ranking.RankWith under the configured strategy, then
+// weighted so sequences seen in many distinct failing runs rank first.
+func (c *Collector) Report() *ranking.Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	keys := make([]string, 0, len(c.agg))
+	for k := range c.agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic input order for the ranker
+
+	n := c.cfg.SeqLen
+	for _, k := range keys {
+		if l := len(c.agg[k].entry.Seq); l > n {
+			n = l
+		}
+	}
+	correct := deps.NewSeqSet(n)
+	var debug []core.DebugEntry
+	runsOf := make(map[string]int)
+	for _, k := range keys {
+		agg := c.agg[k]
+		if len(agg.correctRuns) >= c.cfg.CorrectPrune {
+			correct.Add(agg.entry.Seq)
+		}
+		if c.cfg.BaseCorrect != nil && c.cfg.BaseCorrect.Contains(agg.entry.Seq) {
+			correct.Add(agg.entry.Seq)
+		}
+		if len(agg.failRuns) > 0 {
+			debug = append(debug, agg.entry)
+			runsOf[k] = len(agg.failRuns)
+		}
+	}
+	rep := ranking.RankWith(debug, correct, c.cfg.Strategy)
+	for i := range rep.Ranked {
+		rep.Ranked[i].Runs = runsOf[rep.Ranked[i].Entry.Seq.Key()]
+	}
+	rep.WeightByRuns()
+	return rep
+}
+
+// ReadFrom ingests one connection's wire stream from r — the transport-
+// independent half of serving, used directly by tests and fault
+// campaigns. Corruption is skipped frame-wise and counted; the error
+// reflects only protocol-level failures (wrong magic/version) or
+// transport errors other than end-of-stream.
+func (c *Collector) IngestStream(r io.Reader) (wire.StreamReport, error) {
+	rd := wire.NewReader(r, c.cfg.MaxPayload)
+	var err error
+	for {
+		var b *wire.Batch
+		b, err = rd.Next()
+		if err != nil {
+			break
+		}
+		c.Ingest(b)
+	}
+	rep := rd.Report()
+	c.mu.Lock()
+	c.stats.BadSpans += uint64(rep.BadSpans)
+	c.stats.SkippedBytes += uint64(rep.SkippedBytes)
+	c.mu.Unlock()
+	if err == io.EOF {
+		err = nil
+	}
+	return rep, err
+}
+
+// Serve accepts agent connections on l until Shutdown (or a fatal
+// accept error). Each connection is handled concurrently, bounded by
+// MaxConns, with the configured read deadline.
+func (c *Collector) Serve(l net.Listener) error {
+	c.lnMu.Lock()
+	c.ln = l
+	c.lnMu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			c.lnMu.Lock()
+			closed := c.ln == nil
+			c.lnMu.Unlock()
+			if closed {
+				return nil // Shutdown
+			}
+			return err
+		}
+		c.mu.Lock()
+		if c.conns >= c.cfg.MaxConns {
+			c.stats.Rejected++
+			c.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		c.conns++
+		c.stats.Conns++
+		c.mu.Unlock()
+		go func() {
+			defer func() {
+				conn.Close()
+				c.mu.Lock()
+				c.conns--
+				c.mu.Unlock()
+			}()
+			c.IngestStream(&deadlineReader{conn: conn, d: c.cfg.ReadTimeout})
+		}()
+	}
+}
+
+// Shutdown stops Serve. In-flight connections finish at their own pace
+// (bounded by the read deadline).
+func (c *Collector) Shutdown() {
+	c.lnMu.Lock()
+	ln := c.ln
+	c.ln = nil
+	c.lnMu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// deadlineReader arms a fresh read deadline before every read, so the
+// per-connection bound is "silent for longer than d", not "connected
+// for longer than d".
+type deadlineReader struct {
+	conn net.Conn
+	d    time.Duration
+}
+
+func (r *deadlineReader) Read(p []byte) (int, error) {
+	r.conn.SetReadDeadline(time.Now().Add(r.d))
+	return r.conn.Read(p)
+}
+
+// Snapshot state persistence:
+//
+//	magic "ACTS" | u16 version=1 | u16 reserved
+//	u32 batch-key count | u64 keys
+//	u32 run count | per run: u64 run key | u8 outcome
+//	u32 aggregate count | per aggregate:
+//	  wire entry | u32 failing-run count | u64 run keys |
+//	  u32 correct-run count | u64 run keys
+//	u32 crc32(everything after the prologue)
+//
+// Pending (outcome-unknown) attributions are re-derived on restart from
+// the runs' recorded outcomes, so they are not persisted.
+
+const (
+	snapMagic   = "ACTS"
+	snapVersion = 1
+)
+
+// Snapshot atomically persists the aggregate state to path (or the
+// configured SnapshotPath when path is empty).
+func (c *Collector) Snapshot(path string) error {
+	if path == "" {
+		path = c.cfg.SnapshotPath
+	}
+	if path == "" {
+		return fmt.Errorf("fleet: no snapshot path configured")
+	}
+	c.mu.Lock()
+	body := c.encodeStateLocked()
+	c.mu.Unlock()
+
+	out := append([]byte(snapMagic), 0, 0, 0, 0)
+	binary.LittleEndian.PutUint16(out[4:], snapVersion)
+	out = append(out, body...)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], crc32.ChecksumIEEE(body))
+	out = append(out, tmp[:]...)
+
+	tmpPath := path + ".tmp"
+	if err := os.WriteFile(tmpPath, out, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmpPath, path)
+}
+
+func (c *Collector) encodeStateLocked() []byte {
+	var body []byte
+	var tmp [8]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		body = append(body, tmp[:4]...)
+	}
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		body = append(body, tmp[:]...)
+	}
+	sortedU64 := func(m map[uint64]struct{}) []uint64 {
+		out := make([]uint64, 0, len(m))
+		for k := range m {
+			out = append(out, k)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+
+	keys := make([]uint64, 0, len(c.seen))
+	for k := range c.seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	u32(uint32(len(keys)))
+	for _, k := range keys {
+		u64(k)
+	}
+
+	runs := make([]uint64, 0, len(c.outcomes))
+	for r := range c.outcomes {
+		runs = append(runs, r)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i] < runs[j] })
+	u32(uint32(len(runs)))
+	for _, r := range runs {
+		u64(r)
+		body = append(body, byte(c.outcomes[r]))
+	}
+
+	aggKeys := make([]string, 0, len(c.agg))
+	for k := range c.agg {
+		aggKeys = append(aggKeys, k)
+	}
+	sort.Strings(aggKeys)
+	u32(uint32(len(aggKeys)))
+	for _, k := range aggKeys {
+		agg := c.agg[k]
+		body = wire.AppendEntry(body, agg.entry)
+		fr := sortedU64(agg.failRuns)
+		u32(uint32(len(fr)))
+		for _, r := range fr {
+			u64(r)
+		}
+		cr := sortedU64(agg.correctRuns)
+		u32(uint32(len(cr)))
+		for _, r := range cr {
+			u64(r)
+		}
+	}
+	return body
+}
+
+// loadSnapshot restores state saved by Snapshot. Any damage (short
+// file, bad magic, checksum mismatch, truncated body) abandons the load
+// and leaves the collector empty.
+func (c *Collector) loadSnapshot(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) < 8+4 || string(data[:4]) != snapMagic {
+		return false
+	}
+	if binary.LittleEndian.Uint16(data[4:]) != snapVersion {
+		return false
+	}
+	body, sum := data[8:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return false
+	}
+	off := 0
+	need := func(n int) bool { return len(body)-off >= n }
+	u32 := func() uint32 { v := binary.LittleEndian.Uint32(body[off:]); off += 4; return v }
+	u64 := func() uint64 { v := binary.LittleEndian.Uint64(body[off:]); off += 8; return v }
+
+	if !need(4) {
+		return false
+	}
+	nSeen := int(u32())
+	if !need(nSeen * 8) {
+		return false
+	}
+	seen := make(map[uint64]struct{}, nSeen)
+	for i := 0; i < nSeen; i++ {
+		seen[u64()] = struct{}{}
+	}
+
+	if !need(4) {
+		return false
+	}
+	nRuns := int(u32())
+	if !need(nRuns * 9) {
+		return false
+	}
+	outcomes := make(map[uint64]wire.Outcome, nRuns)
+	for i := 0; i < nRuns; i++ {
+		r := u64()
+		outcomes[r] = wire.Outcome(body[off])
+		off++
+	}
+
+	if !need(4) {
+		return false
+	}
+	nAgg := int(u32())
+	agg := make(map[string]*seqAgg, nAgg)
+	for i := 0; i < nAgg; i++ {
+		e, n, err := wire.DecodeEntry(body[off:])
+		if err != nil {
+			return false
+		}
+		off += n
+		a := &seqAgg{entry: e}
+		if !need(4) {
+			return false
+		}
+		nf := int(u32())
+		if !need(nf * 8) {
+			return false
+		}
+		for j := 0; j < nf; j++ {
+			if a.failRuns == nil {
+				a.failRuns = make(map[uint64]struct{}, nf)
+			}
+			a.failRuns[u64()] = struct{}{}
+		}
+		if !need(4) {
+			return false
+		}
+		nc := int(u32())
+		if !need(nc * 8) {
+			return false
+		}
+		for j := 0; j < nc; j++ {
+			if a.correctRuns == nil {
+				a.correctRuns = make(map[uint64]struct{}, nc)
+			}
+			a.correctRuns[u64()] = struct{}{}
+		}
+		agg[e.Seq.Key()] = a
+	}
+	if off != len(body) {
+		return false
+	}
+	c.mu.Lock()
+	c.seen, c.outcomes, c.agg = seen, outcomes, agg
+	c.stats.Batches = uint64(len(seen)) // dedup set = batches ever accepted
+	c.mu.Unlock()
+	return true
+}

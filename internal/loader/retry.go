@@ -62,11 +62,12 @@ func TransientDefault(err error) bool {
 		!errors.Is(err, fs.ErrPermission)
 }
 
-// LoadTraceFrom reads a trace from successive readers produced by open,
-// retrying transient failures under the config. Each attempt gets a
-// fresh reader (a half-consumed stream cannot be resumed). The returned
-// report is non-nil whenever the trace is.
-func LoadTraceFrom(open func() (io.ReadCloser, error), cfg RetryConfig) (*trace.Trace, *trace.CorruptionReport, error) {
+// Do runs op under the retry policy: transient failures are retried
+// with capped exponential backoff, permanent ones fail fast with the
+// error they produced. It is the generic engine behind LoadTraceFrom,
+// and the fleet agent drives its collector connection with the same
+// policy — one classification of what a retry can and cannot fix.
+func Do(cfg RetryConfig, op func() error) error {
 	cfg = cfg.withDefaults()
 	delay := cfg.BaseDelay
 	var lastErr error
@@ -78,22 +79,36 @@ func LoadTraceFrom(open func() (io.ReadCloser, error), cfg RetryConfig) (*trace.
 				delay = cfg.MaxDelay
 			}
 		}
-		r, err := open()
-		if err == nil {
-			var t *trace.Trace
-			var rep *trace.CorruptionReport
-			t, rep, err = trace.ReadReport(r)
-			r.Close()
-			if err == nil {
-				return t, rep, nil
-			}
+		if lastErr = op(); lastErr == nil {
+			return nil
 		}
-		lastErr = err
-		if !cfg.Transient(err) {
+		if !cfg.Transient(lastErr) {
 			break
 		}
 	}
-	return nil, nil, lastErr
+	return lastErr
+}
+
+// LoadTraceFrom reads a trace from successive readers produced by open,
+// retrying transient failures under the config. Each attempt gets a
+// fresh reader (a half-consumed stream cannot be resumed). The returned
+// report is non-nil whenever the trace is.
+func LoadTraceFrom(open func() (io.ReadCloser, error), cfg RetryConfig) (*trace.Trace, *trace.CorruptionReport, error) {
+	var t *trace.Trace
+	var rep *trace.CorruptionReport
+	err := Do(cfg, func() error {
+		r, err := open()
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		t, rep, err = trace.ReadReport(r)
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, rep, nil
 }
 
 // LoadTrace reads the trace file at path with retry on transient

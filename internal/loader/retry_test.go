@@ -148,3 +148,40 @@ func TestBackoffDoublesAndCaps(t *testing.T) {
 		}
 	}
 }
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	var waits []time.Duration
+	calls := 0
+	err := Do(RetryConfig{
+		Attempts: 5,
+		Sleep:    func(d time.Duration) { waits = append(waits, d) },
+	}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient blip")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || len(waits) != 2 {
+		t.Fatalf("calls=%d waits=%d", calls, len(waits))
+	}
+}
+
+func TestDoFailsFastOnPermanent(t *testing.T) {
+	perm := errors.New("permanent")
+	calls := 0
+	err := Do(RetryConfig{
+		Attempts:  5,
+		Sleep:     func(time.Duration) {},
+		Transient: func(err error) bool { return !errors.Is(err, perm) },
+	}, func() error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}

@@ -1,0 +1,160 @@
+package ranking
+
+import (
+	"math/rand"
+	"testing"
+
+	"act/internal/core"
+	"act/internal/deps"
+)
+
+// The collector merges Debug Buffers from many independent monitors
+// before ranking. These tests pin the algebra that merge relies on:
+// ranking the union of two buffers (duplicates collapsed beforehand)
+// must equal ranking their concatenation (duplicates collapsed by Rank
+// itself), and the merge must be order-insensitive.
+
+// synthEntry builds a deterministic entry for sequence index i.
+func synthEntry(i int, output float64) core.DebugEntry {
+	base := uint64(0x1000 + 0x40*i)
+	return core.DebugEntry{
+		Seq: deps.Sequence{
+			{S: base, L: base + 4, Inter: i%2 == 0},
+			{S: base + 8, L: base + 12},
+		},
+		Output: output,
+		At:     uint64(i),
+	}
+}
+
+// correctSetOf builds a Correct Set containing sequences 0..n-1.
+func correctSetOf(n int) *deps.SeqSet {
+	ss := deps.NewSeqSet(2)
+	for i := 0; i < n; i++ {
+		ss.Add(synthEntry(i, 0).Seq)
+	}
+	return ss
+}
+
+// rankedKeys flattens a report's order for comparison.
+func rankedKeys(rep *Report) []string {
+	out := make([]string, 0, len(rep.Ranked))
+	for _, c := range rep.Ranked {
+		out = append(out, c.Entry.Seq.Key())
+	}
+	return out
+}
+
+func sameOrder(t *testing.T, a, b *Report, what string) {
+	t.Helper()
+	ka, kb := rankedKeys(a), rankedKeys(b)
+	if len(ka) != len(kb) {
+		t.Fatalf("%s: %d vs %d candidates", what, len(ka), len(kb))
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("%s: rank %d differs", what, i+1)
+		}
+		if a.Ranked[i].Matches != b.Ranked[i].Matches {
+			t.Fatalf("%s: rank %d matches %d vs %d", what, i+1, a.Ranked[i].Matches, b.Ranked[i].Matches)
+		}
+		if a.Ranked[i].Entry.Output != b.Ranked[i].Entry.Output {
+			t.Fatalf("%s: rank %d output %v vs %v", what, i+1, a.Ranked[i].Entry.Output, b.Ranked[i].Entry.Output)
+		}
+	}
+}
+
+// unionOf collapses duplicate sequences across buffers the way a
+// set-union would, keeping the most negative output per sequence.
+func unionOf(buffers ...[]core.DebugEntry) []core.DebugEntry {
+	byKey := make(map[string]int)
+	var out []core.DebugEntry
+	for _, buf := range buffers {
+		for _, e := range buf {
+			k := e.Seq.Key()
+			if i, ok := byKey[k]; ok {
+				if e.Output < out[i].Output {
+					out[i] = e
+				}
+				continue
+			}
+			byKey[k] = len(out)
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func twoMonitorBuffers(rng *rand.Rand) (a, b []core.DebugEntry) {
+	// Monitor A logs sequences 0..9, monitor B logs 5..14: overlap in
+	// the middle, with per-monitor outputs so duplicate collapse has
+	// work to do.
+	for i := 0; i < 10; i++ {
+		a = append(a, synthEntry(i, 0.05+0.4*rng.Float64()))
+	}
+	for i := 5; i < 15; i++ {
+		b = append(b, synthEntry(i, 0.05+0.4*rng.Float64()))
+	}
+	return a, b
+}
+
+func TestRankUnionEqualsConcatenation(t *testing.T) {
+	for _, strategy := range []Strategy{MostMatched, MostMismatched, OutputOnly} {
+		rng := rand.New(rand.NewSource(11))
+		a, b := twoMonitorBuffers(rng)
+		correct := correctSetOf(4) // prunes a prefix of A's entries
+
+		concat := RankWith(append(append([]core.DebugEntry{}, a...), b...), correct, strategy)
+		union := RankWith(unionOf(a, b), correct, strategy)
+		sameOrder(t, concat, union, strategy.name())
+
+		if concat.Total != len(a)+len(b) {
+			t.Fatalf("concat total %d", concat.Total)
+		}
+		// Union pre-collapsed the duplicates, so only correct-set
+		// pruning remains; survivors must agree regardless.
+		if len(concat.Ranked) != len(union.Ranked) {
+			t.Fatalf("%v: survivors differ", strategy)
+		}
+	}
+}
+
+func TestRankMergeOrderInsensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a, b := twoMonitorBuffers(rng)
+	correct := correctSetOf(4)
+
+	ab := RankWith(append(append([]core.DebugEntry{}, a...), b...), correct, MostMatched)
+	ba := RankWith(append(append([]core.DebugEntry{}, b...), a...), correct, MostMatched)
+	sameOrder(t, ab, ba, "A+B vs B+A")
+}
+
+func TestRankMergeThreeMonitors(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	a, b := twoMonitorBuffers(rng)
+	var c []core.DebugEntry
+	for i := 12; i < 20; i++ {
+		c = append(c, synthEntry(i, 0.05+0.4*rng.Float64()))
+	}
+	correct := correctSetOf(4)
+
+	concat := RankWith(append(append(append([]core.DebugEntry{}, a...), b...), c...), correct, MostMatched)
+	union := RankWith(unionOf(a, b, c), correct, MostMatched)
+	sameOrder(t, concat, union, "three monitors")
+
+	// Pairwise-then-third must agree too: union is associative.
+	staged := RankWith(unionOf(unionOf(a, b), c), correct, MostMatched)
+	sameOrder(t, concat, staged, "staged union")
+}
+
+// name labels a strategy in test failures.
+func (s Strategy) name() string {
+	switch s {
+	case MostMismatched:
+		return "most-mismatched"
+	case OutputOnly:
+		return "output-only"
+	default:
+		return "most-matched"
+	}
+}

@@ -20,6 +20,10 @@ import (
 type Candidate struct {
 	Entry   core.DebugEntry
 	Matches int // matched RAW dependences against the Correct Set
+	// Runs counts the distinct failing runs that logged this sequence —
+	// filled by fleet aggregation (cross-run ranking); 0 in single-run
+	// reports.
+	Runs int
 }
 
 // Report is the outcome of pruning and ranking.
@@ -84,23 +88,45 @@ func RankWith(debug []core.DebugEntry, correct *deps.SeqSet, strategy Strategy) 
 	for _, k := range order {
 		rep.Ranked = append(rep.Ranked, *byKey[k])
 	}
-	sort.SliceStable(rep.Ranked, func(i, j int) bool {
-		a, b := rep.Ranked[i], rep.Ranked[j]
-		switch strategy {
-		case MostMismatched:
-			if a.Matches != b.Matches {
-				return a.Matches < b.Matches
-			}
-		case OutputOnly:
-			// fall through to the output tie-break below
-		default: // MostMatched
-			if a.Matches != b.Matches {
-				return a.Matches > b.Matches
-			}
-		}
-		return a.Entry.Output < b.Entry.Output
-	})
+	rep.Resort(strategy)
 	return rep
+}
+
+// less orders two candidates under a strategy.
+func less(strategy Strategy, a, b Candidate) bool {
+	switch strategy {
+	case MostMismatched:
+		if a.Matches != b.Matches {
+			return a.Matches < b.Matches
+		}
+	case OutputOnly:
+		// fall through to the output tie-break below
+	default: // MostMatched
+		if a.Matches != b.Matches {
+			return a.Matches > b.Matches
+		}
+	}
+	return a.Entry.Output < b.Entry.Output
+}
+
+// Resort reorders the ranked candidates under a (possibly different)
+// strategy, using the Matches and Output values already computed — how
+// a persisted report is re-ranked without re-deriving the Correct Set.
+func (r *Report) Resort(strategy Strategy) {
+	sort.SliceStable(r.Ranked, func(i, j int) bool {
+		return less(strategy, r.Ranked[i], r.Ranked[j])
+	})
+}
+
+// WeightByRuns stable-sorts the ranked candidates by their cross-run
+// failing-occurrence count, descending, preserving the strategy order
+// within equal counts: a sequence logged by many independent failing
+// runs but few correct ones is stronger evidence than any single run's
+// network output. Single-run reports (all Runs zero) are unaffected.
+func (r *Report) WeightByRuns() {
+	sort.SliceStable(r.Ranked, func(i, j int) bool {
+		return r.Ranked[i].Runs > r.Ranked[j].Runs
+	})
 }
 
 // RankOf returns the 1-based rank of the first candidate satisfying
@@ -149,6 +175,10 @@ func (r *Report) Write(w io.Writer, limit int) {
 			fmt.Fprintf(w, "... %d more\n", len(r.Ranked)-limit)
 			break
 		}
-		fmt.Fprintf(w, "%3d. matches=%d output=%.4f %s\n", i+1, c.Matches, c.Entry.Output, c.Entry.Seq)
+		runs := ""
+		if c.Runs > 0 {
+			runs = fmt.Sprintf(" runs=%d", c.Runs)
+		}
+		fmt.Fprintf(w, "%3d. matches=%d output=%.4f%s %s\n", i+1, c.Matches, c.Entry.Output, runs, c.Entry.Seq)
 	}
 }

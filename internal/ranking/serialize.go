@@ -1,0 +1,110 @@
+package ranking
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"act/internal/wire"
+)
+
+// Report persistence. A diagnosis report used to be print-only; fleet
+// operation needs it as an artifact — saved by actdiag or actd, loaded
+// later to re-rank under a different strategy or to merge with newer
+// evidence. The format reuses the wire package's entry codec under a
+// whole-body CRC:
+//
+//	magic "ACTR" | u16 version=1 | u16 reserved
+//	u32 total | u32 pruned | u32 candidate count
+//	per candidate: u32 matches | u32 runs | wire entry
+//	u32 crc32(everything after the magic/version prologue)
+
+const (
+	reportMagic   = "ACTR"
+	reportVersion = 1
+)
+
+// Report-file errors.
+var (
+	ErrReportMagic   = errors.New("ranking: not a report file")
+	ErrReportVersion = errors.New("ranking: unsupported report version")
+	ErrReportCRC     = errors.New("ranking: report body fails its checksum")
+)
+
+// Save writes the report. The full candidate state round-trips:
+// LoadReport followed by Resort reproduces any strategy's ordering
+// without access to the Correct Set.
+func (r *Report) Save(w io.Writer) error {
+	body := make([]byte, 0, 64+len(r.Ranked)*64)
+	var tmp [4]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:], v)
+		body = append(body, tmp[:]...)
+	}
+	u32(uint32(r.Total))
+	u32(uint32(r.Pruned))
+	u32(uint32(len(r.Ranked)))
+	for _, c := range r.Ranked {
+		u32(uint32(c.Matches))
+		u32(uint32(c.Runs))
+		body = wire.AppendEntry(body, c.Entry)
+	}
+
+	out := append([]byte(reportMagic), 0, 0, 0, 0)
+	binary.LittleEndian.PutUint16(out[4:], reportVersion)
+	out = append(out, body...)
+	binary.LittleEndian.PutUint32(tmp[:], crc32.ChecksumIEEE(body))
+	out = append(out, tmp[:]...)
+	_, err := w.Write(out)
+	return err
+}
+
+// LoadReport reads a report written by Save, verifying the checksum.
+func LoadReport(rd io.Reader) (*Report, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 8+12+4 {
+		return nil, fmt.Errorf("%w (only %d bytes)", ErrReportMagic, len(data))
+	}
+	if string(data[:4]) != reportMagic {
+		return nil, ErrReportMagic
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != reportVersion {
+		return nil, fmt.Errorf("%w %d", ErrReportVersion, v)
+	}
+	body, sum := data[8:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, ErrReportCRC
+	}
+
+	r := &Report{
+		Total:  int(binary.LittleEndian.Uint32(body[0:])),
+		Pruned: int(binary.LittleEndian.Uint32(body[4:])),
+	}
+	count := int(binary.LittleEndian.Uint32(body[8:]))
+	off := 12
+	for i := 0; i < count; i++ {
+		if len(body) < off+8 {
+			return nil, fmt.Errorf("ranking: candidate %d truncated", i)
+		}
+		c := Candidate{
+			Matches: int(binary.LittleEndian.Uint32(body[off:])),
+			Runs:    int(binary.LittleEndian.Uint32(body[off+4:])),
+		}
+		e, n, err := wire.DecodeEntry(body[off+8:])
+		if err != nil {
+			return nil, fmt.Errorf("ranking: candidate %d: %w", i, err)
+		}
+		c.Entry = e
+		off += 8 + n
+		r.Ranked = append(r.Ranked, c)
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("ranking: %d trailing bytes after report", len(body)-off)
+	}
+	return r, nil
+}

@@ -1,0 +1,109 @@
+package ranking
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"act/internal/core"
+	"act/internal/deps"
+)
+
+func savedReport() *Report {
+	return &Report{
+		Total:  9,
+		Pruned: 4,
+		Ranked: []Candidate{
+			{Matches: 3, Runs: 5, Entry: core.DebugEntry{
+				Seq:    deps.Sequence{{S: 0x10, L: 0x20, Inter: true}, {S: 0x30, L: 0x40}},
+				Output: 0.01, At: 77, Mode: core.Testing, Proc: 2}},
+			{Matches: 2, Entry: core.DebugEntry{
+				Seq:    deps.Sequence{{S: 0x50, L: 0x60}},
+				Output: 0.31, At: 12, Mode: core.Training}},
+			{Matches: 2, Runs: 1, Entry: core.DebugEntry{
+				Seq:    deps.Sequence{{S: 0x70, L: 0x80, Inter: true}},
+				Output: 0.12, At: 40, Mode: core.Testing, Proc: 1}},
+		},
+	}
+}
+
+func TestReportSaveLoadRoundTrip(t *testing.T) {
+	want := savedReport()
+	var buf bytes.Buffer
+	if err := want.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestLoadedReportReranks(t *testing.T) {
+	rep := savedReport()
+	var buf bytes.Buffer
+	if err := rep.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Resort(OutputOnly)
+	for i := 1; i < len(got.Ranked); i++ {
+		if got.Ranked[i-1].Entry.Output > got.Ranked[i].Entry.Output {
+			t.Fatalf("OutputOnly resort out of order at %d", i)
+		}
+	}
+	got.Resort(MostMatched)
+	if got.Ranked[0].Matches != 3 {
+		t.Fatalf("MostMatched resort put matches=%d first", got.Ranked[0].Matches)
+	}
+	got.WeightByRuns()
+	if got.Ranked[0].Runs != 5 {
+		t.Fatalf("WeightByRuns put runs=%d first", got.Ranked[0].Runs)
+	}
+}
+
+func TestLoadReportRejectsDamage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := savedReport().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := LoadReport(bytes.NewReader(flipped)); err == nil {
+		t.Fatal("corrupted body loaded without error")
+	}
+
+	if _, err := LoadReport(bytes.NewReader([]byte("ACTX12345678901234567890"))); !errors.Is(err, ErrReportMagic) {
+		t.Fatalf("want ErrReportMagic, got %v", err)
+	}
+
+	vers := append([]byte(nil), data...)
+	vers[4] = 99
+	if _, err := LoadReport(bytes.NewReader(vers)); err == nil {
+		t.Fatal("future version loaded without error")
+	}
+}
+
+func TestEmptyReportRoundTrip(t *testing.T) {
+	want := &Report{Total: 10, Pruned: 10}
+	var buf bytes.Buffer
+	if err := want.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != 10 || got.Pruned != 10 || len(got.Ranked) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}

@@ -1,0 +1,212 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Stream errors. ErrBadMagic and ErrBadVersion mean the peer is not
+// speaking this protocol at all — permanent failures no retry fixes.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+)
+
+// IsProtocolError reports whether err marks a peer that does not speak
+// this protocol — the permanent class in retry classification.
+func IsProtocolError(err error) bool {
+	return errors.Is(err, ErrBadMagic) || errors.Is(err, ErrBadVersion)
+}
+
+// Writer emits a wire stream: the prologue once, then one frame per
+// batch. A Writer is created per connection (or per spool file); it is
+// not safe for concurrent use.
+type Writer struct {
+	w        io.Writer
+	buf      []byte
+	payload  []byte
+	prologue bool // already written
+}
+
+// NewWriter returns a Writer that emits the prologue before its first
+// frame.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// NewRawWriter returns a Writer that emits frames only — for appending
+// to a stream (e.g. a spool file) whose prologue already exists.
+func NewRawWriter(w io.Writer) *Writer { return &Writer{w: w, prologue: true} }
+
+// WriteBatch frames and writes one batch.
+func (wr *Writer) WriteBatch(b *Batch) error {
+	var err error
+	wr.payload, err = EncodeBatch(wr.payload[:0], b)
+	if err != nil {
+		return err
+	}
+	wr.buf = wr.buf[:0]
+	if !wr.prologue {
+		wr.buf = AppendPrologue(wr.buf)
+	}
+	wr.buf = AppendFrame(wr.buf, MsgBatch, wr.payload)
+	if _, err := wr.w.Write(wr.buf); err != nil {
+		return err
+	}
+	wr.prologue = true
+	return nil
+}
+
+// StreamReport counts what a Reader survived — the transport-level
+// counterpart of trace.CorruptionReport.
+type StreamReport struct {
+	Frames       int   // frames that decoded cleanly
+	BadSpans     int   // contiguous corrupt byte runs skipped during resync
+	SkippedBytes int64 // bytes discarded while resynchronizing
+	Unknown      int   // well-formed frames of unknown type (skipped)
+	Truncated    bool  // stream ended inside a frame
+}
+
+// Corrupt reports whether any damage was observed.
+func (r *StreamReport) Corrupt() bool {
+	return r.BadSpans > 0 || r.SkippedBytes > 0 || r.Truncated
+}
+
+// String summarizes the report for logs.
+func (r *StreamReport) String() string {
+	s := fmt.Sprintf("%d frames", r.Frames)
+	if r.Corrupt() {
+		s += fmt.Sprintf(", %d corrupt spans, %d bytes skipped", r.BadSpans, r.SkippedBytes)
+		if r.Truncated {
+			s += ", truncated"
+		}
+	}
+	return s
+}
+
+// Reader consumes a wire stream with skip-and-resync recovery: a frame
+// that fails its CRC costs one resynchronization scan, not the
+// connection. Frames larger than the payload cap are treated as
+// corruption — the cap is the per-connection memory bound.
+type Reader struct {
+	br         *bufio.Reader
+	maxPayload int
+	rep        StreamReport
+	prologue   bool // already consumed
+	inBad      bool
+}
+
+// NewReader wraps r. maxPayload caps accepted frame payloads; 0 means
+// DefaultMaxPayload.
+func NewReader(r io.Reader, maxPayload int) *Reader {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	return &Reader{
+		// The buffer must hold a whole frame: resync peeks at full
+		// frames before consuming them.
+		br:         bufio.NewReaderSize(r, maxPayload+frameHdr+frameTail),
+		maxPayload: maxPayload,
+	}
+}
+
+// Report returns the damage counters accumulated so far.
+func (rd *Reader) Report() StreamReport { return rd.rep }
+
+// skip discards n bytes as corruption.
+func (rd *Reader) skip(n int) {
+	rd.br.Discard(n)
+	rd.rep.SkippedBytes += int64(n)
+	if !rd.inBad {
+		rd.rep.BadSpans++
+		rd.inBad = true
+	}
+}
+
+// Next returns the next cleanly-decoded batch. At end of stream it
+// returns io.EOF; a stream ending inside a frame additionally sets
+// Truncated in the report. Corrupt spans are skipped silently (they are
+// counted in the report); protocol-level errors (wrong magic, unknown
+// version) are returned as errors.
+func (rd *Reader) Next() (*Batch, error) {
+	if !rd.prologue {
+		pro := make([]byte, prologueLen)
+		if _, err := io.ReadFull(rd.br, pro); err != nil {
+			rd.rep.Truncated = true
+			return nil, eofOf(err)
+		}
+		if string(pro[:4]) != Magic {
+			return nil, ErrBadMagic
+		}
+		if v := binary.LittleEndian.Uint16(pro[4:]); v != Version {
+			return nil, fmt.Errorf("%w %d", ErrBadVersion, v)
+		}
+		rd.prologue = true
+	}
+	for {
+		b, err := rd.br.Peek(2)
+		if err != nil {
+			if len(b) > 0 {
+				rd.rep.Truncated = true
+				rd.rep.SkippedBytes += int64(len(b))
+				rd.br.Discard(len(b))
+			}
+			return nil, eofOf(err)
+		}
+		if b[0] != sync0 || b[1] != sync1 {
+			rd.skip(1)
+			continue
+		}
+		hdr, err := rd.br.Peek(frameHdr)
+		if err != nil {
+			rd.rep.Truncated = true
+			return nil, eofOf(err)
+		}
+		plen := int(binary.LittleEndian.Uint32(hdr[3:]))
+		if plen > rd.maxPayload {
+			rd.skip(1)
+			continue
+		}
+		frame, err := rd.br.Peek(frameHdr + plen + frameTail)
+		if err != nil {
+			// Not enough bytes left for the declared frame: on a live
+			// connection Peek blocks until they arrive, so an error here
+			// is a genuine end-of-stream inside a frame.
+			rd.rep.Truncated = true
+			return nil, eofOf(err)
+		}
+		body := frame[2 : frameHdr+plen]
+		crc := binary.LittleEndian.Uint32(frame[frameHdr+plen:])
+		if crc32.ChecksumIEEE(body) != crc {
+			rd.skip(1)
+			continue
+		}
+		typ, payload := body[0], body[5:]
+		var batch *Batch
+		var derr error
+		if typ == MsgBatch {
+			batch, derr = DecodeBatch(payload)
+		}
+		rd.br.Discard(frameHdr + plen + frameTail)
+		rd.rep.Frames++
+		rd.inBad = false
+		if typ != MsgBatch || derr != nil {
+			// A checksummed frame of a type (or inner layout) we do not
+			// understand: a newer peer. Skip it whole.
+			rd.rep.Unknown++
+			continue
+		}
+		return batch, nil
+	}
+}
+
+// eofOf normalizes bufio's short-read errors to io.EOF; other errors
+// (timeouts, resets) pass through for the caller to classify.
+func eofOf(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return io.EOF
+	}
+	return err
+}

@@ -1,0 +1,314 @@
+// Package wire is the fleet-telemetry encoding: a versioned, CRC-framed
+// binary format for shipping Debug Buffer entries and monitor statistics
+// from production agents to a central collector. It reuses the
+// sync-byte/skip-and-resync discipline of trace format v3 (see
+// internal/trace): every frame is self-delimiting and individually
+// checksummed, so a torn TCP segment, a crash mid-write, or a corrupted
+// spool file costs only the damaged frames, never the stream.
+//
+// Stream layout:
+//
+//	prologue: magic "ACTW" | u16 version=1 | u16 reserved
+//	frames:   sync 0xB7 0x7B | u8 type | u32 payload length | payload |
+//	          u32 crc32(type | length | payload)
+//
+// All integers are little-endian; CRCs are IEEE CRC32. The CRC covers
+// the type and length bytes too, so a corrupted length cannot trick the
+// reader into swallowing a valid successor frame.
+//
+// The only payload type today is a Batch (type 1): one agent's drained
+// Debug Buffer entries plus a monitor-stats snapshot, tagged with the
+// agent's identity, a run id, a per-run batch sequence number (the
+// collector's dedup key) and the run's outcome. Unknown frame types are
+// skipped whole, so the format can grow without breaking old collectors.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"act/internal/core"
+	"act/internal/deps"
+)
+
+// Format constants.
+const (
+	Magic   = "ACTW"
+	Version = 1
+
+	sync0, sync1 = 0xB7, 0x7B
+
+	prologueLen = 4 + 2 + 2
+	frameHdr    = 2 + 1 + 4 // sync pair, type byte, payload length
+	frameTail   = 4         // crc32
+
+	// MsgBatch is the only frame type currently defined.
+	MsgBatch = 1
+
+	// DefaultMaxPayload caps a frame's payload. The reader rejects
+	// larger declared lengths outright (a corrupted length field would
+	// otherwise stall resynchronization behind a bogus multi-gigabyte
+	// read), and writers split their entries so no batch exceeds it.
+	DefaultMaxPayload = 256 << 10
+
+	// maxSeqLen bounds a serialized sequence; real sequences are N<=5.
+	maxSeqLen = 255
+)
+
+// Outcome labels the run a batch was drained from. Agents start Unknown,
+// flip to Failing when the monitored program crashes or to Correct when
+// it exits clean; the collector's cross-run ranking weighs entries by
+// how many failing versus correct runs logged them.
+type Outcome uint8
+
+// Run outcomes.
+const (
+	OutcomeUnknown Outcome = iota
+	OutcomeCorrect
+	OutcomeFailing
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCorrect:
+		return "correct"
+	case OutcomeFailing:
+		return "failing"
+	default:
+		return "unknown"
+	}
+}
+
+// Batch is one shipment: the entries an agent drained from its Debug
+// Buffers since the previous batch, plus a cumulative stats snapshot.
+type Batch struct {
+	Agent   string  // agent identity (host, pod, ...)
+	Run     uint64  // one monitored execution; unique per agent
+	Seq     uint64  // batch sequence number within the run, from 0
+	Outcome Outcome // the run's outcome as known at drain time
+	Stats   core.Stats
+	Entries []core.DebugEntry
+}
+
+// Key returns the batch's dedup hash: FNV-1a over (agent, run, sequence
+// number). An at-least-once transport re-delivers whole batches — after
+// a retry, a replayed spool, a duplicated segment — and the collector
+// drops every key it has already ingested.
+func (b *Batch) Key() uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(b.Agent); i++ {
+		h = (h ^ uint64(b.Agent[i])) * prime64
+	}
+	var tmp [16]byte
+	binary.LittleEndian.PutUint64(tmp[0:], b.Run)
+	binary.LittleEndian.PutUint64(tmp[8:], b.Seq)
+	for _, c := range tmp {
+		h = (h ^ uint64(c)) * prime64
+	}
+	return h
+}
+
+// RunKey hashes (agent, run) alone — the collector's per-run identity
+// for cross-run occurrence counting.
+func (b *Batch) RunKey() uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(b.Agent); i++ {
+		h = (h ^ uint64(b.Agent[i])) * prime64
+	}
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], b.Run)
+	for _, c := range tmp {
+		h = (h ^ uint64(c)) * prime64
+	}
+	return h
+}
+
+// AppendEntry serializes one Debug Buffer entry:
+// u16 proc | u64 at | f64 output | u8 mode | u8 seqlen | deps, each
+// u64 S | u64 L | u8 flags (bit 0 = inter-thread).
+func AppendEntry(dst []byte, e core.DebugEntry) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint16(tmp[:2], e.Proc)
+	dst = append(dst, tmp[:2]...)
+	binary.LittleEndian.PutUint64(tmp[:], e.At)
+	dst = append(dst, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(e.Output))
+	dst = append(dst, tmp[:]...)
+	dst = append(dst, byte(e.Mode), byte(len(e.Seq)))
+	for _, d := range e.Seq {
+		binary.LittleEndian.PutUint64(tmp[:], d.S)
+		dst = append(dst, tmp[:]...)
+		binary.LittleEndian.PutUint64(tmp[:], d.L)
+		dst = append(dst, tmp[:]...)
+		var flags byte
+		if d.Inter {
+			flags |= 1
+		}
+		dst = append(dst, flags)
+	}
+	return dst
+}
+
+// entryFixed is the encoded size of an entry before its dependences.
+const entryFixed = 2 + 8 + 8 + 1 + 1
+
+// depSize is the encoded size of one dependence.
+const depSize = 8 + 8 + 1
+
+// DecodeEntry reads one entry from b, returning it and the bytes
+// consumed. The decoded entry shares nothing with b.
+func DecodeEntry(b []byte) (core.DebugEntry, int, error) {
+	var e core.DebugEntry
+	if len(b) < entryFixed {
+		return e, 0, fmt.Errorf("wire: entry truncated at %d bytes", len(b))
+	}
+	e.Proc = binary.LittleEndian.Uint16(b[0:])
+	e.At = binary.LittleEndian.Uint64(b[2:])
+	e.Output = math.Float64frombits(binary.LittleEndian.Uint64(b[10:]))
+	e.Mode = core.Mode(b[18])
+	n := int(b[19])
+	if len(b) < entryFixed+n*depSize {
+		return e, 0, fmt.Errorf("wire: entry with %d deps truncated at %d bytes", n, len(b))
+	}
+	e.Seq = make(deps.Sequence, n)
+	off := entryFixed
+	for i := 0; i < n; i++ {
+		e.Seq[i] = deps.Dep{
+			S:     binary.LittleEndian.Uint64(b[off:]),
+			L:     binary.LittleEndian.Uint64(b[off+8:]),
+			Inter: b[off+16]&1 != 0,
+		}
+		off += depSize
+	}
+	return e, off, nil
+}
+
+// EntrySize returns the encoded size of an entry.
+func EntrySize(e core.DebugEntry) int { return entryFixed + len(e.Seq)*depSize }
+
+// AppendStats serializes the stats snapshot as eight u64 counters.
+func AppendStats(dst []byte, s core.Stats) []byte {
+	var tmp [8]byte
+	for _, v := range [...]uint64{s.Deps, s.Sequences, s.PredictedInvalid,
+		s.Updates, s.ModeSwitches, s.TrainingDeps, s.Snapshots, s.Recoveries} {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		dst = append(dst, tmp[:]...)
+	}
+	return dst
+}
+
+// statsSize is the encoded size of a Stats snapshot.
+const statsSize = 8 * 8
+
+// DecodeStats reads a stats snapshot.
+func DecodeStats(b []byte) (core.Stats, int, error) {
+	if len(b) < statsSize {
+		return core.Stats{}, 0, fmt.Errorf("wire: stats truncated at %d bytes", len(b))
+	}
+	u := func(i int) uint64 { return binary.LittleEndian.Uint64(b[i*8:]) }
+	return core.Stats{
+		Deps: u(0), Sequences: u(1), PredictedInvalid: u(2), Updates: u(3),
+		ModeSwitches: u(4), TrainingDeps: u(5), Snapshots: u(6), Recoveries: u(7),
+	}, statsSize, nil
+}
+
+// EncodeBatch serializes a batch payload:
+// u16 agent length | agent | u64 run | u64 seq | u8 outcome | stats |
+// u32 entry count | entries.
+func EncodeBatch(dst []byte, b *Batch) ([]byte, error) {
+	if len(b.Agent) > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: agent name %d bytes long", len(b.Agent))
+	}
+	for i, e := range b.Entries {
+		if len(e.Seq) > maxSeqLen {
+			return nil, fmt.Errorf("wire: entry %d sequence length %d exceeds %d", i, len(e.Seq), maxSeqLen)
+		}
+	}
+	var tmp [8]byte
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(b.Agent)))
+	dst = append(dst, tmp[:2]...)
+	dst = append(dst, b.Agent...)
+	binary.LittleEndian.PutUint64(tmp[:], b.Run)
+	dst = append(dst, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], b.Seq)
+	dst = append(dst, tmp[:]...)
+	dst = append(dst, byte(b.Outcome))
+	dst = AppendStats(dst, b.Stats)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(b.Entries)))
+	dst = append(dst, tmp[:4]...)
+	for _, e := range b.Entries {
+		dst = AppendEntry(dst, e)
+	}
+	return dst, nil
+}
+
+// DecodeBatch parses a batch payload. The result shares no memory with
+// the input, so callers may decode out of a transient read buffer.
+func DecodeBatch(p []byte) (*Batch, error) {
+	if len(p) < 2 {
+		return nil, fmt.Errorf("wire: batch payload %d bytes", len(p))
+	}
+	alen := int(binary.LittleEndian.Uint16(p))
+	off := 2
+	if len(p) < off+alen+8+8+1+statsSize+4 {
+		return nil, fmt.Errorf("wire: batch truncated at %d bytes", len(p))
+	}
+	b := &Batch{Agent: string(p[off : off+alen])}
+	off += alen
+	b.Run = binary.LittleEndian.Uint64(p[off:])
+	b.Seq = binary.LittleEndian.Uint64(p[off+8:])
+	b.Outcome = Outcome(p[off+16])
+	off += 17
+	s, n, err := DecodeStats(p[off:])
+	if err != nil {
+		return nil, err
+	}
+	b.Stats = s
+	off += n
+	count := int(binary.LittleEndian.Uint32(p[off:]))
+	off += 4
+	if count > len(p)-off { // each entry takes at least one byte
+		return nil, fmt.Errorf("wire: batch declares %d entries in %d bytes", count, len(p)-off)
+	}
+	if count > 0 {
+		b.Entries = make([]core.DebugEntry, 0, count)
+	}
+	for i := 0; i < count; i++ {
+		e, n, err := DecodeEntry(p[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: entry %d: %w", i, err)
+		}
+		b.Entries = append(b.Entries, e)
+		off += n
+	}
+	if off != len(p) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after batch", len(p)-off)
+	}
+	return b, nil
+}
+
+// AppendFrame wraps a payload in a checksummed frame.
+func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, sync0, sync1, typ)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(payload)))
+	dst = append(dst, tmp[:]...)
+	dst = append(dst, payload...)
+	crc := crc32.ChecksumIEEE(dst[start+2:]) // type | length | payload
+	binary.LittleEndian.PutUint32(tmp[:], crc)
+	return append(dst, tmp[:]...)
+}
+
+// AppendPrologue writes the stream prologue.
+func AppendPrologue(dst []byte) []byte {
+	dst = append(dst, Magic...)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint16(tmp[0:], Version)
+	return append(dst, tmp[:]...)
+}

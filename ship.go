@@ -1,0 +1,126 @@
+package act
+
+import (
+	"sync"
+	"time"
+
+	"act/internal/core"
+	"act/internal/fleet"
+	"act/internal/loader"
+	"act/internal/wire"
+)
+
+// Fleet shipping: a deployed Monitor's Debug Buffer and statistics can
+// be shipped to an actd collector, which merges evidence across the
+// whole fleet and ranks sequences seen in many failing runs but few
+// correct ones first. See DESIGN.md §9 for the protocol.
+
+// DrainDebugBuffer returns every module's logged suspicious sequences
+// (as DebugBuffer does) and clears the buffers, so successive drains
+// see only new evidence. This is what fleet shipping uses; a harness
+// feeding the Monitor from several goroutines must hold the same lock
+// around this call as around OnLoad/OnStore.
+func (mo *Monitor) DrainDebugBuffer() []DebugEntry {
+	buf := mo.tracker.DebugBuffers()
+	mo.tracker.ResetDebug()
+	return buf
+}
+
+// ShipOption adjusts fleet shipping.
+type ShipOption func(*shipCfg)
+
+type shipCfg struct {
+	agent fleet.AgentConfig
+	mu    sync.Locker
+}
+
+// WithShipIdentity names the agent and its current run in shipped
+// batches. The run id must be unique per monitored execution of this
+// agent — the collector counts evidence per (agent, run).
+func WithShipIdentity(name string, run uint64) ShipOption {
+	return func(c *shipCfg) { c.agent.Name = name; c.agent.Run = run }
+}
+
+// WithShipInterval sets the background drain-and-ship cadence
+// (default 2s).
+func WithShipInterval(d time.Duration) ShipOption {
+	return func(c *shipCfg) { c.agent.Interval = d }
+}
+
+// WithShipSpool stores undeliverable batches in the given file and
+// replays them when the collector comes back — a collector outage then
+// loses nothing.
+func WithShipSpool(path string) ShipOption {
+	return func(c *shipCfg) { c.agent.SpoolPath = path }
+}
+
+// WithShipRetry overrides the per-ship retry policy (default: 4
+// attempts, 10ms base delay, 250ms cap).
+func WithShipRetry(cfg loader.RetryConfig) ShipOption {
+	return func(c *shipCfg) { c.agent.Retry = cfg }
+}
+
+// WithShipLock makes the shipper take mu around every drain of the
+// Monitor. Pass the same mutex that guards your OnLoad/OnStore calls
+// when the Monitor is fed from goroutines.
+func WithShipLock(mu sync.Locker) ShipOption {
+	return func(c *shipCfg) { c.mu = mu }
+}
+
+// Shipper periodically drains a Monitor's Debug Buffer and ships it to
+// an actd collector, retrying, spooling, and redelivering as needed;
+// delivery is at-least-once and the collector deduplicates.
+type Shipper struct {
+	agent *fleet.Agent
+}
+
+// monitorSource adapts a Monitor to the fleet agent's Source.
+type monitorSource struct {
+	mon *Monitor
+	mu  sync.Locker
+}
+
+func (s *monitorSource) Drain() ([]DebugEntry, core.Stats) {
+	if s.mu != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	return s.mon.DrainDebugBuffer(), s.mon.Stats()
+}
+
+// ShipTo starts shipping mon's evidence to the collector at addr
+// (host:port) in the background. Call MarkFailing or MarkCorrect when
+// the monitored program's fate is known, and Close on the way out.
+func ShipTo(addr string, mon *Monitor, opts ...ShipOption) (*Shipper, error) {
+	cfg := shipCfg{}
+	cfg.agent.Addr = addr
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ag, err := fleet.NewAgent(&monitorSource{mon: mon, mu: cfg.mu}, cfg.agent)
+	if err != nil {
+		return nil, err
+	}
+	ag.Start()
+	return &Shipper{agent: ag}, nil
+}
+
+// MarkFailing labels this run's evidence as coming from a failing
+// execution — call it from your crash handler, then Close (or Flush).
+func (s *Shipper) MarkFailing() { s.agent.SetOutcome(wire.OutcomeFailing) }
+
+// MarkCorrect labels this run's evidence as coming from a correct
+// execution; the collector uses such runs to prune false positives
+// fleet-wide.
+func (s *Shipper) MarkCorrect() { s.agent.SetOutcome(wire.OutcomeCorrect) }
+
+// Flush drains and ships synchronously, returning the delivery error
+// if the collector could not be reached (spooled evidence is not an
+// error).
+func (s *Shipper) Flush() error { return s.agent.Flush() }
+
+// Close performs a final flush and stops the background loop.
+func (s *Shipper) Close() error { return s.agent.Close() }
+
+// ShipStats reports the shipper's activity counters.
+func (s *Shipper) ShipStats() fleet.AgentStats { return s.agent.Stats() }

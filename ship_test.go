@@ -1,0 +1,104 @@
+package act
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"act/internal/fleet"
+	"act/internal/workloads"
+)
+
+// TestShipToFleetDiagnosis is the fleet acceptance path: several agents
+// replay failing production runs and ship their Debug Buffers to one
+// in-process collector, correct runs ship theirs as pruning evidence,
+// and the collector's cross-run ranked report places the bug's
+// sequence at rank 1.
+func TestShipToFleetDiagnosis(t *testing.T) {
+	b, err := workloads.BugByName("apache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, err := workloads.CollectOutcome(b, false, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trainTr, testTr []*Trace
+	for i, r := range correct {
+		if i < 9 {
+			trainTr = append(trainTr, r.Trace)
+		} else {
+			testTr = append(testTr, r.Trace)
+		}
+	}
+	model, err := Train(trainTr, testTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fails, err := workloads.CollectOutcome(b, true, 3, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prune, err := workloads.CollectOutcome(b, false, 10, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := fleet.NewCollector(fleet.CollectorConfig{})
+	go coll.Serve(ln)
+	defer coll.Shutdown()
+	addr := ln.Addr().String()
+
+	var wantEntries uint64
+	ship := func(run uint64, tr *Trace, threads int, failing bool) {
+		mon := Deploy(model, threads)
+		mon.Replay(tr)
+		sh, err := ShipTo(addr, mon,
+			WithShipIdentity("prod", run),
+			WithShipInterval(time.Hour)) // test drives Flush/Close itself
+		if err != nil {
+			t.Fatal(err)
+		}
+		if failing {
+			sh.MarkFailing()
+		} else {
+			sh.MarkCorrect()
+		}
+		if err := sh.Close(); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		wantEntries += sh.ShipStats().Drained
+	}
+	for i, r := range fails {
+		ship(uint64(1+i), r.Trace, r.Program.NumThreads(), true)
+	}
+	for i, r := range prune {
+		ship(uint64(100+i), r.Trace, r.Program.NumThreads(), false)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for coll.Stats().Entries < wantEntries {
+		if time.Now().After(deadline) {
+			t.Fatalf("collector ingested %d/%d entries", coll.Stats().Entries, wantEntries)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	rep := coll.Report()
+	match := b.Matcher(fails[0].Program)
+	if rank := rep.RankOf(match); rank != 1 {
+		t.Fatalf("fleet diagnosis ranked the root cause #%d, want #1 (candidates %d)",
+			rank, len(rep.Ranked))
+	}
+	if rep.Ranked[0].Runs != len(fails) {
+		t.Fatalf("root cause seen in %d failing runs, want %d", rep.Ranked[0].Runs, len(fails))
+	}
+	if st := coll.Stats(); st.DupBatches != 0 || st.BadSpans != 0 {
+		t.Fatalf("clean loopback reported damage: %+v", st)
+	}
+}
