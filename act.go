@@ -263,6 +263,19 @@ func WithDeployGranularity(bytes uint64) DeployOption {
 	return func(c *deployCfg) { c.tracker.Granularity = bytes }
 }
 
+// WithVerdictCache enables verdict memoization: while a module's
+// weights are unchanged, repeated sequences are classified from an LRU
+// of previous network outputs keyed by the sequence's hash, instead of
+// re-running the network. entries sets the per-module capacity; pass a
+// negative value for the default size. The cache is invalidated on
+// every weight update, mode switch, and breaker recovery, so cached
+// verdicts are always what the network would produce; hits and misses
+// appear in Stats. Off by default (the faithful hardware model computes
+// every sequence).
+func WithVerdictCache(entries int) DeployOption {
+	return func(c *deployCfg) { c.tracker.Module.VerdictCache = entries }
+}
+
 // Deploy attaches a Monitor initialized with the model's weights for
 // every thread (the augmented-binary semantics: threads unseen at
 // training time would start untrained, in online-training mode).
@@ -288,8 +301,21 @@ func (mo *Monitor) OnLoad(tid int, pc, addr uint64) {
 	mo.tracker.OnRecord(Record{Tid: uint16(tid), PC: pc, Addr: addr})
 }
 
-// Replay feeds a whole trace through the monitor.
+// Replay feeds a whole trace through the monitor sequentially.
 func (mo *Monitor) Replay(t *Trace) { mo.tracker.Replay(t) }
+
+// ReplayParallel feeds a whole trace through the monitor with the
+// two-stage pipeline: the calling goroutine resolves last writers over
+// the globally ordered trace and fans the dependences out per thread,
+// and one worker goroutine per module classifies its thread's stream
+// concurrently. The Debug Buffer, Stats, and any weights learned online
+// are bit-identical to Replay of the same trace; on multi-core hosts it
+// is several times faster for multi-threaded traces. It returns once
+// every worker has drained. The concurrency lives entirely inside the
+// call: the Monitor-wide locking discipline above is unchanged.
+func (mo *Monitor) ReplayParallel(t *Trace) {
+	mo.tracker.ReplayParallel(t, core.ParallelConfig{})
+}
 
 // DebugBuffer returns every module's logged suspicious sequences,
 // oldest first per processor — the log handed to Diagnose after a

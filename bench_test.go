@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"act/internal/bench"
+	"act/internal/core"
+	"act/internal/deps"
 	"act/internal/nnhw"
 )
 
@@ -220,5 +222,52 @@ func BenchmarkAblationThreshold(b *testing.B) {
 				b.ReportMetric(float64(r.ModeSwitches), "switches@5%")
 			}
 		}
+	}
+}
+
+// BenchmarkPipelineReplay measures monitoring throughput sequential vs
+// parallel on the 4-thread radix trace. The "parSpeedup" metric is the
+// parallel/sequential records-per-second ratio — it needs GOMAXPROCS > 1
+// to exceed 1.0 (on a multicore host the two-stage pipeline reaches its
+// gain; on one CPU the channel hand-off is pure overhead).
+func BenchmarkPipelineReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.Pipeline(bench.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rep.Rows {
+			switch r.Config {
+			case "sequential":
+				b.ReportMetric(r.RecordsPerSec, "seqRec/s")
+			case "parallel":
+				b.ReportMetric(r.RecordsPerSec, "parRec/s")
+				b.ReportMetric(r.Speedup, "parSpeedup")
+			case "parallel+cache":
+				b.ReportMetric(r.CacheHitRate, "cacheHit")
+			}
+		}
+	}
+}
+
+// BenchmarkClassifySteadyState is the zero-allocation contract for the
+// classification hot path: one converged testing-mode module fed a
+// recurring dependence stream. -benchmem must report 0 allocs/op.
+func BenchmarkClassifySteadyState(b *testing.B) {
+	nIn := deps.InputLen(deps.EncodeDefault, 3)
+	tr := core.NewTracker(core.AlwaysValidBinary(nIn, 8, 1),
+		core.TrackerConfig{Module: core.Config{N: 3}})
+	m := tr.Module(0)
+	ds := make([]deps.Dep, 64)
+	for i := range ds {
+		ds[i] = deps.Dep{S: 0x1000 + uint64(i)*16, L: 0x2000 + uint64(i)*16}
+	}
+	for _, d := range ds {
+		m.OnDep(d) // warm up: window ring filled, no further growth
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.OnDep(ds[i&63])
 	}
 }

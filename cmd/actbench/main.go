@@ -82,6 +82,32 @@ var experiments = []experiment{
 		rows, err := bench.AblationRanking(m)
 		return bench.RenderRanking(rows), err
 	}},
+	{"pipeline", "Monitoring-pipeline throughput: sequential vs parallel replay", func(m bench.Mode) (string, error) {
+		rep, err := bench.Pipeline(m)
+		if err != nil {
+			return "", err
+		}
+		if err := writePipelineJSON(rep); err != nil {
+			return "", err
+		}
+		return bench.RenderPipeline(rep), nil
+	}},
+}
+
+// jsonPath is the -json destination; empty means no JSON output. Only
+// the pipeline experiment emits JSON (BENCH_pipeline.json, see
+// EXPERIMENTS.md).
+var jsonPath string
+
+func writePipelineJSON(rep *bench.PipelineReport) error {
+	if jsonPath == "" {
+		return nil
+	}
+	b, err := bench.MarshalPipeline(rep)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(b, '\n'), 0o644)
 }
 
 func main() {
@@ -90,6 +116,7 @@ func main() {
 		full = flag.Bool("full", false, "paper-scale parameters (slow)")
 		list = flag.Bool("list", false, "list experiments")
 	)
+	flag.StringVar(&jsonPath, "json", "", "write pipeline results as JSON to this path (pipeline experiment only)")
 	flag.Parse()
 
 	if *list {

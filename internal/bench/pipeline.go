@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"act/internal/core"
+	"act/internal/deps"
+	"act/internal/trace"
+	"act/internal/workloads"
+)
+
+// Monitoring-pipeline throughput experiment. Unlike the paper-shaped
+// tables, this one measures the reproduction itself: how many trace
+// records per second the software AM pipeline sustains, sequentially
+// versus with parallel sharded replay, with and without verdict
+// memoization. cmd/actbench -exp pipeline prints the rows and, with
+// -json, writes them as BENCH_pipeline.json (format in EXPERIMENTS.md)
+// so the throughput trajectory is tracked across commits.
+
+// PipelineRow is one measured pipeline configuration.
+type PipelineRow struct {
+	Config        string  `json:"config"`          // "sequential", "parallel", "+cache" variants
+	Threads       int     `json:"threads"`         // worker threads in the replayed trace
+	Records       int     `json:"records"`         // trace records replayed per pass
+	Deps          uint64  `json:"deps"`            // dependences classified per pass
+	Passes        int     `json:"passes"`          // timed replay passes
+	RecordsPerSec float64 `json:"records_per_sec"` // throughput over all passes
+	NsPerDep      float64 `json:"ns_per_dep"`      // wall time per classified dependence
+	AllocsPerDep  float64 `json:"allocs_per_dep"`  // heap allocations per dependence (steady state)
+	CacheHitRate  float64 `json:"cache_hit_rate"`  // verdict-cache hits / classifications
+	Speedup       float64 `json:"speedup"`         // vs the sequential row of the same run
+	GOMAXPROCS    int     `json:"gomaxprocs"`      // parallelism available to the run
+}
+
+// PipelineReport is the JSON document actbench -json emits.
+type PipelineReport struct {
+	Workload string        `json:"workload"`
+	Rows     []PipelineRow `json:"rows"`
+}
+
+// pipelineTrace builds the multi-threaded replay input: the 4-thread
+// radix kernel, whose inter-thread histogram merges exercise both
+// halves of the extractor.
+func pipelineTrace(m Mode) (*trace.Trace, int) {
+	w, err := workloads.KernelByName("radix")
+	if err != nil {
+		panic(err) // built-in kernel; unreachable
+	}
+	tr, _ := trace.Collect(w.Build(1), w.Sched(1))
+	passes := 8
+	if m == Full {
+		passes = 40
+	}
+	return tr, passes
+}
+
+// pipelineTracker deploys a converged always-valid binary (N=3, 6-8-1
+// by default) so the measurement isolates steady-state classification:
+// testing mode throughout, no Debug Buffer churn.
+func pipelineTracker(threads, cache int) *core.Tracker {
+	cfg := core.Config{N: 3, VerdictCache: cache}
+	nIn := deps.InputLen(deps.EncodeDefault, 3)
+	binary := core.AlwaysValidBinary(nIn, 8, threads)
+	return core.NewTracker(binary, core.TrackerConfig{Module: cfg})
+}
+
+// runPipeline replays the trace `passes` times on a fresh tracker,
+// returning the row for one configuration.
+func runPipeline(tr *trace.Trace, threads, passes int, parallel bool, cache int) PipelineRow {
+	t := pipelineTracker(threads, cache)
+	// Warm-up pass: module creation, lazy buffers, map growth.
+	t.Replay(tr)
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		if parallel {
+			t.ReplayParallel(tr, core.ParallelConfig{})
+		} else {
+			t.Replay(tr)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	st := t.Stats()
+	deps := st.Deps * uint64(passes) / uint64(passes+1) // exclude the warm-up share
+	row := PipelineRow{
+		Threads:    threads,
+		Records:    len(tr.Records),
+		Deps:       deps,
+		Passes:     passes,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		row.RecordsPerSec = float64(len(tr.Records)) * float64(passes) / secs
+	}
+	if deps > 0 {
+		row.NsPerDep = float64(elapsed.Nanoseconds()) / float64(deps)
+		row.AllocsPerDep = float64(ms1.Mallocs-ms0.Mallocs) / float64(deps)
+	}
+	if cls := st.CacheHits + st.CacheMisses; cls > 0 {
+		row.CacheHitRate = float64(st.CacheHits) / float64(cls)
+	}
+	return row
+}
+
+// Pipeline measures the four pipeline configurations on the same trace
+// in one run: sequential and parallel replay, each without and with the
+// verdict cache. Speedups are relative to the plain sequential row.
+func Pipeline(m Mode) (*PipelineReport, error) {
+	tr, passes := pipelineTrace(m)
+	threads := 4
+	configs := []struct {
+		name     string
+		parallel bool
+		cache    int
+	}{
+		{"sequential", false, 0},
+		{"parallel", true, 0},
+		{"sequential+cache", false, -1},
+		{"parallel+cache", true, -1},
+	}
+	rep := &PipelineReport{Workload: "radix"}
+	for _, c := range configs {
+		row := runPipeline(tr, threads, passes, c.parallel, c.cache)
+		row.Config = c.name
+		rep.Rows = append(rep.Rows, row)
+	}
+	base := rep.Rows[0].RecordsPerSec
+	for i := range rep.Rows {
+		if base > 0 {
+			rep.Rows[i].Speedup = rep.Rows[i].RecordsPerSec / base
+		}
+	}
+	return rep, nil
+}
+
+// RenderPipeline renders the report as a table.
+func RenderPipeline(rep *PipelineReport) string {
+	out := make([]string, 0, len(rep.Rows))
+	for _, r := range rep.Rows {
+		out = append(out, fmt.Sprintf("%s\t%.0f\t%.1f\t%.3f\t%.1f\t%.2fx",
+			r.Config, r.RecordsPerSec, r.NsPerDep, r.AllocsPerDep,
+			100*r.CacheHitRate, r.Speedup))
+	}
+	return table("Config\tRecords/s\tns/dep\tAllocs/dep\tCacheHit%\tSpeedup", out) +
+		fmt.Sprintf("(workload %s, %d threads, GOMAXPROCS=%d; speedup vs sequential\n"+
+			" in the same run; parallel gains require GOMAXPROCS > 1)\n",
+			rep.Workload, rep.Rows[0].Threads, rep.Rows[0].GOMAXPROCS)
+}
+
+// MarshalPipeline renders the report as the BENCH_pipeline.json bytes.
+func MarshalPipeline(rep *PipelineReport) ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}

@@ -76,8 +76,18 @@ type Config struct {
 	// are what corrupted large-magnitude weights produce. 0 means the
 	// default 1e-6.
 	SaturationEps float64
-	Encoder       deps.Encoder // feature encoding; default deps.EncodeDefault
-	LUT           *nn.SigmoidLUT
+	// VerdictCache enables memoization of network verdicts: while the
+	// weights are unchanged, a repeated sequence's output is served from
+	// an LRU keyed by the sequence's FNV-1a hash instead of re-running
+	// the network. 0 (the zero value) disables it — the faithful
+	// hardware model computes every sequence — a positive value is the
+	// entry capacity, and any negative value enables it at
+	// DefaultVerdictCache entries. The cache is invalidated by every
+	// weight update, mode switch, and breaker recovery; hits and misses
+	// are counted in Stats.
+	VerdictCache int
+	Encoder      deps.Encoder // feature encoding; default deps.EncodeDefault
+	LUT          *nn.SigmoidLUT
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +114,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SaturationEps == 0 {
 		c.SaturationEps = 1e-6
+	}
+	if c.VerdictCache < 0 {
+		c.VerdictCache = DefaultVerdictCache
 	}
 	if c.Encoder == nil {
 		c.Encoder = deps.EncodeDefault
@@ -150,6 +163,8 @@ type Stats struct {
 	TrainingDeps     uint64 // dependences processed while training
 	Snapshots        uint64 // weight snapshots taken on healthy windows
 	Recoveries       uint64 // rollbacks to the last-known-good snapshot
+	CacheHits        uint64 // verdicts served from the memoization cache
+	CacheMisses      uint64 // testing-mode classifications the cache missed
 }
 
 // Module is one processor's ACT Module. It is not safe for concurrent
@@ -159,7 +174,14 @@ type Module struct {
 	net  *nn.Network
 	mode Mode
 
-	igb   []deps.Dep // Input Generator Buffer, oldest first
+	// Input Generator Buffer, a ring of the last IGBSize dependences:
+	// igb is allocated once, ighead indexes the oldest entry, igcnt is
+	// the live count. The ring (rather than an appended-and-resliced
+	// slice) keeps the per-dependence path allocation-free.
+	igb    []deps.Dep
+	ighead int
+	igcnt  int
+
 	debug []DebugEntry
 	dhead int // ring index of oldest debug entry
 	dfull bool
@@ -176,7 +198,18 @@ type Module struct {
 	satWindow  int
 	lastRate   float64
 
-	xbuf  []float64
+	// Reusable classification buffers: seqbuf holds the padded sequence
+	// under test (cloned only when it must outlive the call, i.e. on a
+	// Debug Buffer insert), xbuf the encoded feature vector.
+	seqbuf deps.Sequence
+	xbuf   []float64
+
+	// Verdict memoization: vc caches testing-mode outputs keyed by
+	// sequence hash, gen is bumped by every weight mutation and mode
+	// switch so stale verdicts are never served.
+	vc  *verdictCache
+	gen uint64
+
 	stats Stats
 }
 
@@ -197,8 +230,13 @@ func NewModule(net *nn.Network, cfg Config) *Module {
 	m := &Module{
 		cfg:      cfg,
 		net:      net,
+		igb:      make([]deps.Dep, cfg.IGBSize),
+		seqbuf:   make(deps.Sequence, cfg.N),
 		debug:    make([]DebugEntry, 0, cfg.DebugBufSize),
 		lastRate: 1,
+	}
+	if cfg.VerdictCache > 0 {
+		m.vc = newVerdictCache(cfg.VerdictCache)
 	}
 	// The deployment-time weights are the first known-good state: even
 	// an untrained module must have something finite to roll back to
@@ -219,7 +257,14 @@ func (m *Module) Stats() Stats { return m.stats }
 func (m *Module) Config() Config { return m.cfg }
 
 // Network exposes the underlying network (for weight save/restore).
+// A caller that mutates weights through it must call InvalidateVerdicts
+// afterwards, or memoized verdicts may be served for the old weights.
 func (m *Module) Network() *nn.Network { return m.net }
+
+// InvalidateVerdicts discards any memoized network verdicts — required
+// after mutating weights directly through Network() (fault injection,
+// external quantization) when a verdict cache is configured.
+func (m *Module) InvalidateVerdicts() { m.gen++ }
 
 // OnDep processes one RAW dependence: it enters the Input Generator
 // Buffer, the last N dependences form the network input, and the
@@ -230,31 +275,57 @@ func (m *Module) OnDep(d deps.Dep) (classified, predictedInvalid bool) {
 	if m.mode == Training {
 		m.stats.TrainingDeps++
 	}
-	m.igb = append(m.igb, d)
-	if len(m.igb) > m.cfg.IGBSize {
-		m.igb = m.igb[1:]
+	if m.igcnt < m.cfg.IGBSize {
+		m.igb[(m.ighead+m.igcnt)%m.cfg.IGBSize] = d
+		m.igcnt++
+	} else {
+		m.igb[m.ighead] = d
+		m.ighead = (m.ighead + 1) % m.cfg.IGBSize
 	}
 	// Pad the front with zero dependences while the IGB is still
 	// filling, mirroring the extractor: even the first dependence after
-	// deployment is classified.
-	seq := make(deps.Sequence, m.cfg.N)
-	if n := len(m.igb); n >= m.cfg.N {
-		copy(seq, m.igb[n-m.cfg.N:])
+	// deployment is classified. seqbuf is reused across calls; only a
+	// Debug Buffer insert clones it.
+	seq := m.seqbuf
+	if m.igcnt >= m.cfg.N {
+		for i := 0; i < m.cfg.N; i++ {
+			seq[i] = m.igb[(m.ighead+m.igcnt-m.cfg.N+i)%m.cfg.IGBSize]
+		}
 	} else {
-		copy(seq[m.cfg.N-n:], m.igb)
+		pad := m.cfg.N - m.igcnt
+		for i := 0; i < pad; i++ {
+			seq[i] = deps.Dep{}
+		}
+		for i := 0; i < m.igcnt; i++ {
+			seq[pad+i] = m.igb[(m.ighead+i)%m.cfg.IGBSize]
+		}
 	}
 	m.xbuf = m.cfg.Encoder(seq, m.xbuf)
 	m.stats.Sequences++
 
 	var out float64
+	cached, hashed := false, false
+	var hash uint64
 	if m.mode == Training {
 		// Online training assumes every dependence is correct: a
 		// predicted-invalid sequence is a misprediction and drives a
 		// backprop step toward "valid". It is still logged, since it
-		// might in fact be the bug (Section III-C).
+		// might in fact be the bug (Section III-C). Every step mutates
+		// the weights, so the verdict cache generation moves with it.
 		out = m.net.Train(m.xbuf, nn.TargetValid, m.cfg.LearningRate)
+		m.gen++
 		if out < 0.5 {
 			m.stats.Updates++
+		}
+	} else if m.vc != nil {
+		hash, hashed = seq.Hash(), true
+		if v, ok := m.vc.get(hash, m.gen); ok {
+			m.stats.CacheHits++
+			out = v
+			cached = true
+		} else {
+			m.stats.CacheMisses++
+			out = m.net.Forward(m.xbuf)
 		}
 	} else {
 		out = m.net.Forward(m.xbuf)
@@ -268,6 +339,10 @@ func (m *Module) OnDep(d deps.Dep) (classified, predictedInvalid bool) {
 	if m.cfg.RecoveryWindows >= 0 && (math.IsNaN(out) || math.IsInf(out, 0)) {
 		m.recover()
 		out = m.net.Forward(m.xbuf)
+		cached = false
+	}
+	if m.vc != nil && hashed && !cached {
+		m.vc.put(hash, m.gen, out)
 	}
 	if out <= m.cfg.SaturationEps || out >= 1-m.cfg.SaturationEps {
 		m.satWindow++
@@ -325,16 +400,19 @@ func (m *Module) checkRate() {
 			if m.mode == Testing {
 				m.mode = Training
 				m.stats.ModeSwitches++
+				m.gen++
 			}
 		case m.mode == Testing:
 			if rate > m.cfg.MispredThreshold {
 				m.mode = Training
 				m.stats.ModeSwitches++
+				m.gen++
 			}
 		case m.mode == Training:
 			if rate < m.cfg.MispredThreshold {
 				m.mode = Testing
 				m.stats.ModeSwitches++
+				m.gen++
 			}
 		}
 	}
@@ -365,6 +443,7 @@ func (m *Module) recover() {
 		panic(err) // snapshot taken from this network; unreachable
 	}
 	m.stats.Recoveries++
+	m.gen++
 	m.badWindows = 0
 	m.lastRate = 1
 	if m.mode != Testing && m.cfg.MispredThreshold >= 0 {
@@ -421,6 +500,7 @@ func (m *Module) ForceMode(mode Mode) {
 	if m.mode != mode {
 		m.mode = mode
 		m.stats.ModeSwitches++
+		m.gen++
 	}
 }
 
@@ -447,6 +527,7 @@ func (m *Module) TeachInvalid(s deps.Sequence) bool {
 		}
 		m.net.Train(x, nn.TargetInvalid, m.cfg.LearningRate)
 		m.stats.Updates++
+		m.gen++
 	}
 	return m.net.Forward(x) < 0.5
 }
@@ -472,6 +553,7 @@ func (m *Module) LoadWeights(w []float64) error {
 	for i, v := range w {
 		m.net.WriteRegister(i, v)
 	}
+	m.gen++
 	if m.weightsFinite() {
 		m.Snapshot()
 	}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sync"
+
+	"act/internal/deps"
+	"act/internal/trace"
+)
+
+// Parallel sharded replay.
+//
+// Sequential Replay interleaves two jobs of very different character:
+// last-writer resolution, which must observe the trace in its single
+// global coherence order, and classification, which is per-processor
+// state only (a module's verdicts depend exclusively on its own
+// thread's dependence order). ReplayParallel splits them: the calling
+// goroutine runs the extractor over the trace in order — the stage
+// that cannot be parallelized — and fans each formed dependence out to
+// its thread's worker over a bounded batch channel, where one goroutine
+// per module (mirroring the paper's one AM per processor) runs the
+// neural-network classification concurrently.
+//
+// Because each module still consumes exactly its own dependence stream
+// in exactly the sequential order, DebugBuffers, Stats, and the weights
+// patched back by Shutdown are bit-identical to a sequential Replay of
+// the same trace on an identically configured Tracker.
+
+// ParallelConfig tunes ReplayParallel. The zero value is ready to use.
+type ParallelConfig struct {
+	// Batch is the number of dependences handed to a worker per channel
+	// operation; 0 means 512. Larger batches amortize synchronization,
+	// smaller ones reduce worker start latency.
+	Batch int
+	// Depth is the number of batches buffered per worker before the
+	// sequential stage blocks (backpressure); 0 means 4.
+	Depth int
+}
+
+// ReplayParallel feeds a whole trace through the tracker with the
+// two-stage pipeline described above. It must not run concurrently with
+// other methods of the same Tracker; it returns once every worker has
+// drained, so the usual inspect-after-replay sequence is unchanged.
+func (t *Tracker) ReplayParallel(tr *trace.Trace, cfg ParallelConfig) {
+	var wg sync.WaitGroup
+	fo := deps.NewFanout(deps.FanoutConfig{Batch: cfg.Batch, Depth: cfg.Depth},
+		func(tid uint16, s *deps.FanStream) {
+			// Runs in the sequential stage on a thread's first dependence,
+			// so module creation order — and therefore default-weight
+			// seeding — matches sequential replay exactly.
+			m := t.moduleAt(int(tid))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					batch, ok := s.Next()
+					if !ok {
+						return
+					}
+					for _, d := range batch {
+						m.OnDep(d)
+					}
+				}
+			}()
+		})
+	prev := t.ext.OnDep
+	t.ext.OnDep = fo.Push
+	for _, r := range tr.Records {
+		t.OnRecord(r)
+	}
+	fo.Close()
+	wg.Wait()
+	t.ext.OnDep = prev
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"act/internal/deps"
 	"act/internal/nn"
@@ -16,9 +18,15 @@ import (
 // falls back to default weights that force online training; the
 // thread-termination hook reads the registers back (ldwt loop) so one
 // execution's learning patches the binary for the next.
+//
+// All methods are safe for concurrent use: with parallel replay,
+// modules can be patched back from worker goroutines while another
+// deployment reads initial weights out.
 type WeightBinary struct {
 	NIn, NHidden int
-	byThread     map[int][]float64
+
+	mu       sync.RWMutex
+	byThread map[int][]float64
 }
 
 // NewWeightBinary creates a binary image for the given topology.
@@ -28,12 +36,16 @@ func NewWeightBinary(nIn, nHidden int) *WeightBinary {
 
 // Has implements chkwt: does thread tid have stored weights?
 func (wb *WeightBinary) Has(tid int) bool {
+	wb.mu.RLock()
+	defer wb.mu.RUnlock()
 	_, ok := wb.byThread[tid]
 	return ok
 }
 
-// Get returns thread tid's weights, or nil if absent.
+// Get returns a copy of thread tid's weights, or nil if absent.
 func (wb *WeightBinary) Get(tid int) []float64 {
+	wb.mu.RLock()
+	defer wb.mu.RUnlock()
 	w, ok := wb.byThread[tid]
 	if !ok {
 		return nil
@@ -43,7 +55,10 @@ func (wb *WeightBinary) Get(tid int) []float64 {
 
 // Patch stores thread tid's weights (the post-run binary patching step).
 func (wb *WeightBinary) Patch(tid int, w []float64) {
-	wb.byThread[tid] = append([]float64(nil), w...)
+	cp := append([]float64(nil), w...)
+	wb.mu.Lock()
+	wb.byThread[tid] = cp
+	wb.mu.Unlock()
 }
 
 // PatchAll stores the same weights for thread ids 0..n-1, the common
@@ -57,10 +72,12 @@ func (wb *WeightBinary) PatchAll(n int, w []float64) {
 
 // Threads returns the thread ids with stored weights, ascending.
 func (wb *WeightBinary) Threads() []int {
+	wb.mu.RLock()
 	out := make([]int, 0, len(wb.byThread))
 	for t := range wb.byThread {
 		out = append(out, t)
 	}
+	wb.mu.RUnlock()
 	sort.Ints(out)
 	return out
 }
@@ -78,6 +95,12 @@ func AlwaysValidBinary(nIn, nHidden, nThreads int) *WeightBinary {
 	return wb
 }
 
+// MaxTid is the largest thread id a Tracker accepts. Debug Buffer
+// entries stamp the logging processor as a 16-bit field (matching the
+// trace and wire formats), so larger ids cannot be represented without
+// aliasing in the diagnosis reports.
+const MaxTid = math.MaxUint16
+
 // Tracker deploys one ACT Module per processor and routes the RAW
 // dependence stream to them. Threads are pinned one-to-one to
 // processors, matching the simulated machine. The Tracker is the
@@ -87,7 +110,8 @@ type Tracker struct {
 	cfg     Config
 	binary  *WeightBinary
 	ext     *deps.Extractor
-	modules map[uint16]*Module
+	modules map[int]*Module
+	dense   []*Module // lookup fast path, indexed by tid
 	seed    int64
 }
 
@@ -109,7 +133,7 @@ func NewTracker(binary *WeightBinary, cfg TrackerConfig) *Tracker {
 	t := &Tracker{
 		cfg:     mc,
 		binary:  binary,
-		modules: make(map[uint16]*Module),
+		modules: make(map[int]*Module),
 		seed:    cfg.Seed,
 	}
 	t.ext = deps.NewExtractor(deps.ExtractorConfig{
@@ -118,19 +142,42 @@ func NewTracker(binary *WeightBinary, cfg TrackerConfig) *Tracker {
 		FilterStack: cfg.FilterStack,
 	})
 	t.ext.OnDep = func(tid uint16, d deps.Dep) {
-		t.Module(int(tid)).OnDep(d)
+		t.moduleAt(int(tid)).OnDep(d)
 	}
 	return t
 }
 
-// Module returns (creating on first use — the pthread_create hook) the
-// ACT Module of the processor running thread tid. A thread with stored
-// weights starts in testing mode; one without gets random default
-// weights and starts in training mode, exactly the fallback the paper
-// describes for threads unseen during offline training.
+// ModuleOf returns (creating on first use — the pthread_create hook) the
+// ACT Module of the processor running thread tid, or an error when tid
+// is outside [0, MaxTid]. A thread with stored weights starts in testing
+// mode; one without gets random default weights and starts in training
+// mode, exactly the fallback the paper describes for threads unseen
+// during offline training.
+func (t *Tracker) ModuleOf(tid int) (*Module, error) {
+	if tid < 0 || tid > MaxTid {
+		return nil, fmt.Errorf("core: thread id %d outside [0, %d]", tid, MaxTid)
+	}
+	return t.moduleAt(tid), nil
+}
+
+// Module is ModuleOf for callers with known-good thread ids; it panics
+// when tid is out of range. (Earlier versions silently truncated the id
+// to 16 bits, aliasing distinct threads onto one module.)
 func (t *Tracker) Module(tid int) *Module {
-	if m, ok := t.modules[uint16(tid)]; ok {
-		return m
+	m, err := t.ModuleOf(tid)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// moduleAt is the range-checked-by-caller lookup: a dense slice indexed
+// by tid keeps the per-dependence routing off map hashing.
+func (t *Tracker) moduleAt(tid int) *Module {
+	if tid < len(t.dense) {
+		if m := t.dense[tid]; m != nil {
+			return m
+		}
 	}
 	net := nn.New(t.binary.NIn, t.binary.NHidden, rand.New(rand.NewSource(t.seed+int64(tid))))
 	m := NewModule(net, t.cfg)
@@ -141,7 +188,13 @@ func (t *Tracker) Module(tid int) *Module {
 	} else {
 		m.ForceMode(Training)
 	}
-	t.modules[uint16(tid)] = m
+	t.modules[tid] = m
+	if tid >= len(t.dense) {
+		grown := make([]*Module, tid+1)
+		copy(grown, t.dense)
+		t.dense = grown
+	}
+	t.dense[tid] = m
 	return m
 }
 
@@ -155,7 +208,8 @@ func (t *Tracker) OnRecord(r trace.Record) {
 	}
 }
 
-// Replay feeds a whole trace through the tracker.
+// Replay feeds a whole trace through the tracker sequentially. See
+// ReplayParallel for the pipelined equivalent.
 func (t *Tracker) Replay(tr *trace.Trace) {
 	for _, r := range tr.Records {
 		t.OnRecord(r)
@@ -171,12 +225,12 @@ func (t *Tracker) Replay(tr *trace.Trace) {
 func (t *Tracker) DebugBuffers() []DebugEntry {
 	tids := make([]int, 0, len(t.modules))
 	for tid := range t.modules {
-		tids = append(tids, int(tid))
+		tids = append(tids, tid)
 	}
 	sort.Ints(tids)
 	var out []DebugEntry
 	for _, tid := range tids {
-		buf := t.modules[uint16(tid)].DebugBuffer()
+		buf := t.modules[tid].DebugBuffer()
 		for i := range buf {
 			buf[i].Proc = uint16(tid)
 		}
@@ -208,7 +262,7 @@ func (t *Tracker) ResetDebug() {
 // benefits from this execution's online learning.
 func (t *Tracker) Shutdown() {
 	for tid, m := range t.modules {
-		t.binary.Patch(int(tid), m.SaveWeights())
+		t.binary.Patch(tid, m.SaveWeights())
 	}
 }
 
@@ -225,6 +279,8 @@ func (t *Tracker) Stats() Stats {
 		s.TrainingDeps += ms.TrainingDeps
 		s.Snapshots += ms.Snapshots
 		s.Recoveries += ms.Recoveries
+		s.CacheHits += ms.CacheHits
+		s.CacheMisses += ms.CacheMisses
 	}
 	return s
 }

@@ -1,0 +1,130 @@
+package core
+
+// Verdict memoization. RAW dependence sequences repeat heavily — the
+// paper's Table IV counts on the order of 5–24 unique dependences per
+// program against millions of dynamic ones — so while a module's
+// weights are unchanged, a sequence's network output is a pure function
+// of its identity. The cache maps a sequence's FNV-1a hash to the
+// output the network produced for it, short-circuiting Forward on
+// repeats.
+//
+// Consistency is enforced with a generation stamp: every weight
+// mutation (an online training step, a LoadWeights, a breaker rollback)
+// and every mode switch bumps the module's generation, and the cache
+// resets itself lazily the first time it is consulted under a new
+// generation. A hash collision would return the colliding sequence's
+// output; with 64-bit FNV-1a over the handful of distinct sequences a
+// deployment sees, that is vanishingly unlikely and at worst mirrors a
+// single misprediction.
+//
+// The structure is a classic intrusive-list LRU over a preallocated
+// entry arena plus a fixed-capacity index map, so steady-state hits,
+// inserts, and evictions perform zero heap allocations.
+
+// DefaultVerdictCache is the capacity used when Config.VerdictCache is
+// set to a negative value ("enable at the default size").
+const DefaultVerdictCache = 1024
+
+type vcEntry struct {
+	hash       uint64
+	out        float64
+	prev, next int32 // intrusive LRU list; -1 terminates
+}
+
+type verdictCache struct {
+	gen        uint64 // module generation the contents are valid for
+	idx        map[uint64]int32
+	ent        []vcEntry
+	head, tail int32 // most / least recently used
+	used       int
+}
+
+func newVerdictCache(capacity int) *verdictCache {
+	return &verdictCache{
+		idx:  make(map[uint64]int32, capacity),
+		ent:  make([]vcEntry, capacity),
+		head: -1,
+		tail: -1,
+	}
+}
+
+// sync resets the cache if the module generation moved past it.
+func (c *verdictCache) sync(gen uint64) {
+	if c.gen != gen {
+		clear(c.idx)
+		c.used = 0
+		c.head, c.tail = -1, -1
+		c.gen = gen
+	}
+}
+
+// unlink removes entry i from the LRU list.
+func (c *verdictCache) unlink(i int32) {
+	e := &c.ent[i]
+	if e.prev >= 0 {
+		c.ent[e.prev].next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next >= 0 {
+		c.ent[e.next].prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+}
+
+// pushFront makes entry i the most recently used.
+func (c *verdictCache) pushFront(i int32) {
+	e := &c.ent[i]
+	e.prev, e.next = -1, c.head
+	if c.head >= 0 {
+		c.ent[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
+}
+
+// get looks up a verdict under the given generation.
+func (c *verdictCache) get(hash, gen uint64) (float64, bool) {
+	c.sync(gen)
+	i, ok := c.idx[hash]
+	if !ok {
+		return 0, false
+	}
+	if i != c.head {
+		c.unlink(i)
+		c.pushFront(i)
+	}
+	return c.ent[i].out, true
+}
+
+// put records a verdict under the given generation, evicting the least
+// recently used entry at capacity.
+func (c *verdictCache) put(hash, gen uint64, out float64) {
+	c.sync(gen)
+	if i, ok := c.idx[hash]; ok {
+		c.ent[i].out = out
+		if i != c.head {
+			c.unlink(i)
+			c.pushFront(i)
+		}
+		return
+	}
+	var i int32
+	if c.used < len(c.ent) {
+		i = int32(c.used)
+		c.used++
+	} else {
+		i = c.tail
+		delete(c.idx, c.ent[i].hash)
+		c.unlink(i)
+	}
+	c.ent[i] = vcEntry{hash: hash, out: out}
+	c.pushFront(i)
+	c.idx[hash] = i
+}
+
+// Len returns the number of live entries (tests).
+func (c *verdictCache) Len() int { return c.used }

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"act/internal/deps"
+	"act/internal/nn"
+)
+
+// validWeights returns a flat weight vector whose network outputs
+// sigmoid(bias) for every input: zero weights, explicit output bias.
+func flatWithBias(nIn, nHidden int, bias float64) []float64 {
+	w := make([]float64, nHidden*(nIn+1)+nHidden+1)
+	w[len(w)-1] = bias
+	return w
+}
+
+// cachedModule builds a testing-mode module with the given verdict-cache
+// configuration and an always-valid network.
+func cachedModule(t *testing.T, n, cache int, bias float64) *Module {
+	t.Helper()
+	nIn := deps.InputLen(deps.EncodeDefault, n)
+	net := nn.New(nIn, 6, rand.New(rand.NewSource(1)))
+	m := NewModule(net, Config{N: n, VerdictCache: cache})
+	if err := m.LoadWeights(flatWithBias(nIn, 6, bias)); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// feedPattern replays the same short dependence pattern `rounds` times,
+// returning the predicted-invalid verdicts in order.
+func feedPattern(m *Module, rounds int) []bool {
+	var verdicts []bool
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < 8; i++ {
+			d := deps.Dep{S: 0x1000 + uint64(i)*16, L: 0x2000 + uint64(i)*16}
+			if _, inv := m.OnDep(d); true {
+				verdicts = append(verdicts, inv)
+			}
+		}
+	}
+	return verdicts
+}
+
+// TestVerdictCacheCountsHits: a repeated pattern is served from the
+// cache after the first round, and the cached verdicts are identical to
+// an uncached module's.
+func TestVerdictCacheCountsHits(t *testing.T) {
+	off := cachedModule(t, 2, 0, 4)
+	on := cachedModule(t, 2, -1, 4)
+
+	vOff := feedPattern(off, 5)
+	vOn := feedPattern(on, 5)
+	if !reflect.DeepEqual(vOff, vOn) {
+		t.Fatal("verdicts differ between cache on and off")
+	}
+	if !reflect.DeepEqual(off.DebugBuffer(), on.DebugBuffer()) {
+		t.Fatal("debug buffers differ between cache on and off")
+	}
+	if s := off.Stats(); s.CacheHits != 0 || s.CacheMisses != 0 {
+		t.Fatalf("disabled cache counted %d hits / %d misses", s.CacheHits, s.CacheMisses)
+	}
+	s := on.Stats()
+	if s.CacheHits == 0 {
+		t.Fatal("repeated pattern produced no cache hits")
+	}
+	// Distinct windows: the 8 of round 1 plus the round-boundary window
+	// [d7, d0] first formed entering round 2. Everything else hits.
+	if want := s.Deps - 9; s.CacheHits != want {
+		t.Fatalf("CacheHits = %d, want %d (all repeats)", s.CacheHits, want)
+	}
+}
+
+// TestVerdictCacheInvalidatedByWeightUpdate: new weights must flip the
+// verdict immediately — a stale cached "valid" would mask the change.
+func TestVerdictCacheInvalidatedByWeightUpdate(t *testing.T) {
+	m := cachedModule(t, 2, -1, 4)
+	feedPattern(m, 3) // cache hot, everything valid
+	if s := m.Stats(); s.PredictedInvalid != 0 {
+		t.Fatalf("always-valid net flagged %d sequences", s.PredictedInvalid)
+	}
+
+	nIn := deps.InputLen(deps.EncodeDefault, 2)
+	if err := m.LoadWeights(flatWithBias(nIn, 6, -4)); err != nil { // now always-invalid
+		t.Fatal(err)
+	}
+	verdicts := feedPattern(m, 1)
+	for i, inv := range verdicts {
+		if !inv {
+			t.Fatalf("dep %d served stale cached verdict after weight update", i)
+		}
+	}
+}
+
+// TestVerdictCacheInvalidatedByModeSwitch: ForceMode bumps the
+// generation, so verdicts cached before a training episode are not
+// trusted after it.
+func TestVerdictCacheInvalidatedByModeSwitch(t *testing.T) {
+	m := cachedModule(t, 2, -1, 4)
+	feedPattern(m, 2)
+	hot := m.Stats()
+	if hot.CacheHits == 0 {
+		t.Fatal("cache never hit during warm-up")
+	}
+	m.ForceMode(Training)
+	m.ForceMode(Testing)
+	feedPattern(m, 1)
+	after := m.Stats()
+	if after.CacheHits != hot.CacheHits {
+		t.Fatalf("verdicts cached before the mode switch survived it: %d hits grew to %d",
+			hot.CacheHits, after.CacheHits)
+	}
+	if after.CacheMisses <= hot.CacheMisses {
+		t.Fatal("post-switch pattern did not recompute")
+	}
+}
+
+// TestVerdictCacheInvalidatedByDirectMutation: callers that write the
+// network through Network() (the fault injector does) must be able to
+// flush the cache explicitly.
+func TestVerdictCacheInvalidatedByDirectMutation(t *testing.T) {
+	m := cachedModule(t, 2, -1, 4)
+	feedPattern(m, 2)
+
+	net := m.Network()
+	net.WriteRegister(net.WeightCount()-1, -4) // flip the output bias: now invalid
+	m.InvalidateVerdicts()
+	for i, inv := range feedPattern(m, 1) {
+		if !inv {
+			t.Fatalf("dep %d: cached verdict survived InvalidateVerdicts", i)
+		}
+	}
+}
+
+// TestVerdictCacheLRU exercises the cache structure directly: eviction
+// order, move-to-front on hit, and generation sync.
+func TestVerdictCacheLRU(t *testing.T) {
+	c := newVerdictCache(2)
+	c.put(1, 0, 0.1)
+	c.put(2, 0, 0.2)
+	if _, ok := c.get(1, 0); !ok { // 1 becomes most recent
+		t.Fatal("miss on resident entry")
+	}
+	c.put(3, 0, 0.3) // evicts 2, the least recent
+	if _, ok := c.get(2, 0); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if v, ok := c.get(1, 0); !ok || v != 0.1 {
+		t.Fatalf("get(1) = %v, %v", v, ok)
+	}
+	if v, ok := c.get(3, 0); !ok || v != 0.3 {
+		t.Fatalf("get(3) = %v, %v", v, ok)
+	}
+	// A new generation empties the cache lazily.
+	if _, ok := c.get(1, 1); ok {
+		t.Fatal("entry survived a generation bump")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len() = %d after generation bump", c.Len())
+	}
+	c.put(4, 1, 0.4)
+	if v, ok := c.get(4, 1); !ok || v != 0.4 {
+		t.Fatalf("get(4) = %v, %v", v, ok)
+	}
+}

@@ -52,6 +52,40 @@ func (s Sequence) Key() string {
 	return string(b)
 }
 
+// FNV-1a constants (64-bit).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fnvU64 folds the 8 little-endian bytes of x into h.
+func fnvU64(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+// Hash returns a fixed-size FNV-1a digest of the sequence over the same
+// byte layout as Key, without allocating. It is the identity used on the
+// classification hot path (verdict memoization) and by ranking and fleet
+// deduplication; Key remains for code that needs a collision-free string.
+func (s Sequence) Hash() uint64 {
+	h := fnvOffset
+	for _, d := range s {
+		h = fnvU64(h, d.S)
+		h = fnvU64(h, d.L)
+		if d.Inter {
+			h = (h ^ 1) * fnvPrime
+		} else {
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
 // Clone returns a copy of the sequence.
 func (s Sequence) Clone() Sequence {
 	c := make(Sequence, len(s))
@@ -76,6 +110,38 @@ type writer struct {
 	tid uint16
 }
 
+// ringWin is one thread's fixed-capacity dependence window, kept as a
+// ring so the steady-state hot path never reallocates or shifts.
+type ringWin struct {
+	buf  []Dep // capacity n, allocated once
+	head int   // index of the oldest entry
+	cnt  int   // live entries, <= len(buf)
+}
+
+func (w *ringWin) push(d Dep) {
+	n := len(w.buf)
+	if w.cnt < n {
+		w.buf[(w.head+w.cnt)%n] = d
+		w.cnt++
+		return
+	}
+	w.buf[w.head] = d
+	w.head = (w.head + 1) % n
+}
+
+// fill writes the window into seq (len == cap of the ring), oldest
+// first, front-padded with zero dependences while the window is filling.
+func (w *ringWin) fill(seq Sequence) {
+	n := len(w.buf)
+	pad := n - w.cnt
+	for i := range seq[:pad] {
+		seq[i] = Dep{}
+	}
+	for i := 0; i < w.cnt; i++ {
+		seq[pad+i] = w.buf[(w.head+i)%n]
+	}
+}
+
 // Extractor turns an ordered stream of memory records into RAW
 // dependences and sequences. Granularity controls the address granule at
 // which the last writer is tracked: the word size models the paper's
@@ -87,9 +153,9 @@ type Extractor struct {
 	filterStack bool
 	trackPrev   bool
 
-	last    map[uint64]writer
-	prev    map[uint64]writer
-	windows map[uint16][]Dep
+	last map[uint64]writer
+	prev map[uint64]writer
+	wins []*ringWin // per-thread windows, indexed by tid
 
 	// OnDep, if set, observes every formed dependence before windowing.
 	OnDep func(tid uint16, d Dep)
@@ -126,7 +192,6 @@ func NewExtractor(cfg ExtractorConfig) *Extractor {
 		filterStack: cfg.FilterStack,
 		trackPrev:   cfg.TrackPrev,
 		last:        make(map[uint64]writer),
-		windows:     make(map[uint16][]Dep),
 	}
 	if cfg.TrackPrev {
 		e.prev = make(map[uint64]writer)
@@ -144,7 +209,23 @@ func (e *Extractor) Reset() {
 	if e.prev != nil {
 		clear(e.prev)
 	}
-	clear(e.windows)
+	e.wins = nil
+}
+
+// win returns (creating on first use) tid's window ring.
+func (e *Extractor) win(tid uint16) *ringWin {
+	i := int(tid)
+	if i >= len(e.wins) {
+		grown := make([]*ringWin, i+1)
+		copy(grown, e.wins)
+		e.wins = grown
+	}
+	w := e.wins[i]
+	if w == nil {
+		w = &ringWin{buf: make([]Dep, e.n)}
+		e.wins[i] = w
+	}
+	return w
 }
 
 // granule maps an address to its tracking granule.
@@ -180,28 +261,33 @@ func (e *Extractor) Load(tid uint16, pc, addr uint64, stack bool) (Dep, bool) {
 	if e.OnDep != nil {
 		e.OnDep(tid, d)
 	}
-	win := append(e.windows[tid], d)
-	if len(win) > e.n {
-		win = win[len(win)-e.n:]
-	}
-	e.windows[tid] = win
+	win := e.win(tid)
+	win.push(d)
 	// A window shorter than N (execution start, or right after a thread's
 	// first dependences) is padded at the front with zero dependences, so
 	// even a processor's very first dependence is classified — a failure
 	// in early execution must still reach the Debug Buffer.
-	seq := make(Sequence, e.n)
-	copy(seq[e.n-len(win):], win)
-	if e.OnSequence != nil {
-		e.OnSequence(tid, seq)
-	}
-	if e.trackPrev && e.OnNegative != nil {
-		// The store before the last store to the same granule, when
-		// it is a different instruction, yields an invalid variant
-		// of this sequence: same history, wrong final writer.
-		if pw, ok := e.prev[g]; ok && pw.pc != w.pc {
-			neg := seq.Clone()
-			neg[len(neg)-1] = Dep{S: pw.pc, L: pc, Inter: pw.tid != tid}
-			e.OnNegative(tid, neg)
+	//
+	// The padded sequence is materialized only for the offline callbacks:
+	// the online replay path consumes OnDep alone (each module keeps its
+	// own Input Generator Buffer), so building it per load would be a
+	// wasted allocation on the hot path. Callbacks receive a fresh slice
+	// they may retain.
+	if e.OnSequence != nil || (e.trackPrev && e.OnNegative != nil) {
+		seq := make(Sequence, e.n)
+		win.fill(seq)
+		if e.OnSequence != nil {
+			e.OnSequence(tid, seq)
+		}
+		if e.trackPrev && e.OnNegative != nil {
+			// The store before the last store to the same granule, when
+			// it is a different instruction, yields an invalid variant
+			// of this sequence: same history, wrong final writer.
+			if pw, ok := e.prev[g]; ok && pw.pc != w.pc {
+				neg := seq.Clone()
+				neg[len(neg)-1] = Dep{S: pw.pc, L: pc, Inter: pw.tid != tid}
+				e.OnNegative(tid, neg)
+			}
 		}
 	}
 	return d, true
@@ -210,5 +296,13 @@ func (e *Extractor) Load(tid uint16, pc, addr uint64, stack bool) (Dep, bool) {
 // Window returns a copy of tid's current dependence window (most recent
 // last). The window may be shorter than N early in an execution.
 func (e *Extractor) Window(tid uint16) Sequence {
-	return Sequence(e.windows[tid]).Clone()
+	if int(tid) >= len(e.wins) || e.wins[tid] == nil {
+		return make(Sequence, 0)
+	}
+	w := e.wins[tid]
+	out := make(Sequence, w.cnt)
+	for i := 0; i < w.cnt; i++ {
+		out[i] = w.buf[(w.head+i)%len(w.buf)]
+	}
+	return out
 }

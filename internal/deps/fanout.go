@@ -1,0 +1,135 @@
+package deps
+
+// Fanout is the hand-off between the two stages of parallel replay.
+//
+// Last-writer resolution must observe the memory trace in its single
+// global (coherence) order — a store by one thread changes which writer
+// every later load sees, on any thread. Classification, by contrast, is
+// per-processor state only: a module's verdict depends exclusively on
+// the order of its own thread's dependences. Fanout exploits exactly
+// that split: the sequential stage pushes each formed dependence into
+// its thread's stream, and one worker per thread drains the stream
+// concurrently. Per-thread order is preserved, so the parallel replay
+// is bit-identical to the sequential one.
+//
+// Dependences travel in batches over bounded channels: batching
+// amortizes the channel synchronization to a few operations per
+// hundreds of dependences, and the bound provides backpressure — a slow
+// worker stalls the producer instead of growing an unbounded queue.
+// Batch buffers are recycled through a per-stream free list, so the
+// steady state allocates nothing.
+//
+// Push and Close must be called from a single goroutine (the sequential
+// stage); each FanStream must be consumed by a single goroutine.
+
+// FanoutConfig tunes the hand-off.
+type FanoutConfig struct {
+	Batch int // dependences per batch; 0 means 512
+	Depth int // batches buffered per thread; 0 means 4
+}
+
+func (c FanoutConfig) withDefaults() FanoutConfig {
+	if c.Batch <= 0 {
+		c.Batch = 512
+	}
+	if c.Depth <= 0 {
+		c.Depth = 4
+	}
+	return c
+}
+
+// FanStream is one thread's batch stream, consumed by its worker.
+type FanStream struct {
+	ch   chan []Dep
+	free chan []Dep
+	last []Dep
+}
+
+// Next returns the next batch, blocking until the producer delivers one;
+// ok is false once the stream is closed and drained. The returned slice
+// is valid only until the following Next call — its backing array is
+// recycled to the producer.
+func (s *FanStream) Next() (batch []Dep, ok bool) {
+	if s.last != nil {
+		s.free <- s.last[:0]
+		s.last = nil
+	}
+	b, ok := <-s.ch
+	if ok {
+		s.last = b
+	}
+	return b, ok
+}
+
+// fanShard is the producer side of one thread's stream.
+type fanShard struct {
+	stream *FanStream
+	cur    []Dep
+}
+
+// Fanout splits a globally ordered dependence stream into per-thread
+// bounded batch streams.
+type Fanout struct {
+	cfg    FanoutConfig
+	shards []*fanShard // indexed by tid
+	onNew  func(tid uint16, s *FanStream)
+}
+
+// NewFanout creates a fan-out. onNew fires in the producer goroutine the
+// first time a thread produces a dependence, before that dependence is
+// delivered — the caller starts the thread's worker there.
+func NewFanout(cfg FanoutConfig, onNew func(tid uint16, s *FanStream)) *Fanout {
+	return &Fanout{cfg: cfg.withDefaults(), onNew: onNew}
+}
+
+// Push appends one dependence to tid's stream, delivering a batch (and
+// blocking on backpressure) whenever one fills.
+func (f *Fanout) Push(tid uint16, d Dep) {
+	i := int(tid)
+	if i >= len(f.shards) {
+		grown := make([]*fanShard, i+1)
+		copy(grown, f.shards)
+		f.shards = grown
+	}
+	sh := f.shards[i]
+	if sh == nil {
+		st := &FanStream{
+			ch:   make(chan []Dep, f.cfg.Depth),
+			free: make(chan []Dep, f.cfg.Depth+2),
+		}
+		// Buffer census: one being filled (cur), up to Depth in flight in
+		// ch, one held by the consumer until its next Next call, and the
+		// rest parked in free — Depth+2 in total. free is sized to hold
+		// all of them: once the stream is closed and drained, the consumer
+		// hands every buffer back, so a smaller capacity would block the
+		// final free-list send in Next forever.
+		for b := 0; b < f.cfg.Depth+1; b++ {
+			st.free <- make([]Dep, 0, f.cfg.Batch)
+		}
+		sh = &fanShard{stream: st, cur: make([]Dep, 0, f.cfg.Batch)}
+		f.shards[i] = sh
+		if f.onNew != nil {
+			f.onNew(tid, st)
+		}
+	}
+	sh.cur = append(sh.cur, d)
+	if len(sh.cur) == f.cfg.Batch {
+		sh.stream.ch <- sh.cur
+		sh.cur = <-sh.stream.free
+	}
+}
+
+// Close flushes every thread's partial batch and closes the streams;
+// workers observe ok == false from Next once drained.
+func (f *Fanout) Close() {
+	for _, sh := range f.shards {
+		if sh == nil {
+			continue
+		}
+		if len(sh.cur) > 0 {
+			sh.stream.ch <- sh.cur
+			sh.cur = nil
+		}
+		close(sh.stream.ch)
+	}
+}

@@ -97,9 +97,9 @@ type Collector struct {
 
 	mu       sync.Mutex
 	seen     map[uint64]struct{} // ingested batch keys (dedup)
-	agg      map[string]*seqAgg  // by sequence key
+	agg      map[uint64]*seqAgg  // by sequence hash (deps.Sequence.Hash)
 	outcomes map[uint64]wire.Outcome
-	pending  map[uint64][]string // sequences logged by still-unknown runs
+	pending  map[uint64][]uint64 // sequence hashes logged by still-unknown runs
 	stats    CollectorStats
 	conns    int
 
@@ -115,9 +115,9 @@ func NewCollector(cfg CollectorConfig) *Collector {
 	c := &Collector{
 		cfg:      cfg.withDefaults(),
 		seen:     make(map[uint64]struct{}),
-		agg:      make(map[string]*seqAgg),
+		agg:      make(map[uint64]*seqAgg),
 		outcomes: make(map[uint64]wire.Outcome),
-		pending:  make(map[uint64][]string),
+		pending:  make(map[uint64][]uint64),
 	}
 	if c.cfg.SnapshotPath != "" {
 		c.loadSnapshot(c.cfg.SnapshotPath) // best effort
@@ -175,7 +175,7 @@ func (c *Collector) noteOutcomeLocked(run uint64, o wire.Outcome) {
 
 // noteEntryLocked merges one entry under the run's current outcome.
 func (c *Collector) noteEntryLocked(run uint64, outcome wire.Outcome, e core.DebugEntry) {
-	k := e.Seq.Key()
+	k := e.Seq.Hash()
 	agg, ok := c.agg[k]
 	if !ok {
 		agg = &seqAgg{entry: e}
@@ -215,11 +215,12 @@ func (c *Collector) Report() *ranking.Report {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	keys := make([]string, 0, len(c.agg))
+	keys := make([]uint64, 0, len(c.agg))
 	for k := range c.agg {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys) // deterministic input order for the ranker
+	// Deterministic input order for the ranker.
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 
 	n := c.cfg.SeqLen
 	for _, k := range keys {
@@ -229,7 +230,7 @@ func (c *Collector) Report() *ranking.Report {
 	}
 	correct := deps.NewSeqSet(n)
 	var debug []core.DebugEntry
-	runsOf := make(map[string]int)
+	runsOf := make(map[uint64]int)
 	for _, k := range keys {
 		agg := c.agg[k]
 		if len(agg.correctRuns) >= c.cfg.CorrectPrune {
@@ -245,7 +246,7 @@ func (c *Collector) Report() *ranking.Report {
 	}
 	rep := ranking.RankWith(debug, correct, c.cfg.Strategy)
 	for i := range rep.Ranked {
-		rep.Ranked[i].Runs = runsOf[rep.Ranked[i].Entry.Seq.Key()]
+		rep.Ranked[i].Runs = runsOf[rep.Ranked[i].Entry.Seq.Hash()]
 	}
 	rep.WeightByRuns()
 	return rep
@@ -429,11 +430,11 @@ func (c *Collector) encodeStateLocked() []byte {
 		body = append(body, byte(c.outcomes[r]))
 	}
 
-	aggKeys := make([]string, 0, len(c.agg))
+	aggKeys := make([]uint64, 0, len(c.agg))
 	for k := range c.agg {
 		aggKeys = append(aggKeys, k)
 	}
-	sort.Strings(aggKeys)
+	sort.Slice(aggKeys, func(i, j int) bool { return aggKeys[i] < aggKeys[j] })
 	u32(uint32(len(aggKeys)))
 	for _, k := range aggKeys {
 		agg := c.agg[k]
@@ -502,7 +503,7 @@ func (c *Collector) loadSnapshot(path string) bool {
 		return false
 	}
 	nAgg := int(u32())
-	agg := make(map[string]*seqAgg, nAgg)
+	agg := make(map[uint64]*seqAgg, nAgg)
 	for i := 0; i < nAgg; i++ {
 		e, n, err := wire.DecodeEntry(body[off:])
 		if err != nil {
@@ -536,7 +537,7 @@ func (c *Collector) loadSnapshot(path string) bool {
 			}
 			a.correctRuns[u64()] = struct{}{}
 		}
-		agg[e.Seq.Key()] = a
+		agg[e.Seq.Hash()] = a
 	}
 	if off != len(body) {
 		return false

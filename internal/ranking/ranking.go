@@ -64,17 +64,20 @@ func Rank(debug []core.DebugEntry, correct *deps.SeqSet) *Report {
 	return RankWith(debug, correct, MostMatched)
 }
 
-// RankWith is Rank with an explicit strategy.
+// RankWith is Rank with an explicit strategy. Duplicate detection keys
+// on the sequences' fixed-size FNV-1a hash (Sequence.Hash) rather than
+// a materialized string key, so deduplicating a large Debug Buffer
+// allocates nothing per entry.
 func RankWith(debug []core.DebugEntry, correct *deps.SeqSet, strategy Strategy) *Report {
 	rep := &Report{Total: len(debug)}
-	byKey := make(map[string]*Candidate)
-	var order []string
+	byKey := make(map[uint64]*Candidate)
+	var order []uint64
 	for _, e := range debug {
 		if correct.Contains(e.Seq) {
 			rep.Pruned++
 			continue
 		}
-		k := e.Seq.Key()
+		k := e.Seq.Hash()
 		if c, ok := byKey[k]; ok {
 			rep.Pruned++ // duplicate collapses
 			if e.Output < c.Entry.Output {
