@@ -1,0 +1,83 @@
+// Command actlint runs the project's static-analysis passes over the
+// module and exits non-zero if any invariant is violated. It is the
+// CI gate for the annotations documented in internal/analysis: the
+// zero-allocation hot path (//act:noalloc), the mutex discipline
+// (// guarded by mu), exhaustive switches over project enums
+// (//act:exhaustive), and atomic/plain access mixing.
+//
+// Usage:
+//
+//	go run ./cmd/actlint ./...
+//	go run ./cmd/actlint ./internal/core ./internal/fleet
+//
+// With no arguments it checks ./... relative to the current module.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"act/internal/analysis"
+	"act/internal/analysis/atomicmix"
+	"act/internal/analysis/exhaustive"
+	"act/internal/analysis/guardedby"
+	"act/internal/analysis/noalloc"
+)
+
+var analyzers = []*analysis.Analyzer{
+	noalloc.Analyzer,
+	guardedby.Analyzer,
+	exhaustive.Analyzer,
+	atomicmix.Analyzer,
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	modDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "actlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	prog, err := analysis.Load(modDir, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "actlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags, err := prog.Run(analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "actlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

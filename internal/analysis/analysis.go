@@ -1,0 +1,189 @@
+// Package analysis is a self-contained static-analysis framework for
+// the ACT codebase: a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis API surface the actlint pass suite
+// needs. The toolchain this repository builds under ships only the
+// standard library, so instead of importing x/tools the framework
+// loads and type-checks packages itself (see load.go) and hands each
+// analyzer a Pass with the same shape the upstream API would: the file
+// set, the package's syntax trees, its *types.Package and *types.Info,
+// and a Report callback.
+//
+// ACT's motivation applies to its own implementation: the monitor's
+// correctness rests on invariants — the zero-allocation classification
+// path, the guarded-by-mutex discipline on shared state, exhaustive
+// handling of enumerated fault and frame kinds, unmixed atomic/plain
+// access — that dynamic tests catch one execution at a time. The
+// analyzers in the subpackages turn those invariants into properties
+// checked on every build of every future change.
+//
+// Annotation grammar (all forms are ordinary comments, so the code
+// builds identically with or without the linter):
+//
+//	//act:noalloc            on a function: its body must contain no
+//	                         heap-allocating construct (noalloc pass)
+//	//act:alloc-ok <reason>  on or directly above a line inside a
+//	                         noalloc function: waives that one line
+//	                         (used for guarded grow-once paths)
+//	// guarded by <mu>       on a struct field: accesses require the
+//	                         sibling mutex field <mu> (guardedby pass)
+//	//act:locked <mu>        on a function: callers hold the receiver's
+//	                         <mu>; the function may touch fields <mu>
+//	                         guards (guardedby pass)
+//	//act:exhaustive         on a defined type: every switch over it
+//	                         must cover all declared constants or have
+//	                         an explicit default (exhaustive pass)
+//
+// The atomicmix pass needs no annotations: any field whose address
+// reaches a sync/atomic call is atomic everywhere, by definition.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, mirroring x/tools' analysis.Analyzer.
+type Analyzer struct {
+	Name string // short lower-case identifier, printed in diagnostics
+	Doc  string // one-paragraph description
+	Run  func(*Pass) error
+}
+
+// Pass carries everything an analyzer sees for one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File // the package's parsed sources, with comments
+	Pkg      *types.Package
+	Info     *types.Info
+	// Facts is shared, whole-program knowledge harvested at load time
+	// (annotated enum types, for now) — the stand-in for x/tools'
+	// cross-package fact mechanism.
+	Facts *Facts
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the conventional file:line:col: analyzer: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Facts is cross-package knowledge gathered while loading: the fully
+// qualified names ("pkgpath.TypeName") of types annotated
+// //act:exhaustive anywhere in the loaded program.
+type Facts struct {
+	ExhaustiveEnums map[string]bool
+}
+
+// Run executes the analyzers over every loaded package and returns all
+// diagnostics sorted by position. Analyzer errors (not findings —
+// internal failures) abort the run.
+func (prog *Program) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     prog.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Facts:    prog.Facts,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// HasDirective reports whether the comment group contains a comment
+// whose text (after "//") starts with the given act: directive, e.g.
+// HasDirective(doc, "act:noalloc"). Directive comments have no space
+// after "//", so they are invisible to godoc but survive gofmt.
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	_, ok := DirectiveArg(doc, directive)
+	return ok
+}
+
+// DirectiveArg returns the argument text following a directive comment
+// ("//act:locked mu" yields "mu") and whether the directive is present.
+func DirectiveArg(doc *ast.CommentGroup, directive string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == directive {
+			return "", true
+		}
+		if rest, ok := strings.CutPrefix(text, directive+" "); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// ExprString renders a (simple) expression as source text — the
+// guardedby pass uses it to compare lock-holder paths like "a" or
+// "t.binary". It intentionally handles only the shapes that appear in
+// selector bases; anything else renders as "?", which never matches.
+func ExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return ExprString(e.X)
+	case *ast.StarExpr:
+		return ExprString(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return ExprString(e.X)
+		}
+	case *ast.IndexExpr:
+		return ExprString(e.X) + "[" + ExprString(e.Index) + "]"
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		return ExprString(e.Fun) + "()"
+	}
+	return "?"
+}

@@ -1,0 +1,108 @@
+// Package analysistest runs an analyzer over a golden package and
+// checks its diagnostics against expectations written in the source,
+// mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	x.f = 1 // want `not guarded`
+//
+// A "want" comment holds one or more backquoted or double-quoted
+// regular expressions; each must be matched by a distinct diagnostic
+// reported on that line, and every diagnostic must match a want.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"act/internal/analysis"
+)
+
+// wantRx extracts the expectation patterns from a comment: everything
+// after "want", as a sequence of `...` or "..." strings.
+var wantRx = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads dir (a package directory, conventionally
+// testdata/src/<name>), applies the analyzer, and reports mismatches
+// between diagnostics and want comments on t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	prog, err := analysis.LoadDir(abs)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	}
+	diags, err := prog.Run([]*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWants(t, prog.Fset, c)...)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// parseWants extracts the expectations from one comment.
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*expectation {
+	t.Helper()
+	text := strings.TrimPrefix(c.Text, "//")
+	idx := strings.Index(text, "want ")
+	if idx < 0 {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	var out []*expectation
+	for _, m := range wantRx.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+		pat := m[1]
+		if pat == "" {
+			pat = m[2]
+		}
+		rx, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: rx})
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Package atomicmix implements the actlint pass that forbids mixing
+// sync/atomic and plain access to the same variable. A counter updated
+// with atomic.AddUint64 in one place and read with a bare load in
+// another is a data race the memory model gives no meaning to — and
+// one of the hardest to catch dynamically, because -race only sees it
+// when both paths run concurrently in the same execution. The pass
+// needs no annotations: any field or package-level variable whose
+// address reaches a sync/atomic call anywhere in the package is
+// atomic, by definition, and every plain access to it elsewhere in the
+// package is reported.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"act/internal/analysis"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "reports plain accesses to variables also accessed via sync/atomic",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// First pass: every variable whose address is taken in the first
+	// argument of a sync/atomic call, plus the sanctioned AST nodes
+	// (the operands inside those calls, which must not be re-reported).
+	atomicVars := make(map[*types.Var]token.Pos)
+	sanctioned := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				target := ast.Unparen(un.X)
+				if v := varOf(pass, target); v != nil {
+					if _, seen := atomicVars[v]; !seen {
+						atomicVars[v] = call.Pos()
+					}
+					sanctioned[target] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Second pass: any other access to those variables is a plain
+	// (non-atomic) read or write.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sanctioned[n] {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := pass.Info.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if v, ok := sel.Obj().(*types.Var); ok {
+					if _, atomicUse := atomicVars[v]; atomicUse {
+						pass.Reportf(n.Pos(), "plain access to %s, which is accessed with sync/atomic elsewhere in this package", v.Name())
+					}
+				}
+			case *ast.Ident:
+				v, ok := pass.Info.Uses[n].(*types.Var)
+				if !ok || v.IsField() {
+					return true // fields report via their SelectorExpr
+				}
+				if _, atomicUse := atomicVars[v]; atomicUse {
+					pass.Reportf(n.Pos(), "plain access to %s, which is accessed with sync/atomic elsewhere in this package", v.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall recognizes atomic.XxxUint64-style calls from sync/atomic.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(sel.Sel.Name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// varOf resolves the variable an &-operand denotes: a struct field
+// selector or a plain identifier. Anything else (index expressions,
+// pointer chases through interfaces) is out of scope.
+func varOf(pass *analysis.Pass, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+// Package a is the atomicmix golden package.
+package a
+
+import "sync/atomic"
+
+type stats struct {
+	hits   uint64
+	misses uint64
+	plain  int
+}
+
+var global int64
+
+// Record touches hits atomically: this marks hits as an atomic field.
+func (s *stats) Record() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+// Hits loads it atomically too: no diagnostic.
+func (s *stats) Hits() uint64 {
+	return atomic.LoadUint64(&s.hits)
+}
+
+// Mixed reads hits with a plain load.
+func (s *stats) Mixed() uint64 {
+	return s.hits // want `plain access to hits, which is accessed with sync/atomic`
+}
+
+// MixedWrite stores it plainly.
+func (s *stats) MixedWrite() {
+	s.hits = 0 // want `plain access to hits`
+}
+
+// Misses is only ever accessed plainly: no diagnostic.
+func (s *stats) Misses() uint64 {
+	s.misses++
+	return s.misses
+}
+
+// PlainOnly never goes near atomics.
+func (s *stats) PlainOnly() int {
+	s.plain++
+	return s.plain
+}
+
+// Bump uses the package-level variable atomically...
+func Bump() {
+	atomic.AddInt64(&global, 1)
+}
+
+// ...so a bare read of it reports.
+func Read() int64 {
+	return global // want `plain access to global`
+}
+
+// CompareAndSwap operands are sanctioned accesses.
+func (s *stats) CAS(old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&s.hits, old, new)
+}

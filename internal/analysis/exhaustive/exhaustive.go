@@ -1,0 +1,124 @@
+// Package exhaustive implements the actlint pass that keeps switches
+// over the project's enumerated types total. The monitor's enums —
+// fault kinds, wire outcomes, breaker window states, operating modes —
+// grow as the system grows, and a switch written against yesterday's
+// constant list silently ignores today's new member. The pass makes
+// that a lint failure instead: a switch over a type annotated
+// //act:exhaustive must either cover every declared constant of the
+// type or carry an explicit default clause (the author's signed
+// statement that the remainder is intentional).
+//
+// The annotation lives on the type declaration; the constants are
+// every package-level constant of that exact type in the defining
+// package. Cross-package switches are checked too — the loader
+// harvests annotations from every package it type-checks, and the
+// defining package's scope provides the constant list even when the
+// switch lives elsewhere.
+package exhaustive
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"act/internal/analysis"
+)
+
+// Analyzer is the exhaustive pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc:  "reports non-exhaustive switches over //act:exhaustive enum types",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tagType := pass.Info.TypeOf(sw.Tag)
+	if tagType == nil {
+		return
+	}
+	named, ok := tagType.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return
+	}
+	qualified := obj.Pkg().Path() + "." + obj.Name()
+	if !pass.Facts.ExhaustiveEnums[qualified] {
+		return
+	}
+
+	// Every declared constant of the enum type, keyed by value so
+	// aliases (two names, one value) count as one member; the member's
+	// reported name is its first-declared constant.
+	members := make(map[string]*types.Const)
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if prev, ok := members[key]; !ok || c.Pos() < prev.Pos() {
+			members[key] = c
+		}
+	}
+	if len(members) == 0 {
+		return // annotated but constant-free: nothing to enforce
+	}
+
+	covered := make(map[string]bool)
+	hasDefault := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+				covered[exactOf(tv.Value)] = true
+			}
+		}
+	}
+	if hasDefault {
+		return
+	}
+
+	var missing []string
+	for key, c := range members {
+		if !covered[key] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(), "switch over %s is missing cases %s (and has no default)",
+		obj.Name(), strings.Join(missing, ", "))
+}
+
+// exactOf normalizes a constant value to the representation used for
+// member keys.
+func exactOf(v constant.Value) string { return v.ExactString() }

@@ -1,0 +1,12 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"act/internal/analysis/analysistest"
+	"act/internal/analysis/exhaustive"
+)
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", exhaustive.Analyzer)
+}

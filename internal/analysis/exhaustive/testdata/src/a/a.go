@@ -1,0 +1,89 @@
+// Package a is the exhaustive golden package.
+package a
+
+// State is an annotated enum: switches over it must be total.
+//
+//act:exhaustive
+type State int
+
+const (
+	Idle State = iota
+	Running
+	Halted
+)
+
+// Aliased shares Running's value; covering either name covers the member.
+const Aliased State = 1
+
+// Plain is not annotated; incomplete switches are fine.
+type Plain int
+
+const (
+	PA Plain = iota
+	PB
+)
+
+func full(s State) string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Running:
+		return "running"
+	case Halted:
+		return "halted"
+	}
+	return ""
+}
+
+func withDefault(s State) string {
+	switch s {
+	case Idle:
+		return "idle"
+	default:
+		return "other"
+	}
+}
+
+func missing(s State) string {
+	switch s { // want `switch over State is missing cases Halted \(and has no default\)`
+	case Idle:
+		return "idle"
+	case Running:
+		return "running"
+	}
+	return ""
+}
+
+func multiValueCase(s State) string {
+	switch s {
+	case Idle, Halted:
+		return "stopped"
+	case Aliased: // value 1 == Running: covers that member
+		return "running"
+	}
+	return ""
+}
+
+func missingTwo(s State) string {
+	switch s { // want `switch over State is missing cases Halted, Running \(and has no default\)`
+	case Idle:
+		return "idle"
+	}
+	return ""
+}
+
+func plainSwitch(p Plain) string {
+	switch p {
+	case PA:
+		return "a"
+	}
+	return ""
+}
+
+func untagged(s State) string {
+	switch {
+	case s == Idle:
+		return "idle"
+	}
+	return ""
+}

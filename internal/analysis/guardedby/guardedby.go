@@ -1,0 +1,229 @@
+// Package guardedby implements the actlint pass that enforces the
+// "// guarded by <mu>" discipline on struct fields. The WeightBinary
+// race fixed in an earlier PR is the motivating shape: a field the
+// documentation says is mutex-protected, silently read on a new code
+// path without the lock. -race catches that only on an execution that
+// actually races; this pass catches the access pattern itself.
+//
+// A field is annotated with a trailing comment naming a sibling mutex
+// field:
+//
+//	type Agent struct {
+//		mu    sync.Mutex
+//		queue []*wire.Batch // guarded by mu
+//	}
+//
+// Every selector access x.queue must then occur in a function that
+// either locks the same receiver's guard (a call to x.mu.Lock or
+// x.mu.RLock appears in the function or in an enclosing function
+// literal chain) or is annotated //act:locked mu, declaring that its
+// callers hold the guard — the convention for the *Locked helper
+// methods. The check is deliberately flow-insensitive: it proves the
+// lock is acquired somewhere in the function, not that it is held at
+// the access. That is the same cheap contract Clang's GUARDED_BY
+// provides without a full lockset analysis, and it is exactly the
+// level at which the PR-3 race would have been flagged.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"act/internal/analysis"
+)
+
+// Analyzer is the guardedby pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "reports accesses to '// guarded by mu' fields outside the guarding lock",
+	Run:  run,
+}
+
+var guardRx = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardedField records one annotated field and its guard's name.
+type guardedField struct {
+	structType *types.Named
+	guard      string
+}
+
+func run(pass *analysis.Pass) error {
+	guarded := collect(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// collect finds annotated fields, validating that the named guard is a
+// sibling field of a mutex-like type.
+func collect(pass *analysis.Pass) map[*types.Var]guardedField {
+	out := make(map[*types.Var]guardedField)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			def, ok := pass.Info.Defs[ts.Name]
+			if !ok {
+				return true
+			}
+			named, ok := def.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := guardAnnotation(field)
+				if guard == "" {
+					continue
+				}
+				if !hasMutexField(st, guard) {
+					pass.Reportf(field.Pos(), "guard %q is not a sibling mutex field of %s", guard, ts.Name.Name)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						out[v] = guardedField{structType: named, guard: guard}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardAnnotation extracts the guard name from a field's doc or
+// trailing comment.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRx.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// hasMutexField reports whether the struct literally declares a field
+// with the guard's name whose type name contains "Mutex" or "Locker".
+func hasMutexField(st *ast.StructType, guard string) bool {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name == guard {
+				s := analysis.ExprString(field.Type)
+				return regexp.MustCompile(`Mutex|Locker`).MatchString(s)
+			}
+		}
+	}
+	return false
+}
+
+// funcContext is the lock knowledge of one function body (FuncDecl or
+// FuncLit): the set of "<base>.<guard>" paths it locks, plus any
+// //act:locked declaration on the declaration it belongs to.
+type funcContext struct {
+	locked map[string]bool
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guarded map[*types.Var]guardedField) {
+	recv := receiverName(fd)
+	declared, hasDecl := analysis.DirectiveArg(fd.Doc, "act:locked")
+
+	// Context stack: the FuncDecl's body, plus one entry per enclosing
+	// FuncLit while walking. An access is sanctioned if any enclosing
+	// body locks (or declares held) the right guard path.
+	var stack []*funcContext
+	push := func(body ast.Node) {
+		ctx := &funcContext{locked: map[string]bool{}}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if path, ok := lockPath(call); ok {
+					ctx.locked[path] = true
+				}
+			}
+			return true
+		})
+		stack = append(stack, ctx)
+	}
+	push(fd.Body)
+
+	sanctioned := func(base, guard string) bool {
+		want := base + "." + guard
+		for _, ctx := range stack {
+			if ctx.locked[want] {
+				return true
+			}
+		}
+		// //act:locked declares the receiver's guard held on entry.
+		return hasDecl && declared == guard && base == recv
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			push(n.Body)
+			ast.Inspect(n.Body, walk)
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.SelectorExpr:
+			sel, ok := pass.Info.Selections[n]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			gf, ok := guarded[v]
+			if !ok {
+				return true
+			}
+			base := analysis.ExprString(n.X)
+			if !sanctioned(base, gf.guard) {
+				pass.Reportf(n.Pos(), "%s.%s is guarded by %s.%s, but %s neither locks it nor declares //act:locked %s",
+					base, v.Name(), base, gf.guard, fd.Name.Name, gf.guard)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// receiverName returns the receiver identifier of a method ("" for
+// functions and anonymous receivers).
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// lockPath recognizes x.mu.Lock() / x.mu.RLock() calls, returning the
+// "x.mu" path. Unlock is deliberately not accepted: a function that
+// only unlocks does not hold the guard.
+func lockPath(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return "", false
+	}
+	return analysis.ExprString(sel.X), true
+}

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"act/internal/analysis/analysistest"
+	"act/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", guardedby.Analyzer)
+}

@@ -1,0 +1,79 @@
+// Package a is the guardedby golden package.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	ok int
+}
+
+// Inc locks the guard before touching n: no diagnostic.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Peek reads n without the lock.
+func (c *counter) Peek() int {
+	return c.n // want `c\.n is guarded by c\.mu, but Peek neither locks it`
+}
+
+// PeekLocked declares the caller holds the guard: no diagnostic.
+//
+//act:locked mu
+func (c *counter) PeekLocked() int {
+	return c.n
+}
+
+// WrongDecl declares a different guard; the access still reports.
+//
+//act:locked other
+func (c *counter) WrongDecl() int {
+	return c.n // want `c\.n is guarded by c\.mu`
+}
+
+// Free accesses the unguarded field without locking: no diagnostic.
+func (c *counter) Free() int {
+	return c.ok
+}
+
+// Closure inherits the lock context of the enclosing function.
+func (c *counter) Closure() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	get := func() int { return c.n }
+	return get
+}
+
+// ClosureUnlocked: the literal's own body never locks and neither does
+// the enclosing function.
+func (c *counter) ClosureUnlocked() func() int {
+	return func() int {
+		return c.n // want `c\.n is guarded by c\.mu`
+	}
+}
+
+type rw struct {
+	mu   sync.RWMutex
+	data map[string]int // guarded by mu
+}
+
+// Get uses the read lock, which also sanctions the access.
+func (r *rw) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.data[k]
+}
+
+// Len forgets the lock.
+func (r *rw) Len() int {
+	return len(r.data) // want `r\.data is guarded by r\.mu`
+}
+
+type badGuard struct {
+	flag bool
+	v    int // guarded by flag // want `guard "flag" is not a sibling mutex field`
+}

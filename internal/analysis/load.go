@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Program is a loaded, type-checked set of packages plus the shared
+// file set and cross-package facts.
+type Program struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package // the packages matched by the load patterns
+	Facts *Facts
+}
+
+// Package is one type-checked package with its syntax retained.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// loader resolves imports three ways: module-local packages are parsed
+// and type-checked recursively from source (keeping their syntax, so
+// annotations in dependency packages are visible), the standard
+// library goes through go/importer's source importer, and everything
+// else is an error — the module has no third-party dependencies, and
+// the linter should say so loudly rather than guess.
+type loader struct {
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	modPath string // module path from go.mod; "" = no module-local imports
+	modDir  string
+	cache   map[string]*Package
+	loading map[string]bool
+	facts   *Facts
+}
+
+func newLoader(modPath, modDir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		modPath: modPath,
+		modDir:  modDir,
+		cache:   make(map[string]*Package),
+		loading: make(map[string]bool),
+		facts:   &Facts{ExhaustiveEnums: make(map[string]bool)},
+	}
+}
+
+// Import implements types.Importer for the chained resolution above.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if l.modPath != "" && (path == l.modPath || strings.HasPrefix(path, l.modPath+"/")) {
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, l.modDir, 0)
+}
+
+// loadPath loads a module-local import path via its directory.
+func (l *loader) loadPath(path string) (*Package, error) {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+	return l.loadDir(filepath.Join(l.modDir, filepath.FromSlash(rel)), path)
+}
+
+// loadDir parses and type-checks the package in dir under the given
+// import path, memoized.
+func (l *loader) loadDir(dir, path string) (*Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.cache[path] = p
+	l.harvestFacts(p)
+	return p, nil
+}
+
+// harvestFacts records //act:exhaustive-annotated type declarations.
+// It runs for every loaded package — including dependencies of the
+// analyzed set — so a switch in one package over an enum declared in
+// another is still checked against the defining package's annotation.
+func (l *loader) harvestFacts(p *Package) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if HasDirective(gd.Doc, "act:exhaustive") || HasDirective(ts.Doc, "act:exhaustive") {
+					l.facts.ExhaustiveEnums[p.Path+"."+ts.Name.Name] = true
+				}
+			}
+		}
+	}
+}
+
+// Load type-checks the packages matched by patterns inside the module
+// rooted at modDir. Patterns are module-relative: "./..." (everything),
+// "./sub/..." (a subtree) or "./sub" (one package). Directories named
+// testdata, hidden directories, and _test.go files are excluded —
+// analyzers see exactly what ships in the binary.
+func Load(modDir string, patterns []string) (*Program, error) {
+	modPath, err := modulePath(modDir)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(modPath, modDir)
+
+	var dirs []string
+	seen := make(map[string]bool)
+	addDir := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./...":
+			if err := walkPackageDirs(modDir, addDir); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			root := filepath.Join(modDir, filepath.FromSlash(strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/...")))
+			if err := walkPackageDirs(root, addDir); err != nil {
+				return nil, err
+			}
+		default:
+			addDir(filepath.Join(modDir, filepath.FromSlash(strings.TrimPrefix(pat, "./"))))
+		}
+	}
+	sort.Strings(dirs)
+
+	prog := &Program{Fset: l.fset, Facts: l.facts}
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(modDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.loadDir(dir, path)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue // e.g. a directory holding only test files
+			}
+			return nil, fmt.Errorf("analysis: %s: %w", path, err)
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	return prog, nil
+}
+
+// LoadDir type-checks a single directory as a standalone package (all
+// imports resolve to the standard library) — the analysistest entry
+// point for golden-file packages under testdata.
+func LoadDir(dir string) (*Program, error) {
+	l := newLoader("", dir)
+	pkg, err := l.loadDir(dir, filepath.Base(dir))
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Fset: l.fset, Pkgs: []*Package{pkg}, Facts: l.facts}, nil
+}
+
+// walkPackageDirs calls add for every directory under root that can
+// contain a package, skipping VCS, testdata, and hidden directories.
+func walkPackageDirs(root string, add func(string)) error {
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				add(path)
+				break
+			}
+		}
+		return nil
+	})
+}
+
+// modulePath reads the module path from go.mod in modDir.
+func modulePath(modDir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(modDir, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: cannot find module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", modDir)
+}

@@ -1,0 +1,224 @@
+// Package noalloc implements the actlint pass that turns the monitor's
+// zero-allocation guarantee into a compile-time property. Functions
+// annotated //act:noalloc — the OnDep classification path, the ring
+// IGB and extractor windows, sequence encoding and hashing — must not
+// contain heap-allocating constructs. The dynamic side of the contract
+// (TestOnDepSteadyStateAllocs, BenchmarkClassifySteadyState) proves the
+// composed path allocates nothing at run time; this pass pins each
+// annotated function so a regression is flagged at lint time, on every
+// change, without needing the right benchmark to run.
+//
+// Flagged constructs:
+//
+//   - make, new, and append calls (append may grow its backing array)
+//   - slice, map, and pointer-to-composite literals
+//   - function literals (closures capture their environment on the heap)
+//   - method values (they allocate a bound-method closure)
+//   - go statements
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - boxing a non-pointer value into an interface, either by explicit
+//     conversion or by passing it to an interface-typed parameter
+//
+// The check is intraprocedural: calls to unannotated functions are
+// trusted (the dynamic tests cover composition). A deliberate guarded
+// grow-once line — "if cap too small: make" — is waived with an
+// //act:alloc-ok comment on or directly above the line, keeping the
+// waiver visible in review next to the code it excuses.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"act/internal/analysis"
+)
+
+// Analyzer is the noalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "reports heap-allocating constructs inside //act:noalloc functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		waived := waivedLines(pass, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasDirective(fd.Doc, "act:noalloc") {
+				continue
+			}
+			check(pass, fd, waived)
+		}
+	}
+	return nil
+}
+
+// waivedLines collects the lines excused by //act:alloc-ok comments: the
+// comment's own line and the one after it (so the waiver can sit at the
+// end of the offending line or on its own line directly above).
+func waivedLines(pass *analysis.Pass, f *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), "act:alloc-ok") {
+				line := pass.Fset.Position(c.Pos()).Line
+				out[line] = true
+				out[line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl, waived map[int]bool) {
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if waived[pass.Fset.Position(pos).Line] {
+			return
+		}
+		args = append(args, fd.Name.Name)
+		pass.Reportf(pos, format+" in //act:noalloc function %s", args...)
+	}
+
+	// Selector expressions in call position are method calls, not
+	// method values; collect them first so the walk below can tell the
+	// two apart.
+	calledFuns := make(map[ast.Expr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			calledFuns[call.Fun] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal allocates")
+			return false // its body is the closure's problem, not this function's line set
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement allocates a goroutine")
+		case *ast.CompositeLit:
+			switch pass.Info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				report(n.Pos(), "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "address of composite literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.Info.TypeOf(n.X)) {
+				report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.SelectorExpr:
+			if !calledFuns[n] {
+				if sel, ok := pass.Info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+					report(n.Pos(), "method value %s allocates a closure", n.Sel.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, report, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, report func(token.Pos, string, ...interface{}), call *ast.CallExpr) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				report(call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	}
+
+	// Explicit conversions: T(x).
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		to := tv.Type
+		from := pass.Info.TypeOf(call.Args[0])
+		if boxes(from, to) {
+			report(call.Pos(), "conversion to interface %s boxes its operand", types.TypeString(to, types.RelativeTo(pass.Pkg)))
+		}
+		if stringConv(from, to) {
+			report(call.Pos(), "string conversion copies its operand")
+		}
+		return
+	}
+
+	// Implicit interface boxing at call arguments.
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(pass.Info.TypeOf(arg), pt) {
+			report(arg.Pos(), "argument boxed into interface %s allocates", types.TypeString(pt, types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+// boxes reports whether assigning a value of type from to type to heap-
+// boxes it: a concrete non-pointer value stored in an interface. (A
+// pointer, channel, map, func or unsafe pointer fits the interface's
+// data word directly; nil has no representation to box.)
+func boxes(from, to types.Type) bool {
+	if from == nil || to == nil || !types.IsInterface(to) || types.IsInterface(from) {
+		return false
+	}
+	switch from.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		b := from.Underlying().(*types.Basic)
+		if b.Kind() == types.UntypedNil || b.Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+// stringConv reports string<->[]byte/[]rune conversions, which copy.
+func stringConv(from, to types.Type) bool {
+	return (isString(from) && isByteOrRuneSlice(to)) || (isByteOrRuneSlice(from) && isString(to))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"act/internal/analysis/analysistest"
+	"act/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", noalloc.Analyzer)
+}

@@ -1,0 +1,91 @@
+// Package a is the noalloc golden package: positive cases (flagged
+// constructs inside //act:noalloc functions) and negative cases (the
+// same constructs unannotated, and allocation-free bodies annotated).
+package a
+
+import "fmt"
+
+type ring struct {
+	buf  []uint64
+	head int
+}
+
+//act:noalloc
+func bad(r *ring, xs []int) {
+	s := make([]int, 4)        // want `make allocates`
+	p := new(ring)             // want `new allocates`
+	xs = append(xs, 1)         // want `append may grow its backing array`
+	m := map[int]int{}         // want `map literal allocates`
+	t := []byte{1, 2}          // want `slice literal allocates`
+	q := &ring{}               // want `address of composite literal allocates`
+	go bad(r, xs)              // want `go statement allocates a goroutine`
+	f := func() {}             // want `function literal allocates`
+	_, _, _, _, _, _, _ = s, p, m, t, q, f, xs
+}
+
+//act:noalloc
+func badStrings(s string, b []byte) string {
+	x := s + "suffix" // want `string concatenation allocates`
+	y := string(b)    // want `string conversion copies its operand`
+	z := []byte(s)    // want `string conversion copies its operand`
+	_ = z
+	_ = y
+	return x
+}
+
+//act:noalloc
+func badBoxing(n int, r *ring) {
+	i := (interface{})(n) // want `conversion to interface interface\{\} boxes its operand`
+	fmt.Println(n)        // want `argument boxed into interface`
+	sink(r.head)          // want `argument boxed into interface`
+	_ = i
+}
+
+//act:noalloc
+func badMethodValue(r *ring) func() int {
+	return r.len // want `method value len allocates a closure`
+}
+
+func (r *ring) len() int { return len(r.buf) }
+
+func sink(v interface{}) { _ = v }
+
+//act:noalloc
+func good(r *ring, x uint64) uint64 {
+	r.buf[r.head] = x
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	var acc uint64
+	for _, v := range r.buf {
+		acc ^= v
+	}
+	return acc
+}
+
+//act:noalloc
+func goodPointerBox(r *ring) {
+	sink(r) // pointers fit the interface word: no box, no diagnostic
+	sink(nil)
+}
+
+//act:noalloc
+func goodVariadicPassthrough(args []interface{}) {
+	fmt.Println(args...) // slice passed through, no per-arg boxing
+}
+
+//act:noalloc
+func goodWaived(r *ring, n int) {
+	if cap(r.buf) < n {
+		r.buf = make([]uint64, n) //act:alloc-ok grow-once on resize
+	}
+	//act:alloc-ok guarded lazy init
+	r.buf = append(r.buf[:0], 0)
+}
+
+// unannotated allocates freely without diagnostics.
+func unannotated() []int {
+	s := make([]int, 8)
+	return append(s, 1)
+}

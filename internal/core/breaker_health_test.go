@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"act/internal/nn"
+)
+
+// TestClassifyWindowStates drives classifyWindow through every
+// windowHealth state. The table is the contract behind the breaker's
+// //act:exhaustive annotation: each state is reachable, and the
+// boundaries (threshold, improvement epsilon, saturation) land on the
+// documented side.
+func TestClassifyWindowStates(t *testing.T) {
+	m := NewModule(nn.New(6, 4, rand.New(rand.NewSource(1))), Config{})
+	thr := m.cfg.breakerThreshold()
+
+	cases := []struct {
+		name      string
+		rate      float64
+		lastRate  float64
+		saturated bool
+		want      windowHealth
+	}{
+		{"zero rate", 0, 1, false, windowHealthy},
+		{"exactly at threshold", thr, 1, false, windowHealthy},
+		{"just above threshold, falling fast", thr + 0.001, 1, false, windowImproving},
+		{"above threshold, falling slower than eps", 0.5, 0.5 + rateImprovementEps, false, windowStalled},
+		{"above threshold, falling faster than eps", 0.5, 0.5 + rateImprovementEps + 0.001, false, windowImproving},
+		{"above threshold, flat", 0.5, 0.5, false, windowStalled},
+		{"above threshold, rising", 0.6, 0.5, false, windowStalled},
+		{"good rate but saturated outputs", 0, 1, true, windowStalled},
+		{"improving rate but saturated outputs", 0.2, 1, true, windowStalled},
+	}
+	for _, tc := range cases {
+		m.lastRate = tc.lastRate
+		if got := m.classifyWindow(tc.rate, tc.saturated); got != tc.want {
+			t.Errorf("%s: classifyWindow(%g, %v) with lastRate=%g = %v, want %v",
+				tc.name, tc.rate, tc.saturated, tc.lastRate, got, tc.want)
+		}
+	}
+}
+
+// TestWindowHealthString pins the state names used in diagnostics.
+func TestWindowHealthString(t *testing.T) {
+	for h, want := range map[windowHealth]string{
+		windowHealthy:   "healthy",
+		windowImproving: "improving",
+		windowStalled:   "stalled",
+		windowHealth(9): "windowHealth(9)",
+	} {
+		if got := h.String(); got != want {
+			t.Errorf("windowHealth(%d).String() = %q, want %q", int(h), got, want)
+		}
+	}
+}
+
+// TestBreakerStateTransitions checks the action each health state drives
+// in checkRate: healthy resets the counter and snapshots, improving
+// holds the counter, stalled increments it and eventually rolls back.
+func TestBreakerStateTransitions(t *testing.T) {
+	newModule := func() *Module {
+		return NewModule(nn.New(6, 4, rand.New(rand.NewSource(7))), Config{
+			CheckInterval: 10, RecoveryWindows: 2,
+		})
+	}
+
+	t.Run("healthy window snapshots and resets", func(t *testing.T) {
+		m := newModule()
+		m.badWindows = 1
+		before := m.stats.Snapshots
+		m.window, m.invalid, m.satWindow = 10, 0, 0
+		m.checkRate()
+		if m.badWindows != 0 {
+			t.Errorf("badWindows = %d after healthy window, want 0", m.badWindows)
+		}
+		if m.stats.Snapshots != before+1 {
+			t.Errorf("Snapshots = %d, want %d", m.stats.Snapshots, before+1)
+		}
+	})
+
+	t.Run("improving window holds the counter", func(t *testing.T) {
+		m := newModule()
+		m.badWindows = 1
+		m.lastRate = 0.9
+		m.window, m.invalid = 10, 5 // rate 0.5: above threshold, well below lastRate
+		m.checkRate()
+		if m.badWindows != 1 {
+			t.Errorf("badWindows = %d after improving window, want 1 (held)", m.badWindows)
+		}
+		if m.stats.Recoveries != 0 {
+			t.Errorf("Recoveries = %d after improving window, want 0", m.stats.Recoveries)
+		}
+	})
+
+	t.Run("stalled windows accumulate and roll back", func(t *testing.T) {
+		m := newModule()
+		for i := 0; i < 2; i++ {
+			m.lastRate = 0.5
+			m.window, m.invalid = 10, 5 // rate 0.5, flat: stalled
+			m.checkRate()
+		}
+		if m.stats.Recoveries != 1 {
+			t.Errorf("Recoveries = %d after %d stalled windows, want 1", m.stats.Recoveries, 2)
+		}
+		if m.badWindows != 0 {
+			t.Errorf("badWindows = %d after rollback, want 0", m.badWindows)
+		}
+	})
+}

@@ -131,6 +131,41 @@ func (c Config) withDefaults() Config {
 // that counts as training progress for the divergence breaker.
 const rateImprovementEps = 0.01
 
+// windowHealth classifies one completed rate window for the divergence
+// breaker. The type is annotated //act:exhaustive: adding a fourth
+// health state forces every switch over it — above all the breaker
+// transition in checkRate — to handle the new state explicitly.
+//
+//act:exhaustive
+type windowHealth int
+
+const (
+	// windowHealthy: rate at or below the breaker threshold, outputs
+	// not saturated. Resets the breaker and refreshes the snapshot.
+	windowHealthy windowHealth = iota
+	// windowImproving: rate above threshold but falling by at least
+	// rateImprovementEps per window — legitimate retraining on changed
+	// code. Holds the breaker counter.
+	windowImproving
+	// windowStalled: above threshold without progress, or every output
+	// pinned against the rails. Counts toward the rollback limit.
+	windowStalled
+)
+
+// String names the health state (diagnostics and tests).
+func (h windowHealth) String() string {
+	switch h {
+	case windowHealthy:
+		return "healthy"
+	case windowImproving:
+		return "improving"
+	case windowStalled:
+		return "stalled"
+	default:
+		return fmt.Sprintf("windowHealth(%d)", int(h))
+	}
+}
+
 // breakerThreshold is the rate above which a window counts as unhealthy
 // for the divergence breaker. When the mode-switch threshold is a
 // sentinel (outside [0, 1]), the breaker judges health against the
@@ -270,6 +305,11 @@ func (m *Module) InvalidateVerdicts() { m.gen++ }
 // Buffer, the last N dependences form the network input, and the
 // sequence is classified. It returns whether a full sequence was formed
 // and, if so, whether it was predicted invalid.
+//
+// The steady-state path is allocation-free (TestOnDepSteadyStateAllocs
+// pins it dynamically; the annotation pins it statically).
+//
+//act:noalloc
 func (m *Module) OnDep(d deps.Dep) (classified, predictedInvalid bool) {
 	m.stats.Deps++
 	if m.mode == Training {
@@ -361,10 +401,27 @@ func (m *Module) OnDep(d deps.Dep) (classified, predictedInvalid bool) {
 	return true, invalid
 }
 
+// classifyWindow maps a completed window's misprediction rate and
+// saturation flag onto the breaker's health state machine.
+//
+//act:noalloc
+func (m *Module) classifyWindow(rate float64, saturated bool) windowHealth {
+	switch {
+	case rate <= m.cfg.breakerThreshold() && !saturated:
+		return windowHealthy
+	case rate < m.lastRate-rateImprovementEps && !saturated:
+		return windowImproving
+	default:
+		return windowStalled
+	}
+}
+
 // checkRate implements the periodic Invalid Counter inspection that
 // flips the AM between testing and training, extended with the
 // snapshot/rollback circuit breaker: healthy testing windows snapshot
-// the weights, K consecutive unhealthy windows restore them.
+// the weights, K consecutive stalled windows restore them.
+//
+//act:noalloc
 func (m *Module) checkRate() {
 	rate := float64(m.invalid) / float64(m.window)
 	// A window whose every output was pinned against 0 or 1 is treated
@@ -375,16 +432,16 @@ func (m *Module) checkRate() {
 
 	recovered := false
 	if m.cfg.RecoveryWindows >= 0 {
-		switch {
-		case rate <= m.cfg.breakerThreshold() && !saturated:
+		switch m.classifyWindow(rate, saturated) {
+		case windowHealthy:
 			m.badWindows = 0
 			if m.mode == Testing && m.weightsFinite() {
 				m.Snapshot()
 			}
-		case rate < m.lastRate-rateImprovementEps && !saturated:
-			// Unhealthy but improving: online training is converging on
-			// legitimately changed code. Hold the counter.
-		default:
+		case windowImproving:
+			// Online training is converging on legitimately changed
+			// code. Hold the counter.
+		case windowStalled:
 			m.badWindows++
 			if m.badWindows >= m.cfg.RecoveryWindows {
 				m.recover()
@@ -424,6 +481,10 @@ func (m *Module) checkRate() {
 // Snapshot records the current weights as the last-known-good state the
 // breaker restores on divergence. The module takes one automatically at
 // construction, after LoadWeights, and on every healthy testing window.
+// At steady state the snapshot buffer is already sized, so the flatten
+// re-fills it in place.
+//
+//act:noalloc
 func (m *Module) Snapshot() {
 	m.snap = m.net.Flatten(m.snap[:0])
 	m.stats.Snapshots++
@@ -432,6 +493,8 @@ func (m *Module) Snapshot() {
 // recover restores the last-known-good snapshot and returns the module
 // to testing mode (unless it is pinned in training by the AlwaysTrain
 // sentinel), counting the event in Stats.Recoveries.
+//
+//act:noalloc
 func (m *Module) recover() {
 	if m.snap == nil {
 		// Nothing known-good to restore (the module was constructed
@@ -454,6 +517,8 @@ func (m *Module) recover() {
 
 // weightsFinite reports whether every weight register holds a finite
 // value — the precondition for a state to be snapshot-worthy.
+//
+//act:noalloc
 func (m *Module) weightsFinite() bool {
 	for i, n := 0, m.net.WeightCount(); i < n; i++ {
 		if v := m.net.ReadRegister(i); math.IsNaN(v) || math.IsInf(v, 0) {

@@ -26,7 +26,7 @@ type WeightBinary struct {
 	NIn, NHidden int
 
 	mu       sync.RWMutex
-	byThread map[int][]float64
+	byThread map[int][]float64 // guarded by mu
 }
 
 // NewWeightBinary creates a binary image for the given topology.

@@ -49,6 +49,8 @@ func newVerdictCache(capacity int) *verdictCache {
 }
 
 // sync resets the cache if the module generation moved past it.
+//
+//act:noalloc
 func (c *verdictCache) sync(gen uint64) {
 	if c.gen != gen {
 		clear(c.idx)
@@ -59,6 +61,8 @@ func (c *verdictCache) sync(gen uint64) {
 }
 
 // unlink removes entry i from the LRU list.
+//
+//act:noalloc
 func (c *verdictCache) unlink(i int32) {
 	e := &c.ent[i]
 	if e.prev >= 0 {
@@ -74,6 +78,8 @@ func (c *verdictCache) unlink(i int32) {
 }
 
 // pushFront makes entry i the most recently used.
+//
+//act:noalloc
 func (c *verdictCache) pushFront(i int32) {
 	e := &c.ent[i]
 	e.prev, e.next = -1, c.head
@@ -87,6 +93,8 @@ func (c *verdictCache) pushFront(i int32) {
 }
 
 // get looks up a verdict under the given generation.
+//
+//act:noalloc
 func (c *verdictCache) get(hash, gen uint64) (float64, bool) {
 	c.sync(gen)
 	i, ok := c.idx[hash]
@@ -102,6 +110,8 @@ func (c *verdictCache) get(hash, gen uint64) (float64, bool) {
 
 // put records a verdict under the given generation, evicting the least
 // recently used entry at capacity.
+//
+//act:noalloc
 func (c *verdictCache) put(hash, gen uint64, out float64) {
 	c.sync(gen)
 	if i, ok := c.idx[hash]; ok {

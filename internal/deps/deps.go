@@ -59,6 +59,8 @@ const (
 )
 
 // fnvU64 folds the 8 little-endian bytes of x into h.
+//
+//act:noalloc
 func fnvU64(h, x uint64) uint64 {
 	for i := 0; i < 8; i++ {
 		h ^= x & 0xff
@@ -72,6 +74,8 @@ func fnvU64(h, x uint64) uint64 {
 // byte layout as Key, without allocating. It is the identity used on the
 // classification hot path (verdict memoization) and by ranking and fleet
 // deduplication; Key remains for code that needs a collision-free string.
+//
+//act:noalloc
 func (s Sequence) Hash() uint64 {
 	h := fnvOffset
 	for _, d := range s {
@@ -118,6 +122,7 @@ type ringWin struct {
 	cnt  int   // live entries, <= len(buf)
 }
 
+//act:noalloc
 func (w *ringWin) push(d Dep) {
 	n := len(w.buf)
 	if w.cnt < n {
@@ -131,6 +136,8 @@ func (w *ringWin) push(d Dep) {
 
 // fill writes the window into seq (len == cap of the ring), oldest
 // first, front-padded with zero dependences while the window is filling.
+//
+//act:noalloc
 func (w *ringWin) fill(seq Sequence) {
 	n := len(w.buf)
 	pad := n - w.cnt
@@ -229,6 +236,8 @@ func (e *Extractor) win(tid uint16) *ringWin {
 }
 
 // granule maps an address to its tracking granule.
+//
+//act:noalloc
 func (e *Extractor) granule(addr uint64) uint64 { return addr &^ (e.granularity - 1) }
 
 // Store records a store by tid at instruction pc to addr.

@@ -22,11 +22,15 @@ const FeaturesPerDep = 2
 // reused when large enough. Implementations must be pure.
 type Encoder func(s Sequence, dst []float64) []float64
 
-// EncodeDefault is the production encoder described above.
+// EncodeDefault is the production encoder described above. On the
+// classification hot path dst arrives pre-sized, so the grow-once make
+// below never runs at steady state.
+//
+//act:noalloc
 func EncodeDefault(s Sequence, dst []float64) []float64 {
 	need := len(s) * FeaturesPerDep
 	if cap(dst) < need {
-		dst = make([]float64, need)
+		dst = make([]float64, need) //act:alloc-ok grow-once when dst is undersized
 	}
 	dst = dst[:need]
 	for i, d := range s {
@@ -44,9 +48,11 @@ func EncodeDefault(s Sequence, dst []float64) []float64 {
 // hash of the (S, L, label) triple. It can only memorize exact pairs, so
 // it forfeits the similarity property; the ablation bench quantifies the
 // cost.
+//
+//act:noalloc
 func EncodePairHash(s Sequence, dst []float64) []float64 {
 	if cap(dst) < len(s) {
-		dst = make([]float64, len(s))
+		dst = make([]float64, len(s)) //act:alloc-ok grow-once when dst is undersized
 	}
 	dst = dst[:len(s)]
 	for i, d := range s {
@@ -67,6 +73,8 @@ func InputLen(enc Encoder, n int) int {
 }
 
 // mix is splitmix64's finalizer: a cheap, well-distributed 64-bit hash.
+//
+//act:noalloc
 func mix(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x ^= x >> 30
@@ -79,6 +87,8 @@ func mix(x uint64) uint64 {
 
 // norm maps a hash into (0.05, 0.95): keeping features away from the
 // sigmoid's flat tails speeds up backpropagation.
+//
+//act:noalloc
 func norm(h uint64) float64 {
 	return 0.05 + 0.9*float64(h>>11)/float64(uint64(1)<<53)
 }

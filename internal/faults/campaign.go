@@ -22,7 +22,12 @@ import (
 // injected faults and re-ranks the Debug Buffer. Everything is seeded,
 // so a campaign is reproducible bit for bit.
 
-// Kind enumerates the injectable fault classes.
+// Kind enumerates the injectable fault classes. Annotated
+// //act:exhaustive: the arm dispatcher (and any other switch over a
+// Kind) must handle every class, so adding a tenth fault cannot
+// silently produce arms that inject nothing.
+//
+//act:exhaustive
 type Kind int
 
 const (

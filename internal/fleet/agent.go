@@ -129,15 +129,15 @@ type Agent struct {
 	src Source
 
 	mu       sync.Mutex
-	queue    []*wire.Batch
-	seq      uint64
-	outcome  wire.Outcome
-	sentMark bool // the current outcome label has been batched at least once
-	conn     net.Conn
-	wr       *wire.Writer
-	stats    AgentStats
+	queue    []*wire.Batch // guarded by mu
+	seq      uint64        // guarded by mu
+	outcome  wire.Outcome  // guarded by mu
+	sentMark bool          // guarded by mu; current outcome label batched at least once
+	conn     net.Conn      // guarded by mu
+	wr       *wire.Writer  // guarded by mu
+	stats    AgentStats    // guarded by mu
 
-	started  bool
+	started  bool // guarded by mu
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
@@ -185,6 +185,8 @@ func (a *Agent) Tick() {
 
 // drainLocked pulls entries from the source and forms batches, applying
 // drop-oldest backpressure to the queue.
+//
+//act:locked mu
 func (a *Agent) drainLocked() {
 	entries, stats := a.src.Drain()
 	a.stats.Drained += uint64(len(entries))
@@ -282,6 +284,8 @@ func (a *Agent) Close() error {
 // shipLocked writes queued batches to the collector under the retry
 // policy. On success the queue (and any spool) is empty; on failure the
 // queue is spooled to disk when configured.
+//
+//act:locked mu
 func (a *Agent) shipLocked() error {
 	if len(a.queue) == 0 && !a.spoolExists() {
 		return nil
@@ -322,6 +326,8 @@ func (a *Agent) shipLocked() error {
 // dropConnLocked abandons the current connection after an error; the
 // next attempt redials. Batches not yet acknowledged stay queued — the
 // collector dedups any frame that did arrive.
+//
+//act:locked mu
 func (a *Agent) dropConnLocked() {
 	if a.conn != nil {
 		a.conn.Close()
@@ -342,6 +348,8 @@ func (a *Agent) spoolExists() bool {
 // spoolLocked appends the queued batches to the spool file, emptying
 // the queue. A spool past its size cap is dropped and restarted: under
 // sustained outage the newest evidence is the evidence worth keeping.
+//
+//act:locked mu
 func (a *Agent) spoolLocked() error {
 	if len(a.queue) == 0 {
 		return nil
@@ -379,6 +387,8 @@ func (a *Agent) spoolLocked() error {
 // the (fresh) connection, then removes the file. Damage inside the
 // spool — a crash mid-append — costs only the damaged frames, exactly
 // like damage on the wire.
+//
+//act:locked mu
 func (a *Agent) replaySpoolLocked() error {
 	if !a.spoolExists() {
 		return nil

@@ -96,15 +96,15 @@ type Collector struct {
 	cfg CollectorConfig
 
 	mu       sync.Mutex
-	seen     map[uint64]struct{} // ingested batch keys (dedup)
-	agg      map[uint64]*seqAgg  // by sequence hash (deps.Sequence.Hash)
-	outcomes map[uint64]wire.Outcome
-	pending  map[uint64][]uint64 // sequence hashes logged by still-unknown runs
-	stats    CollectorStats
-	conns    int
+	seen     map[uint64]struct{}     // guarded by mu; ingested batch keys (dedup)
+	agg      map[uint64]*seqAgg      // guarded by mu; by sequence hash (deps.Sequence.Hash)
+	outcomes map[uint64]wire.Outcome // guarded by mu
+	pending  map[uint64][]uint64     // guarded by mu; sequence hashes logged by still-unknown runs
+	stats    CollectorStats          // guarded by mu
+	conns    int                     // guarded by mu
 
 	lnMu sync.Mutex
-	ln   net.Listener
+	ln   net.Listener // guarded by lnMu
 }
 
 // NewCollector creates a collector, loading the snapshot at
@@ -157,6 +157,8 @@ func (c *Collector) Ingest(b *wire.Batch) {
 
 // noteOutcomeLocked records a run's outcome; a late flip from Unknown
 // re-files the run's sequences under the decided side.
+//
+//act:locked mu
 func (c *Collector) noteOutcomeLocked(run uint64, o wire.Outcome) {
 	prev := c.outcomes[run]
 	if o == wire.OutcomeUnknown || o == prev {
@@ -174,6 +176,8 @@ func (c *Collector) noteOutcomeLocked(run uint64, o wire.Outcome) {
 }
 
 // noteEntryLocked merges one entry under the run's current outcome.
+//
+//act:locked mu
 func (c *Collector) noteEntryLocked(run uint64, outcome wire.Outcome, e core.DebugEntry) {
 	k := e.Seq.Hash()
 	agg, ok := c.agg[k]
@@ -191,6 +195,8 @@ func (c *Collector) noteEntryLocked(run uint64, outcome wire.Outcome, e core.Deb
 }
 
 // fileRunLocked adds run to the aggregate's failing or correct set.
+//
+//act:locked mu
 func (c *Collector) fileRunLocked(agg *seqAgg, run uint64, o wire.Outcome) {
 	switch o {
 	case wire.OutcomeFailing:
@@ -203,6 +209,11 @@ func (c *Collector) fileRunLocked(agg *seqAgg, run uint64, o wire.Outcome) {
 			agg.correctRuns = make(map[uint64]struct{})
 		}
 		agg.correctRuns[run] = struct{}{}
+	case wire.OutcomeUnknown:
+		// Callers file runs only after an outcome is decided
+		// (undecided runs park in pending); an Unknown here is a
+		// caller bug, but filing it on either side would corrupt the
+		// failing/correct occurrence counts, so it is dropped.
 	}
 }
 
@@ -389,6 +400,9 @@ func (c *Collector) Snapshot(path string) error {
 	return os.Rename(tmpPath, path)
 }
 
+// encodeStateLocked serializes the aggregate for the snapshot file.
+//
+//act:locked mu
 func (c *Collector) encodeStateLocked() []byte {
 	var body []byte
 	var tmp [8]byte

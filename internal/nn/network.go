@@ -88,8 +88,13 @@ func (n *Network) Clone() *Network {
 }
 
 // Forward computes the network output for input x (len must be NIn).
+// It is on the classification hot path and allocation-free; the panic
+// guard below fires only on programmer error.
+//
+//act:noalloc
 func (n *Network) Forward(x []float64) float64 {
 	if len(x) != n.NIn {
+		//act:alloc-ok topology-mismatch panic, cold guard
 		panic(fmt.Sprintf("nn: input width %d, want %d", len(x), n.NIn))
 	}
 	act := n.Act
@@ -118,16 +123,22 @@ func (n *Network) Valid(x []float64) bool { return n.Forward(x) >= 0.5 }
 // the pre-update output. The error terms use the sigmoid derivative
 // o·(1−o) exactly as in Section II-A; when Momentum is set, classical
 // momentum accelerates convergence on hard (XOR-like) datasets.
+//
+// Online training runs this per dependence; with Momentum disabled (the
+// module default) the body is allocation-free, and with momentum the
+// velocity buffers are lazily allocated exactly once.
+//
+//act:noalloc
 func (n *Network) Train(x []float64, target, lr float64) float64 {
 	o := n.Forward(x)
 	errOut := o * (1 - o) * (target - o)
 	mu := n.Momentum
 	if mu > 0 && n.vh == nil {
-		n.vh = make([][]float64, n.NHidden)
+		n.vh = make([][]float64, n.NHidden) //act:alloc-ok momentum velocity, lazy one-time init
 		for h := range n.vh {
-			n.vh[h] = make([]float64, n.NIn+1)
+			n.vh[h] = make([]float64, n.NIn+1) //act:alloc-ok momentum velocity, lazy one-time init
 		}
-		n.vo = make([]float64, n.NHidden+1)
+		n.vo = make([]float64, n.NHidden+1) //act:alloc-ok momentum velocity, lazy one-time init
 	}
 
 	// Hidden-layer error terms are the back-propagated share of the

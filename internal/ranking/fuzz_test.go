@@ -1,0 +1,75 @@
+package ranking
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"act/internal/core"
+	"act/internal/deps"
+)
+
+// fuzzSeedReports builds representative reports whose Save output seeds
+// the corpus: empty, single-candidate, and multi-candidate with full
+// sequences.
+func fuzzSeedReports() []*Report {
+	seq := deps.Sequence{
+		{S: 0x400100, L: 0x400200, Inter: false},
+		{S: 0x400300, L: 0x400400, Inter: true},
+	}
+	return []*Report{
+		{},
+		{Total: 3, Pruned: 1, Ranked: []Candidate{
+			{Matches: 2, Runs: 1, Entry: core.DebugEntry{
+				Seq: seq, Output: 0.12, At: 7, Mode: core.Testing, Proc: 3,
+			}},
+		}},
+		{Total: 10, Pruned: 4, Ranked: []Candidate{
+			{Matches: 5, Runs: 2, Entry: core.DebugEntry{Seq: seq.Clone(), Output: 0.01, At: 1}},
+			{Matches: 1, Runs: 1, Entry: core.DebugEntry{Seq: deps.Sequence{{S: 1, L: 2}}, Output: 0.49, At: 2, Mode: core.Training}},
+			{Matches: 0, Runs: 0, Entry: core.DebugEntry{}},
+		}},
+	}
+}
+
+// FuzzLoad throws arbitrary bytes at LoadReport. The invariants: it must
+// never panic, and any input it accepts must round-trip — saving the
+// loaded report and loading it again yields the same report. Corrupted
+// or truncated inputs must come back as errors, not as garbage reports.
+func FuzzLoad(f *testing.F) {
+	for _, r := range fuzzSeedReports() {
+		var buf bytes.Buffer
+		if err := r.Save(&buf); err != nil {
+			f.Fatalf("seed save: %v", err)
+		}
+		f.Add(buf.Bytes())
+		// Damaged variants of a valid file exercise the CRC and
+		// truncation paths from interesting starting points.
+		if buf.Len() > 12 {
+			flipped := append([]byte(nil), buf.Bytes()...)
+			flipped[buf.Len()/2] ^= 0x40
+			f.Add(flipped)
+			f.Add(buf.Bytes()[:buf.Len()-5])
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ACTR"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := LoadReport(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := r.Save(&buf); err != nil {
+			t.Fatalf("re-saving accepted report: %v", err)
+		}
+		r2, err := LoadReport(&buf)
+		if err != nil {
+			t.Fatalf("re-loading re-saved report: %v", err)
+		}
+		if !reflect.DeepEqual(r, r2) {
+			t.Fatalf("round-trip mismatch:\nfirst:  %+v\nsecond: %+v", r, r2)
+		}
+	})
+}

@@ -183,18 +183,20 @@ func (rd *Reader) Next() (*Batch, error) {
 			rd.skip(1)
 			continue
 		}
-		typ, payload := body[0], body[5:]
+		typ, payload := MsgType(body[0]), body[5:]
 		var batch *Batch
 		var derr error
-		if typ == MsgBatch {
+		switch typ {
+		case MsgBatch:
 			batch, derr = DecodeBatch(payload)
+		default:
+			// A checksummed frame of a type we do not understand: a
+			// newer peer. batch stays nil and the frame is skipped whole.
 		}
 		rd.br.Discard(frameHdr + plen + frameTail)
 		rd.rep.Frames++
 		rd.inBad = false
-		if typ != MsgBatch || derr != nil {
-			// A checksummed frame of a type (or inner layout) we do not
-			// understand: a newer peer. Skip it whole.
+		if batch == nil || derr != nil {
 			rd.rep.Unknown++
 			continue
 		}

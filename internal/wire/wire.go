@@ -44,9 +44,6 @@ const (
 	frameHdr    = 2 + 1 + 4 // sync pair, type byte, payload length
 	frameTail   = 4         // crc32
 
-	// MsgBatch is the only frame type currently defined.
-	MsgBatch = 1
-
 	// DefaultMaxPayload caps a frame's payload. The reader rejects
 	// larger declared lengths outright (a corrupted length field would
 	// otherwise stall resynchronization behind a bogus multi-gigabyte
@@ -57,10 +54,29 @@ const (
 	maxSeqLen = 255
 )
 
+// MsgType discriminates frame payloads. The type is annotated
+// //act:exhaustive: actlint requires every switch over it to either
+// cover all declared frame types or carry an explicit default, so a
+// new frame type cannot be added without every dispatch site taking a
+// position on it.
+//
+//act:exhaustive
+type MsgType byte
+
+// Frame types.
+const (
+	// MsgBatch is a drained Debug Buffer batch plus a stats snapshot.
+	MsgBatch MsgType = 1
+)
+
 // Outcome labels the run a batch was drained from. Agents start Unknown,
 // flip to Failing when the monitored program crashes or to Correct when
 // it exits clean; the collector's cross-run ranking weighs entries by
-// how many failing versus correct runs logged them.
+// how many failing versus correct runs logged them. Annotated
+// //act:exhaustive: every switch over an Outcome must take a position
+// on all three labels (or default explicitly).
+//
+//act:exhaustive
 type Outcome uint8
 
 // Run outcomes.
@@ -293,9 +309,9 @@ func DecodeBatch(p []byte) (*Batch, error) {
 }
 
 // AppendFrame wraps a payload in a checksummed frame.
-func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
+func AppendFrame(dst []byte, typ MsgType, payload []byte) []byte {
 	start := len(dst)
-	dst = append(dst, sync0, sync1, typ)
+	dst = append(dst, sync0, sync1, byte(typ))
 	var tmp [4]byte
 	binary.LittleEndian.PutUint32(tmp[:], uint32(len(payload)))
 	dst = append(dst, tmp[:]...)
