@@ -30,10 +30,12 @@ package act
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"act/internal/core"
 	"act/internal/deps"
 	"act/internal/nn"
+	"act/internal/obs"
 	"act/internal/ranking"
 	"act/internal/trace"
 	"act/internal/train"
@@ -206,6 +208,9 @@ func LoadModel(r io.Reader) (*Model, error) {
 // events must pass through the same Monitor under the same lock.
 type Monitor struct {
 	tracker *core.Tracker
+
+	metricsOnce sync.Once
+	metrics     *obs.Registry
 }
 
 // DeployOption adjusts deployment.
@@ -327,6 +332,27 @@ func (mo *Monitor) DebugBuffer() []DebugEntry { return mo.tracker.DebugBuffers()
 // performed after divergence (NaN/Inf outputs, pinned outputs, or a
 // persistently stalled misprediction rate).
 func (mo *Monitor) Stats() core.Stats { return mo.tracker.Stats() }
+
+// StatsSnapshot is Stats for concurrent callers: every counter is read
+// atomically under the tracker's module-list lock, so a metrics scraper
+// (or any other goroutine) may call it while ReplayParallel is running.
+// It is the one exception to the Monitor-wide locking discipline above.
+func (mo *Monitor) StatsSnapshot() core.Stats { return mo.tracker.StatsSnapshot() }
+
+// Metrics returns the monitor's observability registry with the
+// act_core_* series registered (deps and sequences processed, verdicts,
+// mode switches, breaker activity, cache hits). Mount it with
+// obs.Handler or obs.StartServer, or render it directly with
+// WritePrometheus. The registry is created on first call; scraping it is
+// safe concurrently with ReplayParallel (series backed by
+// StatsSnapshot), like StatsSnapshot itself.
+func (mo *Monitor) Metrics() *obs.Registry {
+	mo.metricsOnce.Do(func() {
+		mo.metrics = obs.NewRegistry()
+		mo.tracker.RegisterMetrics(mo.metrics)
+	})
+	return mo.metrics
+}
 
 // TeachInvalid feeds a known-buggy dependence sequence back to thread
 // tid's module as a negative example — the escape hatch for a failure

@@ -7,22 +7,36 @@
 //
 //	actagent -collector host:7077 -model m.act -outcome failing fail1.trace fail2.trace
 //	actagent -collector host:7077 -model m.act -outcome correct -spool /tmp/agent.spool ok.trace
+//	actagent -collector host:7077 -model m.act -metrics-listen :9091 ...
 //
 // Each trace file is shipped as its own run, so the collector's
 // cross-run counting sees one occurrence per file.
+//
+// SIGINT/SIGTERM mid-ship routes through a readiness gate that closes
+// the in-flight agent first — flushing its queue to the collector or
+// the spool — so an interrupted invocation loses no evidence a clean
+// exit would have kept.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"act"
 	"act/internal/core"
 	"act/internal/fleet"
+	"act/internal/obs"
 	"act/internal/wire"
 )
+
+// current is the agent shipping right now, published for the shutdown
+// hook: closing it flushes queued batches to the collector or spool.
+var current atomic.Pointer[fleet.Agent]
 
 func main() {
 	var (
@@ -32,6 +46,7 @@ func main() {
 		name      = flag.String("name", "", "agent identity in batches; default hostname")
 		runBase   = flag.Uint64("run", 0, "base run id; default derived from time")
 		spool     = flag.String("spool", "", "spool file for batches while the collector is down")
+		metrics   = flag.String("metrics-listen", "", "address to serve /metrics, /healthz and /debug/pprof on (empty disables)")
 	)
 	flag.Parse()
 	if *collector == "" || *modelPath == "" || flag.NArg() == 0 {
@@ -62,11 +77,42 @@ func main() {
 		fatal(err)
 	}
 
+	health := obs.NewHealth()
+	health.SetReady("agent", true)
+	health.OnShutdown("flush-current", func() {
+		if ag := current.Load(); ag != nil {
+			// Close is idempotent and flushes queue and spool; evidence
+			// the collector cannot take lands on disk when -spool is set.
+			if err := ag.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "actagent: shutdown flush:", err)
+			}
+		}
+	})
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		reg.GaugeFunc("act_up", "1 while the process is shipping.", func() float64 { return 1 })
+		fleet.RegisterAgentMetrics(reg, func() *fleet.Agent { return current.Load() })
+		srv, err := obs.StartServer(*metrics, health, reg, obs.Default)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("actagent: metrics on http://%s/metrics\n", srv.Addr())
+		defer srv.Close()
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		health.Shutdown()
+		os.Exit(130)
+	}()
+
 	for i, path := range flag.Args() {
 		if err := shipTrace(model, path, *collector, *name, *runBase+uint64(i), o, *spool); err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}
 	}
+	health.Shutdown()
 }
 
 // shipTrace replays one trace through a fresh monitor and ships its
@@ -94,6 +140,8 @@ func shipTrace(model *act.Model, path, addr, name string, run uint64, o wire.Out
 	if err != nil {
 		return err
 	}
+	current.Store(ag)
+	defer current.CompareAndSwap(ag, nil)
 	ag.SetOutcome(o)
 	ferr := ag.Flush()
 	if cerr := ag.Close(); ferr == nil {

@@ -87,24 +87,30 @@ var experiments = []experiment{
 		if err != nil {
 			return "", err
 		}
-		if err := writePipelineJSON(rep); err != nil {
+		if err := writeJSON(bench.MarshalPipeline(rep)); err != nil {
 			return "", err
 		}
 		return bench.RenderPipeline(rep), nil
 	}},
+	{"obs", "Observability overhead: instrumented replay with vs without a live scraper", func(m bench.Mode) (string, error) {
+		rep, err := bench.Obs(m)
+		if err != nil {
+			return "", err
+		}
+		if err := writeJSON(bench.MarshalObs(rep)); err != nil {
+			return "", err
+		}
+		return bench.RenderObs(rep), nil
+	}},
 }
 
-// jsonPath is the -json destination; empty means no JSON output. Only
-// the pipeline experiment emits JSON (BENCH_pipeline.json, see
-// EXPERIMENTS.md).
+// jsonPath is the -json destination; empty means no JSON output. The
+// pipeline and obs experiments emit JSON (BENCH_pipeline.json /
+// BENCH_obs.json, see EXPERIMENTS.md).
 var jsonPath string
 
-func writePipelineJSON(rep *bench.PipelineReport) error {
-	if jsonPath == "" {
-		return nil
-	}
-	b, err := bench.MarshalPipeline(rep)
-	if err != nil {
+func writeJSON(b []byte, err error) error {
+	if err != nil || jsonPath == "" {
 		return err
 	}
 	return os.WriteFile(jsonPath, append(b, '\n'), 0o644)
@@ -116,7 +122,7 @@ func main() {
 		full = flag.Bool("full", false, "paper-scale parameters (slow)")
 		list = flag.Bool("list", false, "list experiments")
 	)
-	flag.StringVar(&jsonPath, "json", "", "write pipeline results as JSON to this path (pipeline experiment only)")
+	flag.StringVar(&jsonPath, "json", "", "write results as JSON to this path (pipeline and obs experiments)")
 	flag.Parse()
 
 	if *list {

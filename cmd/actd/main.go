@@ -8,9 +8,16 @@
 //
 //	actd -listen :7077
 //	actd -listen :7077 -snapshot /var/lib/actd.snap -snapshot-every 30s
+//	actd -listen :7077 -metrics-listen :9090
 //
-// SIGINT/SIGTERM snapshots the state (when -snapshot is set), prints
-// the final ranked report, and exits.
+// With -metrics-listen, actd serves /metrics (Prometheus text format),
+// /healthz, and /debug/pprof on the given address.
+//
+// Shutdown — SIGINT/SIGTERM, or the serve loop dying — routes through a
+// shared readiness gate: /healthz flips to 503 first, the listener
+// stops, the state is snapshotted (when -snapshot is set), and the
+// final ranked report is printed. A serve failure therefore exits with
+// the same clean drain instead of hanging.
 package main
 
 import (
@@ -23,12 +30,14 @@ import (
 	"time"
 
 	"act/internal/fleet"
+	"act/internal/obs"
 	"act/internal/ranking"
 )
 
 func main() {
 	var (
 		listen   = flag.String("listen", ":7077", "address to accept agent connections on")
+		metrics  = flag.String("metrics-listen", "", "address to serve /metrics, /healthz and /debug/pprof on (empty disables)")
 		snapshot = flag.String("snapshot", "", "snapshot file for state across restarts")
 		every    = flag.Duration("snapshot-every", time.Minute, "periodic snapshot interval (with -snapshot)")
 		top      = flag.Int("top", 10, "ranked sequences to print")
@@ -47,6 +56,20 @@ func main() {
 		Strategy:     strat,
 	})
 
+	health := obs.NewHealth()
+	health.SetReady("collector", false)
+
+	// Shutdown hooks run newest-first: stop accepting, then persist.
+	// "final-snapshot" is registered before "serve-stop" so the snapshot
+	// captures everything the listener ingested before it closed.
+	if *snapshot != "" {
+		health.OnShutdown("final-snapshot", func() {
+			if err := c.Snapshot(""); err != nil {
+				fmt.Fprintln(os.Stderr, "actd: final snapshot:", err)
+			}
+		})
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)
@@ -63,6 +86,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "actd: serve:", err)
 		}
 	}()
+	health.OnShutdown("serve-stop", func() {
+		c.Shutdown()
+		<-done
+	})
+	health.SetReady("collector", true)
+
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		c.RegisterMetrics(reg)
+		reg.GaugeFunc("act_up", "1 while the process is serving.", func() float64 { return 1 })
+		srv, err := obs.StartServer(*metrics, health, reg, obs.Default)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("actd: metrics on http://%s/metrics\n", srv.Addr())
+		defer srv.Close()
+	}
 
 	if *snapshot != "" && *every > 0 {
 		go func() {
@@ -78,15 +118,14 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	c.Shutdown()
-	<-done
-
-	if *snapshot != "" {
-		if err := c.Snapshot(""); err != nil {
-			fmt.Fprintln(os.Stderr, "actd: final snapshot:", err)
-		}
+	// A fatal accept error closes done without a signal; drain the same
+	// way instead of blocking on a signal that may never come.
+	select {
+	case <-sig:
+	case <-done:
 	}
+	health.Shutdown()
+
 	st := c.Stats()
 	fmt.Printf("actd: %d batches from %d connections (%d dups dropped, %d corrupt spans, %d bytes skipped)\n",
 		st.Batches, st.Conns, st.DupBatches, st.BadSpans, st.SkippedBytes)

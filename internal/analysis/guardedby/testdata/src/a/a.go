@@ -77,3 +77,34 @@ type badGuard struct {
 	flag bool
 	v    int // guarded by flag // want `guard "flag" is not a sibling mutex field`
 }
+
+// gate mirrors the obs.Health shape: a lifecycle struct whose hook list
+// and draining flag share one mutex.
+type gate struct {
+	mu       sync.Mutex
+	hooks    []func() // guarded by mu
+	draining bool     // guarded by mu
+}
+
+// Shutdown snapshots the hooks under the lock before running them: no
+// diagnostic on the guarded reads.
+func (g *gate) Shutdown() {
+	g.mu.Lock()
+	g.draining = true
+	hooks := make([]func(), len(g.hooks))
+	copy(hooks, g.hooks)
+	g.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// isDraining forgets the lock on the flag read.
+func (g *gate) isDraining() bool {
+	return g.draining // want `g\.draining is guarded by g\.mu`
+}
+
+// addHook forgets the lock on the slice append (read and write).
+func (g *gate) addHook(fn func()) {
+	g.hooks = append(g.hooks, fn) // want `g\.hooks is guarded by g\.mu` `g\.hooks is guarded by g\.mu`
+}

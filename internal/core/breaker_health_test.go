@@ -69,14 +69,14 @@ func TestBreakerStateTransitions(t *testing.T) {
 	t.Run("healthy window snapshots and resets", func(t *testing.T) {
 		m := newModule()
 		m.badWindows = 1
-		before := m.stats.Snapshots
+		before := m.Stats().Snapshots
 		m.window, m.invalid, m.satWindow = 10, 0, 0
 		m.checkRate()
 		if m.badWindows != 0 {
 			t.Errorf("badWindows = %d after healthy window, want 0", m.badWindows)
 		}
-		if m.stats.Snapshots != before+1 {
-			t.Errorf("Snapshots = %d, want %d", m.stats.Snapshots, before+1)
+		if m.Stats().Snapshots != before+1 {
+			t.Errorf("Snapshots = %d, want %d", m.Stats().Snapshots, before+1)
 		}
 	})
 
@@ -89,8 +89,8 @@ func TestBreakerStateTransitions(t *testing.T) {
 		if m.badWindows != 1 {
 			t.Errorf("badWindows = %d after improving window, want 1 (held)", m.badWindows)
 		}
-		if m.stats.Recoveries != 0 {
-			t.Errorf("Recoveries = %d after improving window, want 0", m.stats.Recoveries)
+		if m.Stats().Recoveries != 0 {
+			t.Errorf("Recoveries = %d after improving window, want 0", m.Stats().Recoveries)
 		}
 	})
 
@@ -101,8 +101,8 @@ func TestBreakerStateTransitions(t *testing.T) {
 			m.window, m.invalid = 10, 5 // rate 0.5, flat: stalled
 			m.checkRate()
 		}
-		if m.stats.Recoveries != 1 {
-			t.Errorf("Recoveries = %d after %d stalled windows, want 1", m.stats.Recoveries, 2)
+		if m.Stats().Recoveries != 1 {
+			t.Errorf("Recoveries = %d after %d stalled windows, want 1", m.Stats().Recoveries, 2)
 		}
 		if m.badWindows != 0 {
 			t.Errorf("badWindows = %d after rollback, want 0", m.badWindows)

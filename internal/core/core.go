@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"act/internal/deps"
 	"act/internal/nn"
@@ -202,6 +203,55 @@ type Stats struct {
 	CacheMisses      uint64 // testing-mode classifications the cache missed
 }
 
+// moduleStats is the live form of Stats: each counter individually
+// atomic, so the metrics exporter can read a module mid-ReplayParallel
+// without racing the owning worker goroutine. The owner is the sole
+// writer, which keeps the atomic adds uncontended (a few ns); readers
+// get each counter exactly, and cross-counter consistency only at
+// quiescence — the monitoring contract.
+type moduleStats struct {
+	deps             atomic.Uint64
+	sequences        atomic.Uint64
+	predictedInvalid atomic.Uint64
+	updates          atomic.Uint64
+	modeSwitches     atomic.Uint64
+	trainingDeps     atomic.Uint64
+	snapshots        atomic.Uint64
+	recoveries       atomic.Uint64
+	cacheHits        atomic.Uint64
+	cacheMisses      atomic.Uint64
+}
+
+// load materializes the counters as a plain Stats value.
+func (s *moduleStats) load() Stats {
+	return Stats{
+		Deps:             s.deps.Load(),
+		Sequences:        s.sequences.Load(),
+		PredictedInvalid: s.predictedInvalid.Load(),
+		Updates:          s.updates.Load(),
+		ModeSwitches:     s.modeSwitches.Load(),
+		TrainingDeps:     s.trainingDeps.Load(),
+		Snapshots:        s.snapshots.Load(),
+		Recoveries:       s.recoveries.Load(),
+		CacheHits:        s.cacheHits.Load(),
+		CacheMisses:      s.cacheMisses.Load(),
+	}
+}
+
+// Add accumulates o into s (aggregation across modules).
+func (s *Stats) Add(o Stats) {
+	s.Deps += o.Deps
+	s.Sequences += o.Sequences
+	s.PredictedInvalid += o.PredictedInvalid
+	s.Updates += o.Updates
+	s.ModeSwitches += o.ModeSwitches
+	s.TrainingDeps += o.TrainingDeps
+	s.Snapshots += o.Snapshots
+	s.Recoveries += o.Recoveries
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+}
+
 // Module is one processor's ACT Module. It is not safe for concurrent
 // use; in the simulated machine each core owns exactly one.
 type Module struct {
@@ -241,11 +291,13 @@ type Module struct {
 
 	// Verdict memoization: vc caches testing-mode outputs keyed by
 	// sequence hash, gen is bumped by every weight mutation and mode
-	// switch so stale verdicts are never served.
+	// switch so stale verdicts are never served. gen is atomic only so
+	// the metrics exporter can sample weight-update generations during
+	// ReplayParallel; the owning goroutine remains the sole writer.
 	vc  *verdictCache
-	gen uint64
+	gen atomic.Uint64
 
-	stats Stats
+	stats moduleStats
 }
 
 // NewModule creates an AM operating on the given network (which it
@@ -285,8 +337,15 @@ func NewModule(net *nn.Network, cfg Config) *Module {
 // Mode returns the module's current operating mode.
 func (m *Module) Mode() Mode { return m.mode }
 
-// Stats returns a copy of the activity counters.
-func (m *Module) Stats() Stats { return m.stats }
+// Stats returns a copy of the activity counters. Each counter is read
+// atomically, so calling this concurrently with the owning goroutine's
+// OnDep stream is race-free (see Tracker.StatsSnapshot).
+func (m *Module) Stats() Stats { return m.stats.load() }
+
+// Generation returns the verdict-cache generation — a counter bumped by
+// every weight mutation, mode switch, and breaker recovery. Safe to
+// read concurrently; exported as act_core_weight_generations.
+func (m *Module) Generation() uint64 { return m.gen.Load() }
 
 // Config returns the module's (defaulted) configuration.
 func (m *Module) Config() Config { return m.cfg }
@@ -299,7 +358,7 @@ func (m *Module) Network() *nn.Network { return m.net }
 // InvalidateVerdicts discards any memoized network verdicts — required
 // after mutating weights directly through Network() (fault injection,
 // external quantization) when a verdict cache is configured.
-func (m *Module) InvalidateVerdicts() { m.gen++ }
+func (m *Module) InvalidateVerdicts() { m.gen.Add(1) }
 
 // OnDep processes one RAW dependence: it enters the Input Generator
 // Buffer, the last N dependences form the network input, and the
@@ -311,9 +370,9 @@ func (m *Module) InvalidateVerdicts() { m.gen++ }
 //
 //act:noalloc
 func (m *Module) OnDep(d deps.Dep) (classified, predictedInvalid bool) {
-	m.stats.Deps++
+	at := m.stats.deps.Add(1)
 	if m.mode == Training {
-		m.stats.TrainingDeps++
+		m.stats.trainingDeps.Add(1)
 	}
 	if m.igcnt < m.cfg.IGBSize {
 		m.igb[(m.ighead+m.igcnt)%m.cfg.IGBSize] = d
@@ -341,7 +400,7 @@ func (m *Module) OnDep(d deps.Dep) (classified, predictedInvalid bool) {
 		}
 	}
 	m.xbuf = m.cfg.Encoder(seq, m.xbuf)
-	m.stats.Sequences++
+	m.stats.sequences.Add(1)
 
 	var out float64
 	cached, hashed := false, false
@@ -353,18 +412,18 @@ func (m *Module) OnDep(d deps.Dep) (classified, predictedInvalid bool) {
 		// might in fact be the bug (Section III-C). Every step mutates
 		// the weights, so the verdict cache generation moves with it.
 		out = m.net.Train(m.xbuf, nn.TargetValid, m.cfg.LearningRate)
-		m.gen++
+		m.gen.Add(1)
 		if out < 0.5 {
-			m.stats.Updates++
+			m.stats.updates.Add(1)
 		}
 	} else if m.vc != nil {
 		hash, hashed = seq.Hash(), true
-		if v, ok := m.vc.get(hash, m.gen); ok {
-			m.stats.CacheHits++
+		if v, ok := m.vc.get(hash, m.gen.Load()); ok {
+			m.stats.cacheHits.Add(1)
 			out = v
 			cached = true
 		} else {
-			m.stats.CacheMisses++
+			m.stats.cacheMisses.Add(1)
 			out = m.net.Forward(m.xbuf)
 		}
 	} else {
@@ -382,7 +441,7 @@ func (m *Module) OnDep(d deps.Dep) (classified, predictedInvalid bool) {
 		cached = false
 	}
 	if m.vc != nil && hashed && !cached {
-		m.vc.put(hash, m.gen, out)
+		m.vc.put(hash, m.gen.Load(), out)
 	}
 	if out <= m.cfg.SaturationEps || out >= 1-m.cfg.SaturationEps {
 		m.satWindow++
@@ -390,9 +449,9 @@ func (m *Module) OnDep(d deps.Dep) (classified, predictedInvalid bool) {
 
 	invalid := out < 0.5
 	if invalid {
-		m.stats.PredictedInvalid++
+		m.stats.predictedInvalid.Add(1)
 		m.invalid++
-		m.logDebug(seq, out)
+		m.logDebug(seq, out, at)
 	}
 	m.window++
 	if m.window >= m.cfg.CheckInterval {
@@ -424,6 +483,7 @@ func (m *Module) classifyWindow(rate float64, saturated bool) windowHealth {
 //act:noalloc
 func (m *Module) checkRate() {
 	rate := float64(m.invalid) / float64(m.window)
+	statWindowRate.Observe(uint64(rate * 1000))
 	// A window whose every output was pinned against 0 or 1 is treated
 	// as unhealthy regardless of its rate: corrupted large-magnitude
 	// weights saturate the sigmoid, often on the "valid" side where the
@@ -456,20 +516,20 @@ func (m *Module) checkRate() {
 		case m.cfg.MispredThreshold < 0: // AlwaysTrain sentinel
 			if m.mode == Testing {
 				m.mode = Training
-				m.stats.ModeSwitches++
-				m.gen++
+				m.stats.modeSwitches.Add(1)
+				m.gen.Add(1)
 			}
 		case m.mode == Testing:
 			if rate > m.cfg.MispredThreshold {
 				m.mode = Training
-				m.stats.ModeSwitches++
-				m.gen++
+				m.stats.modeSwitches.Add(1)
+				m.gen.Add(1)
 			}
 		case m.mode == Training:
 			if rate < m.cfg.MispredThreshold {
 				m.mode = Testing
-				m.stats.ModeSwitches++
-				m.gen++
+				m.stats.modeSwitches.Add(1)
+				m.gen.Add(1)
 			}
 		}
 	}
@@ -487,7 +547,7 @@ func (m *Module) checkRate() {
 //act:noalloc
 func (m *Module) Snapshot() {
 	m.snap = m.net.Flatten(m.snap[:0])
-	m.stats.Snapshots++
+	m.stats.snapshots.Add(1)
 }
 
 // recover restores the last-known-good snapshot and returns the module
@@ -505,13 +565,13 @@ func (m *Module) recover() {
 	if err := m.net.LoadFlat(m.snap); err != nil {
 		panic(err) // snapshot taken from this network; unreachable
 	}
-	m.stats.Recoveries++
-	m.gen++
+	m.stats.recoveries.Add(1)
+	m.gen.Add(1)
 	m.badWindows = 0
 	m.lastRate = 1
 	if m.mode != Testing && m.cfg.MispredThreshold >= 0 {
 		m.mode = Testing
-		m.stats.ModeSwitches++
+		m.stats.modeSwitches.Add(1)
 	}
 }
 
@@ -529,9 +589,11 @@ func (m *Module) weightsFinite() bool {
 }
 
 // logDebug appends to the Debug Buffer, dropping the oldest entry when
-// full (it holds only the last few invalid sequences).
-func (m *Module) logDebug(s deps.Sequence, out float64) {
-	e := DebugEntry{Seq: s.Clone(), Output: out, At: m.stats.Deps, Mode: m.mode}
+// full (it holds only the last few invalid sequences). at is the
+// dependence index of the triggering dependence, captured by the caller
+// from its own counter increment.
+func (m *Module) logDebug(s deps.Sequence, out float64, at uint64) {
+	e := DebugEntry{Seq: s.Clone(), Output: out, At: at, Mode: m.mode}
 	if len(m.debug) < m.cfg.DebugBufSize {
 		m.debug = append(m.debug, e)
 		return
@@ -564,8 +626,8 @@ func (m *Module) ResetDebug() {
 func (m *Module) ForceMode(mode Mode) {
 	if m.mode != mode {
 		m.mode = mode
-		m.stats.ModeSwitches++
-		m.gen++
+		m.stats.modeSwitches.Add(1)
+		m.gen.Add(1)
 	}
 }
 
@@ -591,8 +653,8 @@ func (m *Module) TeachInvalid(s deps.Sequence) bool {
 			return true
 		}
 		m.net.Train(x, nn.TargetInvalid, m.cfg.LearningRate)
-		m.stats.Updates++
-		m.gen++
+		m.stats.updates.Add(1)
+		m.gen.Add(1)
 	}
 	return m.net.Forward(x) < 0.5
 }
@@ -618,7 +680,7 @@ func (m *Module) LoadWeights(w []float64) error {
 	for i, v := range w {
 		m.net.WriteRegister(i, v)
 	}
-	m.gen++
+	m.gen.Add(1)
 	if m.weightsFinite() {
 		m.Snapshot()
 	}

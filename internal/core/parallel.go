@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"act/internal/deps"
+	"act/internal/obs"
 	"act/internal/trace"
 )
 
@@ -41,6 +42,7 @@ type ParallelConfig struct {
 // other methods of the same Tracker; it returns once every worker has
 // drained, so the usual inspect-after-replay sequence is unchanged.
 func (t *Tracker) ReplayParallel(tr *trace.Trace, cfg ParallelConfig) {
+	sp := obs.StartSpan(statReplayNS)
 	var wg sync.WaitGroup
 	fo := deps.NewFanout(deps.FanoutConfig{Batch: cfg.Batch, Depth: cfg.Depth},
 		func(tid uint16, s *deps.FanStream) {
@@ -56,9 +58,11 @@ func (t *Tracker) ReplayParallel(tr *trace.Trace, cfg ParallelConfig) {
 					if !ok {
 						return
 					}
+					bsp := obs.StartSpan(statReplayBatchNS)
 					for _, d := range batch {
 						m.OnDep(d)
 					}
+					bsp.End()
 				}
 			}()
 		})
@@ -70,4 +74,6 @@ func (t *Tracker) ReplayParallel(tr *trace.Trace, cfg ParallelConfig) {
 	fo.Close()
 	wg.Wait()
 	t.ext.OnDep = prev
+	sp.End()
+	statReplays.Inc()
 }

@@ -9,6 +9,7 @@ import (
 
 	"act/internal/deps"
 	"act/internal/nn"
+	"act/internal/obs"
 	"act/internal/trace"
 )
 
@@ -113,6 +114,14 @@ type Tracker struct {
 	modules map[int]*Module
 	dense   []*Module // lookup fast path, indexed by tid
 	seed    int64
+
+	// mu guards the exporter-facing module list. modules and dense above
+	// belong to the replay goroutine alone; all is the copy a concurrent
+	// metrics scrape may walk while ReplayParallel is mid-flight. It is
+	// appended only on module creation (cold path), so the lock never
+	// touches the per-dependence stream.
+	mu  sync.Mutex
+	all []*Module // guarded by mu
 }
 
 // TrackerConfig bundles deployment parameters.
@@ -195,7 +204,19 @@ func (t *Tracker) moduleAt(tid int) *Module {
 		t.dense = grown
 	}
 	t.dense[tid] = m
+	t.mu.Lock()
+	t.all = append(t.all, m)
+	t.mu.Unlock()
 	return m
+}
+
+// snapshotModules copies the module list for lock-free iteration.
+func (t *Tracker) snapshotModules() []*Module {
+	t.mu.Lock()
+	out := make([]*Module, len(t.all))
+	copy(out, t.all)
+	t.mu.Unlock()
+	return out
 }
 
 // OnRecord feeds one memory-trace record through last-writer tracking;
@@ -211,9 +232,12 @@ func (t *Tracker) OnRecord(r trace.Record) {
 // Replay feeds a whole trace through the tracker sequentially. See
 // ReplayParallel for the pipelined equivalent.
 func (t *Tracker) Replay(tr *trace.Trace) {
+	sp := obs.StartSpan(statReplayNS)
 	for _, r := range tr.Records {
 		t.OnRecord(r)
 	}
+	sp.End()
+	statReplays.Inc()
 }
 
 // DebugBuffers concatenates every module's Debug Buffer, ordered by
@@ -266,21 +290,40 @@ func (t *Tracker) Shutdown() {
 	}
 }
 
-// Stats sums all module counters.
+// Stats sums all module counters. Equivalent to StatsSnapshot; kept as
+// the established name for quiescent callers.
 func (t *Tracker) Stats() Stats {
+	return t.StatsSnapshot()
+}
+
+// StatsSnapshot sums all module counters race-free: the module list is
+// copied under the tracker's lock and each counter is read atomically,
+// so a metrics scrape may call it while ReplayParallel is running. Each
+// individual counter is exact; the sums across counters are consistent
+// with each other only once replay has quiesced.
+func (t *Tracker) StatsSnapshot() Stats {
 	var s Stats
-	for _, m := range t.modules {
-		ms := m.Stats()
-		s.Deps += ms.Deps
-		s.Sequences += ms.Sequences
-		s.PredictedInvalid += ms.PredictedInvalid
-		s.Updates += ms.Updates
-		s.ModeSwitches += ms.ModeSwitches
-		s.TrainingDeps += ms.TrainingDeps
-		s.Snapshots += ms.Snapshots
-		s.Recoveries += ms.Recoveries
-		s.CacheHits += ms.CacheHits
-		s.CacheMisses += ms.CacheMisses
+	for _, m := range t.snapshotModules() {
+		s.Add(m.Stats())
 	}
 	return s
+}
+
+// Modules returns the number of deployed ACT Modules. Safe to call
+// concurrently with replay.
+func (t *Tracker) Modules() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.all)
+}
+
+// Generations sums every module's verdict-cache generation — a
+// monotonic proxy for "weight-state mutations across the deployment"
+// (act_core_weight_generations). Safe to call concurrently with replay.
+func (t *Tracker) Generations() uint64 {
+	var g uint64
+	for _, m := range t.snapshotModules() {
+		g += m.Generation()
+	}
+	return g
 }

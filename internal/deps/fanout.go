@@ -57,6 +57,7 @@ func (s *FanStream) Next() (batch []Dep, ok bool) {
 	b, ok := <-s.ch
 	if ok {
 		s.last = b
+		statFanoutInflight.Dec()
 	}
 	return b, ok
 }
@@ -114,8 +115,11 @@ func (f *Fanout) Push(tid uint16, d Dep) {
 	}
 	sh.cur = append(sh.cur, d)
 	if len(sh.cur) == f.cfg.Batch {
+		statFanoutInflight.Inc()
+		statFanoutBatches.Inc()
 		sh.stream.ch <- sh.cur
 		sh.cur = <-sh.stream.free
+		statFanoutRecycled.Inc()
 	}
 }
 
@@ -127,6 +131,8 @@ func (f *Fanout) Close() {
 			continue
 		}
 		if len(sh.cur) > 0 {
+			statFanoutInflight.Inc()
+			statFanoutBatches.Inc()
 			sh.stream.ch <- sh.cur
 			sh.cur = nil
 		}

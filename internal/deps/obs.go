@@ -1,0 +1,24 @@
+package deps
+
+import "act/internal/obs"
+
+// Fanout instrumentation on the process-wide registry. Every update is
+// amortized per batch (hundreds of dependences), not per dependence, so
+// the hand-off hot path gains at most one relaxed atomic op per channel
+// operation it already performs.
+var (
+	// statFanoutBatches counts batches delivered to workers (full ones
+	// from Push plus the final partial flushes from Close).
+	statFanoutBatches = obs.Default.Counter("act_fanout_batches_total",
+		"Dependence batches delivered from the sequential stage to workers.")
+
+	// statFanoutRecycled counts batch buffers reused through a stream's
+	// free list — the complement of "allocated fresh".
+	statFanoutRecycled = obs.Default.Counter("act_fanout_recycled_total",
+		"Batch buffers recycled through per-stream free lists.")
+
+	// statFanoutInflight is the number of delivered-but-unconsumed
+	// batches across all streams: queue depth, the backpressure signal.
+	statFanoutInflight = obs.Default.Gauge("act_fanout_inflight_batches",
+		"Batches delivered to workers and not yet consumed (all streams).")
+)

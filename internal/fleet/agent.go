@@ -118,6 +118,7 @@ type AgentStats struct {
 	DroppedBatches uint64 // batches lost to queue backpressure
 	SpoolDrops     uint64 // spool resets after exceeding the size cap
 	Dials          uint64 // connection (re)establishments
+	ShipAttempts   uint64 // ship attempts, retries included (attempts - dials = retries after failure)
 }
 
 // Agent drains a Source and ships batches to the collector. All methods
@@ -174,6 +175,30 @@ func (a *Agent) Stats() AgentStats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.stats
+}
+
+// QueueDepth returns the number of batches waiting in the in-memory
+// queue (act_agent_queue_depth).
+func (a *Agent) QueueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queue)
+}
+
+// SpoolBytes returns the current size of the spool file, 0 when
+// spooling is off or the file is absent (act_agent_spool_bytes).
+func (a *Agent) SpoolBytes() int64 {
+	a.mu.Lock()
+	path := a.cfg.SpoolPath
+	a.mu.Unlock()
+	if path == "" {
+		return 0
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
 }
 
 // Tick drains the source into the bounded queue without shipping.
@@ -291,6 +316,7 @@ func (a *Agent) shipLocked() error {
 		return nil
 	}
 	err := loader.Do(a.cfg.Retry, func() error {
+		a.stats.ShipAttempts++
 		if a.conn == nil {
 			conn, err := a.cfg.Dial(a.cfg.Addr)
 			if err != nil {

@@ -13,6 +13,7 @@ import (
 
 	"act/internal/core"
 	"act/internal/deps"
+	"act/internal/obs"
 	"act/internal/ranking"
 	"act/internal/wire"
 )
@@ -105,6 +106,10 @@ type Collector struct {
 
 	lnMu sync.Mutex
 	ln   net.Listener // guarded by lnMu
+
+	// ingestNS times batch merges (act_collector_ingest_ns). The
+	// histogram is internally atomic, so it lives outside mu.
+	ingestNS obs.Histogram
 }
 
 // NewCollector creates a collector, loading the snapshot at
@@ -132,10 +137,28 @@ func (c *Collector) Stats() CollectorStats {
 	return c.stats
 }
 
+// Sequences returns the number of distinct sequences aggregated
+// (act_collector_sequences).
+func (c *Collector) Sequences() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.agg)
+}
+
+// Runs returns the number of distinct runs seen, decided or not
+// (act_collector_runs).
+func (c *Collector) Runs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.outcomes)
+}
+
 // Ingest merges one batch into the aggregate. Redelivered batches
 // (same agent, run and sequence number) are dropped. Exported for
 // in-process fleets and tests; the TCP path funnels here too.
 func (c *Collector) Ingest(b *wire.Batch) {
+	sp := obs.StartSpan(&c.ingestNS)
+	defer sp.End()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := b.Key()

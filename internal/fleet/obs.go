@@ -1,0 +1,107 @@
+package fleet
+
+import "act/internal/obs"
+
+// Metrics bridges. Agents and collectors already count their activity
+// under their own locks (AgentStats, CollectorStats); these helpers
+// expose those counters on a registry as scrape-time samples, so
+// instrumented daemons pay nothing on the ship/ingest paths beyond the
+// collector's ingest span.
+
+// RegisterAgentMetrics registers the act_agent_* series against a
+// getter instead of a fixed instance — the shape a daemon that rotates
+// one Agent per run needs. get must be safe to call concurrently and
+// may return nil (series then read 0).
+func RegisterAgentMetrics(r *obs.Registry, get func() *Agent) {
+	stats := func() AgentStats {
+		if a := get(); a != nil {
+			return a.Stats()
+		}
+		return AgentStats{}
+	}
+	r.CounterFunc("act_agent_drained_total",
+		"Debug Buffer entries drained from the monitored source.",
+		func() uint64 { return stats().Drained })
+	r.CounterFunc("act_agent_batches_total",
+		"Batches formed from drained entries.",
+		func() uint64 { return stats().Batches })
+	r.CounterFunc("act_agent_shipped_total",
+		"Batches written to the collector.",
+		func() uint64 { return stats().Shipped })
+	r.CounterFunc("act_agent_spooled_total",
+		"Batches written to the on-disk spool.",
+		func() uint64 { return stats().Spooled })
+	r.CounterFunc("act_agent_replayed_total",
+		"Spooled batches re-shipped after reconnect.",
+		func() uint64 { return stats().Replayed })
+	r.CounterFunc("act_agent_dropped_batches_total",
+		"Batches lost to queue backpressure.",
+		func() uint64 { return stats().DroppedBatches })
+	r.CounterFunc("act_agent_spool_drops_total",
+		"Spool resets after exceeding the size cap.",
+		func() uint64 { return stats().SpoolDrops })
+	r.CounterFunc("act_agent_dials_total",
+		"Collector connection (re)establishments.",
+		func() uint64 { return stats().Dials })
+	r.CounterFunc("act_agent_ship_attempts_total",
+		"Ship attempts including retries; attempts minus shipped batches reflects retry pressure.",
+		func() uint64 { return stats().ShipAttempts })
+	r.GaugeFunc("act_agent_queue_depth",
+		"Batches waiting in the in-memory queue.",
+		func() float64 {
+			if a := get(); a != nil {
+				return float64(a.QueueDepth())
+			}
+			return 0
+		})
+	r.GaugeFunc("act_agent_spool_bytes",
+		"Current size of the on-disk spool file.",
+		func() float64 {
+			if a := get(); a != nil {
+				return float64(a.SpoolBytes())
+			}
+			return 0
+		})
+}
+
+// RegisterMetrics exposes the agent's activity on r as act_agent_*
+// series, sampled at scrape time — the fixed-instance form of
+// RegisterAgentMetrics.
+func (a *Agent) RegisterMetrics(r *obs.Registry) {
+	RegisterAgentMetrics(r, func() *Agent { return a })
+}
+
+// RegisterMetrics exposes the collector's activity on r as
+// act_collector_* series, sampled at scrape time, plus the live ingest
+// span histogram.
+func (c *Collector) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("act_collector_conns_total",
+		"Agent connections accepted.",
+		func() uint64 { return c.Stats().Conns })
+	r.CounterFunc("act_collector_rejected_total",
+		"Connections refused at the MaxConns cap.",
+		func() uint64 { return c.Stats().Rejected })
+	r.CounterFunc("act_collector_batches_total",
+		"Batches ingested into the aggregate.",
+		func() uint64 { return c.Stats().Batches })
+	r.CounterFunc("act_collector_dup_batches_total",
+		"Redelivered batches dropped by dedup.",
+		func() uint64 { return c.Stats().DupBatches })
+	r.CounterFunc("act_collector_entries_total",
+		"Debug Buffer entries ingested before per-run dedup.",
+		func() uint64 { return c.Stats().Entries })
+	r.CounterFunc("act_collector_bad_spans_total",
+		"Corrupt spans skipped across all connections.",
+		func() uint64 { return c.Stats().BadSpans })
+	r.CounterFunc("act_collector_skipped_bytes_total",
+		"Bytes discarded while resynchronizing corrupt streams.",
+		func() uint64 { return c.Stats().SkippedBytes })
+	r.GaugeFunc("act_collector_sequences",
+		"Distinct dependence sequences aggregated.",
+		func() float64 { return float64(c.Sequences()) })
+	r.GaugeFunc("act_collector_runs",
+		"Distinct runs seen, decided or not.",
+		func() float64 { return float64(c.Runs()) })
+	r.AddHistogram("act_collector_ingest_ns",
+		"Duration of one batch merge in nanoseconds.", &c.ingestNS)
+}

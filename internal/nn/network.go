@@ -97,6 +97,7 @@ func (n *Network) Forward(x []float64) float64 {
 		//act:alloc-ok topology-mismatch panic, cold guard
 		panic(fmt.Sprintf("nn: input width %d, want %d", len(x), n.NIn))
 	}
+	statForward.Inc()
 	act := n.Act
 	if act == nil {
 		act = Sigmoid
@@ -130,6 +131,7 @@ func (n *Network) Valid(x []float64) bool { return n.Forward(x) >= 0.5 }
 //
 //act:noalloc
 func (n *Network) Train(x []float64, target, lr float64) float64 {
+	statTrain.Inc()
 	o := n.Forward(x)
 	errOut := o * (1 - o) * (target - o)
 	mu := n.Momentum

@@ -1,0 +1,17 @@
+package nn
+
+import "act/internal/obs"
+
+// Network instrumentation on the process-wide registry: one relaxed
+// atomic add per pass, the only telemetry cheap enough for the
+// per-dependence classification path.
+var (
+	// statForward counts forward passes (classification and the forward
+	// half of every training step).
+	statForward = obs.Default.Counter("act_nn_forward_total",
+		"Network forward passes, including the forward half of training steps.")
+
+	// statTrain counts backpropagation steps.
+	statTrain = obs.Default.Counter("act_nn_train_total",
+		"Network backpropagation steps.")
+)

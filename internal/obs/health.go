@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Health is the readiness and shutdown gate the daemons route their
+// lifecycle through. Components report readiness with SetReady; the
+// /healthz endpoint serves 200 only while every component is ready and
+// no shutdown has begun. Shutdown hooks registered with OnShutdown run
+// exactly once, in reverse registration order (like defers), when
+// Shutdown is called — that is where actd snapshots its aggregate and
+// actagent flushes a mid-ship spool, so a SIGTERM can no longer lose
+// evidence that a clean exit would have kept.
+//
+// All methods are safe for concurrent use. Shutdown is idempotent:
+// concurrent callers block until the first caller's hooks finish, so
+// "signal handler and serve-loop failure both shut down" is safe.
+type Health struct {
+	mu       sync.Mutex
+	ready    map[string]bool // guarded by mu
+	order    []string        // guarded by mu; component registration order
+	hooks    []namedHook     // guarded by mu
+	draining bool            // guarded by mu
+	done     chan struct{}   // guarded by mu; closed once hooks finish
+}
+
+type namedHook struct {
+	name string
+	fn   func()
+}
+
+// NewHealth creates a gate with no components: it reports ready until
+// the first SetReady(name, false) or Shutdown.
+func NewHealth() *Health {
+	return &Health{ready: make(map[string]bool)}
+}
+
+// SetReady sets a component's readiness, registering the component on
+// first use. Typical shape: SetReady("collector", false) at startup,
+// SetReady("collector", true) once the listener is accepting.
+func (h *Health) SetReady(component string, ready bool) {
+	h.mu.Lock()
+	if _, seen := h.ready[component]; !seen {
+		h.order = append(h.order, component)
+	}
+	h.ready[component] = ready
+	h.mu.Unlock()
+}
+
+// Ready reports whether every registered component is ready and no
+// shutdown has begun.
+func (h *Health) Ready() bool {
+	ok, _ := h.Status()
+	return ok
+}
+
+// Draining reports whether Shutdown has begun.
+func (h *Health) Draining() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.draining
+}
+
+// Status returns overall readiness plus one line per component (and a
+// draining marker), the /healthz response body.
+func (h *Health) Status() (ok bool, lines []string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ok = !h.draining
+	for _, name := range h.order {
+		state := "ready"
+		if !h.ready[name] {
+			state = "not-ready"
+			ok = false
+		}
+		lines = append(lines, fmt.Sprintf("%s: %s", name, state))
+	}
+	sort.Strings(lines)
+	if h.draining {
+		lines = append(lines, "draining")
+	}
+	return ok, lines
+}
+
+// OnShutdown registers a hook to run when Shutdown is called. Hooks run
+// in reverse registration order, so "stop accepting" (registered last)
+// precedes "persist state" (registered first). A hook registered after
+// Shutdown has begun never runs — the drain already happened.
+func (h *Health) OnShutdown(name string, fn func()) {
+	h.mu.Lock()
+	h.hooks = append(h.hooks, namedHook{name: name, fn: fn})
+	h.mu.Unlock()
+}
+
+// Shutdown marks the gate draining (flipping /healthz to 503, so load
+// balancers stop routing before the hooks begin) and runs the
+// registered hooks, newest first. The first caller runs the hooks;
+// every other caller blocks until they complete, then returns.
+func (h *Health) Shutdown() {
+	h.mu.Lock()
+	if h.draining {
+		done := h.done
+		h.mu.Unlock()
+		<-done
+		return
+	}
+	h.draining = true
+	h.done = make(chan struct{})
+	done := h.done
+	hooks := make([]namedHook, len(h.hooks))
+	copy(hooks, h.hooks)
+	h.mu.Unlock()
+
+	for i := len(hooks) - 1; i >= 0; i-- {
+		hooks[i].fn()
+	}
+	close(done)
+}

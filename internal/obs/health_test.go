@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHealthReadiness(t *testing.T) {
+	h := NewHealth()
+	if !h.Ready() {
+		t.Fatalf("empty gate not ready")
+	}
+	h.SetReady("collector", false)
+	if h.Ready() {
+		t.Fatalf("ready with a not-ready component")
+	}
+	h.SetReady("collector", true)
+	if !h.Ready() {
+		t.Fatalf("not ready after component became ready")
+	}
+	h.SetReady("spool", true)
+	ok, lines := h.Status()
+	if !ok {
+		t.Fatalf("not ready with all components ready")
+	}
+	if got := strings.Join(lines, "\n"); !strings.Contains(got, "collector: ready") ||
+		!strings.Contains(got, "spool: ready") {
+		t.Errorf("status lines missing components: %q", got)
+	}
+	if h.Draining() {
+		t.Fatalf("draining before Shutdown")
+	}
+}
+
+func TestHealthShutdownHooksLIFOOnce(t *testing.T) {
+	h := NewHealth()
+	var order []string
+	h.OnShutdown("persist", func() { order = append(order, "persist") })
+	h.OnShutdown("stop-accepting", func() { order = append(order, "stop-accepting") })
+	h.Shutdown()
+	if len(order) != 2 || order[0] != "stop-accepting" || order[1] != "persist" {
+		t.Fatalf("hook order = %v, want [stop-accepting persist]", order)
+	}
+	if !h.Draining() || h.Ready() {
+		t.Fatalf("gate not draining after Shutdown")
+	}
+	// Second Shutdown must not re-run hooks.
+	h.Shutdown()
+	if len(order) != 2 {
+		t.Fatalf("hooks ran again on repeated Shutdown: %v", order)
+	}
+	// A hook registered after the drain never runs.
+	h.OnShutdown("late", func() { order = append(order, "late") })
+	h.Shutdown()
+	if len(order) != 2 {
+		t.Fatalf("late hook ran: %v", order)
+	}
+	ok, lines := h.Status()
+	if ok {
+		t.Fatalf("status ok while draining")
+	}
+	if got := strings.Join(lines, "\n"); !strings.Contains(got, "draining") {
+		t.Errorf("status missing draining marker: %q", got)
+	}
+}
+
+func TestHealthConcurrentShutdown(t *testing.T) {
+	// Signal handler and serve-loop failure can race into Shutdown: the
+	// hooks run once, and every caller returns only after they finish.
+	h := NewHealth()
+	var mu sync.Mutex
+	runs := 0
+	h.OnShutdown("flush", func() {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.Shutdown()
+			// By the time any Shutdown returns, the hook has completed.
+			mu.Lock()
+			r := runs
+			mu.Unlock()
+			if r != 1 {
+				t.Errorf("hook ran %d times", r)
+			}
+		}()
+	}
+	wg.Wait()
+}

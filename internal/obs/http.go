@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the observability endpoint:
+//
+//	/metrics       every given registry in Prometheus text format,
+//	               plus act_health_ready / act_health_draining gauges
+//	/healthz       200 "ok" while the gate is ready, 503 otherwise,
+//	               with one line per component
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// health may be nil (a metrics-only mount); /healthz then always
+// reports ready.
+func Handler(health *Health, regs ...*Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeHealthGauges(w, health)
+		for _, reg := range regs {
+			reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		ok, lines := true, []string(nil)
+		if health != nil {
+			ok, lines = health.Status()
+		}
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		if ok {
+			fmt.Fprintln(w, "ok")
+		} else {
+			fmt.Fprintln(w, "unavailable")
+		}
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeHealthGauges renders the gate's state as scrapeable series, so
+// dashboards get readiness without a second probe.
+func writeHealthGauges(w http.ResponseWriter, health *Health) {
+	ready, draining := 1, 0
+	if health != nil {
+		if !health.Ready() {
+			ready = 0
+		}
+		if health.Draining() {
+			draining = 1
+		}
+	}
+	fmt.Fprintf(w, "# HELP act_health_ready 1 while every component is ready and not draining.\n"+
+		"# TYPE act_health_ready gauge\nact_health_ready %d\n", ready)
+	fmt.Fprintf(w, "# HELP act_health_draining 1 once shutdown has begun.\n"+
+		"# TYPE act_health_draining gauge\nact_health_draining %d\n", draining)
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer listens on addr and serves Handler(health, regs...) in
+// the background — what the daemons mount behind -metrics-listen.
+func StartServer(addr string, health *Health, regs ...*Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Handler:           Handler(health, regs...),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately; in-flight scrapes are abandoned
+// (the next scrape re-reads every counter anyway).
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	health := NewHealth()
+	health.SetReady("collector", true)
+	r1 := NewRegistry()
+	r1.Counter("act_test_a_total", "a").Add(5)
+	r2 := NewRegistry()
+	r2.Gauge("act_test_b", "b").Set(-1)
+
+	srv := httptest.NewServer(Handler(health, r1, r2))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"act_health_ready 1\n",
+		"act_health_draining 0\n",
+		"act_test_a_total 5\n",
+		"act_test_b -1\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+func TestHandlerHealthzFlips(t *testing.T) {
+	health := NewHealth()
+	health.SetReady("agent", true)
+	srv := httptest.NewServer(Handler(health, NewRegistry()))
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || !strings.HasPrefix(body, "ok\n") {
+		t.Fatalf("/healthz ready: code=%d body=%q", code, body)
+	}
+
+	health.SetReady("agent", false)
+	if code, body := get(t, srv, "/healthz"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "agent: not-ready") {
+		t.Fatalf("/healthz not-ready: code=%d body=%q", code, body)
+	}
+
+	health.SetReady("agent", true)
+	health.Shutdown()
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("/healthz draining: code=%d body=%q", code, body)
+	}
+	if _, mbody := get(t, srv, "/metrics"); !strings.Contains(mbody, "act_health_draining 1\n") {
+		t.Errorf("/metrics draining gauge not set:\n%s", mbody)
+	}
+}
+
+func TestHandlerNilHealth(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, NewRegistry()))
+	defer srv.Close()
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || !strings.HasPrefix(body, "ok\n") {
+		t.Fatalf("nil-health /healthz: code=%d body=%q", code, body)
+	}
+	if code, _ := get(t, srv, "/metrics"); code != http.StatusOK {
+		t.Fatalf("nil-health /metrics status = %d", code)
+	}
+}
+
+func TestHandlerPprof(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil))
+	defer srv.Close()
+	code, body := get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+}
+
+func TestStartServer(t *testing.T) {
+	health := NewHealth()
+	srv, err := StartServer("127.0.0.1:0", health, NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz over StartServer: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,217 @@
+// Package obs is the reproduction's observability subsystem: lock-free
+// counters, gauges, and log-bucketed histograms cheap enough to live on
+// the classification hot path, a span API for timing pipeline stages,
+// a registry that renders everything in Prometheus text format, and an
+// HTTP endpoint (/metrics, /healthz, /debug/pprof) the daemons mount
+// behind -metrics-listen.
+//
+// ACT's value proposition is low-overhead production monitoring, so its
+// own telemetry is held to the same standard: every hot-path instrument
+// is a single relaxed atomic operation on memory owned by the writing
+// core, annotated //act:noalloc and pinned by TestCounterHotPathAllocs.
+// Aggregation (bucket walks, quantiles, text rendering) happens only at
+// scrape time, on the scraper's goroutine. See DESIGN.md §12 for the
+// metric taxonomy and naming scheme.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+//
+//act:noalloc
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+//
+//act:noalloc
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+//
+//act:noalloc
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous signed value (queue depths, in-flight
+// batches). The zero value is ready to use; all methods are safe for
+// concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+//
+//act:noalloc
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (negative d subtracts).
+//
+//act:noalloc
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Inc adds one.
+//
+//act:noalloc
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+//
+//act:noalloc
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+//
+//act:noalloc
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// HistBuckets is the number of histogram buckets: one per possible
+// bit length of a uint64 observation (0 through 64). Bucket i counts
+// observations v with bits.Len64(v) == i, i.e. 0, 1, [2,3], [4,7], …
+// — log2 bucketing, so the histogram spans nanoseconds to hours in 65
+// fixed slots with no configuration.
+const HistBuckets = 65
+
+// Histogram is a log2-bucketed histogram of uint64 observations
+// (typically span durations in nanoseconds). The zero value is ready to
+// use; Observe is lock-free and allocation-free, and all methods are
+// safe for concurrent use. Bucket counts, the total count, and the sum
+// are each individually atomic; a concurrent snapshot may be torn
+// across them by in-flight observations, which monitoring tolerates by
+// construction.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// Observe records one observation.
+//
+//act:noalloc
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Snapshot returns a point-in-time copy of the histogram, the unit of
+// merging and quantile estimation.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is an immutable copy of a Histogram's state.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [HistBuckets]uint64
+}
+
+// Merge returns the element-wise sum of two snapshots — the histogram
+// that would have resulted from observing both input streams. Merge is
+// commutative and associative (property-tested), so per-shard
+// histograms can be combined in any grouping order.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: s.Count + o.Count, Sum: s.Sum + o.Sum}
+	for i := range s.Buckets {
+		out.Buckets[i] = s.Buckets[i] + o.Buckets[i]
+	}
+	return out
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i: the
+// largest observation the bucket can hold.
+func BucketUpper(i int) uint64 {
+	if i >= HistBuckets-1 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Quantile returns an upper bound on the q-th quantile (0 ≤ q ≤ 1) of
+// the observed values: the upper edge of the bucket containing the
+// ceil(q·Count)-th smallest observation. Log2 bucketing bounds the
+// relative error at 2x. Out-of-range q is clamped; an empty snapshot
+// reports 0.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return math.MaxUint64
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Span is an in-flight timing of one pipeline stage: a replay shard's
+// batch, an NN fit, a collector merge. Start with StartSpan, stop with
+// End; the elapsed nanoseconds land in the span's histogram. A Span is
+// a small value — starting and ending one performs no allocation and
+// no synchronization beyond the histogram's atomic adds.
+type Span struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// StartSpan begins timing against h. A nil histogram yields a no-op
+// span, so call sites need no conditional instrumentation.
+//
+//act:noalloc
+func StartSpan(h *Histogram) Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, t0: time.Now()}
+}
+
+// End stops the span and records the elapsed nanoseconds. End on the
+// zero Span is a no-op.
+//
+//act:noalloc
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	d := time.Since(s.t0)
+	if d < 0 {
+		d = 0
+	}
+	s.h.Observe(uint64(d))
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("Counter.Value() = %d, want 42", got)
+	}
+
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Errorf("Gauge.Value() = %d, want 7", got)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Errorf("Count = %d, want 6", s.Count)
+	}
+	if s.Sum != 1010 {
+		t.Errorf("Sum = %d, want 1010", s.Sum)
+	}
+	// bits.Len64 bucketing: 0→b0, 1→b1, {2,3}→b2, 4→b3, 1000→b10.
+	for i, want := range map[int]uint64{0: 1, 1: 1, 2: 2, 3: 1, 10: 1} {
+		if s.Buckets[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, s.Buckets[i], want)
+		}
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	// Quantile returns the containing bucket's upper edge: within 2x of
+	// the exact value, never below it.
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		exact := uint64(q * 100)
+		if exact == 0 {
+			exact = 1
+		}
+		got := s.Quantile(q)
+		if got < exact {
+			t.Errorf("Quantile(%g) = %d, below exact %d", q, got, exact)
+		}
+		if got >= 2*exact {
+			t.Errorf("Quantile(%g) = %d, not within 2x of exact %d", q, got, exact)
+		}
+	}
+	var empty HistSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+}
+
+func TestSpanObserves(t *testing.T) {
+	var h Histogram
+	sp := StartSpan(&h)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("span count = %d, want 1", s.Count)
+	}
+	if s.Sum < uint64(time.Millisecond) {
+		t.Errorf("span sum = %dns, want >= 1ms", s.Sum)
+	}
+	// nil histogram and zero span are no-ops.
+	StartSpan(nil).End()
+	var zero Span
+	zero.End()
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "other help")
+	if a != b {
+		t.Errorf("re-registering a counter name returned a different instance")
+	}
+	if g1, g2 := r.Gauge("g", ""), r.Gauge("g", ""); g1 != g2 {
+		t.Errorf("re-registering a gauge name returned a different instance")
+	}
+	if h1, h2 := r.Histogram("h", ""), r.Histogram("h", ""); h1 != h2 {
+		t.Errorf("re-registering a histogram name returned a different instance")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Errorf("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "with space", "with-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "a counter").Add(3)
+	r.Gauge("a_gauge", "a gauge").Set(-2)
+	r.Histogram("c_ns", "a histogram").Observe(5)
+	r.CounterFunc("d_total", "sampled", func() uint64 { return 7 })
+	r.GaugeFunc("e_ratio", "sampled gauge", func() float64 { return 0.5 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE a_gauge gauge\na_gauge -2\n",
+		"# TYPE b_total counter\nb_total 3\n",
+		"# TYPE c_ns histogram\n",
+		"c_ns_bucket{le=\"+Inf\"} 1\n",
+		"c_ns_sum 5\n",
+		"c_ns_count 1\n",
+		"d_total 7\n",
+		"e_ratio 0.5\n",
+		"# HELP b_total a counter\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted by name: a_gauge before b_total before c_ns.
+	if ia, ib := strings.Index(out, "a_gauge"), strings.Index(out, "b_total"); ia > ib {
+		t.Errorf("metrics not sorted by name:\n%s", out)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", "")
+	h.Observe(1) // bucket 1, upper 1
+	h.Observe(2) // bucket 2, upper 3
+	h.Observe(3) // bucket 2
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"lat_ns_bucket{le=\"0\"} 0\n",
+		"lat_ns_bucket{le=\"1\"} 1\n",
+		"lat_ns_bucket{le=\"3\"} 3\n",
+		"lat_ns_bucket{le=\"+Inf\"} 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCounterHotPathAllocs pins the zero-allocation contract of every
+// instrument a hot path may touch, mirroring TestOnDepSteadyStateAllocs
+// in core: the //act:noalloc annotations are the static half, this is
+// the dynamic half.
+func TestCounterHotPathAllocs(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(1) }},
+		{"Gauge.Add", func() { g.Add(-1) }},
+		{"Histogram.Observe", func() { h.Observe(12345) }},
+		{"Span", func() { StartSpan(&h).End() }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}

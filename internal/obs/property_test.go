@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests for HistSnapshot: the algebra the parallel pipeline
+// relies on when per-shard histograms are merged and summarized in
+// arbitrary order.
+
+func randomSnapshot(rng *rand.Rand) HistSnapshot {
+	var h Histogram
+	n := rng.Intn(200)
+	for i := 0; i < n; i++ {
+		// A uniform shift makes every bucket reachable, not just the
+		// top few a raw Uint64 would hit.
+		h.Observe(rng.Uint64() >> uint(rng.Intn(64)))
+	}
+	return h.Snapshot()
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		s := randomSnapshot(rng)
+		prev := uint64(0)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			cur := s.Quantile(q)
+			if cur < prev {
+				t.Fatalf("trial %d: Quantile(%g) = %d < Quantile(previous) = %d",
+					trial, q, cur, prev)
+			}
+			prev = cur
+		}
+		// The extremes: q=1 lands in the last non-empty bucket, whose
+		// upper edge bounds the maximum observation.
+		if s.Count > 0 && s.Quantile(1) < s.Quantile(0) {
+			t.Fatalf("trial %d: max quantile below min quantile", trial)
+		}
+		// Out-of-range q clamps rather than misbehaving.
+		if s.Quantile(-1) != s.Quantile(0) || s.Quantile(2) != s.Quantile(1) {
+			t.Fatalf("trial %d: out-of-range q not clamped", trial)
+		}
+	}
+}
+
+func TestMergeCommutativeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		a, b, c := randomSnapshot(rng), randomSnapshot(rng), randomSnapshot(rng)
+		if ab, ba := a.Merge(b), b.Merge(a); ab != ba {
+			t.Fatalf("trial %d: Merge not commutative", trial)
+		}
+		if l, r := a.Merge(b).Merge(c), a.Merge(b.Merge(c)); l != r {
+			t.Fatalf("trial %d: Merge not associative", trial)
+		}
+		var zero HistSnapshot
+		if a.Merge(zero) != a {
+			t.Fatalf("trial %d: zero snapshot is not the Merge identity", trial)
+		}
+	}
+}
+
+func TestMergeEquivalentToCombinedStream(t *testing.T) {
+	// Merging two snapshots must equal the snapshot of one histogram
+	// that observed both streams.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		var h1, h2, both Histogram
+		for i := 0; i < 100; i++ {
+			v := rng.Uint64() >> uint(rng.Intn(64))
+			if i%2 == 0 {
+				h1.Observe(v)
+			} else {
+				h2.Observe(v)
+			}
+			both.Observe(v)
+		}
+		if got, want := h1.Snapshot().Merge(h2.Snapshot()), both.Snapshot(); got != want {
+			t.Fatalf("trial %d: merged snapshot differs from combined stream", trial)
+		}
+	}
+}
+
+func TestQuantileUpperBoundsObservations(t *testing.T) {
+	// Every quantile is an upper bound: at least ceil(q*count)
+	// observations are <= Quantile(q).
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		var h Histogram
+		n := 1 + rng.Intn(300)
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() >> uint(rng.Intn(64))
+			h.Observe(vals[i])
+		}
+		s := h.Snapshot()
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			bound := s.Quantile(q)
+			le := 0
+			for _, v := range vals {
+				if v <= bound {
+					le++
+				}
+			}
+			need := int(q*float64(n) + 0.9999)
+			if le < need {
+				t.Fatalf("trial %d: only %d/%d observations <= Quantile(%g)=%d, need %d",
+					trial, le, n, q, bound, need)
+			}
+		}
+	}
+}
+
+func TestBucketUpperEdges(t *testing.T) {
+	if BucketUpper(0) != 0 {
+		t.Errorf("BucketUpper(0) = %d, want 0", BucketUpper(0))
+	}
+	if BucketUpper(1) != 1 {
+		t.Errorf("BucketUpper(1) = %d, want 1", BucketUpper(1))
+	}
+	if BucketUpper(10) != 1023 {
+		t.Errorf("BucketUpper(10) = %d, want 1023", BucketUpper(10))
+	}
+	if BucketUpper(HistBuckets-1) != ^uint64(0) {
+		t.Errorf("BucketUpper(last) != MaxUint64")
+	}
+	// Every observation lands in the bucket whose range contains it.
+	for _, v := range []uint64{0, 1, 2, 3, 4, 255, 256, 1 << 40, ^uint64(0)} {
+		var h Histogram
+		h.Observe(v)
+		s := h.Snapshot()
+		for i, b := range s.Buckets {
+			if b == 0 {
+				continue
+			}
+			if v > BucketUpper(i) {
+				t.Errorf("value %d landed in bucket %d with upper %d", v, i, BucketUpper(i))
+			}
+			if i > 0 && v <= BucketUpper(i-1) {
+				t.Errorf("value %d landed in bucket %d but fits bucket %d", v, i, i-1)
+			}
+		}
+	}
+}

@@ -13,8 +13,28 @@ import (
 
 	"act/internal/deps"
 	"act/internal/nn"
+	"act/internal/obs"
 	"act/internal/trace"
 )
+
+// Offline-training instrumentation on the process-wide registry. Fits
+// are seconds-scale, so this is well off any hot path; the span
+// histogram gives the topology search a latency distribution.
+var (
+	statFits = obs.Default.Counter("act_train_fits_total",
+		"Candidate and final network fits run by the offline pipeline.")
+	statFitNS = obs.Default.Histogram("act_train_fit_ns",
+		"Duration of one network fit in nanoseconds.")
+)
+
+// fitNew wraps nn.TrainNew with the fit counter and span.
+func fitNew(nIn, nHidden int, samples []nn.Sample, cfg nn.FitConfig) (*nn.Network, nn.FitResult) {
+	sp := obs.StartSpan(statFitNS)
+	net, fit := nn.TrainNew(nIn, nHidden, samples, cfg)
+	sp.End()
+	statFits.Inc()
+	return net, fit
+}
 
 // Config controls the offline pipeline.
 type Config struct {
@@ -187,7 +207,7 @@ func Train(trainTraces, testTraces []*trace.Trace, cfg Config) (*Result, error) 
 			continue
 		}
 		for _, h := range cfg.Hs {
-			net, fit := nn.TrainNew(in, h, p.samples, cfg.SearchFit)
+			net, fit := fitNew(in, h, p.samples, cfg.SearchFit)
 			tr := Trial{
 				N: n, Hidden: h, Epochs: fit.Epochs,
 				FP: dynamicFPRate(net, p.test),
@@ -210,14 +230,14 @@ func Train(trainTraces, testTraces []*trace.Trace, cfg Config) (*Result, error) 
 	// scores worse than the search winner.
 	p := byN[best.N]
 	in := deps.InputLen(cfg.Encoder, best.N)
-	net, _ := nn.TrainNew(in, best.Hidden, p.samples, cfg.FinalFit)
+	net, _ := fitNew(in, best.Hidden, p.samples, cfg.FinalFit)
 	for _, lr := range []float64{0.5, 0.9} {
 		if nn.Evaluate(net, p.samples) <= 0.02 {
 			break
 		}
 		fc := cfg.FinalFit
 		fc.LearningRate = lr
-		if alt, _ := nn.TrainNew(in, best.Hidden, p.samples, fc); nn.Evaluate(alt, p.samples) < nn.Evaluate(net, p.samples) {
+		if alt, _ := fitNew(in, best.Hidden, p.samples, fc); nn.Evaluate(alt, p.samples) < nn.Evaluate(net, p.samples) {
 			net = alt
 		}
 	}
