@@ -8,9 +8,16 @@
 //	actagent -collector host:7077 -model m.act -outcome failing fail1.trace fail2.trace
 //	actagent -collector host:7077 -model m.act -outcome correct -spool /tmp/agent.spool ok.trace
 //	actagent -collector host:7077 -model m.act -metrics-listen :9091 ...
+//	actagent -collectors shard0=h0:7077,shard1=h1:7077,shard2=h2:7077 -spool /tmp/spools ...
 //
 // Each trace file is shipped as its own run, so the collector's
 // cross-run counting sees one occurrence per file.
+//
+// With -collectors, batches route to a ring of actd shards by
+// consistent hashing of each sequence — a dead shard's traffic fails
+// over to its ring successor behind a per-shard circuit breaker, and
+// -spool names a directory of per-shard spool files instead of one
+// file.
 //
 // SIGINT/SIGTERM mid-ship routes through a readiness gate that closes
 // the in-flight agent first — flushing its queue to the collector or
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -30,27 +38,38 @@ import (
 	"act"
 	"act/internal/core"
 	"act/internal/fleet"
+	"act/internal/fleet/shard"
 	"act/internal/obs"
 	"act/internal/wire"
 )
 
 // current is the agent shipping right now, published for the shutdown
 // hook: closing it flushes queued batches to the collector or spool.
-var current atomic.Pointer[fleet.Agent]
+// currentRouter is its sharded-tier counterpart (-collectors mode).
+var (
+	current       atomic.Pointer[fleet.Agent]
+	currentRouter atomic.Pointer[shard.Router]
+)
 
 func main() {
 	var (
-		collector = flag.String("collector", "", "actd address (host:port); required")
-		modelPath = flag.String("model", "", "trained model file (acttrain output); required")
-		outcome   = flag.String("outcome", "unknown", "run outcome label: failing, correct, unknown")
-		name      = flag.String("name", "", "agent identity in batches; default hostname")
-		runBase   = flag.Uint64("run", 0, "base run id; default derived from time")
-		spool     = flag.String("spool", "", "spool file for batches while the collector is down")
-		metrics   = flag.String("metrics-listen", "", "address to serve /metrics, /healthz and /debug/pprof on (empty disables)")
+		collector  = flag.String("collector", "", "actd address (host:port)")
+		collectors = flag.String("collectors", "", "comma-separated name=addr actd shards; batches route by sequence hash (overrides -collector)")
+		modelPath  = flag.String("model", "", "trained model file (acttrain output); required")
+		outcome    = flag.String("outcome", "unknown", "run outcome label: failing, correct, unknown")
+		name       = flag.String("name", "", "agent identity in batches; default hostname")
+		runBase    = flag.Uint64("run", 0, "base run id; default derived from time")
+		spool      = flag.String("spool", "", "spool file — or directory, with -collectors — for batches while a collector is down")
+		dialTO     = flag.Duration("dial-timeout", 0, "collector connect timeout (0: the 5s default)")
+		metrics    = flag.String("metrics-listen", "", "address to serve /metrics, /healthz and /debug/pprof on (empty disables)")
 	)
 	flag.Parse()
-	if *collector == "" || *modelPath == "" || flag.NArg() == 0 {
-		fatal(fmt.Errorf("need -collector ADDR, -model FILE, and at least one trace file"))
+	if (*collector == "" && *collectors == "") || *modelPath == "" || flag.NArg() == 0 {
+		fatal(fmt.Errorf("need -collector ADDR (or -collectors NAME=ADDR,...), -model FILE, and at least one trace file"))
+	}
+	shards, err := parseCollectors(*collectors)
+	if err != nil {
+		fatal(err)
 	}
 	o, err := parseOutcome(*outcome)
 	if err != nil {
@@ -80,10 +99,15 @@ func main() {
 	health := obs.NewHealth()
 	health.SetReady("agent", true)
 	health.OnShutdown("flush-current", func() {
+		// Close is idempotent and flushes queue and spool; evidence
+		// the collector cannot take lands on disk when -spool is set.
 		if ag := current.Load(); ag != nil {
-			// Close is idempotent and flushes queue and spool; evidence
-			// the collector cannot take lands on disk when -spool is set.
 			if err := ag.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "actagent: shutdown flush:", err)
+			}
+		}
+		if rt := currentRouter.Load(); rt != nil {
+			if err := rt.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "actagent: shutdown flush:", err)
 			}
 		}
@@ -91,7 +115,11 @@ func main() {
 	if *metrics != "" {
 		reg := obs.NewRegistry()
 		reg.GaugeFunc("act_up", "1 while the process is shipping.", func() float64 { return 1 })
-		fleet.RegisterAgentMetrics(reg, func() *fleet.Agent { return current.Load() })
+		if shards != nil {
+			shard.RegisterRouterMetrics(reg, func() *shard.Router { return currentRouter.Load() })
+		} else {
+			fleet.RegisterAgentMetrics(reg, func() *fleet.Agent { return current.Load() })
+		}
 		srv, err := obs.StartServer(*metrics, health, reg, obs.Default)
 		if err != nil {
 			fatal(err)
@@ -107,17 +135,31 @@ func main() {
 		os.Exit(130)
 	}()
 
+	ship := shipConfig{
+		addr: *collector, shards: shards, name: *name,
+		spool: *spool, dialTimeout: *dialTO,
+	}
 	for i, path := range flag.Args() {
-		if err := shipTrace(model, path, *collector, *name, *runBase+uint64(i), o, *spool); err != nil {
+		if err := shipTrace(model, path, ship, *runBase+uint64(i), o); err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}
 	}
 	health.Shutdown()
 }
 
+// shipConfig is the per-invocation transport setup shared by every run.
+type shipConfig struct {
+	addr        string            // single collector (-collector)
+	shards      map[string]string // sharded ring (-collectors), nil in single mode
+	name        string
+	spool       string // file in single mode, directory in sharded mode
+	dialTimeout time.Duration
+}
+
 // shipTrace replays one trace through a fresh monitor and ships its
-// Debug Buffer as one run.
-func shipTrace(model *act.Model, path, addr, name string, run uint64, o wire.Outcome, spool string) error {
+// Debug Buffer as one run — through a single agent, or through the
+// shard router when -collectors is set.
+func shipTrace(model *act.Model, path string, cfg shipConfig, run uint64, o wire.Outcome) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -132,10 +174,14 @@ func shipTrace(model *act.Model, path, addr, name string, run uint64, o wire.Out
 	}
 	mon := act.Deploy(model, threadsOf(tr))
 	mon.Replay(tr)
-
 	src := &monSource{mon: mon}
+
+	if cfg.shards != nil {
+		return shipViaRouter(src, path, cfg, run, o)
+	}
 	ag, err := fleet.NewAgent(src, fleet.AgentConfig{
-		Addr: addr, Name: name, Run: run, SpoolPath: spool,
+		Addr: cfg.addr, Name: cfg.name, Run: run,
+		SpoolPath: cfg.spool, DialTimeout: cfg.dialTimeout,
 	})
 	if err != nil {
 		return err
@@ -156,6 +202,50 @@ func shipTrace(model *act.Model, path, addr, name string, run uint64, o wire.Out
 		return nil
 	}
 	return ferr
+}
+
+// shipViaRouter routes one run's evidence across the shard ring.
+func shipViaRouter(src fleet.Source, path string, cfg shipConfig, run uint64, o wire.Outcome) error {
+	rt, err := shard.NewRouter(src, shard.RouterConfig{
+		Shards: cfg.shards, Name: cfg.name, Run: run,
+		SpoolDir: cfg.spool, DialTimeout: cfg.dialTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	currentRouter.Store(rt)
+	defer currentRouter.CompareAndSwap(rt, nil)
+	rt.SetOutcome(o)
+	ferr := rt.Flush()
+	if cerr := rt.Close(); ferr == nil {
+		ferr = cerr
+	}
+	st := rt.Stats()
+	fmt.Printf("actagent: %s: run %d, %d entries drained, %d batch(es) shipped across %d shard(s), %d rerouted, %d spooled\n",
+		path, run, st.Drained, st.Shipped, rt.Ring().Len(), st.Reroutes, st.Spooled)
+	if ferr != nil && st.Spooled > 0 {
+		fmt.Fprintln(os.Stderr, "actagent:", ferr)
+		return nil
+	}
+	return ferr
+}
+
+// parseCollectors parses the -collectors list: name=addr pairs, comma
+// separated. Empty input is the single-collector mode (nil map).
+func parseCollectors(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		i := strings.IndexByte(pair, '=')
+		if i <= 0 || i == len(pair)-1 {
+			return nil, fmt.Errorf("bad -collectors entry %q (want name=addr)", pair)
+		}
+		out[pair[:i]] = pair[i+1:]
+	}
+	return out, nil
 }
 
 // monSource adapts the replayed monitor to the fleet agent.

@@ -102,11 +102,21 @@ var experiments = []experiment{
 		}
 		return bench.RenderObs(rep), nil
 	}},
+	{"fleet", "Sharded-tier ingest and rollup: healthy ring vs one shard killed mid-ingest", func(m bench.Mode) (string, error) {
+		rep, err := bench.Fleet(m)
+		if err != nil {
+			return "", err
+		}
+		if err := writeJSON(bench.MarshalFleet(rep)); err != nil {
+			return "", err
+		}
+		return bench.RenderFleet(rep), nil
+	}},
 }
 
 // jsonPath is the -json destination; empty means no JSON output. The
-// pipeline and obs experiments emit JSON (BENCH_pipeline.json /
-// BENCH_obs.json, see EXPERIMENTS.md).
+// pipeline, obs, and fleet experiments emit JSON (BENCH_pipeline.json /
+// BENCH_obs.json / BENCH_fleet.json, see EXPERIMENTS.md).
 var jsonPath string
 
 func writeJSON(b []byte, err error) error {

@@ -9,9 +9,16 @@
 //	actd -listen :7077
 //	actd -listen :7077 -snapshot /var/lib/actd.snap -snapshot-every 30s
 //	actd -listen :7077 -metrics-listen :9090
+//	actd -listen :7077 -shard shard0 -rollup rollup.host:7177
 //
 // With -metrics-listen, actd serves /metrics (Prometheus text format),
 // /healthz, and /debug/pprof on the given address.
+//
+// As one shard of a sharded tier (agents running with -collectors),
+// -rollup names an actrollup node: the collector's exported state is
+// pushed there on shutdown, so the cross-fleet report survives the
+// shard. The merge is idempotent — re-pushing after a restart cannot
+// double-count evidence.
 //
 // Shutdown — SIGINT/SIGTERM, or the serve loop dying — routes through a
 // shared readiness gate: /healthz flips to 503 first, the listener
@@ -30,6 +37,7 @@ import (
 	"time"
 
 	"act/internal/fleet"
+	"act/internal/fleet/shard"
 	"act/internal/obs"
 	"act/internal/ranking"
 )
@@ -43,6 +51,8 @@ func main() {
 		top      = flag.Int("top", 10, "ranked sequences to print")
 		prune    = flag.Int("correct-prune", 1, "correct runs that must log a sequence before it is pruned")
 		strategy = flag.String("strategy", "most-matched", "within-run-count order: most-matched, most-mismatched, output")
+		rollup   = flag.String("rollup", "", "actrollup address to push the collector state to on shutdown")
+		shardID  = flag.String("shard", "", "shard name reported to the rollup (default: the listen address)")
 	)
 	flag.Parse()
 
@@ -60,8 +70,20 @@ func main() {
 	health.SetReady("collector", false)
 
 	// Shutdown hooks run newest-first: stop accepting, then persist.
-	// "final-snapshot" is registered before "serve-stop" so the snapshot
-	// captures everything the listener ingested before it closed.
+	// "rollup-push" and "final-snapshot" are registered before
+	// "serve-stop" so they capture everything the listener ingested
+	// before it closed.
+	if *rollup != "" {
+		name := *shardID
+		if name == "" {
+			name = *listen
+		}
+		health.OnShutdown("rollup-push", func() {
+			if err := shard.PushState(*rollup, name, c.ExportState(), 0); err != nil {
+				fmt.Fprintln(os.Stderr, "actd: rollup push:", err)
+			}
+		})
+	}
 	if *snapshot != "" {
 		health.OnShutdown("final-snapshot", func() {
 			if err := c.Snapshot(""); err != nil {

@@ -11,6 +11,8 @@
 //	actfault -kinds weight-seu,dep-stale -seed 42
 //	actfault -net                        # transport campaign (agent -> collector)
 //	actfault -net -net-kinds net-cut,net-dup
+//	actfault -fleet                      # fleet-topology campaign (sharded tier)
+//	actfault -fleet -fleet-kinds shard-kill,shard-restart -fleet-sweeps 3
 //	actfault -list                       # show fault kinds and bugs
 package main
 
@@ -40,6 +42,12 @@ func main() {
 		netFail   = flag.Int("net-failing", 3, "failing runs in the synthetic fleet traffic")
 		netOK     = flag.Int("net-correct", 2, "correct runs in the synthetic fleet traffic")
 		netSweeps = flag.Int("net-sweeps", 10, "seeds swept (victim and damage positions vary per seed)")
+
+		fleetRun    = flag.Bool("fleet", false, "run the fleet-topology campaign (shard kill/partition/restart) instead")
+		fleetKinds  = flag.String("fleet-kinds", "all", "comma-separated fleet fault kinds")
+		fleetShards = flag.Int("fleet-shards", 3, "shard collectors per arm")
+		fleetRounds = flag.Int("fleet-rounds", 3, "traffic rounds per arm (faults land at round boundaries)")
+		fleetSweeps = flag.Int("fleet-sweeps", 5, "seeds swept (victim shard and injection round vary per seed)")
 	)
 	flag.Parse()
 
@@ -52,6 +60,10 @@ func main() {
 		for _, k := range faults.AllNetKinds() {
 			fmt.Printf("  %s\n", k)
 		}
+		fmt.Println("fleet fault kinds (-fleet):")
+		for _, k := range faults.AllFleetKinds() {
+			fmt.Printf("  %s\n", k)
+		}
 		fmt.Println("bug workloads:")
 		for _, b := range workloads.RealBugs() {
 			fmt.Printf("  %-10s %s\n", b.Name, b.Desc)
@@ -61,6 +73,13 @@ func main() {
 
 	if *net {
 		if err := runNet(*netKinds, *seed, *netFail, *netOK, *netSweeps); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *fleetRun {
+		if err := runFleet(*fleetKinds, *seed, *fleetShards, *fleetRounds, *fleetSweeps); err != nil {
 			fatal(err)
 		}
 		return
@@ -129,6 +148,40 @@ func runNet(kinds string, seed int64, failing, correct, sweeps int) error {
 	fmt.Printf("\nranked output unchanged under transport faults: %d/%d arms (%d seeds)\n",
 		unchanged, arms, sweeps)
 	if unchanged != arms {
+		os.Exit(2)
+	}
+	return nil
+}
+
+// runFleet sweeps the fleet-topology campaign over several seeds so the
+// victim shard and injection round vary, and exits 2 if any arm's
+// invariant — byte-identical merged report for lossless faults,
+// annotated degradation for lossy ones — is violated.
+func runFleet(kinds string, seed int64, shards, rounds, sweeps int) error {
+	ks, err := faults.ParseFleetKinds(kinds)
+	if err != nil {
+		return err
+	}
+	violations, arms := 0, 0
+	for s := seed; s < seed+int64(sweeps); s++ {
+		res, err := faults.RunFleetCampaign(faults.FleetCampaignConfig{
+			Kinds:  ks,
+			Seed:   s,
+			Shards: shards,
+			Rounds: rounds,
+		})
+		if err != nil {
+			return err
+		}
+		if s == seed {
+			fmt.Printf("topology: %d shards, %d rounds per arm\n\n", shards, rounds)
+			fmt.Print(res.Render())
+		}
+		violations += res.Violations()
+		arms += len(res.Rows)
+	}
+	fmt.Printf("\nfleet invariants held: %d/%d arms (%d seeds)\n", arms-violations, arms, sweeps)
+	if violations > 0 {
 		os.Exit(2)
 	}
 	return nil

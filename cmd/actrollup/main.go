@@ -1,0 +1,205 @@
+// Command actrollup merges shard collector states into one cross-fleet
+// ranked report. Shard states come from snapshot files named on the
+// command line (the actd -snapshot output), from MsgState frames pushed
+// over the wire to -listen (what actd -rollup does on shutdown), or
+// both. The report leads with per-shard completeness annotations: with
+// K of N shards missing the ranking is still produced, and the header
+// says exactly whose evidence is in it.
+//
+// Usage:
+//
+//	actrollup shard0=/var/lib/actd0.snap shard1=/var/lib/actd1.snap
+//	actrollup -expected shard0,shard1,shard2 /var/lib/*.snap
+//	actrollup -listen :7177 -expected shard0,shard1,shard2
+//	actrollup -listen :7177 -metrics-listen :9091 -out report.act
+//
+// With -listen, actrollup accepts pushed states until SIGINT/SIGTERM
+// and then prints the merged report; file arguments are merged before
+// serving starts. -out additionally saves the ranked report in the
+// acttrain binary format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"act/internal/fleet"
+	"act/internal/fleet/shard"
+	"act/internal/obs"
+	"act/internal/ranking"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "", "address to accept pushed shard states on (empty: merge files and exit)")
+		metrics  = flag.String("metrics-listen", "", "address to serve /metrics, /healthz and /debug/pprof on (empty disables)")
+		expected = flag.String("expected", "", "comma-separated shard names completeness is measured against")
+		top      = flag.Int("top", 10, "ranked sequences to print")
+		prune    = flag.Int("correct-prune", 1, "correct runs that must log a sequence before it is pruned")
+		strategy = flag.String("strategy", "most-matched", "within-run-count order: most-matched, most-mismatched, output")
+		out      = flag.String("out", "", "also save the ranked report here (acttrain binary format)")
+	)
+	flag.Parse()
+
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	var exp []string
+	if *expected != "" {
+		for _, n := range strings.Split(*expected, ",") {
+			exp = append(exp, strings.TrimSpace(n))
+		}
+	}
+	ru := shard.NewRollup(shard.RollupConfig{
+		Collector: fleet.CollectorConfig{CorrectPrune: *prune, Strategy: strat},
+		Expected:  exp,
+	})
+
+	// File arguments merge first, so a push for the same shard (which the
+	// merge makes idempotent) can only add evidence, never lose it.
+	for _, arg := range flag.Args() {
+		name, path := splitArg(arg)
+		state, err := os.ReadFile(path)
+		if err != nil {
+			ru.MarkUnreachable(name, err.Error())
+			fmt.Fprintf(os.Stderr, "actrollup: %s: %v\n", name, err)
+			continue
+		}
+		if err := ru.AddState(name, state); err != nil {
+			fmt.Fprintf(os.Stderr, "actrollup: %v\n", err)
+		}
+	}
+	if *listen == "" && flag.NArg() == 0 {
+		fatal(fmt.Errorf("nothing to do: name snapshot files or set -listen (try -h)"))
+	}
+
+	if *listen != "" {
+		serveUntilSignal(ru, *listen, *metrics)
+	}
+
+	rep := ru.Report()
+	printRollup(os.Stdout, rep, *top)
+	if *out != "" {
+		if err := saveReport(rep.Report, *out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("actrollup: report saved to %s\n", *out)
+	}
+	if rep.Completeness < 1 {
+		os.Exit(3) // degraded: report produced, but evidence is missing
+	}
+}
+
+// serveUntilSignal accepts pushed shard states until SIGINT/SIGTERM or
+// a fatal accept error, with the same readiness-gated shutdown order as
+// actd: /healthz flips first, then the listener stops.
+func serveUntilSignal(ru *shard.Rollup, listen, metrics string) {
+	health := obs.NewHealth()
+	health.SetReady("rollup", false)
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("actrollup: listening on %s\n", ln.Addr())
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := ru.Serve(ln); err != nil {
+			fmt.Fprintln(os.Stderr, "actrollup: serve:", err)
+		}
+	}()
+	health.OnShutdown("serve-stop", func() {
+		ru.Shutdown()
+		<-done
+	})
+	health.SetReady("rollup", true)
+
+	if metrics != "" {
+		reg := obs.NewRegistry()
+		ru.RegisterMetrics(reg)
+		reg.GaugeFunc("act_up", "1 while the process is serving.", func() float64 { return 1 })
+		srv, err := obs.StartServer(metrics, health, reg, obs.Default)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("actrollup: metrics on http://%s/metrics\n", srv.Addr())
+		defer srv.Close()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+	case <-done:
+	}
+	health.Shutdown()
+}
+
+// printRollup writes the completeness header and the ranked report.
+func printRollup(w *os.File, rep *shard.RollupReport, top int) {
+	merged := 0
+	for _, s := range rep.Shards {
+		if s.Merged {
+			merged++
+		}
+	}
+	fmt.Fprintf(w, "rollup: %d/%d shards merged (completeness %.2f)\n",
+		merged, len(rep.Shards), rep.Completeness)
+	for _, s := range rep.Shards {
+		if s.Merged {
+			fmt.Fprintf(w, "  %-16s merged   %d batches, %d sequences, %d runs\n",
+				s.Name, s.Batches, s.Sequences, s.Runs)
+		} else {
+			fmt.Fprintf(w, "  %-16s MISSING  %s\n", s.Name, s.Err)
+		}
+	}
+	rep.Report.Write(w, top)
+}
+
+func saveReport(rep *ranking.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// splitArg parses a "name=path" shard-state argument; a bare path names
+// the shard after its file (base name, extension stripped).
+func splitArg(arg string) (name, path string) {
+	if i := strings.IndexByte(arg, '='); i > 0 {
+		return arg[:i], arg[i+1:]
+	}
+	base := filepath.Base(arg)
+	return strings.TrimSuffix(base, filepath.Ext(base)), arg
+}
+
+func parseStrategy(s string) (ranking.Strategy, error) {
+	switch s {
+	case "most-matched":
+		return ranking.MostMatched, nil
+	case "most-mismatched":
+		return ranking.MostMismatched, nil
+	case "output":
+		return ranking.OutputOnly, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "actrollup:", err)
+	os.Exit(1)
+}

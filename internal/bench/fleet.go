@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"act/internal/core"
+	"act/internal/deps"
+	"act/internal/fleet"
+	"act/internal/fleet/shard"
+	"act/internal/wire"
+)
+
+// Sharded-tier benchmark. The fleet tier's contract is graceful
+// degradation: losing one of N shard collectors mid-ingest must not
+// cost more than a constant factor in ingest throughput or rollup
+// latency — the survivors absorb the re-routed traffic and the rollup
+// merges the dead shard's last snapshot. This experiment measures both
+// sides at 1k and 10k simulated agents on an in-process 4-shard ring:
+// the healthy arm routes every agent's evidence by consistent hash,
+// the failover arm kills one shard halfway through and re-routes the
+// rest to its ring successor. cmd/actbench -exp fleet prints the rows
+// and, with -json, writes BENCH_fleet.json; CI asserts DegradationX
+// stays within budget.
+
+// FleetBudgetX is the acceptance bound: the failover arm's agents/sec
+// and rollup latency must stay within this factor of the healthy arm.
+const FleetBudgetX = 2.0
+
+// fleetBenchShards is the ring size; one shard dies in the failover arm.
+const fleetBenchShards = 4
+
+// FleetRow is one measured configuration.
+type FleetRow struct {
+	Agents       int     `json:"agents"`         // simulated agents (one run each)
+	Shards       int     `json:"shards"`         // ring size
+	Failover     bool    `json:"failover"`       // one shard killed at the halfway mark
+	Batches      int     `json:"batches"`        // shard-routed batches ingested
+	AgentsPerSec float64 `json:"agents_per_sec"` // ingest throughput over the whole arm
+	RollupMs     float64 `json:"rollup_ms"`      // merge all shard states + top-10 ranking
+	Sequences    int     `json:"sequences"`      // distinct sequences in the merged rollup
+	Completeness float64 `json:"completeness"`   // shards merged / shards expected
+	TopSeqLen    int     `json:"top_seq_len"`    // sanity: the top candidate's sequence length
+}
+
+// FleetReport is the JSON document actbench -exp fleet -json emits.
+type FleetReport struct {
+	Shards int        `json:"shards"`
+	Rows   []FleetRow `json:"rows"`
+	// IngestDegradationX is the worst healthy/failover agents-per-sec
+	// ratio across scales; RollupDegradationX the worst failover/healthy
+	// rollup-latency ratio.
+	IngestDegradationX float64 `json:"ingest_degradation_x"`
+	RollupDegradationX float64 `json:"rollup_degradation_x"`
+	// WithinBudget reports both degradation factors <= FleetBudgetX.
+	WithinBudget bool `json:"within_budget"`
+}
+
+// fleetAgentBatch builds agent i's single shipment. Three out of four
+// agents are failing runs logging the shared bug sequence, a shared
+// noise sequence, and one run-unique sequence; the fourth is a correct
+// run logging only the noise, so the rollup's Correct Set prunes it.
+func fleetAgentBatch(i int) *wire.Batch {
+	seq := func(ids ...uint64) deps.Sequence {
+		s := make(deps.Sequence, len(ids))
+		for j, id := range ids {
+			s[j] = deps.Dep{S: id << 4, L: id<<4 + 1, Inter: true}
+		}
+		return s
+	}
+	entry := func(s deps.Sequence, out float64) core.DebugEntry {
+		return core.DebugEntry{Seq: s, Output: out, Mode: core.Testing}
+	}
+	u := uint64(i)
+	b := &wire.Batch{Agent: fmt.Sprintf("a%d", i), Run: 1}
+	if i%4 == 3 {
+		b.Outcome = wire.OutcomeCorrect
+		b.Entries = []core.DebugEntry{entry(seq(4, 5, 6), -0.5)}
+		return b
+	}
+	b.Outcome = wire.OutcomeFailing
+	b.Entries = []core.DebugEntry{
+		entry(seq(1, 2, 3), -1.5),
+		entry(seq(4, 5, 6), -0.5),
+		entry(seq(1000+u, 2000+u, 3000+u), -2.0),
+	}
+	return b
+}
+
+// runFleetArm ingests `agents` simulated agents into a fresh ring of
+// shard collectors, optionally killing one shard at the halfway mark,
+// and then rolls the shard states up into one ranked report.
+func runFleetArm(agents int, failover bool) FleetRow {
+	names := make([]string, fleetBenchShards)
+	collectors := make([]*fleet.Collector, fleetBenchShards)
+	for i := range names {
+		names[i] = fmt.Sprintf("shard%d", i)
+		collectors[i] = fleet.NewCollector(fleet.CollectorConfig{})
+	}
+	ring := shard.NewRing(names, 0)
+	alive := make([]bool, fleetBenchShards)
+	for i := range alive {
+		alive[i] = true
+	}
+	// The dead shard's evidence survives as the state blob it exported
+	// before dying — the same bytes actd snapshots on shutdown.
+	var deadState []byte
+	deadAt, victim := agents/2, 0
+
+	row := FleetRow{Agents: agents, Shards: fleetBenchShards, Failover: failover}
+	sub := make([][]core.DebugEntry, fleetBenchShards)
+	start := time.Now()
+	for i := 0; i < agents; i++ {
+		if failover && i == deadAt {
+			deadState = collectors[victim].ExportState()
+			alive[victim] = false
+		}
+		b := fleetAgentBatch(i)
+		for s := range sub {
+			sub[s] = sub[s][:0]
+		}
+		for _, e := range b.Entries {
+			s := ring.Route(e.Seq.Hash())
+			for !alive[s] {
+				s = ring.Successor(s)
+			}
+			sub[s] = append(sub[s], e)
+		}
+		for s, entries := range sub {
+			if len(entries) == 0 {
+				continue
+			}
+			collectors[s].Ingest(&wire.Batch{
+				Agent: b.Agent, Run: b.Run, Seq: uint64(s),
+				Outcome: b.Outcome, Entries: entries,
+			})
+			row.Batches++
+		}
+	}
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		row.AgentsPerSec = float64(agents) / secs
+	}
+
+	ru := shard.NewRollup(shard.RollupConfig{Expected: names})
+	start = time.Now()
+	for i, c := range collectors {
+		if alive[i] {
+			ru.AddState(names[i], c.ExportState())
+		}
+	}
+	if deadState != nil {
+		ru.AddState(names[victim], deadState)
+	}
+	top := ru.TopK(10)
+	row.RollupMs = float64(time.Since(start).Microseconds()) / 1e3
+	row.Sequences = ru.Collector().Sequences()
+	row.Completeness = ru.Completeness()
+	if len(top) > 0 {
+		row.TopSeqLen = len(top[0].Entry.Seq)
+	}
+	return row
+}
+
+// Fleet measures sharded ingest and rollup with and without one shard
+// failing mid-ingest, at 1k and 10k simulated agents (in-process, so
+// both scales are cheap in either mode). Throughput is noisy at bench
+// scale, so each configuration keeps the best throughput and the best
+// rollup latency over repeated runs before computing the degradation
+// factors — the comparison is about systematic cost, not scheduler
+// jitter.
+func Fleet(m Mode) (*FleetReport, error) {
+	scales := []int{1000, 10000}
+	tries := 3
+	if m == Full {
+		tries = 5
+	}
+	rep := &FleetReport{Shards: fleetBenchShards}
+	best := func(agents int, failover bool) FleetRow {
+		var b FleetRow
+		bestRollup := 0.0
+		for i := 0; i < tries; i++ {
+			r := runFleetArm(agents, failover)
+			if r.AgentsPerSec > b.AgentsPerSec {
+				b = r
+			}
+			if bestRollup == 0 || (r.RollupMs > 0 && r.RollupMs < bestRollup) {
+				bestRollup = r.RollupMs
+			}
+		}
+		b.RollupMs = bestRollup
+		return b
+	}
+	for _, agents := range scales {
+		healthy := best(agents, false)
+		failed := best(agents, true)
+		rep.Rows = append(rep.Rows, healthy, failed)
+		if failed.AgentsPerSec > 0 {
+			if x := healthy.AgentsPerSec / failed.AgentsPerSec; x > rep.IngestDegradationX {
+				rep.IngestDegradationX = x
+			}
+		}
+		if healthy.RollupMs > 0 {
+			if x := failed.RollupMs / healthy.RollupMs; x > rep.RollupDegradationX {
+				rep.RollupDegradationX = x
+			}
+		}
+	}
+	if rep.IngestDegradationX < 1 {
+		rep.IngestDegradationX = 1 // failover arm came out faster: noise floor
+	}
+	if rep.RollupDegradationX < 1 {
+		rep.RollupDegradationX = 1
+	}
+	rep.WithinBudget = rep.IngestDegradationX <= FleetBudgetX &&
+		rep.RollupDegradationX <= FleetBudgetX
+	return rep, nil
+}
+
+// RenderFleet renders the report as a table.
+func RenderFleet(rep *FleetReport) string {
+	out := make([]string, 0, len(rep.Rows))
+	for _, r := range rep.Rows {
+		arm := "healthy"
+		if r.Failover {
+			arm = "failover"
+		}
+		out = append(out, fmt.Sprintf("%d\t%s\t%.0f\t%.2f\t%d\t%.2f",
+			r.Agents, arm, r.AgentsPerSec, r.RollupMs, r.Sequences, r.Completeness))
+	}
+	verdict := "within"
+	if !rep.WithinBudget {
+		verdict = "OVER"
+	}
+	return table("Agents\tArm\tAgents/s\tRollup ms\tSequences\tCompleteness", out) +
+		fmt.Sprintf("(%d shards, one killed mid-ingest in the failover arm; degradation ingest %.2fx, rollup %.2fx, %s the %.1fx budget)\n",
+			rep.Shards, rep.IngestDegradationX, rep.RollupDegradationX, verdict, FleetBudgetX)
+}
+
+// MarshalFleet renders the report as the BENCH_fleet.json bytes.
+func MarshalFleet(rep *FleetReport) ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}

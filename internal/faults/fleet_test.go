@@ -1,0 +1,53 @@
+package faults
+
+import "testing"
+
+// TestFleetCampaignNoEvidenceLost: across seeds, every lossless arm
+// (kill with snapshot, partition, restart) produces a rollup report
+// byte-identical to the never-failed single-collector run, and the
+// lossy arm still produces an annotated report. Run under -race in CI,
+// this is the tentpole invariant of the sharded tier.
+func TestFleetCampaignNoEvidenceLost(t *testing.T) {
+	sawFault := false
+	for _, seed := range []int64{1, 7, 1234} {
+		res, err := RunFleetCampaign(FleetCampaignConfig{Seed: seed, Dir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if n := res.Violations(); n != 0 {
+			t.Fatalf("seed %d: %d invariant violation(s):\n%s", seed, n, res.Render())
+		}
+		if len(res.Rows) != len(AllFleetKinds()) {
+			t.Fatalf("seed %d: %d arms, want %d", seed, len(res.Rows), len(AllFleetKinds()))
+		}
+		for _, row := range res.Rows {
+			if row.Kind != FleetLose && !row.Identical {
+				t.Fatalf("seed %d: lossless arm %s not byte-identical:\n%s",
+					seed, row.Kind, res.Render())
+			}
+			if row.Kind == FleetLose && row.Completeness != 2.0/3.0 {
+				t.Fatalf("seed %d: lose arm completeness = %v", seed, row.Completeness)
+			}
+			if row.Reroutes > 0 || row.DialFails > 0 || row.TimeoutFails > 0 || row.Replayed > 0 {
+				sawFault = true
+			}
+		}
+	}
+	if !sawFault {
+		t.Fatal("no arm across any seed exercised failover; the campaign is injecting nothing")
+	}
+}
+
+func TestParseFleetKinds(t *testing.T) {
+	ks, err := ParseFleetKinds("all")
+	if err != nil || len(ks) != 4 {
+		t.Fatalf("all: %v %v", ks, err)
+	}
+	ks, err = ParseFleetKinds("shard-kill, shard-lose")
+	if err != nil || len(ks) != 2 || ks[0] != FleetKill || ks[1] != FleetLose {
+		t.Fatalf("pair: %v %v", ks, err)
+	}
+	if _, err := ParseFleetKinds("shard-nope"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

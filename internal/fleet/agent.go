@@ -70,6 +70,16 @@ type AgentConfig struct {
 	// errors are classified permanent on top of the given policy.
 	Retry loader.RetryConfig
 
+	// DialTimeout bounds one connection attempt to the collector;
+	// default 5s. Chaos tests shrink it so a dead collector is detected
+	// in milliseconds; slow links raise it.
+	DialTimeout time.Duration
+	// WriteTimeout is the per-write deadline on the collector
+	// connection, matching the collector's ReadTimeout on the other
+	// side; default 2 minutes. A collector that accepts but never reads
+	// fails the ship with a timeout instead of stalling the loop.
+	WriteTimeout time.Duration
+
 	// Dial replaces the TCP dialer (tests, alternate transports).
 	Dial func(addr string) (net.Conn, error)
 }
@@ -93,9 +103,16 @@ func (c AgentConfig) withDefaults() AgentConfig {
 	if c.SpoolMaxBytes <= 0 {
 		c.SpoolMaxBytes = 8 << 20
 	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 2 * time.Minute
+	}
 	if c.Dial == nil {
+		timeout := c.DialTimeout
 		c.Dial = func(addr string) (net.Conn, error) {
-			return net.DialTimeout("tcp", addr, 5*time.Second)
+			return net.DialTimeout("tcp", addr, timeout)
 		}
 	}
 	base := c.Retry.Transient
@@ -119,6 +136,12 @@ type AgentStats struct {
 	SpoolDrops     uint64 // spool resets after exceeding the size cap
 	Dials          uint64 // connection (re)establishments
 	ShipAttempts   uint64 // ship attempts, retries included (attempts - dials = retries after failure)
+
+	// Spool damage observed during replay: a crash mid-append (or disk
+	// corruption) costs the damaged frames, which the replay reader
+	// skips and counts here — the CorruptionReport of the spool path.
+	SpoolBadSpans     uint64 // corrupt spans skipped while replaying the spool
+	SpoolSkippedBytes uint64 // bytes discarded while replaying the spool
 }
 
 // Agent drains a Source and ships batches to the collector. All methods
@@ -191,14 +214,7 @@ func (a *Agent) SpoolBytes() int64 {
 	a.mu.Lock()
 	path := a.cfg.SpoolPath
 	a.mu.Unlock()
-	if path == "" {
-		return 0
-	}
-	fi, err := os.Stat(path)
-	if err != nil {
-		return 0
-	}
-	return fi.Size()
+	return SpoolSize(path)
 }
 
 // Tick drains the source into the bounded queue without shipping.
@@ -323,7 +339,7 @@ func (a *Agent) shipLocked() error {
 				return err
 			}
 			a.conn = conn
-			a.wr = wire.NewWriter(conn)
+			a.wr = wire.NewWriter(DeadlineWriter(conn, a.cfg.WriteTimeout))
 			a.stats.Dials++
 			if err := a.replaySpoolLocked(); err != nil {
 				a.dropConnLocked()
@@ -380,39 +396,20 @@ func (a *Agent) spoolLocked() error {
 	if len(a.queue) == 0 {
 		return nil
 	}
-	if fi, err := os.Stat(a.cfg.SpoolPath); err == nil && fi.Size() > a.cfg.SpoolMaxBytes {
-		os.Remove(a.cfg.SpoolPath)
+	written, reset, err := AppendSpool(a.cfg.SpoolPath, a.cfg.SpoolMaxBytes, a.queue)
+	if reset {
 		a.stats.SpoolDrops++
 	}
-	f, err := os.OpenFile(a.cfg.SpoolPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	fi, err := f.Stat()
-	if err != nil {
-		return err
-	}
-	var wr *wire.Writer
-	if fi.Size() == 0 {
-		wr = wire.NewWriter(f) // fresh spool: full stream with prologue
-	} else {
-		wr = wire.NewRawWriter(f) // appending frames mid-stream
-	}
-	for len(a.queue) > 0 {
-		if err := wr.WriteBatch(a.queue[0]); err != nil {
-			return err
-		}
-		a.queue = a.queue[1:]
-		a.stats.Spooled++
-	}
-	return nil
+	a.queue = a.queue[written:]
+	a.stats.Spooled += uint64(written)
+	return err
 }
 
 // replaySpoolLocked re-ships every batch saved in the spool file over
 // the (fresh) connection, then removes the file. Damage inside the
 // spool — a crash mid-append — costs only the damaged frames, exactly
-// like damage on the wire.
+// like damage on the wire; the skipped spans are surfaced in the
+// SpoolBadSpans/SpoolSkippedBytes counters (per replay attempt).
 //
 //act:locked mu
 func (a *Agent) replaySpoolLocked() error {
@@ -425,6 +422,11 @@ func (a *Agent) replaySpoolLocked() error {
 	}
 	defer f.Close()
 	rd := wire.NewReader(f, 0)
+	defer func() {
+		rep := rd.Report()
+		a.stats.SpoolBadSpans += uint64(rep.BadSpans)
+		a.stats.SpoolSkippedBytes += uint64(rep.SkippedBytes)
+	}()
 	for {
 		b, err := rd.Next()
 		if err != nil {

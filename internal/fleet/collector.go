@@ -249,30 +249,12 @@ func (c *Collector) Report() *ranking.Report {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	keys := make([]uint64, 0, len(c.agg))
-	for k := range c.agg {
-		keys = append(keys, k)
-	}
-	// Deterministic input order for the ranker.
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-
-	n := c.cfg.SeqLen
-	for _, k := range keys {
-		if l := len(c.agg[k].entry.Seq); l > n {
-			n = l
-		}
-	}
-	correct := deps.NewSeqSet(n)
+	keys := c.sortedAggKeysLocked()
+	correct := c.correctSetLocked(keys)
 	var debug []core.DebugEntry
 	runsOf := make(map[uint64]int)
 	for _, k := range keys {
 		agg := c.agg[k]
-		if len(agg.correctRuns) >= c.cfg.CorrectPrune {
-			correct.Add(agg.entry.Seq)
-		}
-		if c.cfg.BaseCorrect != nil && c.cfg.BaseCorrect.Contains(agg.entry.Seq) {
-			correct.Add(agg.entry.Seq)
-		}
 		if len(agg.failRuns) > 0 {
 			debug = append(debug, agg.entry)
 			runsOf[k] = len(agg.failRuns)
@@ -284,6 +266,70 @@ func (c *Collector) Report() *ranking.Report {
 	}
 	rep.WeightByRuns()
 	return rep
+}
+
+// TopK returns the head of the ranking Report would produce — the same
+// Correct-Set pruning, strategy order and cross-run weighting — without
+// materializing and sorting the full candidate list: survivors stream
+// through a ranking.TopK selector, O(n log k). This is the rollup's and
+// the benchmark's fast path; Report remains the full-fidelity one.
+func (c *Collector) TopK(k int) []ranking.Candidate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := c.sortedAggKeysLocked()
+	correct := c.correctSetLocked(keys)
+	sel := ranking.NewTopK(k, c.cfg.Strategy)
+	for _, key := range keys {
+		agg := c.agg[key]
+		if len(agg.failRuns) == 0 || correct.Contains(agg.entry.Seq) {
+			continue
+		}
+		sel.Push(ranking.Candidate{
+			Entry:   agg.entry,
+			Matches: correct.MatchCount(agg.entry.Seq),
+			Runs:    len(agg.failRuns),
+		})
+	}
+	return sel.Candidates()
+}
+
+// sortedAggKeysLocked returns the aggregate's sequence hashes in
+// ascending order — the deterministic iteration order every consumer
+// of the aggregate uses.
+//
+//act:locked mu
+func (c *Collector) sortedAggKeysLocked() []uint64 {
+	keys := make([]uint64, 0, len(c.agg))
+	for k := range c.agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// correctSetLocked builds the Correct Set over the aggregate: sequences
+// logged by enough distinct correct runs, plus any trace-derived
+// BaseCorrect sequences.
+//
+//act:locked mu
+func (c *Collector) correctSetLocked(keys []uint64) *deps.SeqSet {
+	n := c.cfg.SeqLen
+	for _, k := range keys {
+		if l := len(c.agg[k].entry.Seq); l > n {
+			n = l
+		}
+	}
+	correct := deps.NewSeqSet(n)
+	for _, k := range keys {
+		agg := c.agg[k]
+		if len(agg.correctRuns) >= c.cfg.CorrectPrune {
+			correct.Add(agg.entry.Seq)
+		}
+		if c.cfg.BaseCorrect != nil && c.cfg.BaseCorrect.Contains(agg.entry.Seq) {
+			correct.Add(agg.entry.Seq)
+		}
+	}
+	return correct
 }
 
 // ReadFrom ingests one connection's wire stream from r — the transport-
@@ -378,22 +424,34 @@ func (r *deadlineReader) Read(p []byte) (int, error) {
 	return r.conn.Read(p)
 }
 
-// Snapshot state persistence:
+// Collector state persistence and merge:
 //
-//	magic "ACTS" | u16 version=1 | u16 reserved
+//	magic "ACTS" | u16 version=2 | u16 reserved
 //	u32 batch-key count | u64 keys
 //	u32 run count | per run: u64 run key | u8 outcome
 //	u32 aggregate count | per aggregate:
 //	  wire entry | u32 failing-run count | u64 run keys |
 //	  u32 correct-run count | u64 run keys
+//	u32 pending-run count | per run:             (v2; absent in v1)
+//	  u64 run key | u32 hash count | u64 sequence hashes
 //	u32 crc32(everything after the prologue)
 //
-// Pending (outcome-unknown) attributions are re-derived on restart from
-// the runs' recorded outcomes, so they are not persisted.
+// The same bytes serve as the snapshot file and as the shard state a
+// rollup node merges (wire MsgState). Version 2 persists the pending
+// (outcome-unknown) attributions, so evidence from a run still
+// undecided at snapshot time survives a restart and is re-filed when
+// the outcome arrives; version 1 states load without a pending section.
+//
+// Everything in the encoding is sorted, so two collectors holding the
+// same evidence export byte-identical state — and because the per-key
+// merges below are associative, commutative and idempotent (set unions,
+// min-output entry selection), merging shard states in any order, with
+// any overlap from failover re-delivery, converges on the state a
+// single never-failed collector would hold.
 
 const (
 	snapMagic   = "ACTS"
-	snapVersion = 1
+	snapVersion = 2
 )
 
 // Snapshot atomically persists the aggregate state to path (or the
@@ -405,6 +463,16 @@ func (c *Collector) Snapshot(path string) error {
 	if path == "" {
 		return fmt.Errorf("fleet: no snapshot path configured")
 	}
+	tmpPath := path + ".tmp"
+	if err := os.WriteFile(tmpPath, c.ExportState(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmpPath, path)
+}
+
+// ExportState serializes the collector's aggregate state — the
+// checksummed bytes a snapshot file holds and a rollup node merges.
+func (c *Collector) ExportState() []byte {
 	c.mu.Lock()
 	body := c.encodeStateLocked()
 	c.mu.Unlock()
@@ -414,13 +482,7 @@ func (c *Collector) Snapshot(path string) error {
 	out = append(out, body...)
 	var tmp [4]byte
 	binary.LittleEndian.PutUint32(tmp[:], crc32.ChecksumIEEE(body))
-	out = append(out, tmp[:]...)
-
-	tmpPath := path + ".tmp"
-	if err := os.WriteFile(tmpPath, out, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmpPath, path)
+	return append(out, tmp[:]...)
 }
 
 // encodeStateLocked serializes the aggregate for the snapshot file.
@@ -487,23 +549,53 @@ func (c *Collector) encodeStateLocked() []byte {
 			u64(r)
 		}
 	}
+
+	pendRuns := make([]uint64, 0, len(c.pending))
+	for r := range c.pending {
+		pendRuns = append(pendRuns, r)
+	}
+	sort.Slice(pendRuns, func(i, j int) bool { return pendRuns[i] < pendRuns[j] })
+	u32(uint32(len(pendRuns)))
+	for _, r := range pendRuns {
+		u64(r)
+		// The in-memory pending list keeps one element per logged entry;
+		// re-filing is a set insert, so duplicates collapse to a sorted
+		// set here — deterministic bytes, same refile result.
+		set := make(map[uint64]struct{}, len(c.pending[r]))
+		for _, h := range c.pending[r] {
+			set[h] = struct{}{}
+		}
+		hs := sortedU64(set)
+		u32(uint32(len(hs)))
+		for _, h := range hs {
+			u64(h)
+		}
+	}
 	return body
 }
 
-// loadSnapshot restores state saved by Snapshot. Any damage (short
-// file, bad magic, checksum mismatch, truncated body) abandons the load
-// and leaves the collector empty.
-func (c *Collector) loadSnapshot(path string) bool {
-	data, err := os.ReadFile(path)
-	if err != nil || len(data) < 8+4 || string(data[:4]) != snapMagic {
-		return false
+// collectorState is a decoded state blob, detached from any Collector.
+type collectorState struct {
+	seen     map[uint64]struct{}
+	outcomes map[uint64]wire.Outcome
+	agg      map[uint64]*seqAgg
+	pending  map[uint64][]uint64
+}
+
+// decodeState parses bytes produced by ExportState (either version).
+// Any damage — short blob, bad magic, checksum mismatch, truncated
+// body — returns false.
+func decodeState(data []byte) (*collectorState, bool) {
+	if len(data) < 8+4 || string(data[:4]) != snapMagic {
+		return nil, false
 	}
-	if binary.LittleEndian.Uint16(data[4:]) != snapVersion {
-		return false
+	version := binary.LittleEndian.Uint16(data[4:])
+	if version < 1 || version > snapVersion {
+		return nil, false
 	}
 	body, sum := data[8:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
 	if crc32.ChecksumIEEE(body) != sum {
-		return false
+		return nil, false
 	}
 	off := 0
 	need := func(n int) bool { return len(body)-off >= n }
@@ -511,49 +603,52 @@ func (c *Collector) loadSnapshot(path string) bool {
 	u64 := func() uint64 { v := binary.LittleEndian.Uint64(body[off:]); off += 8; return v }
 
 	if !need(4) {
-		return false
+		return nil, false
 	}
 	nSeen := int(u32())
 	if !need(nSeen * 8) {
-		return false
+		return nil, false
 	}
-	seen := make(map[uint64]struct{}, nSeen)
+	st := &collectorState{
+		seen:     make(map[uint64]struct{}, nSeen),
+		outcomes: make(map[uint64]wire.Outcome),
+		agg:      make(map[uint64]*seqAgg),
+		pending:  make(map[uint64][]uint64),
+	}
 	for i := 0; i < nSeen; i++ {
-		seen[u64()] = struct{}{}
+		st.seen[u64()] = struct{}{}
 	}
 
 	if !need(4) {
-		return false
+		return nil, false
 	}
 	nRuns := int(u32())
 	if !need(nRuns * 9) {
-		return false
+		return nil, false
 	}
-	outcomes := make(map[uint64]wire.Outcome, nRuns)
 	for i := 0; i < nRuns; i++ {
 		r := u64()
-		outcomes[r] = wire.Outcome(body[off])
+		st.outcomes[r] = wire.Outcome(body[off])
 		off++
 	}
 
 	if !need(4) {
-		return false
+		return nil, false
 	}
 	nAgg := int(u32())
-	agg := make(map[uint64]*seqAgg, nAgg)
 	for i := 0; i < nAgg; i++ {
 		e, n, err := wire.DecodeEntry(body[off:])
 		if err != nil {
-			return false
+			return nil, false
 		}
 		off += n
 		a := &seqAgg{entry: e}
 		if !need(4) {
-			return false
+			return nil, false
 		}
 		nf := int(u32())
 		if !need(nf * 8) {
-			return false
+			return nil, false
 		}
 		for j := 0; j < nf; j++ {
 			if a.failRuns == nil {
@@ -562,11 +657,11 @@ func (c *Collector) loadSnapshot(path string) bool {
 			a.failRuns[u64()] = struct{}{}
 		}
 		if !need(4) {
-			return false
+			return nil, false
 		}
 		nc := int(u32())
 		if !need(nc * 8) {
-			return false
+			return nil, false
 		}
 		for j := 0; j < nc; j++ {
 			if a.correctRuns == nil {
@@ -574,14 +669,134 @@ func (c *Collector) loadSnapshot(path string) bool {
 			}
 			a.correctRuns[u64()] = struct{}{}
 		}
-		agg[e.Seq.Hash()] = a
+		st.agg[e.Seq.Hash()] = a
+	}
+
+	if version >= 2 {
+		if !need(4) {
+			return nil, false
+		}
+		nPend := int(u32())
+		for i := 0; i < nPend; i++ {
+			if !need(8 + 4) {
+				return nil, false
+			}
+			r := u64()
+			nh := int(u32())
+			if !need(nh * 8) {
+				return nil, false
+			}
+			hs := make([]uint64, 0, nh)
+			for j := 0; j < nh; j++ {
+				hs = append(hs, u64())
+			}
+			st.pending[r] = hs
+		}
 	}
 	if off != len(body) {
+		return nil, false
+	}
+	return st, true
+}
+
+// loadSnapshot restores state saved by Snapshot. Any damage abandons
+// the load and leaves the collector empty.
+func (c *Collector) loadSnapshot(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	st, ok := decodeState(data)
+	if !ok {
 		return false
 	}
 	c.mu.Lock()
-	c.seen, c.outcomes, c.agg = seen, outcomes, agg
-	c.stats.Batches = uint64(len(seen)) // dedup set = batches ever accepted
+	c.seen, c.outcomes, c.agg, c.pending = st.seen, st.outcomes, st.agg, st.pending
+	c.stats.Batches = uint64(len(st.seen)) // dedup set = batches ever accepted
 	c.mu.Unlock()
 	return true
+}
+
+// MergeStats summarizes one merged state blob — the totals the blob
+// itself reported, used for per-shard completeness annotations.
+type MergeStats struct {
+	Batches   int // distinct batch keys the shard had accepted
+	Sequences int // distinct sequences it aggregated
+	Runs      int // distinct runs it had seen
+}
+
+// MergeState unions a peer collector's exported state into this one —
+// how a rollup node folds shard aggregates into the fleet-wide view.
+// Every per-key operation is a set union or a min-output selection, so
+// the merge is associative, commutative and idempotent: shard states
+// may arrive in any order and overlap arbitrarily (failover re-routes
+// the same batch to two shards) without inflating any count. Pending
+// attributions from one shard are re-filed when another shard knew the
+// run's outcome.
+func (c *Collector) MergeState(data []byte) (MergeStats, error) {
+	st, ok := decodeState(data)
+	if !ok {
+		return MergeStats{}, fmt.Errorf("fleet: merge state: damaged or unrecognized blob")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	for k := range st.seen {
+		c.seen[k] = struct{}{}
+	}
+	for k, in := range st.agg {
+		agg, ok := c.agg[k]
+		if !ok {
+			agg = &seqAgg{entry: in.entry}
+			c.agg[k] = agg
+		} else if in.entry.Output < agg.entry.Output {
+			agg.entry = in.entry
+		}
+		for r := range in.failRuns {
+			c.fileRunLocked(agg, r, wire.OutcomeFailing)
+		}
+		for r := range in.correctRuns {
+			c.fileRunLocked(agg, r, wire.OutcomeCorrect)
+		}
+	}
+	for r, hs := range st.pending {
+		c.pending[r] = append(c.pending[r], hs...)
+	}
+	// Outcomes last: a decided outcome beats Unknown (noteOutcomeLocked
+	// re-files the united pending lists); two conflicting decided
+	// outcomes — impossible for a run that truly ran once — resolve to
+	// Failing deterministically, never losing failure evidence.
+	for r, o := range st.outcomes {
+		prev, known := c.outcomes[r]
+		switch {
+		case !known:
+			if o == wire.OutcomeUnknown {
+				c.outcomes[r] = o // record the run; nothing to file yet
+			} else {
+				c.noteOutcomeLocked(r, o) // records and re-files pending
+			}
+		case o == wire.OutcomeUnknown || o == prev:
+			// nothing new
+		case prev == wire.OutcomeUnknown:
+			c.noteOutcomeLocked(r, o)
+		default:
+			c.outcomes[r] = wire.OutcomeFailing
+		}
+	}
+	// Re-file pending evidence for runs this collector had already
+	// decided before the merge.
+	for r, hs := range c.pending {
+		o := c.outcomes[r]
+		if o == wire.OutcomeUnknown {
+			continue
+		}
+		for _, k := range hs {
+			if agg, ok := c.agg[k]; ok {
+				c.fileRunLocked(agg, r, o)
+			}
+		}
+		delete(c.pending, r)
+	}
+	c.stats.Batches = uint64(len(c.seen))
+	return MergeStats{Batches: len(st.seen), Sequences: len(st.agg), Runs: len(st.outcomes)}, nil
 }

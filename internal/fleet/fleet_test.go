@@ -322,6 +322,122 @@ func TestFleetSpoolAndReplay(t *testing.T) {
 	}
 }
 
+// ackLostConn forwards every write and then reports failure, so the
+// agent believes nothing was delivered and replays the whole spool on
+// the next connection.
+type ackLostConn struct{ net.Conn }
+
+func (c *ackLostConn) Write(p []byte) (int, error) {
+	c.Conn.Write(p)
+	return 0, errors.New("injected: ack lost mid-replay")
+}
+
+// TestFleetSpoolTailCorruptionMidReplay: two batches land in the spool
+// during an outage and the file's tail frame is damaged on disk. The
+// first replay connection delivers the surviving batch but dies before
+// acknowledging, forcing a second replay of the same spool. The
+// collector must end up with exactly one copy of the surviving batch
+// (no double-counted sequences), and the loss of the tail batch must
+// surface through the corruption counters rather than vanish silently.
+func TestFleetSpoolTailCorruptionMidReplay(t *testing.T) {
+	spool := filepath.Join(t.TempDir(), "spool.actw")
+	var up atomic.Bool
+	var realAddr atomic.Value // string
+	var replayConns int32
+
+	src := &stubSource{}
+	ag, err := NewAgent(src, AgentConfig{
+		Addr:      "collector:0",
+		Name:      "tail",
+		Run:       7,
+		SpoolPath: spool,
+		Retry:     quickRetry(3),
+		Dial: func(string) (net.Conn, error) {
+			if !up.Load() {
+				return nil, errors.New("injected: collector down")
+			}
+			conn, err := net.DialTimeout("tcp", realAddr.Load().(string), 5*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			if atomic.AddInt32(&replayConns, 1) == 1 {
+				return &ackLostConn{Conn: conn}, nil
+			}
+			return conn, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag.SetOutcome(wire.OutcomeFailing)
+
+	// Outage: batch A (the scenario entries) and batch B (one extra
+	// sequence) both land in the spool, B last.
+	src.push(failingEntries(0)...)
+	if err := ag.Flush(); err == nil {
+		t.Fatal("flush succeeded with collector down")
+	}
+	src.push(entryOf(seqOf(20, 21, 22), -0.9))
+	if err := ag.Flush(); err == nil {
+		t.Fatal("second flush succeeded with collector down")
+	}
+	if st := ag.Stats(); st.Spooled != 2 {
+		t.Fatalf("spooled = %d, want 2", st.Spooled)
+	}
+
+	// Damage the spool's tail frame — B's bytes — as a crash mid-append
+	// or a bad sector would.
+	data, err := os.ReadFile(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x40
+	if err := os.WriteFile(spool, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, addr := startCollector(t, CollectorConfig{})
+	realAddr.Store(addr)
+	up.Store(true)
+	if err := ag.Flush(); err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+	if err := ag.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := ag.Stats()
+	if st.SpoolBadSpans == 0 || st.SpoolSkippedBytes == 0 {
+		t.Fatalf("tail corruption not surfaced: %+v", st)
+	}
+	if _, err := os.Stat(spool); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("spool not removed after replay: %v", err)
+	}
+	if atomic.LoadInt32(&replayConns) < 2 {
+		t.Fatalf("replay was not interrupted: %d connection(s)", replayConns)
+	}
+
+	// The surviving batch was delivered on both replay attempts; dedup
+	// must keep exactly one copy.
+	waitFor(t, "redelivery observed", func() bool { return c.Stats().DupBatches >= 1 })
+	cst := c.Stats()
+	if cst.Batches != 1 {
+		t.Fatalf("collector batches = %d, want 1 (dups %d)", cst.Batches, cst.DupBatches)
+	}
+	rep := c.Report()
+	if rep.RankOf(func(s deps.Sequence) bool { return s.Key() == bugSeq.Key() }) == 0 {
+		t.Fatal("surviving batch missing from report")
+	}
+	for _, cand := range rep.Ranked {
+		if cand.Runs != 1 {
+			t.Fatalf("double-counted sequence %s: runs = %d", cand.Entry.Seq.Key(), cand.Runs)
+		}
+		if cand.Entry.Seq.Key() == seqOf(20, 21, 22).Key() {
+			t.Fatal("corrupt tail batch reached the collector")
+		}
+	}
+}
+
 func TestFleetAgentBackpressure(t *testing.T) {
 	src := &stubSource{}
 	ag, err := NewAgent(src, AgentConfig{

@@ -46,6 +46,12 @@ func RegisterAgentMetrics(r *obs.Registry, get func() *Agent) {
 	r.CounterFunc("act_agent_ship_attempts_total",
 		"Ship attempts including retries; attempts minus shipped batches reflects retry pressure.",
 		func() uint64 { return stats().ShipAttempts })
+	r.CounterFunc("act_agent_spool_bad_spans_total",
+		"Corrupt spans skipped while replaying the spool.",
+		func() uint64 { return stats().SpoolBadSpans })
+	r.CounterFunc("act_agent_spool_skipped_bytes_total",
+		"Bytes discarded while resynchronizing a damaged spool.",
+		func() uint64 { return stats().SpoolSkippedBytes })
 	r.GaugeFunc("act_agent_queue_depth",
 		"Batches waiting in the in-memory queue.",
 		func() float64 {

@@ -1,0 +1,125 @@
+// Package shard scales the fleet tier horizontally: instead of one
+// collector ingesting every agent's batches, evidence is partitioned by
+// consistent hashing of each sequence's hash across N collector shards,
+// and a rollup node merges the shards' exported aggregates into the one
+// cross-fleet ranked report a single collector would have produced.
+//
+// The package is built so that shard failure never loses evidence: the
+// Router detects a dead shard (dial, write or timeout failure), opens a
+// per-shard circuit breaker with capped exponential backoff, re-routes
+// queued and spooled batches to the ring successor, and replays a
+// recovered shard's spool on reconnect — all of it idempotent because
+// the wire dedup key (agent, run, seq) makes redelivery harmless and
+// the collector merge is a set union. The chaos campaign in
+// internal/faults kills, partitions and restarts shards mid-ingest and
+// asserts the merged report is byte-identical to a never-failed
+// single-collector run.
+package shard
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over named shards. Each shard owns
+// Replicas points placed by hashing "name#i"; a key routes to the shard
+// owning the first point at or after the key's hash, wrapping around.
+// Adding or removing one shard moves only the keys on its points — the
+// property that keeps re-sharding churn proportional to 1/N.
+//
+// The ring is immutable after construction and safe for concurrent use.
+type Ring struct {
+	shards []string // sorted unique shard names
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int // index into shards
+}
+
+// DefaultReplicas is the virtual-node count per shard when
+// NewRing is given zero: enough to keep the partition within a few
+// percent of even for small N.
+const DefaultReplicas = 128
+
+// mix64 is a 64-bit finalizer (murmur3's fmix64). FNV-1a over short,
+// near-identical vnode labels ("shard0#17") leaves the high bits — the
+// bits the ring's ordering lives in — poorly spread; the finalizer
+// avalanche fixes the point placement without changing the key side.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// NewRing builds a ring over the given shard names (deduplicated,
+// sorted) with the given number of points per shard (0 means
+// DefaultReplicas). An empty name list yields an empty ring.
+func NewRing(shards []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	uniq := make(map[string]struct{}, len(shards))
+	var names []string
+	for _, s := range shards {
+		if _, dup := uniq[s]; dup {
+			continue
+		}
+		uniq[s] = struct{}{}
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	r := &Ring{shards: names, points: make([]ringPoint, 0, len(names)*replicas)}
+	for i, name := range names {
+		for rep := 0; rep < replicas; rep++ {
+			h := fnv.New64a()
+			h.Write([]byte(name))
+			h.Write([]byte{'#'})
+			h.Write([]byte(strconv.Itoa(rep)))
+			r.points = append(r.points, ringPoint{hash: mix64(h.Sum64()), shard: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r
+}
+
+// Shards returns the shard names in index order (sorted). The returned
+// slice is the ring's own; callers must not mutate it.
+func (r *Ring) Shards() []string { return r.shards }
+
+// Len returns the number of shards.
+func (r *Ring) Len() int { return len(r.shards) }
+
+// Route returns the index of the shard owning key hash h, or -1 for an
+// empty ring.
+func (r *Ring) Route(h uint64) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap
+	}
+	return r.points[i].shard
+}
+
+// Successor returns the failover target after shard i: the next shard
+// in index order, wrapping. With one shard it returns i itself. The
+// Router walks this chain when a delivery target is down, so every
+// shard has one deterministic place its traffic fails over to.
+func (r *Ring) Successor(i int) int {
+	if len(r.shards) == 0 {
+		return -1
+	}
+	return (i + 1) % len(r.shards)
+}

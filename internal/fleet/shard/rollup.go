@@ -1,0 +1,326 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"act/internal/fleet"
+	"act/internal/obs"
+	"act/internal/ranking"
+	"act/internal/wire"
+)
+
+// RollupConfig parameterizes a Rollup.
+type RollupConfig struct {
+	// Collector configures the merged fleet-wide view (strategy,
+	// pruning thresholds, payload caps for the network path). Its
+	// SnapshotPath, when set, persists the merged aggregate.
+	Collector fleet.CollectorConfig
+	// Expected lists the shard names that should report; completeness
+	// is measured against it. Empty means "whoever reports".
+	Expected []string
+	// ReadTimeout bounds silence on pushed-state connections; default
+	// the collector's (2 minutes).
+	ReadTimeout time.Duration
+}
+
+// ShardStatus annotates one shard's contribution to a rollup report.
+type ShardStatus struct {
+	Name      string // shard name
+	Merged    bool   // state arrived and merged cleanly
+	Batches   int    // distinct batch keys the shard reported
+	Sequences int    // distinct sequences it aggregated
+	Runs      int    // distinct runs it saw
+	Err       string // why the shard is missing, when it is
+}
+
+// RollupReport is the fleet-wide ranked report plus the per-shard
+// completeness annotations that make a degraded rollup honest: with K
+// of N shards missing the ranking is still produced, and the header
+// says exactly whose evidence is in it.
+type RollupReport struct {
+	Report       *ranking.Report
+	Shards       []ShardStatus
+	Completeness float64 // merged shards / expected shards (1 when nothing expected)
+}
+
+// Rollup merges shard collector states into one fleet-wide aggregate
+// and ranks it. States arrive either as ExportState blobs handed to
+// AddState (snapshot files, chaos harness) or as MsgState frames pushed
+// over the wire to Serve; batches pushed directly (an agent pointed at
+// the rollup) are ingested too, so a one-shard fleet can skip the
+// sharded tier entirely. All methods are safe for concurrent use.
+type Rollup struct {
+	cfg RollupConfig
+	c   *fleet.Collector // internally locked
+
+	mu     sync.Mutex
+	merged map[string]fleet.MergeStats // guarded by mu
+	failed map[string]string           // guarded by mu; shard -> reason
+
+	lnMu sync.Mutex
+	ln   net.Listener // guarded by lnMu
+}
+
+// NewRollup creates a rollup node.
+func NewRollup(cfg RollupConfig) *Rollup {
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 2 * time.Minute
+	}
+	return &Rollup{
+		cfg:    cfg,
+		c:      fleet.NewCollector(cfg.Collector),
+		merged: make(map[string]fleet.MergeStats),
+		failed: make(map[string]string),
+	}
+}
+
+// Collector exposes the merged aggregate (metrics, snapshots).
+func (r *Rollup) Collector() *fleet.Collector { return r.c }
+
+// AddState merges one shard's exported state. Re-adding the same shard
+// is idempotent by construction of the merge; a damaged blob records
+// the shard as failed and returns the error.
+func (r *Rollup) AddState(shard string, state []byte) error {
+	st, err := r.c.MergeState(state)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		r.failed[shard] = err.Error()
+		return fmt.Errorf("shard %s: %w", shard, err)
+	}
+	r.merged[shard] = st
+	delete(r.failed, shard)
+	return nil
+}
+
+// MarkUnreachable records why a shard's state is missing, for the
+// completeness annotations. A later successful AddState clears it.
+func (r *Rollup) MarkUnreachable(shard, reason string) {
+	r.mu.Lock()
+	if _, ok := r.merged[shard]; !ok {
+		r.failed[shard] = reason
+	}
+	r.mu.Unlock()
+}
+
+// MergedShards returns the number of shards merged so far.
+func (r *Rollup) MergedShards() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.merged)
+}
+
+// Completeness returns merged/expected without building a report —
+// cheap enough for a metrics scrape. With no expected list it is the
+// merged fraction of every shard heard of (1 when none).
+func (r *Rollup) Completeness() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.cfg.Expected) > 0 {
+		n := 0
+		for _, name := range r.cfg.Expected {
+			if _, ok := r.merged[name]; ok {
+				n++
+			}
+		}
+		return float64(n) / float64(len(r.cfg.Expected))
+	}
+	total := len(r.merged) + len(r.failed)
+	if total == 0 {
+		return 1
+	}
+	return float64(len(r.merged)) / float64(total)
+}
+
+// shardMergeSamples snapshots per-shard merge status for the metrics
+// scrape, without building a report.
+func (r *Rollup) shardMergeSamples() []obs.LabeledValue {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.cfg.Expected...)
+	for name := range r.merged {
+		if !contains(names, name) {
+			names = append(names, name)
+		}
+	}
+	for name := range r.failed {
+		if !contains(names, name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]obs.LabeledValue, 0, len(names))
+	for _, name := range names {
+		v := 0.0
+		if _, ok := r.merged[name]; ok {
+			v = 1
+		}
+		out = append(out, obs.LabeledValue{Label: name, Value: v})
+	}
+	return out
+}
+
+// Report builds the fleet-wide ranked report with per-shard
+// completeness annotations.
+func (r *Rollup) Report() *RollupReport {
+	rep := r.c.Report()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.cfg.Expected...)
+	for name := range r.merged {
+		if !contains(names, name) {
+			names = append(names, name)
+		}
+	}
+	for name := range r.failed {
+		if !contains(names, name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	out := &RollupReport{Report: rep, Completeness: 1}
+	mergedCount := 0
+	for _, name := range names {
+		st := ShardStatus{Name: name}
+		if ms, ok := r.merged[name]; ok {
+			st.Merged = true
+			st.Batches, st.Sequences, st.Runs = ms.Batches, ms.Sequences, ms.Runs
+			mergedCount++
+		} else if reason, ok := r.failed[name]; ok {
+			st.Err = reason
+		} else {
+			st.Err = "no state received"
+		}
+		out.Shards = append(out.Shards, st)
+	}
+	if len(r.cfg.Expected) > 0 {
+		expMerged := 0
+		for _, name := range r.cfg.Expected {
+			if _, ok := r.merged[name]; ok {
+				expMerged++
+			}
+		}
+		out.Completeness = float64(expMerged) / float64(len(r.cfg.Expected))
+	} else if len(names) > 0 && mergedCount < len(names) {
+		out.Completeness = float64(mergedCount) / float64(len(names))
+	}
+	return out
+}
+
+// TopK returns the head of the merged ranking via the streaming
+// selector — the fast path for large fleets.
+func (r *Rollup) TopK(k int) []ranking.Candidate { return r.c.TopK(k) }
+
+// IngestStream consumes one connection's wire stream: MsgState frames
+// merge shard states, MsgBatch frames ingest directly. Corruption is
+// skipped frame-wise, exactly as on the shard tier.
+func (r *Rollup) IngestStream(rd io.Reader) (wire.StreamReport, error) {
+	wr := wire.NewReader(rd, r.cfg.Collector.MaxPayload)
+	var err error
+	for {
+		var typ wire.MsgType
+		var payload []byte
+		typ, payload, err = wr.NextFrame()
+		if err != nil {
+			break
+		}
+		switch typ {
+		case wire.MsgState:
+			shard, state, derr := wire.DecodeStateMsg(payload)
+			if derr != nil {
+				continue // frame passed CRC but payload malformed; skip it
+			}
+			r.AddState(shard, state)
+		case wire.MsgBatch:
+			b, derr := wire.DecodeBatch(payload)
+			if derr != nil {
+				continue
+			}
+			r.c.Ingest(b)
+		}
+	}
+	if err == io.EOF {
+		err = nil
+	}
+	return wr.Report(), err
+}
+
+// Serve accepts state-push connections on l until Shutdown.
+func (r *Rollup) Serve(l net.Listener) error {
+	r.lnMu.Lock()
+	r.ln = l
+	r.lnMu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			r.lnMu.Lock()
+			closed := r.ln == nil
+			r.lnMu.Unlock()
+			if closed {
+				return nil // Shutdown
+			}
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			r.IngestStream(&timeoutReader{conn: conn, d: r.cfg.ReadTimeout})
+		}()
+	}
+}
+
+// Shutdown stops Serve; in-flight connections finish at their own pace.
+func (r *Rollup) Shutdown() {
+	r.lnMu.Lock()
+	ln := r.ln
+	r.ln = nil
+	r.lnMu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// PushState dials a rollup node and pushes one shard's state frame —
+// what a shard daemon does on snapshot or shutdown.
+func PushState(addr, shard string, state []byte, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	payload, err := wire.EncodeStateMsg(nil, shard, state)
+	if err != nil {
+		return err
+	}
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	return wire.NewWriter(conn).WriteFrame(wire.MsgState, payload)
+}
+
+// timeoutReader arms a fresh read deadline before every read.
+type timeoutReader struct {
+	conn net.Conn
+	d    time.Duration
+}
+
+func (t *timeoutReader) Read(p []byte) (int, error) {
+	t.conn.SetReadDeadline(time.Now().Add(t.d))
+	return t.conn.Read(p)
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

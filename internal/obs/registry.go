@@ -20,7 +20,16 @@ const (
 	kindHistogram
 	kindCounterFunc
 	kindGaugeFunc
+	kindLabeledGaugeFunc
 )
+
+// LabeledValue is one sample of a labeled series: the label value and
+// the gauge reading for it. A labeled-gauge sampler returns one per
+// member (one per shard, one per breaker, ...).
+type LabeledValue struct {
+	Label string
+	Value float64
+}
 
 // metric is one registered series.
 type metric struct {
@@ -31,6 +40,8 @@ type metric struct {
 	hist       *Histogram
 	cfn        func() uint64
 	gfn        func() float64
+	labelKey   string
+	lfn        func() []LabeledValue
 }
 
 // Registry is a named set of metrics rendered together in Prometheus
@@ -86,7 +97,10 @@ func (r *Registry) register(m *metric) *metric {
 		// Func-backed metrics rebind to the newest closure (a daemon
 		// re-pointing the gauge at a fresh component); instrument-backed
 		// metrics are shared.
-		prev.cfn, prev.gfn = m.cfn, m.gfn
+		prev.cfn, prev.gfn, prev.lfn = m.cfn, m.gfn, m.lfn
+		if m.labelKey != "" {
+			prev.labelKey = m.labelKey
+		}
 		return prev
 	}
 	r.byID[m.name] = m
@@ -136,6 +150,19 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(&metric{name: name, help: help, kind: kindGaugeFunc, gfn: fn})
 }
 
+// LabeledGaugeFunc registers a gauge family sampled from fn at scrape
+// time and rendered one line per returned member as
+// name{labelKey="label"} value — how per-shard series (ring breaker
+// states, per-shard queue depths) share one metric name. fn must be
+// safe to call concurrently; label values are escaped on render.
+// Re-registering a name rebinds it to the new fn.
+func (r *Registry) LabeledGaugeFunc(name, help, labelKey string, fn func() []LabeledValue) {
+	if !validName(labelKey) {
+		panic(fmt.Sprintf("obs: invalid label key %q", labelKey))
+	}
+	r.register(&metric{name: name, help: help, kind: kindLabeledGaugeFunc, labelKey: labelKey, lfn: fn})
+}
+
 // snapshotMetrics copies the metric list so rendering runs without the
 // registry lock (sampled funcs may themselves take component locks).
 func (r *Registry) snapshotMetrics() []*metric {
@@ -176,6 +203,15 @@ func writeMetric(w io.Writer, m *metric) error {
 		_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m.name, m.name, m.gauge.Value())
 	case kindGaugeFunc:
 		_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", m.name, m.name, m.gfn())
+	case kindLabeledGaugeFunc:
+		if _, err = fmt.Fprintf(w, "# TYPE %s gauge\n", m.name); err != nil {
+			return err
+		}
+		for _, lv := range m.lfn() {
+			if _, err = fmt.Fprintf(w, "%s{%s=%q} %g\n", m.name, m.labelKey, lv.Label, lv.Value); err != nil {
+				return err
+			}
+		}
 	case kindHistogram:
 		err = writeHistogram(w, m.name, m.hist.Snapshot())
 	}

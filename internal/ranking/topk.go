@@ -1,0 +1,100 @@
+package ranking
+
+import "container/heap"
+
+// Streaming top-K selection. A rollup node merging many shard
+// aggregates wants the head of the fleet-wide ranking without
+// materializing and sorting every surviving candidate: push each
+// candidate as it streams out of the merged aggregate and read the best
+// K at the end, O(n log k) instead of O(n log n).
+//
+// The order is exactly the one a full Report produces after
+// Resort(strategy) followed by WeightByRuns: cross-run failing-run
+// count descending, then the strategy order, then insertion order.
+// Stable sorts compose into that lexicographic comparator when applied
+// least-significant first, which is what Report does — so TopK's
+// output is the full ranking's prefix, a property the tests pin.
+
+// TopK selects the k best candidates from a pushed stream.
+type TopK struct {
+	k        int
+	strategy Strategy
+	items    topkHeap
+	pushed   uint64 // insertion counter, breaks ties deterministically
+}
+
+// NewTopK returns a selector for the k head candidates under the given
+// strategy with cross-run weighting (WeightByRuns order). k <= 0
+// selects nothing.
+func NewTopK(k int, strategy Strategy) *TopK {
+	return &TopK{k: k, strategy: strategy}
+}
+
+// Push offers one candidate.
+func (t *TopK) Push(c Candidate) {
+	if t.k <= 0 {
+		return
+	}
+	it := topkItem{c: c, ord: t.pushed}
+	t.pushed++
+	if len(t.items.its) < t.k {
+		t.items.strategy = t.strategy
+		heap.Push(&t.items, it)
+		return
+	}
+	// Root is the worst of the current best k; replace it when the new
+	// candidate ranks higher.
+	if topkBetter(t.strategy, it, t.items.its[0]) {
+		t.items.its[0] = it
+		heap.Fix(&t.items, 0)
+	}
+}
+
+// Candidates returns the selected candidates, best first. The selector
+// is drained: it can be reused afterwards.
+func (t *TopK) Candidates() []Candidate {
+	out := make([]Candidate, len(t.items.its))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&t.items).(topkItem).c
+	}
+	return out
+}
+
+// topkBetter reports whether a ranks strictly before b in the composite
+// order: runs descending, strategy order, insertion order.
+func topkBetter(strategy Strategy, a, b topkItem) bool {
+	if a.c.Runs != b.c.Runs {
+		return a.c.Runs > b.c.Runs
+	}
+	if less(strategy, a.c, b.c) {
+		return true
+	}
+	if less(strategy, b.c, a.c) {
+		return false
+	}
+	return a.ord < b.ord
+}
+
+type topkItem struct {
+	c   Candidate
+	ord uint64
+}
+
+// topkHeap is a min-heap under the composite order: the root is the
+// worst retained candidate, the first to be displaced.
+type topkHeap struct {
+	its      []topkItem
+	strategy Strategy
+}
+
+func (h *topkHeap) Len() int           { return len(h.its) }
+func (h *topkHeap) Less(i, j int) bool { return topkBetter(h.strategy, h.its[j], h.its[i]) }
+func (h *topkHeap) Swap(i, j int)      { h.its[i], h.its[j] = h.its[j], h.its[i] }
+func (h *topkHeap) Push(x interface{}) { h.its = append(h.its, x.(topkItem)) }
+func (h *topkHeap) Pop() interface{} {
+	old := h.its
+	n := len(old)
+	it := old[n-1]
+	h.its = old[:n-1]
+	return it
+}

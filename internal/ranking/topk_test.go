@@ -1,0 +1,82 @@
+package ranking
+
+import (
+	"math/rand"
+	"testing"
+
+	"act/internal/core"
+	"act/internal/deps"
+)
+
+// topkCandidates builds a candidate population with colliding runs,
+// matches and outputs so every tier of the composite order is
+// exercised, including full ties resolved by insertion order.
+func topkCandidates(rng *rand.Rand, n int) []Candidate {
+	out := make([]Candidate, n)
+	for i := range out {
+		seq := deps.Sequence{{S: uint64(i) << 4, L: uint64(i)<<4 + 1, Inter: true}}
+		out[i] = Candidate{
+			Entry:   core.DebugEntry{Seq: seq, Output: float64(-(rng.Intn(4))) / 2},
+			Matches: rng.Intn(3),
+			Runs:    rng.Intn(3),
+		}
+	}
+	return out
+}
+
+// TestTopKMatchesFullRanking: for every strategy, the streaming
+// selector's output equals the prefix of the full pipeline — the stable
+// Resort(strategy) followed by WeightByRuns that Collector.Report runs.
+func TestTopKMatchesFullRanking(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, strategy := range []Strategy{MostMatched, MostMismatched, OutputOnly} {
+		for trial := 0; trial < 20; trial++ {
+			cands := topkCandidates(rng, 40)
+
+			full := &Report{Ranked: append([]Candidate(nil), cands...)}
+			full.Resort(strategy)
+			full.WeightByRuns()
+
+			for _, k := range []int{1, 5, 40, 100} {
+				sel := NewTopK(k, strategy)
+				for _, c := range cands {
+					sel.Push(c)
+				}
+				got := sel.Candidates()
+				want := full.Ranked
+				if k < len(want) {
+					want = want[:k]
+				}
+				if len(got) != len(want) {
+					t.Fatalf("strategy %d k=%d: got %d candidates, want %d", strategy, k, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].Entry.Seq.Hash() != want[i].Entry.Seq.Hash() {
+						t.Fatalf("strategy %d k=%d trial %d: rank %d differs:\ngot  %+v\nwant %+v",
+							strategy, k, trial, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTopKZeroAndReuse(t *testing.T) {
+	sel := NewTopK(0, MostMatched)
+	sel.Push(Candidate{})
+	if got := sel.Candidates(); len(got) != 0 {
+		t.Fatalf("k=0 selected %d candidates", len(got))
+	}
+	sel = NewTopK(2, MostMatched)
+	for i := 0; i < 5; i++ {
+		sel.Push(Candidate{Runs: i})
+	}
+	if got := sel.Candidates(); len(got) != 2 || got[0].Runs != 4 || got[1].Runs != 3 {
+		t.Fatalf("top-2 by runs wrong: %+v", got)
+	}
+	// Drained by Candidates: the selector starts over.
+	sel.Push(Candidate{Runs: 9})
+	if got := sel.Candidates(); len(got) != 1 || got[0].Runs != 9 {
+		t.Fatalf("reuse after drain wrong: %+v", got)
+	}
+}

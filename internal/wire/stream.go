@@ -47,11 +47,18 @@ func (wr *Writer) WriteBatch(b *Batch) error {
 	if err != nil {
 		return err
 	}
+	return wr.WriteFrame(MsgBatch, wr.payload)
+}
+
+// WriteFrame frames and writes one payload of the given type — the
+// generic form behind WriteBatch, used for non-batch frames (a shard's
+// MsgState push). The prologue is emitted before the first frame.
+func (wr *Writer) WriteFrame(typ MsgType, payload []byte) error {
 	wr.buf = wr.buf[:0]
 	if !wr.prologue {
 		wr.buf = AppendPrologue(wr.buf)
 	}
-	wr.buf = AppendFrame(wr.buf, MsgBatch, wr.payload)
+	wr.buf = AppendFrame(wr.buf, typ, payload)
 	if _, err := wr.w.Write(wr.buf); err != nil {
 		return err
 	}
@@ -94,7 +101,8 @@ type Reader struct {
 	br         *bufio.Reader
 	maxPayload int
 	rep        StreamReport
-	prologue   bool // already consumed
+	payload    []byte // NextFrame's reusable payload copy
+	prologue   bool   // already consumed
 	inBad      bool
 }
 
@@ -129,19 +137,48 @@ func (rd *Reader) skip(n int) {
 // returns io.EOF; a stream ending inside a frame additionally sets
 // Truncated in the report. Corrupt spans are skipped silently (they are
 // counted in the report); protocol-level errors (wrong magic, unknown
-// version) are returned as errors.
+// version) are returned as errors. Frames of other types — including
+// types this reader does not know — are skipped whole and counted as
+// Unknown, so a batch-only consumer survives a newer peer.
 func (rd *Reader) Next() (*Batch, error) {
+	for {
+		typ, payload, err := rd.NextFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case MsgBatch:
+			b, derr := DecodeBatch(payload)
+			if derr != nil {
+				rd.rep.Unknown++
+				continue
+			}
+			return b, nil
+		case MsgState:
+			rd.rep.Unknown++
+		default:
+			rd.rep.Unknown++
+		}
+	}
+}
+
+// NextFrame returns the next CRC-valid frame: its type and payload.
+// The payload is only valid until the following NextFrame (or Next)
+// call — decode or copy before advancing. Dispatching consumers (a
+// rollup node taking both batches and shard-state pushes) read frames
+// directly; Next wraps this for batch-only consumers.
+func (rd *Reader) NextFrame() (MsgType, []byte, error) {
 	if !rd.prologue {
 		pro := make([]byte, prologueLen)
 		if _, err := io.ReadFull(rd.br, pro); err != nil {
 			rd.rep.Truncated = true
-			return nil, eofOf(err)
+			return 0, nil, eofOf(err)
 		}
 		if string(pro[:4]) != Magic {
-			return nil, ErrBadMagic
+			return 0, nil, ErrBadMagic
 		}
 		if v := binary.LittleEndian.Uint16(pro[4:]); v != Version {
-			return nil, fmt.Errorf("%w %d", ErrBadVersion, v)
+			return 0, nil, fmt.Errorf("%w %d", ErrBadVersion, v)
 		}
 		rd.prologue = true
 	}
@@ -153,7 +190,7 @@ func (rd *Reader) Next() (*Batch, error) {
 				rd.rep.SkippedBytes += int64(len(b))
 				rd.br.Discard(len(b))
 			}
-			return nil, eofOf(err)
+			return 0, nil, eofOf(err)
 		}
 		if b[0] != sync0 || b[1] != sync1 {
 			rd.skip(1)
@@ -162,7 +199,7 @@ func (rd *Reader) Next() (*Batch, error) {
 		hdr, err := rd.br.Peek(frameHdr)
 		if err != nil {
 			rd.rep.Truncated = true
-			return nil, eofOf(err)
+			return 0, nil, eofOf(err)
 		}
 		plen := int(binary.LittleEndian.Uint32(hdr[3:]))
 		if plen > rd.maxPayload {
@@ -175,7 +212,7 @@ func (rd *Reader) Next() (*Batch, error) {
 			// connection Peek blocks until they arrive, so an error here
 			// is a genuine end-of-stream inside a frame.
 			rd.rep.Truncated = true
-			return nil, eofOf(err)
+			return 0, nil, eofOf(err)
 		}
 		body := frame[2 : frameHdr+plen]
 		crc := binary.LittleEndian.Uint32(frame[frameHdr+plen:])
@@ -183,24 +220,14 @@ func (rd *Reader) Next() (*Batch, error) {
 			rd.skip(1)
 			continue
 		}
-		typ, payload := MsgType(body[0]), body[5:]
-		var batch *Batch
-		var derr error
-		switch typ {
-		case MsgBatch:
-			batch, derr = DecodeBatch(payload)
-		default:
-			// A checksummed frame of a type we do not understand: a
-			// newer peer. batch stays nil and the frame is skipped whole.
-		}
+		// Copy the payload out of the bufio window so it survives the
+		// Discard; the buffer is reused across calls.
+		typ := MsgType(body[0])
+		rd.payload = append(rd.payload[:0], body[5:]...)
 		rd.br.Discard(frameHdr + plen + frameTail)
 		rd.rep.Frames++
 		rd.inBad = false
-		if batch == nil || derr != nil {
-			rd.rep.Unknown++
-			continue
-		}
-		return batch, nil
+		return typ, rd.payload, nil
 	}
 }
 

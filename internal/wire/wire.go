@@ -67,6 +67,11 @@ type MsgType byte
 const (
 	// MsgBatch is a drained Debug Buffer batch plus a stats snapshot.
 	MsgBatch MsgType = 1
+	// MsgState is one collector shard's exported aggregate state,
+	// forwarded up the rollup tier: u16 shard-name length | name |
+	// state bytes (the fleet collector's snapshot encoding). Collectors
+	// that predate the rollup tier skip it as an unknown frame.
+	MsgState MsgType = 2
 )
 
 // Outcome labels the run a batch was drained from. Agents start Unknown,
@@ -327,4 +332,31 @@ func AppendPrologue(dst []byte) []byte {
 	var tmp [4]byte
 	binary.LittleEndian.PutUint16(tmp[0:], Version)
 	return append(dst, tmp[:]...)
+}
+
+// EncodeStateMsg serializes a MsgState payload: a shard's name plus its
+// opaque exported aggregate state (the fleet collector's snapshot
+// encoding, checksummed internally).
+func EncodeStateMsg(dst []byte, shard string, state []byte) ([]byte, error) {
+	if len(shard) > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: shard name %d bytes long", len(shard))
+	}
+	var tmp [2]byte
+	binary.LittleEndian.PutUint16(tmp[:], uint16(len(shard)))
+	dst = append(dst, tmp[:]...)
+	dst = append(dst, shard...)
+	return append(dst, state...), nil
+}
+
+// DecodeStateMsg parses a MsgState payload. The returned state aliases
+// p; copy it if the frame buffer will be reused.
+func DecodeStateMsg(p []byte) (shard string, state []byte, err error) {
+	if len(p) < 2 {
+		return "", nil, fmt.Errorf("wire: state payload %d bytes", len(p))
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	if len(p) < 2+n {
+		return "", nil, fmt.Errorf("wire: state payload truncated at %d bytes", len(p))
+	}
+	return string(p[2 : 2+n]), p[2+n:], nil
 }

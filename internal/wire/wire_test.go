@@ -253,6 +253,75 @@ func frameOffsets(data []byte) []int {
 	return out
 }
 
+// TestStateFrameRoundTrip: a mixed stream of MsgState and MsgBatch
+// frames survives the frame-level reader — what a rollup node consumes
+// when a shard daemon pushes its state alongside directly-shipped
+// batches — and a damaged state frame is skipped without derailing the
+// frames after it.
+func TestStateFrameRoundTrip(t *testing.T) {
+	state := []byte("opaque-collector-state-bytes")
+	payload, err := EncodeStateMsg(nil, "shard1", state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testBatch(3, 0, 2)
+
+	var buf bytes.Buffer
+	wr := NewWriter(&buf)
+	if err := wr.WriteFrame(MsgState, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.WriteBatch(b); err != nil {
+		t.Fatal(err)
+	}
+
+	rd := NewReader(bytes.NewReader(buf.Bytes()), 0)
+	typ, p, err := rd.NextFrame()
+	if err != nil || typ != MsgState {
+		t.Fatalf("first frame: type %v, err %v", typ, err)
+	}
+	shard, got, err := DecodeStateMsg(p)
+	if err != nil || shard != "shard1" || !bytes.Equal(got, state) {
+		t.Fatalf("state round trip: shard %q, state %q, err %v", shard, got, err)
+	}
+	typ, p, err = rd.NextFrame()
+	if err != nil || typ != MsgBatch {
+		t.Fatalf("second frame: type %v, err %v", typ, err)
+	}
+	rt, err := DecodeBatch(p)
+	if err != nil || !reflect.DeepEqual(rt, b) {
+		t.Fatalf("batch after state frame damaged: %v", err)
+	}
+	if _, _, err := rd.NextFrame(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+
+	// A bit flip inside the state frame fails its CRC; the reader
+	// resyncs and still delivers the batch behind it.
+	data := append([]byte(nil), buf.Bytes()...)
+	offs := frameOffsets(data)
+	data[offs[0]+frameHdr+4] ^= 0x20
+	rd = NewReader(bytes.NewReader(data), 0)
+	typ, p, err = rd.NextFrame()
+	if err != nil || typ != MsgBatch {
+		t.Fatalf("frame after damaged state: type %v, err %v", typ, err)
+	}
+	if _, err := DecodeBatch(p); err != nil {
+		t.Fatal(err)
+	}
+	if rep := rd.Report(); rep.BadSpans == 0 || rep.SkippedBytes == 0 {
+		t.Fatalf("damage not surfaced: %+v", rep)
+	}
+
+	// Truncated payloads are decode errors, not panics or aliasing bugs.
+	if _, _, err := DecodeStateMsg(payload[:1]); err == nil {
+		t.Fatal("1-byte state payload accepted")
+	}
+	if _, _, err := DecodeStateMsg(payload[:2+3]); err == nil {
+		t.Fatal("truncated shard name accepted")
+	}
+}
+
 func FuzzReaderNeverPanics(f *testing.F) {
 	f.Add(encodeStream(testBatch(1, 0, 3)))
 	f.Add([]byte("ACTW\x01\x00\x00\x00garbage"))
