@@ -112,11 +112,22 @@ var experiments = []experiment{
 		}
 		return bench.RenderFleet(rep), nil
 	}},
+	{"rca", "RCA calibration: verdict accuracy on the labeled bug campaigns", func(m bench.Mode) (string, error) {
+		rep, err := bench.RCA(m)
+		if err != nil {
+			return "", err
+		}
+		if err := writeJSON(bench.MarshalRCA(rep)); err != nil {
+			return "", err
+		}
+		return bench.RenderRCA(rep), nil
+	}},
 }
 
 // jsonPath is the -json destination; empty means no JSON output. The
-// pipeline, obs, and fleet experiments emit JSON (BENCH_pipeline.json /
-// BENCH_obs.json / BENCH_fleet.json, see EXPERIMENTS.md).
+// pipeline, obs, fleet, and rca experiments emit JSON
+// (BENCH_pipeline.json / BENCH_obs.json / BENCH_fleet.json /
+// BENCH_rca.json, see EXPERIMENTS.md).
 var jsonPath string
 
 func writeJSON(b []byte, err error) error {

@@ -8,11 +8,18 @@
 //	actdiag -bug apache
 //	actdiag -bug injected-lu -newcode     # Table VI: train without the new function
 //	actdiag -bug mysql1 -report 10        # show the top 10 ranked sequences
+//	actdiag -bug apache -rca              # structured root-cause verdicts
+//	actdiag -bug apache -json             # machine-readable outcome on stdout
 //	actdiag -bug apache -save apache.rank # persist the ranked report
+//	actdiag -bug apache -rca-out apache.rca # persist the verdict report
 //	actdiag -load apache.rank -strategy output   # re-rank a saved report
+//
+// The exit code gates campaigns: 0 when the root cause ranked, 2 when
+// diagnosis completed without finding it, 1 on errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +27,7 @@ import (
 	"act/internal/diagnose"
 	"act/internal/nn"
 	"act/internal/ranking"
+	"act/internal/rca"
 	"act/internal/train"
 	"act/internal/workloads"
 )
@@ -30,6 +38,9 @@ func main() {
 		newcode  = flag.Bool("newcode", false, "for injected bugs: withhold the injected function from training")
 		report   = flag.Int("report", 5, "ranked sequences to print")
 		full     = flag.Bool("full", false, "paper-scale training budgets")
+		jsonOut  = flag.Bool("json", false, "print the outcome as JSON instead of text")
+		rcaOut   = flag.Bool("rca", false, "print the structured RCA verdicts after the ranking")
+		rcaPath  = flag.String("rca-out", "", "write the RCA verdict report to this file")
 		savePath = flag.String("save", "", "write the ranked report to this file")
 		loadPath = flag.String("load", "", "re-rank a saved report instead of running diagnosis")
 		strategy = flag.String("strategy", "", "with -load: most-matched, most-mismatched, or output")
@@ -81,31 +92,111 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("bug:            %s (%s, %s)\n", b.Name, b.Desc, b.Status)
-	fmt.Printf("trained:        topology %s on %d correct runs (FP %.3f%%)\n",
-		out.Training.Topology(), cfg.TrainRuns, 100*out.Training.Mispred)
-	fmt.Printf("failure:        seed %d (analyzed %d production failure(s))\n",
-		out.FailSeed, out.FailuresTried)
-	fmt.Printf("debug buffer:   %d entries; root cause at position %d (newest first)\n",
-		out.DebugLen, out.DebugPos)
-	fmt.Printf("postprocessing: pruned %.0f%%, %d candidates remain\n",
-		out.FilterPct, out.Candidates)
-	if out.Rank > 0 {
-		fmt.Printf("diagnosis:      root cause ranked #%d\n", out.Rank)
+	if *jsonOut {
+		printJSON(out, cfg)
 	} else {
-		fmt.Printf("diagnosis:      root cause NOT found\n")
+		fmt.Printf("bug:            %s (%s, %s)\n", b.Name, b.Desc, b.Status)
+		fmt.Printf("trained:        topology %s on %d correct runs (FP %.3f%%)\n",
+			out.Training.Topology(), cfg.TrainRuns, 100*out.Training.Mispred)
+		fmt.Printf("failure:        seed %d (analyzed %d production failure(s))\n",
+			out.FailSeed, out.FailuresTried)
+		fmt.Printf("debug buffer:   %d entries; root cause at position %d (newest first)\n",
+			out.DebugLen, out.DebugPos)
+		fmt.Printf("postprocessing: pruned %.0f%%, %d candidates remain\n",
+			out.FilterPct, out.Candidates)
+		if out.Rank > 0 {
+			fmt.Printf("diagnosis:      root cause ranked #%d\n", out.Rank)
+		} else {
+			fmt.Printf("diagnosis:      root cause NOT found\n")
+		}
+		fmt.Println()
+		out.Report.Write(os.Stdout, *report)
+		if *rcaOut {
+			fmt.Println()
+			out.RCA.Write(os.Stdout, *report)
+		}
 	}
-	fmt.Println()
-	out.Report.Write(os.Stdout, *report)
 	if *savePath != "" {
 		if err := saveReport(out.Report, *savePath); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("report saved to %s\n", *savePath)
+		note(*jsonOut, "report saved to %s", *savePath)
+	}
+	if *rcaPath != "" {
+		if err := saveRCA(out.RCA, *rcaPath); err != nil {
+			fatal(err)
+		}
+		note(*jsonOut, "rca report saved to %s", *rcaPath)
 	}
 	if out.Rank == 0 {
 		os.Exit(2)
 	}
+}
+
+// outcomeJSON is the machine-readable shape of a diagnosis, stable for
+// campaign tooling; rca carries the full verdict report.
+type outcomeJSON struct {
+	Bug           string      `json:"bug"`
+	Class         string      `json:"class"`
+	Status        string      `json:"status"`
+	Topology      string      `json:"topology"`
+	Mispred       float64     `json:"mispred"`
+	FailSeed      int64       `json:"fail_seed"`
+	FailuresTried int         `json:"failures_tried"`
+	DebugLen      int         `json:"debug_len"`
+	DebugPos      int         `json:"debug_pos"`
+	FilterPct     float64     `json:"filter_pct"`
+	Candidates    int         `json:"candidates"`
+	Rank          int         `json:"rank"`
+	Found         bool        `json:"found"`
+	RCA           *rca.Report `json:"rca,omitempty"`
+}
+
+func printJSON(out *diagnose.Outcome, cfg diagnose.Config) {
+	doc := outcomeJSON{
+		Bug:           out.Bug.Name,
+		Class:         out.Bug.Class,
+		Status:        out.Bug.Status,
+		Topology:      out.Training.Topology(),
+		Mispred:       out.Training.Mispred,
+		FailSeed:      out.FailSeed,
+		FailuresTried: out.FailuresTried,
+		DebugLen:      out.DebugLen,
+		DebugPos:      out.DebugPos,
+		FilterPct:     out.FilterPct,
+		Candidates:    out.Candidates,
+		Rank:          out.Rank,
+		Found:         out.Rank > 0,
+		RCA:           out.RCA,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(data))
+}
+
+// note prints progress text, diverted to stderr in -json mode so stdout
+// stays a single parseable document.
+func note(jsonMode bool, format string, args ...any) {
+	w := os.Stdout
+	if jsonMode {
+		w = os.Stderr
+	}
+	fmt.Fprintf(w, format+"\n", args...)
+}
+
+// saveRCA persists the verdict report in the ACTV format.
+func saveRCA(rep *rca.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // saveReport persists the ranked report for later re-ranking.

@@ -16,7 +16,10 @@
 // With -listen, actrollup accepts pushed states until SIGINT/SIGTERM
 // and then prints the merged report; file arguments are merged before
 // serving starts. -out additionally saves the ranked report in the
-// acttrain binary format.
+// acttrain binary format. -rca annotates the merged report with
+// structured root-cause verdicts (and -rca-out saves them): shapes and
+// PC-level sites only, since a rollup node has wire evidence but no
+// program symbols.
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"act/internal/fleet/shard"
 	"act/internal/obs"
 	"act/internal/ranking"
+	"act/internal/rca"
 )
 
 func main() {
@@ -44,6 +48,8 @@ func main() {
 		prune    = flag.Int("correct-prune", 1, "correct runs that must log a sequence before it is pruned")
 		strategy = flag.String("strategy", "most-matched", "within-run-count order: most-matched, most-mismatched, output")
 		out      = flag.String("out", "", "also save the ranked report here (acttrain binary format)")
+		rcaFlag  = flag.Bool("rca", false, "annotate the merged report with RCA verdicts")
+		rcaPath  = flag.String("rca-out", "", "also save the RCA verdict report here (ACTV format)")
 	)
 	flag.Parse()
 
@@ -86,6 +92,23 @@ func main() {
 
 	rep := ru.Report()
 	printRollup(os.Stdout, rep, *top)
+	if *rcaFlag || *rcaPath != "" {
+		// Fleet verdicts work from wire evidence alone: no program
+		// provenance, so sites stay at the PC level and lock adjacency
+		// is unknown — still enough to separate defect shapes and rank
+		// components across the fleet.
+		verdicts := rca.Analyze(rep.Report, rca.Provenance{Bug: "fleet", Limit: *top})
+		if *rcaFlag {
+			fmt.Println()
+			verdicts.Write(os.Stdout, *top)
+		}
+		if *rcaPath != "" {
+			if err := saveRCA(verdicts, *rcaPath); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("actrollup: rca report saved to %s\n", *rcaPath)
+		}
+	}
 	if *out != "" {
 		if err := saveReport(rep.Report, *out); err != nil {
 			fatal(err)
@@ -166,6 +189,18 @@ func printRollup(w *os.File, rep *shard.RollupReport, top int) {
 }
 
 func saveReport(rep *ranking.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func saveRCA(rep *rca.Report, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

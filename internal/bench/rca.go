@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"act/internal/faults"
+	"act/internal/nn"
+	"act/internal/rca"
+	"act/internal/train"
+)
+
+// RCA calibration: replay the labeled bug campaigns through the verdict
+// engine and report diagnosis accuracy — the quality counterpart of the
+// overhead benchmarks. Quick mode covers a class-balanced subset of the
+// workloads; full mode replays all eleven real bugs plus the five
+// injected-new-code experiments.
+
+// Accuracy floors CI asserts on the quick set. The quick-set results
+// are deterministic (every pipeline stage is seeded), so the floors sit
+// just below the measured values: kind accuracy and top-1 site 6/7 on
+// the quick set, with top-3 perfect. A regression in the classifier,
+// the ranking, or the pipeline shows up as a floor violation, not a
+// silent drift.
+const (
+	RCAKindFloor = 0.85 // per-run kind accuracy (quick: measured 6/7 ≈ 0.857)
+	RCATop1Floor = 0.85 // top-1 site accuracy (quick: measured 7/7)
+	RCATop3Floor = 0.99 // top-3 site accuracy (quick: measured 7/7)
+)
+
+// rcaQuickBugs is the class-balanced quick subset: two order, two
+// atomicity (one real, one injected new-code), two sequential, plus the
+// known-hard mysql3 (atomicity whose window geometry matches an order
+// violation; see internal/rca classify.go) so the quick run keeps one
+// honest miss in view.
+func rcaQuickBugs() []string {
+	return []string{"aget", "pbzip2", "apache", "mysql3", "injected-lu", "gzip", "ptx"}
+}
+
+// RCAReport is the JSON document actbench -exp rca -json emits
+// (BENCH_rca.json, see EXPERIMENTS.md).
+type RCAReport struct {
+	Bugs  []rca.BugScore  `json:"bugs"`
+	Kinds []rca.KindScore `json:"kinds"`
+
+	KindAccuracy     float64 `json:"kind_accuracy"`
+	Top1Site         float64 `json:"top1_site"`
+	Top3Site         float64 `json:"top3_site"`
+	CalibrationError float64 `json:"calibration_error"`
+
+	KindFloor float64 `json:"kind_floor"`
+	Top1Floor float64 `json:"top1_floor"`
+	Top3Floor float64 `json:"top3_floor"`
+	// WithinFloor reports every accuracy metric at or above its floor.
+	WithinFloor bool `json:"within_floor"`
+}
+
+// RCA runs the calibration harness at the given scale.
+func RCA(m Mode) (*RCAReport, error) {
+	cfg := rca.HarnessConfig{
+		Bugs:    rcaQuickBugs(),
+		NewCode: true,
+		Campaign: faults.CampaignConfig{
+			Seed: 7,
+			Train: train.Config{
+				Ns:              []int{2},
+				Hs:              []int{6},
+				RandomNegatives: 2,
+				Seed:            1,
+				SearchFit:       nn.FitConfig{MaxEpochs: 200, Seed: 1},
+				FinalFit:        nn.FitConfig{MaxEpochs: 1500, Seed: 1, Patience: 400},
+			},
+		},
+	}
+	if m == Full {
+		cfg.Bugs = nil // every real and injected bug
+		cfg.Campaign.Train = train.Config{}
+	}
+	res, err := rca.RunHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &RCAReport{
+		Bugs:             res.Scores,
+		Kinds:            res.Kinds,
+		KindAccuracy:     res.KindAccuracy,
+		Top1Site:         res.Top1Site,
+		Top3Site:         res.Top3Site,
+		CalibrationError: res.ECE,
+		KindFloor:        RCAKindFloor,
+		Top1Floor:        RCATop1Floor,
+		Top3Floor:        RCATop3Floor,
+	}
+	rep.WithinFloor = rep.KindAccuracy >= rep.KindFloor &&
+		rep.Top1Site >= rep.Top1Floor &&
+		rep.Top3Site >= rep.Top3Floor
+	return rep, nil
+}
+
+// RenderRCA formats the calibration report as a fixed-width table.
+func RenderRCA(rep *RCAReport) string {
+	var rows []string
+	for _, s := range rep.Bugs {
+		rows = append(rows, fmt.Sprintf("%s\t%s\t%s\t%d\t%v\t%v\t%.2f",
+			s.Bug, s.TrueName, s.PredName, s.RootRank, s.KindCorrect, s.Top1Site, s.Confidence))
+	}
+	out := table("Bug\tTrue kind\tPredicted\tRank\tKind ok\tTop-1\tConf", rows)
+	var kb strings.Builder
+	for _, k := range rep.Kinds {
+		fmt.Fprintf(&kb, "  %-20s P=%.2f R=%.2f (tp=%d fp=%d fn=%d)\n",
+			k.KindName, k.Precision, k.Recall, k.TP, k.FP, k.FN)
+	}
+	verdict := "within"
+	if !rep.WithinFloor {
+		verdict = "BELOW"
+	}
+	return out + kb.String() +
+		fmt.Sprintf("(kind accuracy %.3f, top-1 site %.3f, top-3 %.3f, calibration error %.3f — %s the %.2f/%.2f/%.2f floors)\n",
+			rep.KindAccuracy, rep.Top1Site, rep.Top3Site, rep.CalibrationError,
+			verdict, rep.KindFloor, rep.Top1Floor, rep.Top3Floor)
+}
+
+// MarshalRCA renders the report as the BENCH_rca.json bytes.
+func MarshalRCA(rep *RCAReport) ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRCAQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs seven labeled diagnosis pipelines")
+	}
+	rep, err := RCA(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Bugs) != len(rcaQuickBugs()) {
+		t.Fatalf("bugs = %d, want %d", len(rep.Bugs), len(rcaQuickBugs()))
+	}
+	// The floors are the CI gate; the quick set must clear them or the
+	// gate is asserting nothing.
+	if !rep.WithinFloor {
+		t.Errorf("quick calibration below floor: kind=%.3f top1=%.3f top3=%.3f",
+			rep.KindAccuracy, rep.Top1Site, rep.Top3Site)
+	}
+	if rep.CalibrationError < 0 || rep.CalibrationError > 0.5 {
+		t.Errorf("calibration error = %.3f", rep.CalibrationError)
+	}
+
+	out := RenderRCA(rep)
+	for _, want := range []string{"Bug", "kind accuracy", "within"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	data, err := MarshalRCA(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded RCAReport
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("BENCH_rca.json does not parse: %v", err)
+	}
+	if decoded.WithinFloor != rep.WithinFloor || len(decoded.Bugs) != len(rep.Bugs) {
+		t.Error("JSON round trip lost fields")
+	}
+}

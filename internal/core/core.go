@@ -179,6 +179,12 @@ func (c Config) breakerThreshold() float64 {
 	return c.MispredThreshold
 }
 
+// TrajDepth is how many recent network outputs a module retains as
+// Debug Buffer provenance: every logged entry carries the output
+// trajectory that led up to it, so offline analysis can tell a verdict
+// the network drifted into from one it snapped to.
+const TrajDepth = 8
+
 // DebugEntry is one Debug Buffer record: a predicted-invalid dependence
 // sequence, the network output that condemned it, and when it happened.
 type DebugEntry struct {
@@ -187,6 +193,12 @@ type DebugEntry struct {
 	At     uint64 // dependence index within this module's stream
 	Mode   Mode   // mode the module was in when it logged the entry
 	Proc   uint16 // processor that logged it; stamped by Tracker.DebugBuffers
+	// Traj is the module's recent output trajectory when the entry was
+	// logged: the last TrajDepth network outputs on this module's
+	// stream, oldest first, ending with the condemning Output. It is
+	// diagnosis evidence, not identity — the wire format does not ship
+	// it, so entries decoded from telemetry carry a nil trajectory.
+	Traj []float64
 }
 
 // Stats aggregates a module's activity counters.
@@ -296,6 +308,14 @@ type Module struct {
 	// ReplayParallel; the owning goroutine remains the sole writer.
 	vc  *verdictCache
 	gen atomic.Uint64
+
+	// Output-trajectory ring: the last TrajDepth network outputs, kept
+	// as Debug Buffer provenance. thead indexes the oldest sample, tcnt
+	// the live count. A fixed array keeps the per-dependence push off
+	// the heap.
+	traj  [TrajDepth]float64
+	thead int
+	tcnt  int
 
 	stats moduleStats
 }
@@ -446,6 +466,7 @@ func (m *Module) OnDep(d deps.Dep) (classified, predictedInvalid bool) {
 	if out <= m.cfg.SaturationEps || out >= 1-m.cfg.SaturationEps {
 		m.satWindow++
 	}
+	m.pushTraj(out)
 
 	invalid := out < 0.5
 	if invalid {
@@ -588,12 +609,36 @@ func (m *Module) weightsFinite() bool {
 	return true
 }
 
+// pushTraj records one network output in the trajectory ring. It runs
+// on every classification, so it must stay allocation-free.
+//
+//act:noalloc
+func (m *Module) pushTraj(out float64) {
+	if m.tcnt < TrajDepth {
+		m.traj[(m.thead+m.tcnt)%TrajDepth] = out
+		m.tcnt++
+		return
+	}
+	m.traj[m.thead] = out
+	m.thead = (m.thead + 1) % TrajDepth
+}
+
+// trajSlice materializes the output trajectory, oldest first. Cold
+// path: it runs only on a Debug Buffer insert.
+func (m *Module) trajSlice() []float64 {
+	out := make([]float64, m.tcnt)
+	for i := 0; i < m.tcnt; i++ {
+		out[i] = m.traj[(m.thead+i)%TrajDepth]
+	}
+	return out
+}
+
 // logDebug appends to the Debug Buffer, dropping the oldest entry when
 // full (it holds only the last few invalid sequences). at is the
 // dependence index of the triggering dependence, captured by the caller
 // from its own counter increment.
 func (m *Module) logDebug(s deps.Sequence, out float64, at uint64) {
-	e := DebugEntry{Seq: s.Clone(), Output: out, At: at, Mode: m.mode}
+	e := DebugEntry{Seq: s.Clone(), Output: out, At: at, Mode: m.mode, Traj: m.trajSlice()}
 	if len(m.debug) < m.cfg.DebugBufSize {
 		m.debug = append(m.debug, e)
 		return

@@ -11,6 +11,7 @@ import (
 	"act/internal/core"
 	"act/internal/deps"
 	"act/internal/ranking"
+	"act/internal/rca"
 	"act/internal/trace"
 	"act/internal/train"
 	"act/internal/workloads"
@@ -75,6 +76,9 @@ type Outcome struct {
 	Rank          int     // final rank of the root cause (0 = not found)
 	Candidates    int     // survivors after pruning
 	Report        *ranking.Report
+	// RCA is the structured verdict report derived from Report with
+	// full provenance (program marks, Debug Buffer, trajectories).
+	RCA *rca.Report
 }
 
 // Diagnose runs the full pipeline for one bug.
@@ -142,6 +146,12 @@ func Diagnose(b workloads.Bug, cfg Config) (*Outcome, error) {
 			Rank:          rep.RankOf(match),
 			Candidates:    len(rep.Ranked),
 			Report:        rep,
+			RCA: rca.Analyze(rep, rca.Provenance{
+				Program:     fail.Program,
+				Debug:       debug,
+				CorrectRuns: cfg.CorrectSetRuns,
+				Bug:         b.Name,
+			}),
 		}
 		if out.Rank > 0 {
 			break

@@ -1,0 +1,96 @@
+package diagnose
+
+import (
+	"testing"
+
+	"act/internal/core"
+	"act/internal/deps"
+	"act/internal/ranking"
+)
+
+// seq builds a window ending in the dependence S→L.
+func seq(pad int, s, l uint64) deps.Sequence {
+	out := make(deps.Sequence, pad)
+	return append(out, deps.Dep{S: s, L: l, Inter: true})
+}
+
+func rootMatch(s, l uint64) func(deps.Sequence) bool {
+	return func(sq deps.Sequence) bool {
+		for _, d := range sq {
+			if d.S == s && d.L == l {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func TestDebugPos(t *testing.T) {
+	match := rootMatch(0x100, 0x200)
+
+	if got := debugPos(nil, match); got != 0 {
+		t.Errorf("empty buffer: pos = %d, want 0", got)
+	}
+	if got := debugPos([]core.DebugEntry{{Seq: seq(1, 9, 9)}}, match); got != 0 {
+		t.Errorf("no match: pos = %d, want 0", got)
+	}
+
+	// Single match in the middle: position counts from the newest end.
+	buf := []core.DebugEntry{
+		{Seq: seq(1, 9, 9), At: 1},
+		{Seq: seq(1, 0x100, 0x200), At: 2},
+		{Seq: seq(1, 8, 8), At: 3},
+	}
+	if got := debugPos(buf, match); got != 2 {
+		t.Errorf("middle match: pos = %d, want 2", got)
+	}
+
+	// Multiple matches: the newest must win. The buffer logs the same
+	// buggy communication repeatedly as execution spirals; the entry
+	// closest to the failure is the one the paper's postprocessing (and
+	// DebugPos) reports.
+	buf = []core.DebugEntry{
+		{Seq: seq(1, 0x100, 0x200), At: 1}, // oldest occurrence
+		{Seq: seq(1, 7, 7), At: 2},
+		{Seq: seq(1, 0x100, 0x200), At: 3}, // newest occurrence
+	}
+	if got := debugPos(buf, match); got != 1 {
+		t.Errorf("newest of multiple matches: pos = %d, want 1", got)
+	}
+}
+
+// TestRootPresentButPruned pins the Outcome shape for the edge case
+// where the root cause reached the Debug Buffer but the Correct Set
+// contains its sequence (e.g. one benign occurrence of the same
+// communication): DebugPos must stay positive while Rank goes to 0 —
+// the two columns must be able to disagree, or present-but-pruned is
+// indistinguishable from never-logged.
+func TestRootPresentButPruned(t *testing.T) {
+	root := seq(1, 0x100, 0x200)
+	match := rootMatch(0x100, 0x200)
+	debug := []core.DebugEntry{
+		{Seq: seq(1, 5, 6), At: 1},
+		{Seq: root, At: 2},
+	}
+
+	correct := deps.NewSeqSet(2)
+	correct.Add(root.Clone())
+	rep := ranking.Rank(debug, correct)
+
+	pos, rank := debugPos(debug, match), rep.RankOf(match)
+	if pos != 1 {
+		t.Errorf("DebugPos = %d, want 1 (root is the newest entry)", pos)
+	}
+	if rank != 0 {
+		t.Errorf("Rank = %d, want 0 (root pruned by the Correct Set)", rank)
+	}
+	if rep.Pruned == 0 {
+		t.Error("report does not count the pruned root")
+	}
+
+	// Control: without the root in the Correct Set it survives and ranks.
+	rep = ranking.Rank(debug, deps.NewSeqSet(2))
+	if rep.RankOf(match) == 0 {
+		t.Error("control: root should rank when not pruned")
+	}
+}

@@ -194,7 +194,7 @@ func RunCampaign(cfg CampaignConfig) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		pipe, err := buildPipeline(b, cfg)
+		pipe, err := BuildPipeline(b, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("faults: %s: %w", name, err)
 		}
@@ -215,14 +215,24 @@ func RunCampaign(cfg CampaignConfig) (*Result, error) {
 	return res, nil
 }
 
-// pipeline holds the per-bug clean artifacts every arm shares.
-type pipeline struct {
-	trained    *train.Result
-	correctSet *deps.SeqSet
-	fail       workloads.Run
+// Pipeline holds the per-bug clean diagnosis artifacts every campaign
+// arm shares: the offline-trained network, the Correct Set, and one
+// production failure. The RCA calibration harness (internal/rca)
+// reuses it as the labeled replay it scores verdicts against — the
+// bug's class and root-cause site are known ground truth.
+type Pipeline struct {
+	Trained    *train.Result
+	CorrectSet *deps.SeqSet
+	// CorrectSetRuns is how many correct executions built CorrectSet —
+	// the evidence base behind every pruning decision.
+	CorrectSetRuns int
+	Fail           workloads.Run
 }
 
-func buildPipeline(b workloads.Bug, cfg CampaignConfig) (*pipeline, error) {
+// BuildPipeline trains on correct executions of the bug, collects the
+// Correct Set, and finds one production failure (never reproduced).
+func BuildPipeline(b workloads.Bug, cfg CampaignConfig) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
 	correct, err := workloads.CollectOutcome(b, false, cfg.TrainRuns+cfg.TestRuns, 0)
 	if err != nil {
 		return nil, fmt.Errorf("collecting training runs: %w", err)
@@ -246,17 +256,18 @@ func buildPipeline(b workloads.Bug, cfg CampaignConfig) (*pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("no failing execution: %w", err)
 	}
-	return &pipeline{
-		trained:    tr,
-		correctSet: deps.CollectSequences(tracesOf(pruneRuns), deps.ExtractorConfig{N: tr.N}),
-		fail:       fails[0],
+	return &Pipeline{
+		Trained:        tr,
+		CorrectSet:     deps.CollectSequences(tracesOf(pruneRuns), deps.ExtractorConfig{N: tr.N}),
+		CorrectSetRuns: cfg.CorrectSetRuns,
+		Fail:           fails[0],
 	}, nil
 }
 
 // arm prepares the faulted replay for one (kind, rate) cell and runs it.
-func (p *pipeline) arm(b workloads.Bug, kind Kind, rate float64, seed int64) Row {
+func (p *Pipeline) arm(b workloads.Bug, kind Kind, rate float64, seed int64) Row {
 	in := New(seed)
-	failTrace := p.fail.Trace
+	failTrace := p.Fail.Trace
 	var row Row
 	var seu func(r trace.Record, m *core.Module)
 
@@ -313,16 +324,17 @@ func (in *Injector) truncateStream(t *trace.Trace, rate float64) (*trace.Trace, 
 	return got, rep.Lost
 }
 
-// run deploys the trained model and replays failTrace (nil = the clean
-// failing trace), applying the per-record module fault if set, then
-// prunes and ranks the Debug Buffer.
-func (p *pipeline) run(b workloads.Bug, failTrace *trace.Trace, seu func(trace.Record, *core.Module)) Row {
+// Deploy replays failTrace (nil = the clean failing trace) through a
+// fresh deployment of the trained weights, applying the per-record
+// module fault if set, and returns the resulting Debug Buffer plus the
+// deployment's stats.
+func (p *Pipeline) Deploy(failTrace *trace.Trace, seu func(trace.Record, *core.Module)) ([]core.DebugEntry, core.Stats) {
 	if failTrace == nil {
-		failTrace = p.fail.Trace
+		failTrace = p.Fail.Trace
 	}
-	tr := p.trained
+	tr := p.Trained
 	binary := core.NewWeightBinary(tr.Net.NIn, tr.Net.NHidden)
-	binary.PatchAll(p.fail.Program.NumThreads(), tr.Net.Flatten(nil))
+	binary.PatchAll(p.Fail.Program.NumThreads(), tr.Net.Flatten(nil))
 	// The bug traces run a few hundred records, two orders of magnitude
 	// below the hardware-default 1000-dependence rate window — at that
 	// cadence no window would ever complete and the weight breaker would
@@ -339,16 +351,32 @@ func (p *pipeline) run(b workloads.Bug, failTrace *trace.Trace, seu func(trace.R
 		}
 		tracker.OnRecord(r)
 	}
-	debug := tracker.DebugBuffers()
-	rep := ranking.Rank(debug, p.correctSet)
-	rank := rep.RankOf(b.Matcher(p.fail.Program))
+	return tracker.DebugBuffers(), tracker.Stats()
+}
+
+// Rank prunes and ranks a deployed Debug Buffer against the pipeline's
+// Correct Set.
+func (p *Pipeline) Rank(debug []core.DebugEntry) *ranking.Report {
+	return ranking.Rank(debug, p.CorrectSet)
+}
+
+// run deploys the trained model and replays failTrace (nil = the clean
+// failing trace), applying the per-record module fault if set, then
+// prunes and ranks the Debug Buffer.
+func (p *Pipeline) run(b workloads.Bug, failTrace *trace.Trace, seu func(trace.Record, *core.Module)) Row {
+	if failTrace == nil {
+		failTrace = p.Fail.Trace
+	}
+	debug, stats := p.Deploy(failTrace, seu)
+	rep := p.Rank(debug)
+	rank := rep.RankOf(b.Matcher(p.Fail.Program))
 	return Row{
 		Detected:   rank > 0,
 		Rank:       rank,
 		DebugLen:   len(debug),
 		Survived:   len(rep.Ranked),
 		RecordsIn:  len(failTrace.Records),
-		Recoveries: tracker.Stats().Recoveries,
+		Recoveries: stats.Recoveries,
 	}
 }
 

@@ -33,15 +33,17 @@ var (
 	ErrReportCRC     = errors.New("ranking: report body fails its checksum")
 )
 
-// Save writes the report. The full candidate state round-trips:
-// LoadReport followed by Resort reproduces any strategy's ordering
-// without access to the Correct Set.
-func (r *Report) Save(w io.Writer) error {
-	body := make([]byte, 0, 64+len(r.Ranked)*64)
+// AppendReport serializes the report body — counts and candidates, no
+// magic, version, or checksum — to dst and returns the extended slice.
+// This is the embeddable form: the RCA verdict format (internal/rca)
+// wraps it inside its own framed file, and Save wraps it in the
+// stand-alone report prologue. Entries' output trajectories
+// (DebugEntry.Traj) are provenance, not identity, and are not encoded.
+func (r *Report) AppendReport(dst []byte) []byte {
 	var tmp [4]byte
 	u32 := func(v uint32) {
 		binary.LittleEndian.PutUint32(tmp[:], v)
-		body = append(body, tmp[:]...)
+		dst = append(dst, tmp[:]...)
 	}
 	u32(uint32(r.Total))
 	u32(uint32(r.Pruned))
@@ -49,12 +51,52 @@ func (r *Report) Save(w io.Writer) error {
 	for _, c := range r.Ranked {
 		u32(uint32(c.Matches))
 		u32(uint32(c.Runs))
-		body = wire.AppendEntry(body, c.Entry)
+		dst = wire.AppendEntry(dst, c.Entry)
 	}
+	return dst
+}
 
+// DecodeReport parses a report body produced by AppendReport, returning
+// the report and the bytes consumed. Trailing bytes are the caller's:
+// an embedding format may continue after the report section.
+func DecodeReport(body []byte) (*Report, int, error) {
+	if len(body) < 12 {
+		return nil, 0, fmt.Errorf("ranking: report body truncated at %d bytes", len(body))
+	}
+	r := &Report{
+		Total:  int(binary.LittleEndian.Uint32(body[0:])),
+		Pruned: int(binary.LittleEndian.Uint32(body[4:])),
+	}
+	count := int(binary.LittleEndian.Uint32(body[8:]))
+	off := 12
+	for i := 0; i < count; i++ {
+		if len(body) < off+8 {
+			return nil, 0, fmt.Errorf("ranking: candidate %d truncated", i)
+		}
+		c := Candidate{
+			Matches: int(binary.LittleEndian.Uint32(body[off:])),
+			Runs:    int(binary.LittleEndian.Uint32(body[off+4:])),
+		}
+		e, n, err := wire.DecodeEntry(body[off+8:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("ranking: candidate %d: %w", i, err)
+		}
+		c.Entry = e
+		off += 8 + n
+		r.Ranked = append(r.Ranked, c)
+	}
+	return r, off, nil
+}
+
+// Save writes the report. The full candidate state round-trips:
+// LoadReport followed by Resort reproduces any strategy's ordering
+// without access to the Correct Set.
+func (r *Report) Save(w io.Writer) error {
+	body := r.AppendReport(make([]byte, 0, 64+len(r.Ranked)*64))
 	out := append([]byte(reportMagic), 0, 0, 0, 0)
 	binary.LittleEndian.PutUint16(out[4:], reportVersion)
 	out = append(out, body...)
+	var tmp [4]byte
 	binary.LittleEndian.PutUint32(tmp[:], crc32.ChecksumIEEE(body))
 	out = append(out, tmp[:]...)
 	_, err := w.Write(out)
@@ -80,28 +122,9 @@ func LoadReport(rd io.Reader) (*Report, error) {
 	if crc32.ChecksumIEEE(body) != sum {
 		return nil, ErrReportCRC
 	}
-
-	r := &Report{
-		Total:  int(binary.LittleEndian.Uint32(body[0:])),
-		Pruned: int(binary.LittleEndian.Uint32(body[4:])),
-	}
-	count := int(binary.LittleEndian.Uint32(body[8:]))
-	off := 12
-	for i := 0; i < count; i++ {
-		if len(body) < off+8 {
-			return nil, fmt.Errorf("ranking: candidate %d truncated", i)
-		}
-		c := Candidate{
-			Matches: int(binary.LittleEndian.Uint32(body[off:])),
-			Runs:    int(binary.LittleEndian.Uint32(body[off+4:])),
-		}
-		e, n, err := wire.DecodeEntry(body[off+8:])
-		if err != nil {
-			return nil, fmt.Errorf("ranking: candidate %d: %w", i, err)
-		}
-		c.Entry = e
-		off += 8 + n
-		r.Ranked = append(r.Ranked, c)
+	r, off, err := DecodeReport(body)
+	if err != nil {
+		return nil, err
 	}
 	if off != len(body) {
 		return nil, fmt.Errorf("ranking: %d trailing bytes after report", len(body)-off)

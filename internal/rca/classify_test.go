@@ -1,0 +1,256 @@
+package rca
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"act/internal/core"
+	"act/internal/deps"
+	"act/internal/isa"
+	"act/internal/program"
+	"act/internal/ranking"
+)
+
+// seqOf builds a window from (thread, idx) endpoint pairs: each triple
+// is {storeThread, storeIdx, loadThread, loadIdx}.
+func dep(st, si, lt, li int) deps.Dep {
+	return deps.Dep{S: isa.PC(st, si), L: isa.PC(lt, li), Inter: st != lt}
+}
+
+func TestClassifyShapes(t *testing.T) {
+	cases := []struct {
+		name  string
+		seq   deps.Sequence
+		kind  DefectKind
+		scope Scope
+	}{
+		{"empty", deps.Sequence{{}, {}, {}}, KindUnknown, ScopeUnknown},
+		{"sequential", deps.Sequence{{}, dep(1, 4, 1, 9), dep(1, 9, 1, 12)}, KindSequential, ScopeIntra},
+		{
+			// Lone remote store into the reader: order-violation shape.
+			"order",
+			deps.Sequence{{}, dep(1, 3, 1, 5), dep(0, 40, 1, 8)},
+			KindOrder, ScopeInter,
+		},
+		{
+			// Check-then-use: two close local loads fed by two close
+			// stores of one remote thread.
+			"atomicity",
+			deps.Sequence{dep(0, 20, 1, 8), dep(0, 24, 1, 11)},
+			KindAtomicity, ScopeInter,
+		},
+		{
+			// Same remote thread but stores a code region apart: two
+			// unrelated communications, not one broken atomic region.
+			"far-stores-order",
+			deps.Sequence{dep(0, 20, 1, 8), dep(0, 60, 1, 11)},
+			KindOrder, ScopeInter,
+		},
+		{
+			// Distinct remote writers racing into a check/use pair (the
+			// apache refcount shape): atomicity regardless of store
+			// distance.
+			"two-writer-atomicity",
+			deps.Sequence{dep(0, 9, 1, 10), dep(2, 15, 1, 13)},
+			KindAtomicity, ScopeInter,
+		},
+		{
+			// Loads from distinct program phases (the pbzip2 shape):
+			// consecutive communications, not one atomic-intent region.
+			"far-loads-order",
+			deps.Sequence{dep(0, 11, 1, 5), dep(0, 26, 1, 12)},
+			KindOrder, ScopeInter,
+		},
+		{
+			// Same load PC twice (a loop re-reading one flag) is not a
+			// check/use pair.
+			"same-load-order",
+			deps.Sequence{dep(0, 20, 1, 8), dep(0, 24, 1, 8)},
+			KindOrder, ScopeInter,
+		},
+	}
+	for _, tc := range cases {
+		kind, scope, _ := classify(tc.seq)
+		if kind != tc.kind || scope != tc.scope {
+			t.Errorf("%s: got %v/%v, want %v/%v", tc.name, kind, scope, tc.kind, tc.scope)
+		}
+	}
+}
+
+// buggyProg is a two-thread program with marks and a lock near thread
+// 0's store region.
+func buggyProg() *program.Program {
+	t0 := make([]isa.Instr, 30)
+	t1 := make([]isa.Instr, 30)
+	t0[18] = isa.Instr{Op: isa.Lock}
+	t0[22] = isa.Instr{Op: isa.Unlock}
+	return &program.Program{
+		Name:    "synthetic",
+		Threads: [][]isa.Instr{t0, t1},
+		Marks: map[string]uint64{
+			"t0.pub":   isa.PC(0, 19),
+			"t0.ret":   isa.PC(0, 21),
+			"t1.check": isa.PC(1, 8),
+		},
+	}
+}
+
+func testReport() *ranking.Report {
+	// Candidate 0: atomicity shape on thread 1 with stores at t0 idx
+	// 20/21 (inside the lock region); candidate 1: sequential.
+	return &ranking.Report{
+		Total:  5,
+		Pruned: 3,
+		Ranked: []ranking.Candidate{
+			{
+				Entry: core.DebugEntry{
+					Seq:    deps.Sequence{dep(0, 20, 1, 8), dep(0, 21, 1, 11)},
+					Output: 0.1, At: 40, Proc: 1,
+					Traj: []float64{0.8, 0.6, 0.1},
+				},
+				Matches: 1,
+			},
+			{
+				Entry: core.DebugEntry{
+					Seq:    deps.Sequence{{}, dep(1, 4, 1, 9)},
+					Output: 0.4, At: 12, Proc: 1,
+				},
+			},
+		},
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	rep := testReport()
+	debug := []core.DebugEntry{
+		{Seq: deps.Sequence{{}, dep(0, 2, 1, 3)}, At: 37, Proc: 1}, // pruned neighbor of candidate 0
+		rep.Ranked[1].Entry,
+		rep.Ranked[0].Entry,
+		{Seq: deps.Sequence{{}, dep(0, 2, 1, 3)}, At: 90, Proc: 1}, // too far away
+	}
+	rpt := Analyze(rep, Provenance{
+		Program:     buggyProg(),
+		Debug:       debug,
+		CorrectRuns: 10,
+		Bug:         "synthetic",
+	})
+	if len(rpt.Verdicts) != 2 {
+		t.Fatalf("verdicts = %d, want 2", len(rpt.Verdicts))
+	}
+	v := rpt.Verdicts[0]
+	if v.Kind != KindAtomicity || v.Scope != ScopeInter {
+		t.Fatalf("top verdict %v/%v, want atomicity/inter", v.Kind, v.Scope)
+	}
+	if !v.LockAdjacent {
+		t.Error("stores sit between Lock/Unlock; want lock-adjacent")
+	}
+	if v.Site.Thread != 1 || v.Site.StorePC != isa.PC(0, 21) || v.Site.LoadPC != isa.PC(1, 11) {
+		t.Errorf("site = %+v", v.Site)
+	}
+	if v.Site.StoreSym != "ret" && v.Site.StoreSym != "t0.ret" {
+		// The mark map stores full "t0.ret" names; symbolize returns them
+		// verbatim.
+		t.Errorf("store sym = %q", v.Site.StoreSym)
+	}
+	if v.Evidence.PrunedNeighbors != 1 {
+		t.Errorf("pruned neighbors = %d, want 1", v.Evidence.PrunedNeighbors)
+	}
+	if len(v.Evidence.Trajectory) != 3 {
+		t.Errorf("trajectory = %v", v.Evidence.Trajectory)
+	}
+	if v.Confidence <= rpt.Verdicts[1].Confidence {
+		t.Errorf("top confidence %.3f not above runner-up %.3f", v.Confidence, rpt.Verdicts[1].Confidence)
+	}
+	if rpt.Verdicts[1].Kind != KindSequential {
+		t.Errorf("runner-up kind = %v, want sequential", rpt.Verdicts[1].Kind)
+	}
+
+	// Determinism: same inputs, same verdicts.
+	again := Analyze(rep, Provenance{Program: buggyProg(), Debug: debug, CorrectRuns: 10, Bug: "synthetic"})
+	if !reflect.DeepEqual(rpt, again) {
+		t.Error("Analyze is not deterministic for identical inputs")
+	}
+}
+
+func TestAnalyzeWithoutProvenance(t *testing.T) {
+	rep := testReport()
+	rpt := Analyze(rep, Provenance{})
+	v := rpt.Verdicts[0]
+	if v.Kind != KindAtomicity {
+		t.Errorf("kind = %v without provenance, want atomicity", v.Kind)
+	}
+	if v.LockAdjacent || v.Site.StoreSym != "" || v.Evidence.PrunedNeighbors != 0 {
+		t.Errorf("provenance-free verdict leaked provenance fields: %+v", v)
+	}
+}
+
+func TestSymbolize(t *testing.T) {
+	p := buggyProg()
+	if got := symbolize(p, isa.PC(0, 19)); got != "t0.pub" {
+		t.Errorf("exact mark: %q", got)
+	}
+	if got := symbolize(p, isa.PC(0, 25)); got != "t0.ret+4" {
+		t.Errorf("offset mark: %q", got)
+	}
+	if got := symbolize(p, isa.PC(1, 2)); got != "" {
+		t.Errorf("before any mark: %q", got)
+	}
+}
+
+func TestAnalyzeLimit(t *testing.T) {
+	rep := testReport()
+	rpt := Analyze(rep, Provenance{Limit: 1})
+	if len(rpt.Verdicts) != 1 {
+		t.Fatalf("verdicts = %d, want 1", len(rpt.Verdicts))
+	}
+}
+
+func TestReportWrite(t *testing.T) {
+	rep := testReport()
+	rpt := Analyze(rep, Provenance{Program: buggyProg(), Bug: "synthetic", CorrectRuns: 10})
+	var sb strings.Builder
+	rpt.Write(&sb, 0)
+	out := sb.String()
+	for _, want := range []string{"atomicity-violation", "lock-adjacent", "conf=", "trajectory:", "correct set from 10 run(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCalibrationError(t *testing.T) {
+	// Perfectly calibrated at the bin level: all 0.9-confidence, 90% correct.
+	conf := make([]float64, 10)
+	correct := make([]bool, 10)
+	for i := range conf {
+		conf[i] = 0.9
+		correct[i] = i != 0
+	}
+	if ece := CalibrationError(conf, correct, 5); ece > 1e-9 {
+		t.Errorf("calibrated set ECE = %f", ece)
+	}
+	// Fully miscalibrated: certain but always wrong.
+	for i := range conf {
+		correct[i] = false
+	}
+	if ece := CalibrationError(conf, correct, 5); ece < 0.89 {
+		t.Errorf("miscalibrated set ECE = %f, want ~0.9", ece)
+	}
+	if CalibrationError(nil, nil, 5) != 0 {
+		t.Error("empty set should have 0 ECE")
+	}
+}
+
+func TestKindOfClass(t *testing.T) {
+	cases := map[string]DefectKind{
+		"order": KindOrder, "atomicity": KindAtomicity,
+		"semantic": KindSequential, "overflow": KindSequential,
+		"???": KindUnknown,
+	}
+	for class, want := range cases {
+		if got := KindOfClass(class); got != want {
+			t.Errorf("KindOfClass(%q) = %v, want %v", class, got, want)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package rca
+
+import "act/internal/ranking"
+
+// Confidence scoring. A verdict's raw score combines the signals the
+// pipeline already computed — rank position, Correct-Set agreement,
+// network-output margin, cross-run support — and a fixed piecewise-
+// linear calibration map squashes the raw score toward the empirical
+// correctness rate the calibration harness measures for scores in that
+// region. The map is data-derived but checked in as a constant: a
+// confidence must mean the same thing in every build, and the harness's
+// expected-calibration-error metric is the regression test that keeps
+// the constant honest.
+
+// Raw-score weights. They sum to 1 so the raw score stays in [0, 1].
+const (
+	wRank   = 0.35 // 1/rank: the ranking strategy's own opinion
+	wMatch  = 0.30 // matched prefix fraction: how long behaviour looked correct
+	wMargin = 0.25 // how far below threshold the condemning output fell
+	wRuns   = 0.10 // cross-run support (saturating)
+)
+
+// rawScore computes the uncalibrated score for ranked candidate i.
+func rawScore(rank, matches, seqLen, runs int, output float64) float64 {
+	s := wRank / float64(rank)
+	if seqLen > 0 {
+		f := float64(matches) / float64(seqLen)
+		if f > 1 {
+			f = 1
+		}
+		s += wMatch * f
+	}
+	// The network condemns below 0.5; an output of 0.0 is maximal
+	// margin, 0.5 is a coin flip.
+	m := (0.5 - output) / 0.5
+	if m < 0 {
+		m = 0
+	} else if m > 1 {
+		m = 1
+	}
+	s += wMargin * m
+	s += wRuns * float64(runs) / float64(runs+2)
+	return s
+}
+
+// calibTable maps raw-score knots to calibrated probabilities. Between
+// knots the map interpolates linearly; outside, it clamps. The knots
+// come from the harness run over all campaigns (EXPERIMENTS.md): raw
+// scores near the top of the range correspond to top-1 verdicts that
+// are nearly always correct, mid-range scores to roughly coin-flip
+// accuracy, and the low range to deep-ranked candidates that rarely
+// name the true site.
+var calibTable = [...][2]float64{
+	{0.00, 0.05},
+	{0.20, 0.12},
+	{0.40, 0.45},
+	{0.55, 0.78},
+	{0.70, 0.85},
+	{0.85, 0.90},
+	{1.00, 0.93},
+}
+
+// calibrate maps a raw score through the calibration table.
+func calibrate(raw float64) float64 {
+	t := calibTable[:]
+	if raw <= t[0][0] {
+		return t[0][1]
+	}
+	for i := 1; i < len(t); i++ {
+		if raw <= t[i][0] {
+			x0, y0 := t[i-1][0], t[i-1][1]
+			x1, y1 := t[i][0], t[i][1]
+			return y0 + (y1-y0)*(raw-x0)/(x1-x0)
+		}
+	}
+	return t[len(t)-1][1]
+}
+
+// confidence scores ranked candidate i of rep. Unknown-kind verdicts
+// (nothing classifiable in the window) are capped low regardless of
+// rank: a verdict that cannot say what or where has no business being
+// confident.
+func confidence(rep *ranking.Report, i int, kind DefectKind) float64 {
+	c := rep.Ranked[i]
+	raw := rawScore(i+1, c.Matches, len(c.Entry.Seq), c.Runs, c.Entry.Output)
+	conf := calibrate(raw)
+	if kind == KindUnknown && conf > 0.2 {
+		conf = 0.2
+	}
+	return conf
+}
+
+// CalibrationError computes the expected calibration error (ECE) of a
+// set of (confidence, was-correct) observations over nbins equal-width
+// bins: the support-weighted mean |accuracy − mean confidence| per bin.
+// 0 is perfectly calibrated; the harness tracks it as a regression
+// metric for calibTable.
+func CalibrationError(conf []float64, correct []bool, nbins int) float64 {
+	if len(conf) == 0 || len(conf) != len(correct) || nbins <= 0 {
+		return 0
+	}
+	sums := make([]float64, nbins)
+	hits := make([]float64, nbins)
+	cnts := make([]float64, nbins)
+	for i, c := range conf {
+		b := int(c * float64(nbins))
+		if b >= nbins {
+			b = nbins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		sums[b] += c
+		cnts[b]++
+		if correct[i] {
+			hits[b]++
+		}
+	}
+	ece := 0.0
+	total := float64(len(conf))
+	for b := 0; b < nbins; b++ {
+		if cnts[b] == 0 {
+			continue
+		}
+		acc := hits[b] / cnts[b]
+		avg := sums[b] / cnts[b]
+		d := acc - avg
+		if d < 0 {
+			d = -d
+		}
+		ece += (cnts[b] / total) * d
+	}
+	return ece
+}

@@ -1,0 +1,53 @@
+package rca
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzLoadRCA throws arbitrary bytes at the verdict-file loader,
+// mirroring ranking's FuzzLoad invariants: Load never panics, and any
+// input it accepts must round-trip — saving the loaded report and
+// loading it again yields the same report. Damaged inputs must come
+// back as errors, not as garbage verdicts.
+func FuzzLoadRCA(f *testing.F) {
+	seeds := []*Report{
+		Analyze(testReport(), Provenance{}),
+		engineReport(),
+		Analyze(testReport(), Provenance{Limit: 1, Bug: "x", CorrectRuns: 3}),
+	}
+	for _, r := range seeds {
+		var buf bytes.Buffer
+		if err := r.Save(&buf); err != nil {
+			f.Fatalf("seed save: %v", err)
+		}
+		f.Add(buf.Bytes())
+		if buf.Len() > 12 {
+			flipped := append([]byte(nil), buf.Bytes()...)
+			flipped[buf.Len()/2] ^= 0x40
+			f.Add(flipped)
+			f.Add(buf.Bytes()[:buf.Len()-5])
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ACTV"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := r.Save(&buf); err != nil {
+			t.Fatalf("re-saving accepted report: %v", err)
+		}
+		r2, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("re-loading re-saved report: %v", err)
+		}
+		if !reflect.DeepEqual(r, r2) {
+			t.Fatalf("round-trip mismatch:\nfirst:  %+v\nsecond: %+v", r, r2)
+		}
+	})
+}

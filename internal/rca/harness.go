@@ -1,0 +1,226 @@
+package rca
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"act/internal/faults"
+	"act/internal/workloads"
+)
+
+// Calibration harness: replay the injected-bug and real-bug campaigns —
+// where the true defect class and root-cause site are known — and score
+// the verdicts the engine emits against that ground truth. The harness
+// is what makes diagnosis *accuracy* a tracked metric: per-kind
+// precision/recall, top-1/top-3 site accuracy, and the expected
+// calibration error of the confidence scores, all deterministic for a
+// fixed config so CI can assert floors.
+
+// HarnessConfig selects the labeled campaigns to replay.
+type HarnessConfig struct {
+	// Bugs are workload names (real bugs or "injected-<kernel>").
+	// Empty means every real and injected bug.
+	Bugs []string
+	// Campaign parameterizes each bug's pipeline (training budgets,
+	// correct-set size, failure seed); zero values take the faults
+	// package defaults.
+	Campaign faults.CampaignConfig
+	// NewCode withholds the injected function from training for
+	// injected-* bugs, the Table VI deployment scenario.
+	NewCode bool
+}
+
+// AllHarnessBugs lists every labeled workload the harness can replay.
+func AllHarnessBugs() []string {
+	var out []string
+	for _, b := range workloads.RealBugs() {
+		out = append(out, b.Name)
+	}
+	for _, ib := range workloads.InjectedBugs() {
+		out = append(out, ib.Name)
+	}
+	return out
+}
+
+// BugScore is one bug's verdict scorecard.
+type BugScore struct {
+	Bug   string `json:"bug"`
+	Class string `json:"class"`
+	// TrueKind/PredKind are the ground-truth and predicted defect
+	// shapes. The prediction is read from the verdict covering the true
+	// root cause when it was ranked (and within the verdict limit),
+	// otherwise from the top verdict — a misranked site should not
+	// excuse a wrong shape, nor hide a right one.
+	TrueKind DefectKind `json:"-"`
+	PredKind DefectKind `json:"-"`
+	TrueName string     `json:"true_kind"`
+	PredName string     `json:"pred_kind"`
+	// RootRank is the true site's rank in the report (0 = missed).
+	RootRank    int  `json:"root_rank"`
+	DebugLen    int  `json:"debug_len"`
+	Candidates  int  `json:"candidates"`
+	KindCorrect bool `json:"kind_correct"`
+	Top1Site    bool `json:"top1_site"`
+	Top3Site    bool `json:"top3_site"`
+	// Confidence is the top verdict's calibrated confidence; its
+	// paired correctness label for the ECE is Top1Site && KindCorrect.
+	Confidence float64 `json:"confidence"`
+}
+
+// KindScore is one defect kind's precision/recall over a harness run.
+type KindScore struct {
+	Kind      DefectKind `json:"-"`
+	KindName  string     `json:"kind"`
+	TP        int        `json:"tp"`
+	FP        int        `json:"fp"`
+	FN        int        `json:"fn"`
+	Precision float64    `json:"precision"`
+	Recall    float64    `json:"recall"`
+}
+
+// HarnessResult aggregates a full calibration run.
+type HarnessResult struct {
+	Scores []BugScore  `json:"bugs"`
+	Kinds  []KindScore `json:"kinds"`
+	// KindAccuracy is the fraction of bugs whose predicted kind matched.
+	KindAccuracy float64 `json:"kind_accuracy"`
+	// Top1Site/Top3Site are the fractions of bugs whose true site was
+	// ranked first / within the top three.
+	Top1Site float64 `json:"top1_site"`
+	Top3Site float64 `json:"top3_site"`
+	// ECE is the expected calibration error of the top-verdict
+	// confidences against top-1 correctness, over 5 bins.
+	ECE float64 `json:"calibration_error"`
+}
+
+// RunHarness replays each configured bug's pipeline, analyzes the
+// ranked report, and scores the verdicts.
+func RunHarness(cfg HarnessConfig) (*HarnessResult, error) {
+	bugs := cfg.Bugs
+	if len(bugs) == 0 {
+		bugs = AllHarnessBugs()
+	}
+	res := &HarnessResult{}
+	var confs []float64
+	var correct []bool
+	for _, name := range bugs {
+		s, conf, ok, err := scoreBug(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Scores = append(res.Scores, s)
+		if ok {
+			confs = append(confs, conf)
+			correct = append(correct, s.Top1Site && s.KindCorrect)
+		}
+	}
+	res.finish(confs, correct)
+	return res, nil
+}
+
+// scoreBug runs one labeled pipeline and scores its report. The third
+// return reports whether a top verdict existed (an empty ranking
+// contributes no calibration pair).
+func scoreBug(name string, cfg HarnessConfig) (BugScore, float64, bool, error) {
+	ccfg := cfg.Campaign
+	b, err := workloads.BugByName(name)
+	if err != nil {
+		return BugScore{}, 0, false, err
+	}
+	if cfg.NewCode && strings.HasPrefix(name, "injected-") {
+		ib, err := workloads.InjectedBugByName(strings.TrimPrefix(name, "injected-"))
+		if err != nil {
+			return BugScore{}, 0, false, err
+		}
+		p, _ := ib.Gen(0)
+		ccfg.Train.Exclude = ib.NewCodeFilter(p)
+		b = ib.Bug
+	}
+	pipe, err := faults.BuildPipeline(b, ccfg)
+	if err != nil {
+		return BugScore{}, 0, false, fmt.Errorf("rca harness: %s: %w", name, err)
+	}
+	debug, _ := pipe.Deploy(nil, nil)
+	rep := pipe.Rank(debug)
+	rpt := Analyze(rep, Provenance{
+		Program:     pipe.Fail.Program,
+		Debug:       debug,
+		CorrectRuns: pipe.CorrectSetRuns,
+		Bug:         name,
+	})
+
+	rank := rep.RankOf(b.Matcher(pipe.Fail.Program))
+	s := BugScore{
+		Bug:        name,
+		Class:      b.Class,
+		TrueKind:   KindOfClass(b.Class),
+		RootRank:   rank,
+		DebugLen:   len(debug),
+		Candidates: len(rep.Ranked),
+		Top1Site:   rank == 1,
+		Top3Site:   rank >= 1 && rank <= 3,
+	}
+	pred := KindUnknown
+	if rank >= 1 && rank <= len(rpt.Verdicts) {
+		pred = rpt.Verdicts[rank-1].Kind
+	} else if top := rpt.Top(); top != nil {
+		pred = top.Kind
+	}
+	s.PredKind = pred
+	s.TrueName, s.PredName = s.TrueKind.String(), s.PredKind.String()
+	s.KindCorrect = pred == s.TrueKind
+	top := rpt.Top()
+	if top == nil {
+		return s, 0, false, nil
+	}
+	s.Confidence = top.Confidence
+	return s, top.Confidence, true, nil
+}
+
+// finish computes the aggregate metrics from the per-bug scores.
+func (r *HarnessResult) finish(confs []float64, correct []bool) {
+	if len(r.Scores) == 0 {
+		return
+	}
+	perKind := map[DefectKind]*KindScore{}
+	at := func(k DefectKind) *KindScore {
+		ks, ok := perKind[k]
+		if !ok {
+			ks = &KindScore{Kind: k, KindName: k.String()}
+			perKind[k] = ks
+		}
+		return ks
+	}
+	nKind, n1, n3 := 0, 0, 0
+	for _, s := range r.Scores {
+		if s.KindCorrect {
+			nKind++
+			at(s.TrueKind).TP++
+		} else {
+			at(s.PredKind).FP++
+			at(s.TrueKind).FN++
+		}
+		if s.Top1Site {
+			n1++
+		}
+		if s.Top3Site {
+			n3++
+		}
+	}
+	total := float64(len(r.Scores))
+	r.KindAccuracy = float64(nKind) / total
+	r.Top1Site = float64(n1) / total
+	r.Top3Site = float64(n3) / total
+	for _, ks := range perKind {
+		if ks.TP+ks.FP > 0 {
+			ks.Precision = float64(ks.TP) / float64(ks.TP+ks.FP)
+		}
+		if ks.TP+ks.FN > 0 {
+			ks.Recall = float64(ks.TP) / float64(ks.TP+ks.FN)
+		}
+		r.Kinds = append(r.Kinds, *ks)
+	}
+	sort.Slice(r.Kinds, func(i, j int) bool { return r.Kinds[i].Kind < r.Kinds[j].Kind })
+	r.ECE = CalibrationError(confs, correct, 5)
+}

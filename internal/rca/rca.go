@@ -1,0 +1,197 @@
+// Package rca turns ranked Debug Buffer sequences into structured,
+// evidence-backed root-cause verdicts. The paper's postprocessing stops
+// at "top-ranked sequence = root cause"; a ranked list is not a
+// diagnosis. For each surviving candidate this package derives a
+// defect-shape classification from the dependence pattern (inter- vs
+// intra-thread, order- vs atomicity-violation shape, lock adjacency), a
+// suspected component (thread, instruction addresses, nearest program
+// marks), a calibrated confidence, and attached evidence: the dependence
+// window itself, the network-output trajectory that condemned it, and
+// how many near-miss neighbors the correct runs eliminated around it.
+//
+// Everything here is deterministic: the same ranked report and
+// provenance always produce byte-identical verdicts, so a report can be
+// regenerated, diffed, and shipped. The calibration harness
+// (harness.go) replays the injected-bug campaigns — where ground-truth
+// kind and site are known — and scores verdict accuracy, which CI
+// asserts alongside overhead budgets.
+package rca
+
+import "fmt"
+
+// DefectKind is the defect-shape classification of one candidate. It is
+// derived purely from the candidate's dependence window, so the same
+// window always classifies the same way. Annotated //act:exhaustive:
+// every switch over a DefectKind must take a position on all kinds, so
+// a new shape cannot be added without the renderer, the serializer, and
+// the harness scorer each handling it.
+//
+//act:exhaustive
+type DefectKind int
+
+const (
+	// KindUnknown: the window carries no usable dependences (all
+	// padding) — nothing to classify.
+	KindUnknown DefectKind = iota
+	// KindOrder: an order violation — the suspected load received a
+	// remote store outside the intended ordering, without the local
+	// check-then-use context an atomicity violation leaves behind.
+	KindOrder
+	// KindAtomicity: an atomicity violation — the window shows a local
+	// check and a nearby local use whose values came from adjacent
+	// remote stores of the same thread: the remote update landed inside
+	// a region the reader assumed atomic.
+	KindAtomicity
+	// KindSequential: every dependence in the window is intra-thread —
+	// single-thread corruption (semantic or overflow bugs), not a
+	// communication race.
+	KindSequential
+)
+
+// kindNames maps kinds to their serialized and rendered names.
+var kindNames = [...]string{
+	KindUnknown:    "unknown",
+	KindOrder:      "order-violation",
+	KindAtomicity:  "atomicity-violation",
+	KindSequential: "sequential",
+}
+
+// String names the kind as reports print it.
+func (k DefectKind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Kinds lists every defect kind in declaration order.
+func Kinds() []DefectKind {
+	return []DefectKind{KindUnknown, KindOrder, KindAtomicity, KindSequential}
+}
+
+// KindOfClass maps a workload bug class (workloads.Bug.Class) onto the
+// kind a correct verdict must carry — the ground-truth side of the
+// calibration harness. The classifier cannot see addresses, so the
+// sequential classes ("semantic", "overflow") collapse into one kind.
+func KindOfClass(class string) DefectKind {
+	switch class {
+	case "order":
+		return KindOrder
+	case "atomicity":
+		return KindAtomicity
+	case "semantic", "overflow":
+		return KindSequential
+	}
+	return KindUnknown
+}
+
+// Scope says whether the suspected dependence crossed threads.
+// Annotated //act:exhaustive like DefectKind.
+//
+//act:exhaustive
+type Scope int
+
+const (
+	// ScopeUnknown: no usable dependence to inspect.
+	ScopeUnknown Scope = iota
+	// ScopeIntra: the suspected store and load ran on the same thread.
+	ScopeIntra
+	// ScopeInter: the suspected store came from another thread.
+	ScopeInter
+)
+
+// String names the scope.
+func (s Scope) String() string {
+	switch s {
+	case ScopeIntra:
+		return "intra-thread"
+	case ScopeInter:
+		return "inter-thread"
+	default:
+		return "unknown"
+	}
+}
+
+// Site is the suspected component: where the defect lives. Instruction
+// addresses are always present; the symbolic names require program
+// provenance and stay empty without it (e.g. verdicts computed on a
+// rollup node from wire entries alone).
+type Site struct {
+	Proc    uint16 `json:"proc"`     // processor/module that logged the candidate
+	Thread  int    `json:"thread"`   // thread executing the suspected load
+	StorePC uint64 `json:"store_pc"` // suspected store instruction
+	LoadPC  uint64 `json:"load_pc"`  // suspected load instruction
+	// StoreSym/LoadSym name the nearest program mark at or before the
+	// instruction, "mark" exactly at it or "mark+k" k instructions past
+	// it — the analog of symbolizing an address against debug info.
+	StoreSym string `json:"store_sym,omitempty"`
+	LoadSym  string `json:"load_sym,omitempty"`
+}
+
+// String renders the site in the paper's S→L notation with symbols when
+// known.
+func (s Site) String() string {
+	out := fmt.Sprintf("t%d %#x→%#x", s.Thread, s.StorePC, s.LoadPC)
+	if s.StoreSym != "" || s.LoadSym != "" {
+		out += fmt.Sprintf(" (%s→%s)", orPC(s.StoreSym, s.StorePC), orPC(s.LoadSym, s.LoadPC))
+	}
+	return out
+}
+
+func orPC(sym string, pc uint64) string {
+	if sym != "" {
+		return sym
+	}
+	return fmt.Sprintf("%#x", pc)
+}
+
+// Evidence is why the system believes a verdict: the raw material an
+// operator checks before acting on it.
+type Evidence struct {
+	// Window is the dependence window that formed the candidate —
+	// shared with the underlying ranked entry, oldest dependence first.
+	Window []EvDep `json:"window"`
+	// Trajectory is the module's recent network outputs when the entry
+	// was logged, oldest first, ending with the condemning output. Nil
+	// when the provenance (e.g. wire-decoded entries) did not carry it.
+	Trajectory []float64 `json:"trajectory,omitempty"`
+	// Matched counts the leading dependences of the window that agree
+	// with the Correct Set — the paper's ranking signal.
+	Matched int `json:"matched"`
+	// Runs counts distinct failing runs that logged this sequence
+	// (fleet aggregation); 0 in single-run reports.
+	Runs int `json:"runs,omitempty"`
+	// PrunedNeighbors counts Debug Buffer entries logged by the same
+	// module within a few dependences of this one that the correct runs
+	// eliminated: near-misses whose absence from the final ranking is
+	// itself evidence the survivor is the anomaly.
+	PrunedNeighbors int `json:"pruned_neighbors"`
+}
+
+// EvDep is one dependence of an evidence window, JSON-friendly.
+type EvDep struct {
+	S     uint64 `json:"s"`
+	L     uint64 `json:"l"`
+	Inter bool   `json:"inter,omitempty"`
+}
+
+// Verdict is one candidate's structured diagnosis.
+type Verdict struct {
+	// Rank is the candidate's 1-based position in the underlying ranked
+	// report.
+	Rank int        `json:"rank"`
+	Kind DefectKind `json:"-"`
+	// KindName mirrors Kind for JSON consumers.
+	KindName string `json:"kind"`
+	Scope    Scope  `json:"-"`
+	// ScopeName mirrors Scope for JSON consumers.
+	ScopeName string `json:"scope"`
+	// LockAdjacent reports synchronization (lock/unlock/atomic)
+	// instructions within a few instructions of the suspected store or
+	// load — a race next to a lock usually means the wrong lock, or the
+	// right lock around the wrong region.
+	LockAdjacent bool     `json:"lock_adjacent"`
+	Site         Site     `json:"site"`
+	Confidence   float64  `json:"confidence"`
+	Evidence     Evidence `json:"evidence"`
+}

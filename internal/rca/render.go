@@ -1,0 +1,51 @@
+package rca
+
+import (
+	"fmt"
+	"io"
+)
+
+// Write renders the report as the human-readable verdict listing
+// actdiag and actrollup print. limit caps the verdicts shown; 0 shows
+// all of them.
+func (r *Report) Write(w io.Writer, limit int) {
+	hdr := "rca"
+	if r.Bug != "" {
+		hdr += " " + r.Bug
+	}
+	fmt.Fprintf(w, "%s: %d entries, %d pruned, %d verdict(s)", hdr, r.Total, r.Pruned, len(r.Verdicts))
+	if r.CorrectRuns > 0 {
+		fmt.Fprintf(w, ", correct set from %d run(s)", r.CorrectRuns)
+	}
+	fmt.Fprintln(w)
+	for i, v := range r.Verdicts {
+		if limit > 0 && i >= limit {
+			fmt.Fprintf(w, "... %d more\n", len(r.Verdicts)-limit)
+			break
+		}
+		v.write(w)
+	}
+}
+
+// write renders one verdict as an indented block.
+func (v *Verdict) write(w io.Writer) {
+	lock := ""
+	if v.LockAdjacent {
+		lock = ", lock-adjacent"
+	}
+	fmt.Fprintf(w, "%3d. %s (%s%s) conf=%.2f\n", v.Rank, v.Kind, v.Scope, lock, v.Confidence)
+	fmt.Fprintf(w, "     site: %s\n", v.Site)
+	fmt.Fprintf(w, "     evidence: matched=%d", v.Evidence.Matched)
+	if v.Evidence.Runs > 0 {
+		fmt.Fprintf(w, " runs=%d", v.Evidence.Runs)
+	}
+	fmt.Fprintf(w, " pruned-neighbors=%d window=%d dep(s)\n",
+		v.Evidence.PrunedNeighbors, len(v.Evidence.Window))
+	if len(v.Evidence.Trajectory) > 0 {
+		fmt.Fprintf(w, "     trajectory:")
+		for _, o := range v.Evidence.Trajectory {
+			fmt.Fprintf(w, " %.3f", o)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,299 @@
+package rca
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"act/internal/ranking"
+)
+
+// Verdict-file persistence. An RCA report is the artifact collectors
+// ship upward, so it needs the same treatment ranking reports got: a
+// framed, checksummed, versioned binary form that round-trips exactly.
+// The ranking body embeds via ranking.AppendReport/DecodeReport; each
+// verdict then references its candidate by rank, so dependence windows
+// are stored once (inside the ranking body) and reconstructed on load.
+//
+//	magic "ACTV" | u16 version=1 | u16 reserved
+//	u8 bug-name length | bug name
+//	u32 correct runs
+//	u32 ranking-body length | ranking body (ranking.AppendReport)
+//	u32 verdict count
+//	per verdict:
+//	  u32 rank | u8 kind | u8 scope | u8 lock-adjacent
+//	  u16 proc | u32 thread | u64 store PC | u64 load PC
+//	  u8 store-sym length | store sym | u8 load-sym length | load sym
+//	  f64 confidence
+//	  u32 matched | u32 runs | u32 pruned neighbors
+//	  u8 trajectory length | f64 per sample
+//	u32 crc32(everything after the magic/version prologue)
+//
+// Trajectories are serialized per verdict because the embedded ranking
+// body (the wire entry codec) deliberately does not carry them.
+
+const (
+	verdictMagic   = "ACTV"
+	verdictVersion = 1
+)
+
+// Verdict-file errors.
+var (
+	ErrVerdictMagic   = errors.New("rca: not a verdict file")
+	ErrVerdictVersion = errors.New("rca: unsupported verdict-file version")
+	ErrVerdictCRC     = errors.New("rca: verdict body fails its checksum")
+)
+
+// appendBody serializes everything between the prologue and the CRC.
+func (r *Report) appendBody(dst []byte) ([]byte, error) {
+	var tmp [8]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		dst = append(dst, tmp[:4]...)
+	}
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		dst = append(dst, tmp[:]...)
+	}
+	str8 := func(s string) error {
+		if len(s) > 255 {
+			return fmt.Errorf("rca: string %q exceeds 255 bytes", s[:16]+"…")
+		}
+		dst = append(dst, byte(len(s)))
+		dst = append(dst, s...)
+		return nil
+	}
+	if err := str8(r.Bug); err != nil {
+		return nil, err
+	}
+	u32(uint32(r.CorrectRuns))
+	ranked := r.Ranked
+	if ranked == nil {
+		ranked = &ranking.Report{Total: r.Total, Pruned: r.Pruned}
+	}
+	body := ranked.AppendReport(nil)
+	u32(uint32(len(body)))
+	dst = append(dst, body...)
+	u32(uint32(len(r.Verdicts)))
+	for i, v := range r.Verdicts {
+		if v.Rank < 1 || v.Rank > len(ranked.Ranked) {
+			return nil, fmt.Errorf("rca: verdict %d has rank %d outside ranked set of %d", i, v.Rank, len(ranked.Ranked))
+		}
+		u32(uint32(v.Rank))
+		dst = append(dst, byte(v.Kind), byte(v.Scope), b2u8(v.LockAdjacent))
+		binary.LittleEndian.PutUint16(tmp[:2], v.Site.Proc)
+		dst = append(dst, tmp[:2]...)
+		u32(uint32(v.Site.Thread))
+		u64(v.Site.StorePC)
+		u64(v.Site.LoadPC)
+		if err := str8(v.Site.StoreSym); err != nil {
+			return nil, err
+		}
+		if err := str8(v.Site.LoadSym); err != nil {
+			return nil, err
+		}
+		u64(math.Float64bits(v.Confidence))
+		u32(uint32(v.Evidence.Matched))
+		u32(uint32(v.Evidence.Runs))
+		u32(uint32(v.Evidence.PrunedNeighbors))
+		if len(v.Evidence.Trajectory) > 255 {
+			return nil, fmt.Errorf("rca: verdict %d trajectory of %d samples exceeds 255", i, len(v.Evidence.Trajectory))
+		}
+		dst = append(dst, byte(len(v.Evidence.Trajectory)))
+		for _, o := range v.Evidence.Trajectory {
+			u64(math.Float64bits(o))
+		}
+	}
+	return dst, nil
+}
+
+func b2u8(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Save writes the report in the framed verdict format. Save is
+// canonical for engine-produced reports: saving, loading, and saving
+// again yields byte-identical output.
+func (r *Report) Save(w io.Writer) error {
+	body, err := r.appendBody(make([]byte, 0, 256+len(r.Verdicts)*128))
+	if err != nil {
+		return err
+	}
+	out := append([]byte(verdictMagic), 0, 0, 0, 0)
+	binary.LittleEndian.PutUint16(out[4:], verdictVersion)
+	out = append(out, body...)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], crc32.ChecksumIEEE(body))
+	out = append(out, tmp[:]...)
+	_, err = w.Write(out)
+	return err
+}
+
+// Load reads a report written by Save, verifying the checksum and every
+// enum and rank reference. Verdict windows are reconstructed from the
+// embedded ranking body; trajectories come from the verdict records.
+func Load(rd io.Reader) (*Report, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 8+1+4+4+4+4 {
+		return nil, fmt.Errorf("%w (only %d bytes)", ErrVerdictMagic, len(data))
+	}
+	if string(data[:4]) != verdictMagic {
+		return nil, ErrVerdictMagic
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != verdictVersion {
+		return nil, fmt.Errorf("%w %d", ErrVerdictVersion, v)
+	}
+	body, sum := data[8:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, ErrVerdictCRC
+	}
+	return decodeBody(body)
+}
+
+func decodeBody(body []byte) (*Report, error) {
+	off := 0
+	need := func(n int, what string) error {
+		if len(body)-off < n {
+			return fmt.Errorf("rca: verdict file truncated in %s", what)
+		}
+		return nil
+	}
+	rdU32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(body[off:])
+		off += 4
+		return v
+	}
+	rdU64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(body[off:])
+		off += 8
+		return v
+	}
+	rdStr8 := func(what string) (string, error) {
+		if err := need(1, what); err != nil {
+			return "", err
+		}
+		n := int(body[off])
+		off++
+		if err := need(n, what); err != nil {
+			return "", err
+		}
+		s := string(body[off : off+n])
+		off += n
+		return s, nil
+	}
+
+	r := &Report{}
+	var err error
+	if r.Bug, err = rdStr8("bug name"); err != nil {
+		return nil, err
+	}
+	if err := need(8, "header"); err != nil {
+		return nil, err
+	}
+	r.CorrectRuns = int(rdU32())
+	rlen := int(rdU32())
+	if err := need(rlen, "ranking body"); err != nil {
+		return nil, err
+	}
+	ranked, n, err := ranking.DecodeReport(body[off : off+rlen])
+	if err != nil {
+		return nil, err
+	}
+	if n != rlen {
+		return nil, fmt.Errorf("rca: %d trailing bytes in ranking body", rlen-n)
+	}
+	off += rlen
+	// Network outputs are probabilities; NaN is corruption the entry
+	// codec cannot flag on its own (any 8 bytes decode as a float).
+	// Reject it here so accepted files always round-trip exactly —
+	// NaN compares unequal to itself and would poison diffing.
+	for i, c := range ranked.Ranked {
+		if math.IsNaN(c.Entry.Output) {
+			return nil, fmt.Errorf("rca: candidate %d has NaN output", i)
+		}
+	}
+	r.Ranked = ranked
+	r.Total, r.Pruned = ranked.Total, ranked.Pruned
+
+	if err := need(4, "verdict count"); err != nil {
+		return nil, err
+	}
+	count := int(rdU32())
+	for i := 0; i < count; i++ {
+		if err := need(4+3+2+4+8+8, "verdict"); err != nil {
+			return nil, err
+		}
+		var v Verdict
+		v.Rank = int(rdU32())
+		if v.Rank < 1 || v.Rank > len(ranked.Ranked) {
+			return nil, fmt.Errorf("rca: verdict %d rank %d outside ranked set of %d", i, v.Rank, len(ranked.Ranked))
+		}
+		v.Kind = DefectKind(body[off])
+		v.Scope = Scope(body[off+1])
+		la := body[off+2]
+		off += 3
+		if v.Kind < KindUnknown || v.Kind > KindSequential {
+			return nil, fmt.Errorf("rca: verdict %d has invalid kind %d", i, int(v.Kind))
+		}
+		if v.Scope < ScopeUnknown || v.Scope > ScopeInter {
+			return nil, fmt.Errorf("rca: verdict %d has invalid scope %d", i, int(v.Scope))
+		}
+		if la > 1 {
+			return nil, fmt.Errorf("rca: verdict %d has invalid lock-adjacent flag %d", i, la)
+		}
+		v.KindName, v.ScopeName = v.Kind.String(), v.Scope.String()
+		v.LockAdjacent = la == 1
+		v.Site.Proc = binary.LittleEndian.Uint16(body[off:])
+		off += 2
+		v.Site.Thread = int(rdU32())
+		v.Site.StorePC = rdU64()
+		v.Site.LoadPC = rdU64()
+		if v.Site.StoreSym, err = rdStr8("store sym"); err != nil {
+			return nil, err
+		}
+		if v.Site.LoadSym, err = rdStr8("load sym"); err != nil {
+			return nil, err
+		}
+		if err := need(8+12+1, "verdict evidence"); err != nil {
+			return nil, err
+		}
+		v.Confidence = math.Float64frombits(rdU64())
+		if math.IsNaN(v.Confidence) || v.Confidence < 0 || v.Confidence > 1 {
+			return nil, fmt.Errorf("rca: verdict %d has confidence outside [0,1]", i)
+		}
+		v.Evidence.Matched = int(rdU32())
+		v.Evidence.Runs = int(rdU32())
+		v.Evidence.PrunedNeighbors = int(rdU32())
+		tn := int(body[off])
+		off++
+		if err := need(8*tn, "trajectory"); err != nil {
+			return nil, err
+		}
+		if tn > 0 {
+			v.Evidence.Trajectory = make([]float64, tn)
+			for j := 0; j < tn; j++ {
+				o := math.Float64frombits(rdU64())
+				if math.IsNaN(o) {
+					return nil, fmt.Errorf("rca: verdict %d trajectory sample %d is NaN", i, j)
+				}
+				v.Evidence.Trajectory[j] = o
+			}
+		}
+		// The window is stored once, in the ranking body.
+		v.Evidence.Window = evWindow(ranked.Ranked[v.Rank-1].Entry.Seq)
+		r.Verdicts = append(r.Verdicts, v)
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("rca: %d trailing bytes after verdicts", len(body)-off)
+	}
+	return r, nil
+}

@@ -1,0 +1,101 @@
+package rca
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// engineReport builds a report the way production does: Analyze over a
+// ranked report with full provenance.
+func engineReport() *Report {
+	return Analyze(testReport(), Provenance{
+		Program:     buggyProg(),
+		CorrectRuns: 10,
+		Bug:         "synthetic",
+	})
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rpt := engineReport()
+	var buf bytes.Buffer
+	if err := rpt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Traj lives on the verdicts, not in the embedded ranking body: the
+	// loaded ranking candidates legitimately lack it.
+	want := *rpt
+	for i := range want.Ranked.Ranked {
+		want.Ranked.Ranked[i].Entry.Traj = nil
+	}
+	if !reflect.DeepEqual(&want, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", &want, got)
+	}
+}
+
+// TestSaveByteIdentical is the acceptance criterion: saving, loading,
+// and saving again yields byte-identical output for engine reports.
+func TestSaveByteIdentical(t *testing.T) {
+	rpt := engineReport()
+	var first bytes.Buffer
+	if err := rpt.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := loaded.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("save/load/save not byte-identical: %d vs %d bytes",
+			first.Len(), second.Len())
+	}
+}
+
+func TestLoadRejectsDamage(t *testing.T) {
+	rpt := engineReport()
+	var buf bytes.Buffer
+	if err := rpt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	flip := append([]byte(nil), good...)
+	flip[len(flip)/2] ^= 0x40
+	if _, err := Load(bytes.NewReader(flip)); !errors.Is(err, ErrVerdictCRC) {
+		t.Errorf("bit flip: err = %v, want CRC failure", err)
+	}
+
+	if _, err := Load(bytes.NewReader(good[:10])); err == nil {
+		t.Error("truncated file accepted")
+	}
+
+	wrongMagic := append([]byte(nil), good...)
+	copy(wrongMagic, "ACTR")
+	if _, err := Load(bytes.NewReader(wrongMagic)); !errors.Is(err, ErrVerdictMagic) {
+		t.Errorf("wrong magic: err = %v", err)
+	}
+
+	wrongVer := append([]byte(nil), good...)
+	wrongVer[4] = 9
+	if _, err := Load(bytes.NewReader(wrongVer)); !errors.Is(err, ErrVerdictVersion) {
+		t.Errorf("wrong version: err = %v", err)
+	}
+}
+
+func TestSaveRejectsBadRank(t *testing.T) {
+	rpt := engineReport()
+	rpt.Verdicts[0].Rank = 99
+	var buf bytes.Buffer
+	if err := rpt.Save(&buf); err == nil {
+		t.Error("verdict rank outside ranked set accepted")
+	}
+}
