@@ -281,6 +281,22 @@ func WithVerdictCache(entries int) DeployOption {
 	return func(c *deployCfg) { c.tracker.Module.VerdictCache = entries }
 }
 
+// WithQuantized enables fixed-point batched classification: each
+// module compiles its live float weights into an int16 Q-format kernel
+// (the arithmetic nn.Quantize models for the paper's hardware AM) and
+// classifies testing-mode dependences in batches through it, serving
+// repeated windows from an internal generation-stamped memo. Verdicts
+// are the quantized network's outputs — deliberately the hardware
+// answer, not the float network's — and every observable (Debug
+// Buffer, Stats, ranked reports) is bit-identical between sequential,
+// batched, and parallel replay. The kernel is recompiled whenever the
+// weights change generation (online training, recovery, rollback,
+// LoadWeights) and falls back to float classification while the weight
+// state cannot compile. Off by default.
+func WithQuantized() DeployOption {
+	return func(c *deployCfg) { c.tracker.Module.Quantized = true }
+}
+
 // Deploy attaches a Monitor initialized with the model's weights for
 // every thread (the augmented-binary semantics: threads unseen at
 // training time would start untrained, in online-training mode).

@@ -84,6 +84,26 @@ func goodWaived(r *ring, n int) {
 	r.buf = append(r.buf[:0], 0)
 }
 
+// goodIntConversions mirrors the quantized kernel's inner loop:
+// numeric conversions between integer widths are pure register moves,
+// so none of them may draw a diagnostic even in a hot loop — only
+// string([]byte) / []byte(string) conversions copy.
+//
+//act:noalloc
+func goodIntConversions(accs []int32, outs []int16) int64 {
+	var total int64
+	for i, a := range accs {
+		w := int64(a)*3 + int64(int32(i))
+		idx := int32(w >> 4)
+		if idx < 0 {
+			idx = 0
+		}
+		outs[i] = int16(idx)
+		total += int64(uint16(outs[i]))
+	}
+	return total
+}
+
 // unannotated allocates freely without diagnostics.
 func unannotated() []int {
 	s := make([]int, 8)

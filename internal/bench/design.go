@@ -248,10 +248,14 @@ func AblationQuantization(m Mode) ([]QuantRow, error) {
 		sets = append(sets, heldout{net: res.Net, xs: xs})
 	}
 	var rows []QuantRow
+	scratch := make(map[*nn.Network]*nn.Network, len(sets))
 	for _, bits := range []int{12, 9, 6, 4, 2} {
 		var sum float64
 		for _, h := range sets {
-			sum += nn.QuantizedDisagreement(h.net, bits, h.xs)
+			if scratch[h.net] == nil {
+				scratch[h.net] = h.net.Clone()
+			}
+			sum += nn.QuantizedDisagreementInto(scratch[h.net], h.net, bits, h.xs)
 		}
 		rows = append(rows, QuantRow{FracBits: bits, Disagreement: sum / float64(len(sets))})
 	}

@@ -39,6 +39,19 @@ type PipelineRow struct {
 type PipelineReport struct {
 	Workload string        `json:"workload"`
 	Rows     []PipelineRow `json:"rows"`
+	// QuantSpeedup is the sequential+quant configuration's records/sec
+	// divided by the plain sequential configuration's — the gain from
+	// the compiled int16 batch kernel alone, with no parallelism and no
+	// verdict cache in either term. It is measured from paired
+	// back-to-back float/quant attempts (best ratio of three pairs), so
+	// machine-speed drift during the run moves both terms of a pair
+	// together instead of skewing the ratio.
+	QuantSpeedup float64 `json:"quant_speedup"`
+	// QuantFloor is the minimum QuantSpeedup the kernel must sustain;
+	// CI greps for QuantOK, so a regression below the floor fails the
+	// build rather than silently eroding.
+	QuantFloor float64 `json:"quant_floor"`
+	QuantOK    bool    `json:"quant_speedup_ok"`
 }
 
 // pipelineTrace builds the multi-threaded replay input: the 4-thread
@@ -50,27 +63,40 @@ func pipelineTrace(m Mode) (*trace.Trace, int) {
 		panic(err) // built-in kernel; unreachable
 	}
 	tr, _ := trace.Collect(w.Build(1), w.Sched(1))
-	passes := 8
+	passes := 40
 	if m == Full {
-		passes = 40
+		passes = 200
 	}
 	return tr, passes
+}
+
+// pipelineMinDur is the wall-time floor for one timed measurement; see
+// runPipeline.
+func pipelineMinDur(m Mode) time.Duration {
+	if m == Full {
+		return 150 * time.Millisecond
+	}
+	return 25 * time.Millisecond
 }
 
 // pipelineTracker deploys a converged always-valid binary (N=3, 6-8-1
 // by default) so the measurement isolates steady-state classification:
 // testing mode throughout, no Debug Buffer churn.
-func pipelineTracker(threads, cache int) *core.Tracker {
-	cfg := core.Config{N: 3, VerdictCache: cache}
+func pipelineTracker(threads, cache int, quant bool) *core.Tracker {
+	cfg := core.Config{N: 3, VerdictCache: cache, Quantized: quant}
 	nIn := deps.InputLen(deps.EncodeDefault, 3)
 	binary := core.AlwaysValidBinary(nIn, 8, threads)
 	return core.NewTracker(binary, core.TrackerConfig{Module: cfg})
 }
 
-// runPipeline replays the trace `passes` times on a fresh tracker,
-// returning the row for one configuration.
-func runPipeline(tr *trace.Trace, threads, passes int, parallel bool, cache int) PipelineRow {
-	t := pipelineTracker(threads, cache)
+// runPipeline replays the trace on a fresh tracker for at least
+// minPasses passes AND at least minDur of wall time, returning the row
+// for one configuration. The duration floor matters more than the pass
+// count: the fastest configurations replay this trace in tens of
+// microseconds, and a sub-millisecond timing window turns scheduler
+// jitter into 2× swings in the ratios CI asserts on.
+func runPipeline(tr *trace.Trace, threads, minPasses int, minDur time.Duration, parallel bool, cache int, quant bool) PipelineRow {
+	t := pipelineTracker(threads, cache, quant)
 	// Warm-up pass: module creation, lazy buffers, map growth.
 	t.Replay(tr)
 
@@ -78,12 +104,14 @@ func runPipeline(tr *trace.Trace, threads, passes int, parallel bool, cache int)
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
-	for p := 0; p < passes; p++ {
+	passes := 0
+	for passes < minPasses || time.Since(start) < minDur {
 		if parallel {
 			t.ReplayParallel(tr, core.ParallelConfig{})
 		} else {
 			t.Replay(tr)
 		}
+		passes++
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&ms1)
@@ -110,9 +138,11 @@ func runPipeline(tr *trace.Trace, threads, passes int, parallel bool, cache int)
 	return row
 }
 
-// Pipeline measures the four pipeline configurations on the same trace
+// Pipeline measures the six pipeline configurations on the same trace
 // in one run: sequential and parallel replay, each without and with the
-// verdict cache. Speedups are relative to the plain sequential row.
+// verdict cache, plus both with the quantized int16 batch kernel.
+// Speedups are relative to the plain sequential row, and the
+// sequential+quant ratio is asserted against QuantFloor.
 func Pipeline(m Mode) (*PipelineReport, error) {
 	tr, passes := pipelineTrace(m)
 	threads := 4
@@ -120,15 +150,26 @@ func Pipeline(m Mode) (*PipelineReport, error) {
 		name     string
 		parallel bool
 		cache    int
+		quant    bool
 	}{
-		{"sequential", false, 0},
-		{"parallel", true, 0},
-		{"sequential+cache", false, -1},
-		{"parallel+cache", true, -1},
+		{"sequential", false, 0, false},
+		{"parallel", true, 0, false},
+		{"sequential+cache", false, -1, false},
+		{"parallel+cache", true, -1, false},
+		{"sequential+quant", false, 0, true},
+		{"parallel+quant", true, 0, true},
 	}
-	rep := &PipelineReport{Workload: "radix"}
+	rep := &PipelineReport{Workload: "radix", QuantFloor: 3.0}
 	for _, c := range configs {
-		row := runPipeline(tr, threads, passes, c.parallel, c.cache)
+		// Best of three runs, like the obs experiment: the asserted
+		// ratios are about systematic cost, not scheduler jitter.
+		var row PipelineRow
+		for i := 0; i < 3; i++ {
+			r := runPipeline(tr, threads, passes, pipelineMinDur(m), c.parallel, c.cache, c.quant)
+			if r.RecordsPerSec > row.RecordsPerSec {
+				row = r
+			}
+		}
 		row.Config = c.name
 		rep.Rows = append(rep.Rows, row)
 	}
@@ -138,6 +179,19 @@ func Pipeline(m Mode) (*PipelineReport, error) {
 			rep.Rows[i].Speedup = rep.Rows[i].RecordsPerSec / base
 		}
 	}
+	// The asserted ratio comes from paired attempts, not the table rows:
+	// each pair times float then quant back to back, so a slow stretch
+	// of the machine slows both terms instead of faking a regression.
+	for i := 0; i < 3; i++ {
+		f := runPipeline(tr, threads, passes, pipelineMinDur(m), false, 0, false)
+		q := runPipeline(tr, threads, passes, pipelineMinDur(m), false, 0, true)
+		if f.RecordsPerSec > 0 {
+			if r := q.RecordsPerSec / f.RecordsPerSec; r > rep.QuantSpeedup {
+				rep.QuantSpeedup = r
+			}
+		}
+	}
+	rep.QuantOK = rep.QuantSpeedup >= rep.QuantFloor
 	return rep, nil
 }
 
@@ -149,10 +203,16 @@ func RenderPipeline(rep *PipelineReport) string {
 			r.Config, r.RecordsPerSec, r.NsPerDep, r.AllocsPerDep,
 			100*r.CacheHitRate, r.Speedup))
 	}
+	ok := "FAIL"
+	if rep.QuantOK {
+		ok = "ok"
+	}
 	return table("Config\tRecords/s\tns/dep\tAllocs/dep\tCacheHit%\tSpeedup", out) +
 		fmt.Sprintf("(workload %s, %d threads, GOMAXPROCS=%d; speedup vs sequential\n"+
-			" in the same run; parallel gains require GOMAXPROCS > 1)\n",
-			rep.Workload, rep.Rows[0].Threads, rep.Rows[0].GOMAXPROCS)
+			" in the same run; parallel gains require GOMAXPROCS > 1)\n"+
+			"quant speedup %.2fx (floor %.1fx: %s)\n",
+			rep.Workload, rep.Rows[0].Threads, rep.Rows[0].GOMAXPROCS,
+			rep.QuantSpeedup, rep.QuantFloor, ok)
 }
 
 // MarshalPipeline renders the report as the BENCH_pipeline.json bytes.

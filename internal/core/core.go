@@ -88,7 +88,24 @@ type Config struct {
 	// are counted in Stats.
 	VerdictCache int
 	Encoder      deps.Encoder // feature encoding; default deps.EncodeDefault
-	LUT          *nn.SigmoidLUT
+	// DepEncoder is the per-dependence form of Encoder, required by the
+	// batched fixed-point classification path (see Quantized). It
+	// defaults to the per-dependence twin of a built-in Encoder; a
+	// custom Encoder without a matching DepEncoder simply disables
+	// batching (per-dependence classification still works).
+	DepEncoder deps.DepEncoder
+	LUT        *nn.SigmoidLUT
+	// Quantized enables fixed-point inference: testing-mode
+	// classifications run through an nn.QNetwork compiled from the live
+	// weights — int16 registers, int32 accumulation, the LUT as the only
+	// nonlinearity — recompiled lazily whenever the weight generation
+	// moves (training step, recovery, rollback, LoadWeights) and falling
+	// back to float inference when compilation is impossible (non-finite
+	// weights). Batch entry points (OnDeps, the fanout workers, staged
+	// Replay) then classify runs of dependences with one kernel call.
+	// Training always runs in float: backpropagation needs the real
+	// gradients.
+	Quantized bool
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +138,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Encoder == nil {
 		c.Encoder = deps.EncodeDefault
+	}
+	if c.DepEncoder == nil {
+		c.DepEncoder = deps.PairedDepEncoder(c.Encoder)
 	}
 	if c.LUT == nil {
 		c.LUT = nn.DefaultLUT()
@@ -317,6 +337,27 @@ type Module struct {
 	thead int
 	tcnt  int
 
+	// Fixed-point inference state (Config.Quantized; see quant.go):
+	// qnet is the kernel compiled for weight generation qgen; qbad
+	// remembers a failed compile for generation qbadGen so a poisoned
+	// weight state falls back to float without retrying per dependence.
+	// fpd is the per-dependence feature width (0 disables batching);
+	// qdeps/qfeat/qouts are the grow-once batch staging slabs. qmemo is
+	// the generation-stamped window memo the batch path consults before
+	// encoding (see quant.go); qhash/qmiss are its per-chunk scratch.
+	qnet    *nn.QNetwork
+	qgen    uint64
+	qbad    bool
+	qbadGen uint64
+	fpd     int
+	qdeps   []deps.Dep
+	qfeat   []float64
+	qouts   []float64
+	qmemo   qmemo
+	qhash   []uint64
+	qmiss   []int32
+	qmouts  []float64
+
 	stats moduleStats
 }
 
@@ -344,6 +385,15 @@ func NewModule(net *nn.Network, cfg Config) *Module {
 	}
 	if cfg.VerdictCache > 0 {
 		m.vc = newVerdictCache(cfg.VerdictCache)
+	}
+	if cfg.DepEncoder != nil {
+		// Batched classification needs the per-dependence feature width;
+		// a DepEncoder that does not tile the network input exactly is
+		// ignored (per-dependence classification still works).
+		probe := make([]float64, 64)
+		if w := cfg.DepEncoder(deps.Dep{}, probe); w > 0 && cfg.N*w == net.NIn {
+			m.fpd = w
+		}
 	}
 	// The deployment-time weights are the first known-good state: even
 	// an untrained module must have something finite to roll back to
@@ -444,10 +494,10 @@ func (m *Module) OnDep(d deps.Dep) (classified, predictedInvalid bool) {
 			cached = true
 		} else {
 			m.stats.cacheMisses.Add(1)
-			out = m.net.Forward(m.xbuf)
+			out = m.classify()
 		}
 	} else {
-		out = m.net.Forward(m.xbuf)
+		out = m.classify()
 	}
 
 	// A non-finite output means the weight state itself is poisoned
@@ -457,7 +507,7 @@ func (m *Module) OnDep(d deps.Dep) (classified, predictedInvalid bool) {
 	// with the restored weights.
 	if m.cfg.RecoveryWindows >= 0 && (math.IsNaN(out) || math.IsInf(out, 0)) {
 		m.recover()
-		out = m.net.Forward(m.xbuf)
+		out = m.classify()
 		cached = false
 	}
 	if m.vc != nil && hashed && !cached {

@@ -59,9 +59,7 @@ func (t *Tracker) ReplayParallel(tr *trace.Trace, cfg ParallelConfig) {
 						return
 					}
 					bsp := obs.StartSpan(statReplayBatchNS)
-					for _, d := range batch {
-						m.OnDep(d)
-					}
+					m.OnDeps(batch)
 					bsp.End()
 				}
 			}()

@@ -65,34 +65,49 @@ func equivCase(t *testing.T, tr *trace.Trace, mkBinary func() *WeightBinary, cfg
 // untrained modules learning online, and with the verdict cache on.
 func TestReplayParallelMatchesSequential(t *testing.T) {
 	nIn := deps.InputLen(deps.EncodeDefault, 2)
+	mixedBinary := func() *WeightBinary {
+		wb := AlwaysValidBinary(nIn, 6, 8)
+		full := NewWeightBinary(nIn, 6)
+		for _, tid := range wb.Threads() {
+			if tid%2 == 0 {
+				full.Patch(tid, wb.Get(tid))
+			}
+		}
+		return full
+	}
 	cases := []struct {
 		name     string
 		mkBinary func() *WeightBinary
 		cache    int
+		quant    bool
+		interval int
 	}{
 		// Converged deployment: every module in testing mode.
-		{"testing", func() *WeightBinary { return AlwaysValidBinary(nIn, 6, 8) }, 0},
+		{"testing", func() *WeightBinary { return AlwaysValidBinary(nIn, 6, 8) }, 0, false, 0},
 		// Unseen threads: default weights, online training throughout.
-		{"training", func() *WeightBinary { return NewWeightBinary(nIn, 6) }, 0},
+		{"training", func() *WeightBinary { return NewWeightBinary(nIn, 6) }, 0, false, 0},
 		// Mixed: half the threads have weights, half train online.
-		{"mixed", func() *WeightBinary {
-			wb := AlwaysValidBinary(nIn, 6, 8)
-			full := NewWeightBinary(nIn, 6)
-			for _, tid := range wb.Threads() {
-				if tid%2 == 0 {
-					full.Patch(tid, wb.Get(tid))
-				}
-			}
-			return full
-		}, 0},
+		{"mixed", mixedBinary, 0, false, 0},
 		// Verdict memoization on: hit/miss counters must match too.
-		{"cache", func() *WeightBinary { return AlwaysValidBinary(nIn, 6, 8) }, -1},
+		{"cache", func() *WeightBinary { return AlwaysValidBinary(nIn, 6, 8) }, -1, false, 0},
+		// Fixed-point inference: the batched kernel classifies testing
+		// stretches; sequential replay stages, parallel replay batches.
+		{"quant", func() *WeightBinary { return AlwaysValidBinary(nIn, 6, 8) }, 0, true, 0},
+		// Quantized with the verdict cache layered on top.
+		{"quant+cache", func() *WeightBinary { return AlwaysValidBinary(nIn, 6, 8) }, -1, true, 0},
+		// Quantized with mode churn: a short rate window forces
+		// testing↔training flips mid-replay, so compiled kernels go
+		// stale mid-batch and the float fallback engages and re-arms.
+		{"quant+churn", mixedBinary, 0, true, 50},
 	}
 	for _, tc := range cases {
 		for seed := int64(1); seed <= 4; seed++ {
 			t.Run(fmt.Sprintf("%s/seed%d", tc.name, seed), func(t *testing.T) {
 				tr := randTrace(seed, 8, 3000)
-				cfg := TrackerConfig{Module: Config{N: 2, VerdictCache: tc.cache}, Seed: seed}
+				cfg := TrackerConfig{Module: Config{
+					N: 2, VerdictCache: tc.cache,
+					Quantized: tc.quant, CheckInterval: tc.interval,
+				}, Seed: seed}
 				// Small batches force many channel hand-offs, including
 				// partial final batches.
 				equivCase(t, tr, tc.mkBinary, cfg, ParallelConfig{Batch: 7, Depth: 2})

@@ -122,6 +122,13 @@ type Tracker struct {
 	// touches the per-dependence stream.
 	mu  sync.Mutex
 	all []*Module // guarded by mu
+
+	// stage holds Replay's per-module staging buffers, indexed by tid:
+	// sequential replay hands dependences to OnDeps in runs of up to
+	// stageBatch so the batched fixed-point kernel amortizes dispatch.
+	// Buffers are allocated once per module and reused across Replay
+	// calls.
+	stage [][]deps.Dep
 }
 
 // TrackerConfig bundles deployment parameters.
@@ -229,13 +236,58 @@ func (t *Tracker) OnRecord(r trace.Record) {
 	}
 }
 
-// Replay feeds a whole trace through the tracker sequentially. See
-// ReplayParallel for the pipelined equivalent.
+// stageBatch is sequential Replay's per-module staging depth. Each
+// module still observes exactly its own dependence stream in order —
+// OnDeps makes the batch boundary invisible — so staging changes no
+// observable; it only lets the quantized kernel classify runs per call.
+const stageBatch = 256
+
+// stageDep buffers one formed dependence, draining the module's buffer
+// through OnDeps when full.
+func (t *Tracker) stageDep(tid uint16, d deps.Dep) {
+	i := int(tid)
+	if i >= len(t.stage) {
+		grown := make([][]deps.Dep, i+1)
+		copy(grown, t.stage)
+		t.stage = grown
+	}
+	b := t.stage[i]
+	if b == nil {
+		b = make([]deps.Dep, 0, stageBatch)
+	}
+	b = append(b, d)
+	if len(b) == stageBatch {
+		t.moduleAt(i).OnDeps(b)
+		b = b[:0]
+	}
+	t.stage[i] = b
+}
+
+// flushStaged drains every non-empty staging buffer, ascending tid.
+// Flush order across modules is irrelevant to any observable (module
+// state is strictly per-processor) but kept deterministic anyway.
+func (t *Tracker) flushStaged() {
+	for i, b := range t.stage {
+		if len(b) > 0 {
+			t.moduleAt(i).OnDeps(b)
+			t.stage[i] = b[:0]
+		}
+	}
+}
+
+// Replay feeds a whole trace through the tracker sequentially, staging
+// formed dependences per module (see stageBatch). See ReplayParallel
+// for the pipelined equivalent; OnRecord remains the unstaged immediate
+// path.
 func (t *Tracker) Replay(tr *trace.Trace) {
 	sp := obs.StartSpan(statReplayNS)
+	prev := t.ext.OnDep
+	t.ext.OnDep = t.stageDep
 	for _, r := range tr.Records {
 		t.OnRecord(r)
 	}
+	t.flushStaged()
+	t.ext.OnDep = prev
 	sp.End()
 	statReplays.Inc()
 }

@@ -7,6 +7,7 @@ package core_test
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"act/internal/core"
@@ -25,30 +26,72 @@ func TestWorkloadReportsSequentialVsParallel(t *testing.T) {
 			t.Error("every kernel produced an empty report; test compares nothing")
 		}
 	}()
-	for _, w := range workloads.Kernels() {
-		t.Run(w.Name, func(t *testing.T) {
-			tr, _ := trace.Collect(w.Build(1), w.Sched(1))
-			cfg := core.TrackerConfig{Module: core.Config{N: n}, Seed: 7}
+	for _, quant := range []bool{false, true} {
+		name := "float"
+		if quant {
+			name = "quant"
+		}
+		for _, w := range workloads.Kernels() {
+			t.Run(name+"/"+w.Name, func(t *testing.T) {
+				tr, _ := trace.Collect(w.Build(1), w.Sched(1))
+				cfg := core.TrackerConfig{Module: core.Config{N: n, Quantized: quant}, Seed: 7}
 
-			// Untrained binaries: modules learn online and still log, so
-			// the debug buffers (and hence the reports) are non-trivial.
-			seq := core.NewTracker(core.NewWeightBinary(nIn, 6), cfg)
-			par := core.NewTracker(core.NewWeightBinary(nIn, 6), cfg)
-			seq.Replay(tr)
-			par.ReplayParallel(tr, core.ParallelConfig{Batch: 32})
+				// Untrained binaries: modules learn online and still log, so
+				// the debug buffers (and hence the reports) are non-trivial.
+				seq := core.NewTracker(core.NewWeightBinary(nIn, 6), cfg)
+				par := core.NewTracker(core.NewWeightBinary(nIn, 6), cfg)
+				seq.Replay(tr)
+				par.ReplayParallel(tr, core.ParallelConfig{Batch: 32})
 
-			correct := deps.NewSeqSet(n)
-			var sBuf, pBuf bytes.Buffer
-			sRep := ranking.Rank(seq.DebugBuffers(), correct)
-			sRep.Write(&sBuf, 0)
-			ranking.Rank(par.DebugBuffers(), correct).Write(&pBuf, 0)
-			if len(sRep.Ranked) > 0 {
-				ranked++
-			}
-			if !bytes.Equal(sBuf.Bytes(), pBuf.Bytes()) {
-				t.Errorf("%s: ranked reports diverge\nseq:\n%s\npar:\n%s",
-					w.Name, sBuf.String(), pBuf.String())
-			}
-		})
+				correct := deps.NewSeqSet(n)
+				var sBuf, pBuf bytes.Buffer
+				sRep := ranking.Rank(seq.DebugBuffers(), correct)
+				sRep.Write(&sBuf, 0)
+				ranking.Rank(par.DebugBuffers(), correct).Write(&pBuf, 0)
+				if len(sRep.Ranked) > 0 {
+					ranked++
+				}
+				if !bytes.Equal(sBuf.Bytes(), pBuf.Bytes()) {
+					t.Errorf("%s: ranked reports diverge\nseq:\n%s\npar:\n%s",
+						w.Name, sBuf.String(), pBuf.String())
+				}
+			})
+		}
+	}
+}
+
+// TestWorkloadReportsQuantVsFloat pins the quantized pipeline's
+// fidelity at the level the programmer sees: on every checked-in
+// workload the quantized replay's ranked diagnosis report is
+// byte-identical to the float replay's. The quantized network rounds
+// activations through the Q-format LUT, so raw verdicts differ in the
+// low bits — the property asserted here is that those perturbations
+// never reorder or reclassify anything the report surfaces, at both
+// the default and a short rate-check cadence (the latter flips modes
+// mid-trace, exercising kernel recompiles).
+func TestWorkloadReportsQuantVsFloat(t *testing.T) {
+	const n = 2
+	nIn := deps.InputLen(deps.EncodeDefault, n)
+	for _, interval := range []int{0, 100} {
+		for _, w := range workloads.Kernels() {
+			t.Run(fmt.Sprintf("ci%d/%s", interval, w.Name), func(t *testing.T) {
+				tr, _ := trace.Collect(w.Build(1), w.Sched(1))
+				mod := core.Config{N: n, CheckInterval: interval}
+				fl := core.NewTracker(core.NewWeightBinary(nIn, 6), core.TrackerConfig{Module: mod, Seed: 7})
+				mod.Quantized = true
+				qu := core.NewTracker(core.NewWeightBinary(nIn, 6), core.TrackerConfig{Module: mod, Seed: 7})
+				fl.Replay(tr)
+				qu.Replay(tr)
+
+				correct := deps.NewSeqSet(n)
+				var fBuf, qBuf bytes.Buffer
+				ranking.Rank(fl.DebugBuffers(), correct).Write(&fBuf, 0)
+				ranking.Rank(qu.DebugBuffers(), correct).Write(&qBuf, 0)
+				if !bytes.Equal(fBuf.Bytes(), qBuf.Bytes()) {
+					t.Errorf("%s: quantized report diverges from float\nfloat:\n%s\nquant:\n%s",
+						w.Name, fBuf.String(), qBuf.String())
+				}
+			})
+		}
 	}
 }

@@ -114,6 +114,106 @@ type writer struct {
 	tid uint16
 }
 
+// lwTable is the last-writer index: an open-addressed hash table from
+// address granule to writer. The extractor probes it twice per trace
+// record (lookup on loads, upsert on stores), which made Go's generic
+// map the single largest cost on the replay hot path; a flat
+// Fibonacci-hashed, linear-probed table with no tombstones (the
+// last-writer workload never deletes) cuts that to a multiply and, in
+// the common case, one cache line. Granule 0 — a legal key — gets a
+// dedicated slot so the keys array can use 0 as the empty marker.
+type lwTable struct {
+	keys    []uint64
+	vals    []writer
+	shift   uint // 64 - log2(len(keys))
+	used    int
+	zero    writer
+	hasZero bool
+}
+
+// lwInitBits sizes a fresh table at 2^lwInitBits slots.
+const lwInitBits = 10
+
+func newLWTable() *lwTable {
+	return &lwTable{keys: make([]uint64, 1<<lwInitBits), vals: make([]writer, 1<<lwInitBits), shift: 64 - lwInitBits}
+}
+
+//act:noalloc
+func (t *lwTable) get(g uint64) (writer, bool) {
+	if g == 0 {
+		return t.zero, t.hasZero
+	}
+	keys := t.keys
+	mask := uint64(len(keys) - 1)
+	i := (g * 0x9e3779b97f4a7c15) >> t.shift
+	for {
+		k := keys[i&mask]
+		if k == g {
+			return t.vals[i&mask], true
+		}
+		if k == 0 {
+			return writer{}, false
+		}
+		i++
+	}
+}
+
+// put inserts or overwrites. The grow branch is the only allocation
+// and runs O(log n) times over a table's life.
+//
+//act:noalloc
+func (t *lwTable) put(g uint64, w writer) {
+	if g == 0 {
+		t.zero, t.hasZero = w, true
+		return
+	}
+	keys := t.keys
+	mask := uint64(len(keys) - 1)
+	i := (g * 0x9e3779b97f4a7c15) >> t.shift
+	for {
+		k := keys[i&mask]
+		if k == g {
+			t.vals[i&mask] = w
+			return
+		}
+		if k == 0 {
+			keys[i&mask] = g
+			t.vals[i&mask] = w
+			t.used++
+			if t.used*4 > len(keys)*3 {
+				t.grow() //act:alloc-ok amortized table growth
+			}
+			return
+		}
+		i++
+	}
+}
+
+func (t *lwTable) grow() {
+	old, oldVals := t.keys, t.vals
+	t.keys = make([]uint64, 2*len(old))
+	t.vals = make([]writer, 2*len(old))
+	t.shift--
+	mask := uint64(len(t.keys) - 1)
+	for j, k := range old {
+		if k == 0 {
+			continue
+		}
+		i := (k * 0x9e3779b97f4a7c15) >> t.shift
+		for t.keys[i&mask] != 0 {
+			i++
+		}
+		t.keys[i&mask] = k
+		t.vals[i&mask] = oldVals[j]
+	}
+}
+
+func (t *lwTable) reset() {
+	clear(t.keys)
+	t.used = 0
+	t.hasZero = false
+}
+
 // ringWin is one thread's fixed-capacity dependence window, kept as a
 // ring so the steady-state hot path never reallocates or shifts.
 type ringWin struct {
@@ -160,7 +260,10 @@ type Extractor struct {
 	filterStack bool
 	trackPrev   bool
 
-	last map[uint64]writer
+	// last is the open-addressed last-writer table (see lwTable); prev
+	// stays a plain map because before-last tracking is an offline
+	// training feature that never touches the replay hot path.
+	last *lwTable
 	prev map[uint64]writer
 	wins []*ringWin // per-thread windows, indexed by tid
 
@@ -198,7 +301,7 @@ func NewExtractor(cfg ExtractorConfig) *Extractor {
 		granularity: g,
 		filterStack: cfg.FilterStack,
 		trackPrev:   cfg.TrackPrev,
-		last:        make(map[uint64]writer),
+		last:        newLWTable(),
 	}
 	if cfg.TrackPrev {
 		e.prev = make(map[uint64]writer)
@@ -212,7 +315,7 @@ func (e *Extractor) N() int { return e.n }
 // Reset clears all last-writer and window state (e.g. between traces)
 // while keeping the configuration and callbacks.
 func (e *Extractor) Reset() {
-	clear(e.last)
+	e.last.reset()
 	if e.prev != nil {
 		clear(e.prev)
 	}
@@ -247,11 +350,11 @@ func (e *Extractor) Store(tid uint16, pc, addr uint64, stack bool) {
 	}
 	g := e.granule(addr)
 	if e.trackPrev {
-		if w, ok := e.last[g]; ok {
+		if w, ok := e.last.get(g); ok {
 			e.prev[g] = w
 		}
 	}
-	e.last[g] = writer{pc: pc, tid: tid}
+	e.last.put(g, writer{pc: pc, tid: tid})
 }
 
 // Load records a load by tid at instruction pc from addr, forming a
@@ -262,7 +365,7 @@ func (e *Extractor) Load(tid uint16, pc, addr uint64, stack bool) (Dep, bool) {
 		return Dep{}, false
 	}
 	g := e.granule(addr)
-	w, ok := e.last[g]
+	w, ok := e.last.get(g)
 	if !ok {
 		return Dep{}, false
 	}

@@ -6,6 +6,24 @@ import "math"
 // not float64: this models storing weights in signed Qm.f format (f
 // fractional bits) and answers the fidelity question of how many bits
 // the ACT Module's registers need before classification quality decays.
+// Compile (qnetwork.go) uses the same rounding rules to actually execute
+// in integers.
+
+// quantRegister rounds a weight to the nearest multiple of 2^-fracBits
+// and saturates to the signed 16-bit register range, returning the raw
+// register value (weight · 2^fracBits). It is the single source of the
+// Q-format rounding rules shared by Quantize and Compile. The caller
+// guarantees w is finite.
+func quantRegister(w float64, fracBits int) int16 {
+	v := math.Round(math.Ldexp(w, fracBits))
+	if v > math.MaxInt16 {
+		return math.MaxInt16
+	}
+	if v < math.MinInt16+1 { // symmetric range: ±32767, matching the old ±limit clamp
+		return math.MinInt16 + 1
+	}
+	return int16(v)
+}
 
 // Quantize rounds every weight to the nearest multiple of 2^-fracBits,
 // saturating at the representable range of a signed 16-bit register
@@ -14,16 +32,9 @@ import "math"
 // rounding error introduced.
 func (n *Network) Quantize(fracBits int) float64 {
 	step := math.Ldexp(1, -fracBits)
-	limit := math.Ldexp(1, 15-fracBits) - step // int16 range in Q-format
 	worst := 0.0
 	q := func(w float64) float64 {
-		v := math.Round(w/step) * step
-		if v > limit {
-			v = limit
-		}
-		if v < -limit {
-			v = -limit
-		}
+		v := float64(quantRegister(w, fracBits)) * step
 		if e := math.Abs(v - w); e > worst {
 			worst = e
 		}
@@ -44,10 +55,28 @@ func (n *Network) Quantize(fracBits int) float64 {
 // quantized copy of the network disagrees with the original's
 // classification.
 func QuantizedDisagreement(n *Network, fracBits int, inputs [][]float64) float64 {
+	return QuantizedDisagreementInto(nil, n, fracBits, inputs)
+}
+
+// QuantizedDisagreementInto is QuantizedDisagreement with a reusable
+// scratch network: when scratch has n's topology its weights are
+// overwritten in place instead of cloning n per call, so a sweep over
+// many fracBits settings allocates one scratch network, not one per
+// point. A nil or mismatched scratch falls back to cloning.
+func QuantizedDisagreementInto(scratch, n *Network, fracBits int, inputs [][]float64) float64 {
 	if len(inputs) == 0 {
 		return 0
 	}
-	qn := n.Clone()
+	qn := scratch
+	if qn == nil || qn.NIn != n.NIn || qn.NHidden != n.NHidden {
+		qn = n.Clone()
+	} else {
+		qn.Act = n.Act
+		for h := range n.WH {
+			copy(qn.WH[h], n.WH[h])
+		}
+		copy(qn.WO, n.WO)
+	}
 	qn.Quantize(fracBits)
 	diff := 0
 	for _, x := range inputs {
