@@ -1,9 +1,12 @@
 // Command actlint runs the project's static-analysis passes over the
 // module and exits non-zero if any invariant is violated. It is the
 // CI gate for the annotations documented in internal/analysis: the
-// zero-allocation hot path (//act:noalloc), the mutex discipline
-// (// guarded by mu), exhaustive switches over project enums
-// (//act:exhaustive), and atomic/plain access mixing.
+// zero-allocation hot path (//act:noalloc, proven transitively
+// through the call graph), the mutex discipline (// guarded by mu),
+// exhaustive switches over project enums (//act:exhaustive),
+// atomic/plain access mixing, lock-acquisition-order cycles and
+// blocking-while-holding hazards (lockorder), and goroutine
+// termination in //act:goleak packages (goleak).
 //
 // Usage:
 //
@@ -21,7 +24,9 @@ import (
 	"act/internal/analysis"
 	"act/internal/analysis/atomicmix"
 	"act/internal/analysis/exhaustive"
+	"act/internal/analysis/goleak"
 	"act/internal/analysis/guardedby"
+	"act/internal/analysis/lockorder"
 	"act/internal/analysis/noalloc"
 )
 
@@ -30,6 +35,8 @@ var analyzers = []*analysis.Analyzer{
 	guardedby.Analyzer,
 	exhaustive.Analyzer,
 	atomicmix.Analyzer,
+	lockorder.Analyzer,
+	goleak.Analyzer,
 }
 
 func main() {

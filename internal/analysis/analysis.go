@@ -20,21 +20,43 @@
 // builds identically with or without the linter):
 //
 //	//act:noalloc            on a function: its body must contain no
-//	                         heap-allocating construct (noalloc pass)
+//	                         heap-allocating construct, and every call
+//	                         it makes must be proven alloc-free through
+//	                         the call graph (noalloc pass)
 //	//act:alloc-ok <reason>  on or directly above a line inside a
-//	                         noalloc function: waives that one line
-//	                         (used for guarded grow-once paths)
+//	                         noalloc function: waives that whole line,
+//	                         constructs and calls (used for guarded
+//	                         grow-once paths and cold panic guards)
+//	//act:alloc-ok-call <r>  same placement: waives only that line's
+//	                         calls from the transitive alloc-free
+//	                         proof (dynamic dispatch, cold-path
+//	                         logging) while construct checks remain
 //	// guarded by <mu>       on a struct field: accesses require the
 //	                         sibling mutex field <mu> (guardedby pass)
 //	//act:locked <mu>        on a function: callers hold the receiver's
 //	                         <mu>; the function may touch fields <mu>
-//	                         guards (guardedby pass)
+//	                         guards (guardedby pass), and the lockorder
+//	                         pass seeds its held-set with <mu>
 //	//act:exhaustive         on a defined type: every switch over it
 //	                         must cover all declared constants or have
 //	                         an explicit default (exhaustive pass)
+//	//act:lockorder-ok <r>   on or above a line: waives that line's
+//	                         blocking-while-holding hazard (lockorder
+//	                         pass)
+//	//act:goleak             in a package doc comment: every go
+//	                         statement in the package needs a provable
+//	                         termination path (goleak pass)
+//	//act:goroutine-bounded  on or above a go statement, or on the
+//	                         spawned function's doc: declares the
+//	                         goroutine deliberately long-running or
+//	                         externally bounded (goleak pass)
 //
 // The atomicmix pass needs no annotations: any field whose address
-// reaches a sync/atomic call is atomic everywhere, by definition.
+// reaches a sync/atomic call is atomic everywhere, by definition. The
+// interprocedural passes (noalloc, lockorder, goleak) share the
+// program call graph (callgraph.go) and publish per-function
+// summaries through the facts layer (facts.go), so their conclusions
+// cross package boundaries.
 package analysis
 
 import (
@@ -60,10 +82,15 @@ type Pass struct {
 	Files    []*ast.File // the package's parsed sources, with comments
 	Pkg      *types.Package
 	Info     *types.Info
-	// Facts is shared, whole-program knowledge harvested at load time
-	// (annotated enum types, for now) — the stand-in for x/tools'
-	// cross-package fact mechanism.
+	// Facts is shared, whole-program knowledge: enum annotations
+	// harvested at load time plus per-function summaries published by
+	// interprocedural passes (see facts.go) — the stand-in for
+	// x/tools' cross-package fact mechanism.
 	Facts *Facts
+	// Prog is the whole loaded program. Interprocedural passes reach
+	// through it for the call graph and for dependency packages that
+	// were loaded but not matched by the analysis patterns.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -89,16 +116,10 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Facts is cross-package knowledge gathered while loading: the fully
-// qualified names ("pkgpath.TypeName") of types annotated
-// //act:exhaustive anywhere in the loaded program.
-type Facts struct {
-	ExhaustiveEnums map[string]bool
-}
-
 // Run executes the analyzers over every loaded package and returns all
-// diagnostics sorted by position. Analyzer errors (not findings —
-// internal failures) abort the run.
+// diagnostics sorted by file/line/column (then analyzer and message)
+// for stable CI diffs, with exact duplicates collapsed. Analyzer
+// errors (not findings — internal failures) abort the run.
 func (prog *Program) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range prog.Pkgs {
@@ -110,6 +131,7 @@ func (prog *Program) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				Facts:    prog.Facts,
+				Prog:     prog,
 				diags:    &diags,
 			}
 			if err := a.Run(pass); err != nil {
@@ -117,6 +139,16 @@ func (prog *Program) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
+	return dedupSort(diags), nil
+}
+
+// dedupSort orders diagnostics by position, analyzer, and message, and
+// collapses duplicates: the same message at the same position is one
+// finding even when several passes (or one whole-program pass invoked
+// once per package) report it independently. The survivor is the
+// first analyzer alphabetically, keeping output byte-stable across
+// runs and package orderings.
+func dedupSort(diags []Diagnostic) []Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -128,9 +160,23 @@ func (prog *Program) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
+		if diags[i].Message != diags[j].Message {
+			return diags[i].Message < diags[j].Message
+		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 {
+			prev := out[len(out)-1]
+			if prev.Pos.Filename == d.Pos.Filename && prev.Pos.Line == d.Pos.Line &&
+				prev.Pos.Column == d.Pos.Column && prev.Message == d.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // HasDirective reports whether the comment group contains a comment

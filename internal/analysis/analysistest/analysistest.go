@@ -44,13 +44,40 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	if err != nil {
 		t.Fatalf("analysistest: loading %s: %v", dir, err)
 	}
+	check(t, prog, a)
+}
+
+// RunRoot loads the named packages from a GOPATH-style fixture tree
+// (srcRoot is conventionally testdata/src; an import of "b" resolves
+// to srcRoot/b), applies the analyzer to each named package, and
+// checks want comments across every loaded file — including files of
+// dependency packages that were pulled in through import edges, so a
+// cross-package fixture can pin where the fact-producing side of an
+// interprocedural diagnostic lives.
+func RunRoot(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(srcRoot)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	prog, err := analysis.LoadRoot(abs, pkgs)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", srcRoot, err)
+	}
+	check(t, prog, a)
+}
+
+// check applies the analyzer and matches diagnostics against the want
+// comments in every loaded file.
+func check(t *testing.T, prog *analysis.Program, a *analysis.Analyzer) {
+	t.Helper()
 	diags, err := prog.Run([]*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("analysistest: running %s: %v", a.Name, err)
 	}
 
 	var wants []*expectation
-	for _, pkg := range prog.Pkgs {
+	for _, pkg := range prog.All {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {

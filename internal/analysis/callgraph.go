@@ -1,0 +1,183 @@
+// Call-graph layer: the whole-program structure the interprocedural
+// passes walk. Built once per loaded Program, over every module-local
+// package the load reached (Program.All), so an edge from an analyzed
+// package into a dependency that merely rode along is still present.
+//
+// Resolution policy, in the spirit of "cheap and honest":
+//
+//   - direct calls to package-level functions resolve statically;
+//   - method calls resolve statically when the receiver's static type
+//     is concrete — embedding-promoted methods resolve to the method
+//     actually declared, and generic instances normalize to their
+//     origin;
+//   - calls through interfaces, func-typed values and fields, and
+//     immediately-invoked literals are recorded as dynamic call sites
+//     with a human-readable description. No points-to guessing: a
+//     pass that needs a guarantee treats a dynamic site as "cannot
+//     prove" and asks for an annotation instead.
+//
+// Function literals are not nodes: the calls inside a literal belong
+// to the literal's lifetime, not the enclosing function's body, so the
+// walk does not descend into them. Passes that care about literal
+// bodies (goleak, on goroutine bodies) walk those explicitly.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CallSite is one call expression inside a function body.
+type CallSite struct {
+	Pos    token.Pos
+	Call   *ast.CallExpr
+	Callee *types.Func // nil when Dynamic
+	// Dynamic marks a call whose target cannot be resolved statically;
+	// Desc then says why ("interface method (io.Writer).Write", "call
+	// through func value enc", ...).
+	Dynamic bool
+	Desc    string
+}
+
+// FuncNode is one declared function or method with its outgoing calls.
+type FuncNode struct {
+	Fn    *types.Func
+	Decl  *ast.FuncDecl
+	Pkg   *Package
+	Calls []CallSite
+}
+
+// CallGraph maps every declared module-local function to its node.
+type CallGraph struct {
+	Nodes map[*types.Func]*FuncNode
+}
+
+// Node returns the node for fn (normalizing generic instances), or nil
+// for functions outside the loaded program (stdlib, interface methods).
+func (g *CallGraph) Node(fn *types.Func) *FuncNode {
+	if fn == nil {
+		return nil
+	}
+	return g.Nodes[fn.Origin()]
+}
+
+// CallGraph builds (once) and returns the program's call graph.
+func (prog *Program) CallGraph() *CallGraph {
+	if prog.cg == nil {
+		prog.cg = buildCallGraph(prog)
+	}
+	return prog.cg
+}
+
+func buildCallGraph(prog *Program) *CallGraph {
+	g := &CallGraph{Nodes: make(map[*types.Func]*FuncNode)}
+	for _, pkg := range prog.All {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Fn: fn, Decl: fd, Pkg: pkg}
+				collectCalls(pkg.Info, fd.Body, &node.Calls)
+				g.Nodes[fn] = node
+			}
+		}
+	}
+	return g
+}
+
+// collectCalls appends every call site in body (not descending into
+// function literals) to out.
+func collectCalls(info *types.Info, body ast.Node, out *[]CallSite) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if site, ok := ResolveCall(info, call); ok {
+			*out = append(*out, site)
+		}
+		return true
+	})
+}
+
+// ResolveCall classifies one call expression: a static call to a known
+// function, a dynamic call, or not a call at all (a conversion or a
+// builtin, which the construct-level checks own). The boolean is false
+// in the last case.
+func ResolveCall(info *types.Info, call *ast.CallExpr) (CallSite, bool) {
+	fun := ast.Unparen(call.Fun)
+	// Generic instantiation syntax f[T](...) wraps the callee; an
+	// index into a func-typed collection unwraps to its base, which
+	// resolves as a (dynamic) func value below either way.
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(idx.X)
+	}
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return CallSite{}, false // conversion, not a call
+	}
+
+	dynamic := func(desc string) (CallSite, bool) {
+		return CallSite{Pos: call.Pos(), Call: call, Dynamic: true, Desc: desc}, true
+	}
+	static := func(fn *types.Func) (CallSite, bool) {
+		fn = fn.Origin()
+		return CallSite{Pos: call.Pos(), Call: call, Callee: fn, Desc: FuncName(fn)}, true
+	}
+
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Builtin:
+			return CallSite{}, false
+		case *types.Func:
+			return static(obj)
+		case *types.Var:
+			return dynamic("call through func value " + fun.Name)
+		case nil:
+			// Defs instead of Uses should not happen in call position;
+			// be conservative.
+			return dynamic("unresolved call " + fun.Name)
+		default:
+			return dynamic("call through " + fun.Name)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				fn := sel.Obj().(*types.Func)
+				if types.IsInterface(sel.Recv()) {
+					return dynamic("interface method " + FuncName(fn))
+				}
+				return static(fn)
+			case types.FieldVal:
+				return dynamic("call through func-typed field " + fun.Sel.Name)
+			}
+		}
+		// Package-qualified: pkg.Fun.
+		switch obj := info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			return static(obj)
+		case *types.Builtin:
+			return CallSite{}, false
+		case *types.Var:
+			return dynamic("call through func value " + fun.Sel.Name)
+		}
+		return dynamic("unresolved call " + fun.Sel.Name)
+	case *ast.FuncLit:
+		return dynamic("immediately invoked function literal")
+	}
+	return dynamic("indirect call")
+}

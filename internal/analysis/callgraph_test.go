@@ -1,0 +1,57 @@
+package analysis
+
+import "testing"
+
+// TestCallGraphSmoke loads a tiny fixture and checks the resolution
+// rules the interprocedural passes build on: static function and
+// method calls carry their callee, func-value calls are dynamic, and
+// function-literal interiors belong to the literal, not the host.
+func TestCallGraphSmoke(t *testing.T) {
+	prog, err := LoadRoot("testdata/src", []string{"cg"})
+	if err != nil {
+		t.Fatalf("LoadRoot: %v", err)
+	}
+	cg := prog.CallGraph()
+
+	nodeByName := func(name string) *FuncNode {
+		t.Helper()
+		for fn, node := range cg.Nodes {
+			if FuncName(fn) == name {
+				return node
+			}
+		}
+		t.Fatalf("no call-graph node named %s", name)
+		return nil
+	}
+
+	caller := nodeByName("cg.caller")
+	if len(caller.Calls) != 3 {
+		t.Fatalf("caller: got %d call sites, want 3: %+v", len(caller.Calls), caller.Calls)
+	}
+	var sawHelper, sawBump, sawDynamic bool
+	for _, site := range caller.Calls {
+		switch {
+		case site.Dynamic:
+			sawDynamic = true
+			if site.Desc == "" {
+				t.Error("dynamic site has no description")
+			}
+		case site.Callee.Name() == "helper":
+			sawHelper = true
+		case site.Callee.Name() == "bump":
+			sawBump = true
+		}
+	}
+	if !sawHelper || !sawBump || !sawDynamic {
+		t.Errorf("caller sites: helper=%v bump=%v dynamic=%v, want all true", sawHelper, sawBump, sawDynamic)
+	}
+
+	withLit := nodeByName("cg.withLit")
+	if len(withLit.Calls) != 1 || !withLit.Calls[0].Dynamic {
+		t.Errorf("withLit: got %+v, want exactly one dynamic site (helper belongs to the literal)", withLit.Calls)
+	}
+
+	if cg.Node(nil) != nil {
+		t.Error("Node(nil): want nil")
+	}
+}

@@ -1,0 +1,149 @@
+// Fact layer: per-function summaries published by passes and consumed
+// across package boundaries. The intraprocedural PR-4 passes shared
+// only one whole-program fact (the //act:exhaustive enum set); the
+// interprocedural passes need richer currency — "this function is
+// alloc-free", "this function acquires these lock classes in this
+// order" — produced while analyzing one package and read while
+// analyzing its importers. Facts are keyed by the stable qualified
+// function name (types.Func.FullName), so they survive serialization:
+// Encode/Decode round-trips the whole set deterministically, which is
+// what an external cache (or a future sharded lint) would persist
+// between runs.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// Facts is cross-package knowledge shared by every pass in a run:
+// enum annotations harvested at load time plus the per-function
+// summaries the interprocedural passes publish as they go.
+type Facts struct {
+	// ExhaustiveEnums holds the fully qualified names
+	// ("pkgpath.TypeName") of types annotated //act:exhaustive anywhere
+	// in the loaded program.
+	ExhaustiveEnums map[string]bool
+	// Funcs holds published per-function summaries, keyed by the
+	// qualified name from FuncName.
+	Funcs map[string]*FuncFact
+}
+
+// NewFacts returns an empty fact set.
+func NewFacts() *Facts {
+	return &Facts{
+		ExhaustiveEnums: make(map[string]bool),
+		Funcs:           make(map[string]*FuncFact),
+	}
+}
+
+// FuncFact is one function's exported summary. Zero values are the
+// conservative defaults: not proven alloc-free, no known lock
+// behavior.
+type FuncFact struct {
+	Name string `json:"name"`
+	// AllocFree reports that the function (transitively) performs no
+	// heap allocation; AllocWhy carries the first obstacle otherwise.
+	AllocFree bool   `json:"alloc_free"`
+	AllocWhy  string `json:"alloc_why,omitempty"`
+	// Acquires lists the lock classes the function may acquire,
+	// directly or through its callees (sorted).
+	Acquires []string `json:"acquires,omitempty"`
+	// LockEdges lists the acquisition-order edges observed inside the
+	// function: To was acquired while From was held.
+	LockEdges []LockEdge `json:"lock_edges,omitempty"`
+}
+
+// LockEdge records that lock class To was acquired while From was
+// held, with the source position of the inner acquisition.
+type LockEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	At   string `json:"at,omitempty"`
+}
+
+// Func returns the published fact for a qualified name, or nil.
+func (f *Facts) Func(name string) *FuncFact { return f.Funcs[name] }
+
+// PublishFunc records fn's summary, replacing any earlier version.
+func (f *Facts) PublishFunc(fact *FuncFact) { f.Funcs[fact.Name] = fact }
+
+// FuncName returns the stable qualified name used as a fact key:
+// "pkgpath.Func" for functions, "(pkgpath.Recv).Method" or
+// "(*pkgpath.Recv).Method" for methods. Generic instances are
+// normalized to their origin so call sites and declarations agree.
+func FuncName(fn *types.Func) string { return fn.Origin().FullName() }
+
+// factsWire is the serialized form: deterministic by construction
+// (sorted slices, no maps with interesting key order).
+type factsWire struct {
+	Version int         `json:"version"`
+	Enums   []string    `json:"enums,omitempty"`
+	Funcs   []*FuncFact `json:"funcs,omitempty"`
+}
+
+const factsVersion = 1
+
+// Encode serializes the fact set deterministically: equal sets encode
+// to identical bytes regardless of publication order.
+func (f *Facts) Encode() ([]byte, error) {
+	w := factsWire{Version: factsVersion}
+	for name := range f.ExhaustiveEnums {
+		w.Enums = append(w.Enums, name)
+	}
+	sort.Strings(w.Enums)
+	for _, fact := range f.Funcs {
+		c := *fact
+		c.Acquires = append([]string(nil), fact.Acquires...)
+		sort.Strings(c.Acquires)
+		c.LockEdges = append([]LockEdge(nil), fact.LockEdges...)
+		sort.Slice(c.LockEdges, func(i, j int) bool {
+			a, b := c.LockEdges[i], c.LockEdges[j]
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			if a.To != b.To {
+				return a.To < b.To
+			}
+			return a.At < b.At
+		})
+		w.Funcs = append(w.Funcs, &c)
+	}
+	sort.Slice(w.Funcs, func(i, j int) bool { return w.Funcs[i].Name < w.Funcs[j].Name })
+	return json.MarshalIndent(w, "", "\t")
+}
+
+// DecodeFacts parses bytes produced by Encode.
+func DecodeFacts(data []byte) (*Facts, error) {
+	var w factsWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("analysis: decoding facts: %w", err)
+	}
+	if w.Version != factsVersion {
+		return nil, fmt.Errorf("analysis: facts version %d, want %d", w.Version, factsVersion)
+	}
+	f := NewFacts()
+	for _, name := range w.Enums {
+		f.ExhaustiveEnums[name] = true
+	}
+	for _, fact := range w.Funcs {
+		if fact.Name == "" {
+			return nil, fmt.Errorf("analysis: facts entry with empty name")
+		}
+		f.Funcs[fact.Name] = fact
+	}
+	return f, nil
+}
+
+// Merge folds other's facts into f, with other winning conflicts —
+// the shape a sharded run uses to combine per-package exports.
+func (f *Facts) Merge(other *Facts) {
+	for name := range other.ExhaustiveEnums {
+		f.ExhaustiveEnums[name] = true
+	}
+	for name, fact := range other.Funcs {
+		f.Funcs[name] = fact
+	}
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleFacts() *Facts {
+	f := NewFacts()
+	f.ExhaustiveEnums["act/internal/wire.FrameKind"] = true
+	f.ExhaustiveEnums["act/internal/core.Verdict"] = true
+	f.PublishFunc(&FuncFact{
+		Name:      "act/internal/core.classify",
+		AllocFree: true,
+		Acquires:  []string{"core.Monitor.mu"},
+		LockEdges: []LockEdge{
+			{From: "core.Monitor.mu", To: "core.ring.mu", At: "monitor.go:41"},
+		},
+	})
+	f.PublishFunc(&FuncFact{
+		Name:     "act/internal/fleet.(*Collector).Run",
+		AllocWhy: "make allocates",
+	})
+	return f
+}
+
+func TestFactsRoundTrip(t *testing.T) {
+	f := sampleFacts()
+	data, err := f.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeFacts(data)
+	if err != nil {
+		t.Fatalf("DecodeFacts: %v", err)
+	}
+	if !reflect.DeepEqual(got.ExhaustiveEnums, f.ExhaustiveEnums) {
+		t.Errorf("enums: got %v, want %v", got.ExhaustiveEnums, f.ExhaustiveEnums)
+	}
+	if len(got.Funcs) != len(f.Funcs) {
+		t.Fatalf("funcs: got %d entries, want %d", len(got.Funcs), len(f.Funcs))
+	}
+	for name, want := range f.Funcs {
+		if !reflect.DeepEqual(got.Funcs[name], want) {
+			t.Errorf("fact %s: got %+v, want %+v", name, got.Funcs[name], want)
+		}
+	}
+}
+
+// TestFactsEncodeDeterministic pins the property an external cache
+// depends on: equal sets encode to identical bytes regardless of the
+// order facts were published or how slices were ordered.
+func TestFactsEncodeDeterministic(t *testing.T) {
+	a := sampleFacts()
+
+	b := NewFacts()
+	b.PublishFunc(&FuncFact{Name: "act/internal/fleet.(*Collector).Run", AllocWhy: "make allocates"})
+	b.PublishFunc(&FuncFact{
+		Name:      "act/internal/core.classify",
+		AllocFree: true,
+		Acquires:  []string{"core.Monitor.mu"},
+		LockEdges: []LockEdge{
+			{From: "core.Monitor.mu", To: "core.ring.mu", At: "monitor.go:41"},
+		},
+	})
+	b.ExhaustiveEnums["act/internal/core.Verdict"] = true
+	b.ExhaustiveEnums["act/internal/wire.FrameKind"] = true
+
+	ea, err := a.Encode()
+	if err != nil {
+		t.Fatalf("Encode a: %v", err)
+	}
+	eb, err := b.Encode()
+	if err != nil {
+		t.Fatalf("Encode b: %v", err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Errorf("publication order changed the encoding:\n%s\nvs\n%s", ea, eb)
+	}
+}
+
+func TestDecodeFactsRejectsBadInput(t *testing.T) {
+	if _, err := DecodeFacts([]byte("not json")); err == nil {
+		t.Error("malformed JSON: want error")
+	}
+	if _, err := DecodeFacts([]byte(`{"version": 99}`)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("wrong version: want version error, got %v", err)
+	}
+	if _, err := DecodeFacts([]byte(`{"version": 1, "funcs": [{"name": ""}]}`)); err == nil {
+		t.Error("empty fact name: want error")
+	}
+}
+
+func TestFactsMerge(t *testing.T) {
+	base := NewFacts()
+	base.ExhaustiveEnums["p.A"] = true
+	base.PublishFunc(&FuncFact{Name: "p.f", AllocFree: true})
+	base.PublishFunc(&FuncFact{Name: "p.g"})
+
+	other := NewFacts()
+	other.ExhaustiveEnums["q.B"] = true
+	other.PublishFunc(&FuncFact{Name: "p.g", AllocFree: true}) // conflict: other wins
+	other.PublishFunc(&FuncFact{Name: "q.h"})
+
+	base.Merge(other)
+	if !base.ExhaustiveEnums["p.A"] || !base.ExhaustiveEnums["q.B"] {
+		t.Errorf("merged enums incomplete: %v", base.ExhaustiveEnums)
+	}
+	if got := base.Func("p.g"); got == nil || !got.AllocFree {
+		t.Errorf("conflict resolution: got %+v, want other's AllocFree=true", got)
+	}
+	if base.Func("p.f") == nil || base.Func("q.h") == nil {
+		t.Error("merge dropped a non-conflicting fact")
+	}
+}
+
+func TestDedupSort(t *testing.T) {
+	at := func(file string, line, col int) token.Position {
+		return token.Position{Filename: file, Line: line, Column: col}
+	}
+	in := []Diagnostic{
+		{Analyzer: "noalloc", Pos: at("b.go", 10, 2), Message: "m1"},
+		{Analyzer: "lockorder", Pos: at("a.go", 5, 1), Message: "m2"},
+		// Same position and message from two passes: one survives,
+		// first analyzer name in sort order wins.
+		{Analyzer: "zpass", Pos: at("a.go", 5, 1), Message: "m2"},
+		{Analyzer: "noalloc", Pos: at("a.go", 5, 1), Message: "different message stays"},
+		{Analyzer: "noalloc", Pos: at("a.go", 2, 9), Message: "m3"},
+	}
+	out := dedupSort(in)
+	if len(out) != 4 {
+		t.Fatalf("got %d diagnostics, want 4: %v", len(out), out)
+	}
+	wantOrder := []string{"m3", "different message stays", "m2", "m1"}
+	for i, want := range wantOrder {
+		if out[i].Message != want {
+			t.Errorf("position %d: got %q, want %q", i, out[i].Message, want)
+		}
+	}
+	for _, d := range out {
+		if d.Message == "m2" && d.Analyzer != "lockorder" {
+			t.Errorf("dedup kept analyzer %q, want first-sorted \"lockorder\"", d.Analyzer)
+		}
+	}
+}

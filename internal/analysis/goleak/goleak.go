@@ -1,0 +1,361 @@
+// Package goleak implements the actlint pass that requires every go
+// statement in an opted-in package to have a provable termination
+// path. A package opts in with //act:goleak in its package doc
+// comment; from then on a spawned goroutine must either fall off the
+// end of its body, exit every infinite for loop (a return inside a
+// done-channel select case is the canonical shape), iterate a bounded
+// or channel-draining loop, or carry an explicit
+// //act:goroutine-bounded waiver.
+//
+// The check is interprocedural over the program call graph: when the
+// go statement spawns a named module-local function, that function's
+// body — and the bodies of the static callees it unconditionally
+// reaches — are scanned for infinite for loops with no reachable
+// exit. Dynamic call targets (interface methods, func values) and
+// external functions are skipped: the pass only reports what it can
+// prove from source, never what it merely cannot see.
+//
+// Termination evidence inside an infinite for loop: a return
+// statement, a break that targets the loop (unlabeled at loop depth,
+// or labeled with the loop's label), a goto, or a call to panic or
+// os.Exit. A //act:goroutine-bounded comment on the go statement's
+// line (or the line above) waives the site; the same directive on a
+// spawned function's doc comment marks the function itself as
+// deliberately long-running.
+package goleak
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"act/internal/analysis"
+)
+
+// Analyzer is the goleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc:  "reports go statements in //act:goleak packages whose goroutines have no provable termination path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	optedIn := false
+	for _, f := range pass.Files {
+		if analysis.HasDirective(f.Doc, "act:goleak") {
+			optedIn = true
+			break
+		}
+	}
+	if !optedIn {
+		return nil
+	}
+	ck := pass.Prog.Scratch("goleak", func() any {
+		return &checker{prog: pass.Prog, memo: make(map[*types.Func]*leakResult)}
+	}).(*checker)
+
+	for _, f := range pass.Files {
+		waived := waivedLines(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if waived[pass.Fset.Position(gs.Pos()).Line] {
+				return true
+			}
+			checkSpawn(pass, ck, gs)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSpawn validates one go statement's spawn target.
+func checkSpawn(pass *analysis.Pass, ck *checker, gs *ast.GoStmt) {
+	// go func() { ... }(): scan the literal's body directly.
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		scan := scanBody(pass.Info, lit.Body)
+		res := ck.judge(scan)
+		if res != nil {
+			pass.Reportf(gs.Pos(), "goroutine may never terminate: %s (add an exit path or waive with //act:goroutine-bounded)",
+				res.describe(pass.Fset, "function literal", pass.Pkg))
+		}
+		return
+	}
+	site, ok := analysis.ResolveCall(pass.Info, gs.Call)
+	if !ok || site.Dynamic || site.Callee == nil {
+		return // dynamic spawn target: nothing provable, skip
+	}
+	node := pass.Prog.CallGraph().Node(site.Callee)
+	if node == nil {
+		return // external function: no source to scan, skip
+	}
+	res := ck.eval(node.Fn)
+	if res != nil {
+		pass.Reportf(gs.Pos(), "goroutine may never terminate: %s (add an exit path or waive with //act:goroutine-bounded)",
+			res.describe(pass.Fset, displayName(node.Fn, pass.Pkg), pass.Pkg))
+	}
+}
+
+// leakResult describes why one function (or literal body) never
+// terminates: either its own infinite loop, or an unconditional-by-
+// assumption call into a function that never terminates.
+type leakResult struct {
+	pos token.Pos     // offending infinite for loop
+	via []*types.Func // call chain from the spawn target, outermost first
+	fn  *types.Func   // function owning pos (nil for a literal body)
+}
+
+func (r *leakResult) describe(fset *token.FileSet, root string, from *types.Package) string {
+	var b strings.Builder
+	b.WriteString(root)
+	for _, hop := range r.via {
+		b.WriteString(" → ")
+		b.WriteString(displayName(hop, from))
+	}
+	p := fset.Position(r.pos)
+	fmt.Fprintf(&b, ": infinite for loop with no reachable exit (%s:%d)", filepath.Base(p.Filename), p.Line)
+	return b.String()
+}
+
+// checker memoizes per-function termination results across the whole
+// program. In-progress functions are optimistically assumed
+// terminating, so recursive loops converge (a function that never
+// returns only via self-recursion is out of scope).
+type checker struct {
+	prog *analysis.Program
+	memo map[*types.Func]*leakResult
+}
+
+// inProgressMark is the memo sentinel for a function currently on the
+// evaluation stack.
+var inProgressMark = &leakResult{}
+
+// eval returns nil when fn provably terminates (or nothing can be
+// proven), or a leakResult pinpointing the infinite loop it reaches.
+func (ck *checker) eval(fn *types.Func) *leakResult {
+	fn = fn.Origin()
+	if res, ok := ck.memo[fn]; ok {
+		if res == inProgressMark {
+			return nil // optimistic: break recursion
+		}
+		return res
+	}
+	node := ck.prog.CallGraph().Node(fn)
+	if node == nil || node.Decl == nil || node.Decl.Body == nil {
+		return nil
+	}
+	if analysis.HasDirective(node.Decl.Doc, "act:goroutine-bounded") {
+		ck.memo[fn] = nil
+		return nil
+	}
+	ck.memo[fn] = inProgressMark
+	res := ck.judge(scanBody(node.Pkg.Info, node.Decl.Body))
+	if res != nil && res.fn == nil {
+		res.fn = fn
+	}
+	ck.memo[fn] = res
+	return res
+}
+
+// judge resolves a body scan into a verdict: a direct infinite loop
+// wins; otherwise the first static callee that never terminates taints
+// the caller, with the chain extended one hop.
+func (ck *checker) judge(scan bodyScan) *leakResult {
+	if scan.loopPos.IsValid() {
+		return &leakResult{pos: scan.loopPos}
+	}
+	for _, callee := range scan.calls {
+		if sub := ck.eval(callee); sub != nil {
+			via := append([]*types.Func{callee}, sub.via...)
+			return &leakResult{pos: sub.pos, via: via, fn: sub.fn}
+		}
+	}
+	return nil
+}
+
+// bodyScan is the termination-relevant summary of one function body:
+// the first infinite for loop with no reachable exit, and the static
+// module-local callees (deduplicated, in source order).
+type bodyScan struct {
+	loopPos token.Pos
+	calls   []*types.Func
+}
+
+// scanBody walks one body, skipping nested function literals (their
+// code only runs if separately invoked or spawned — spawns inside get
+// their own go statements and their own reports).
+func scanBody(info *types.Info, body *ast.BlockStmt) bodyScan {
+	var scan bodyScan
+	seen := make(map[*types.Func]bool)
+	var walk func(n ast.Node, label string)
+	walk = func(n ast.Node, label string) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return
+		case *ast.LabeledStmt:
+			walk(n.Stmt, n.Label.Name)
+			return
+		case *ast.GoStmt:
+			// The spawned callee never blocks this body; it gets its
+			// own go-statement report. Arguments still run here.
+			for _, arg := range n.Call.Args {
+				walk(arg, "")
+			}
+			return
+		case *ast.ForStmt:
+			if n.Cond == nil && !scan.loopPos.IsValid() && !loopHasExit(n, label) {
+				scan.loopPos = n.For
+			}
+		case *ast.CallExpr:
+			if site, ok := analysis.ResolveCall(info, n); ok && !site.Dynamic && site.Callee != nil {
+				callee := site.Callee.Origin()
+				if !seen[callee] {
+					seen[callee] = true
+					scan.calls = append(scan.calls, callee)
+				}
+			}
+		}
+		for _, child := range childNodes(n) {
+			walk(child, "")
+		}
+	}
+	walk(body, "")
+	return scan
+}
+
+// loopHasExit reports whether an infinite for loop's body contains a
+// statement that escapes it: return, a break targeting this loop,
+// goto, or a terminal call (panic, os.Exit, runtime.Goexit).
+func loopHasExit(loop *ast.ForStmt, label string) bool {
+	found := false
+	// depth counts enclosing break targets between the statement and
+	// our loop: an unlabeled break only escapes at depth zero.
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		if found || n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.ReturnStmt:
+			found = true
+			return
+		case *ast.BranchStmt:
+			switch n.Tok {
+			case token.BREAK:
+				if n.Label == nil && depth == 0 {
+					found = true
+				}
+				if n.Label != nil && label != "" && n.Label.Name == label {
+					found = true
+				}
+			case token.GOTO:
+				found = true // may jump past the loop; assume it does
+			}
+			return
+		case *ast.CallExpr:
+			if isTerminalCall(n) {
+				found = true
+				return
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			for _, child := range childNodes(n) {
+				walk(child, depth+1)
+			}
+			return
+		}
+		for _, child := range childNodes(n) {
+			walk(child, depth)
+		}
+	}
+	for _, stmt := range loop.Body.List {
+		walk(stmt, 0)
+	}
+	return found
+}
+
+// childNodes returns n's direct AST children, letting the walkers
+// above control descent per node kind.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if first {
+			first = false
+			return true
+		}
+		out = append(out, c)
+		return false
+	})
+	return out
+}
+
+// isTerminalCall recognizes calls that never return, syntactically:
+// the panic builtin, os.Exit, runtime.Goexit, and log.Fatal*.
+func isTerminalCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			switch {
+			case pkg.Name == "os" && fun.Sel.Name == "Exit":
+				return true
+			case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+				return true
+			case pkg.Name == "log" && strings.HasPrefix(fun.Sel.Name, "Fatal"):
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// waivedLines collects the lines covered by //act:goroutine-bounded
+// comments: the comment's own line and the next, so both trailing and
+// preceding placement work.
+func waivedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), "act:goroutine-bounded") {
+				line := fset.Position(c.Pos()).Line
+				out[line] = true
+				out[line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+// displayName renders a function for diagnostics: package-qualified
+// unless it lives in the reporting package.
+func displayName(fn *types.Func, from *types.Package) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		ptr := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			ptr = "*"
+		}
+		if n, ok := t.(*types.Named); ok {
+			name = "(" + ptr + n.Obj().Name() + ")." + name
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg() != from {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}

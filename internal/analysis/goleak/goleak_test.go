@@ -1,0 +1,18 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"act/internal/analysis/analysistest"
+	"act/internal/analysis/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, "testdata/src/g", goleak.Analyzer)
+}
+
+// TestGoleakCrossPackage pins the interprocedural scan across an
+// import edge: the leaky loop lives in the dependency package.
+func TestGoleakCrossPackage(t *testing.T) {
+	analysistest.RunRoot(t, "testdata/src", goleak.Analyzer, "gx")
+}

@@ -1,0 +1,137 @@
+// Package g is the goleak golden package: leaky spawns, the accepted
+// termination shapes, and both waiver placements.
+//
+//act:goleak
+package g
+
+import "fmt"
+
+// leakyLoop spins forever with no exit: any spawn of it leaks.
+func leakyLoop() {
+	for {
+	}
+}
+
+func spawnNamed() {
+	go leakyLoop() // want `goroutine may never terminate: leakyLoop: infinite for loop with no reachable exit \(g\.go:\d+\)`
+}
+
+func spawnLiteral(work func()) {
+	go func() { // want `goroutine may never terminate: function literal: infinite for loop with no reachable exit \(g\.go:\d+\)`
+		for {
+			work()
+		}
+	}()
+}
+
+// runner reaches the leak one call deep: the chain names the hop.
+func runner() {
+	leakyLoop()
+}
+
+func spawnTransitive() {
+	go runner() // want `goroutine may never terminate: runner → leakyLoop: infinite for loop with no reachable exit \(g\.go:\d+\)`
+}
+
+func spawnLiteralTransitive() {
+	go func() { // want `goroutine may never terminate: function literal → leakyLoop: infinite for loop with no reachable exit \(g\.go:\d+\)`
+		leakyLoop()
+	}()
+}
+
+// spawnSelectDone is the canonical done-channel worker: clean.
+func spawnSelectDone(done chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// spawnLabeledBreak exits the loop through a labeled break: clean.
+func spawnLabeledBreak(done chan struct{}, ch chan int) {
+	go func() {
+	drain:
+		for {
+			select {
+			case <-done:
+				break drain
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// spawnSelectOnlyBreak: an unlabeled break inside select exits the
+// select, not the loop — still a leak.
+func spawnSelectOnlyBreak(ch chan int) {
+	go func() { // want `goroutine may never terminate: function literal: infinite for loop with no reachable exit \(g\.go:\d+\)`
+		for {
+			select {
+			case <-ch:
+				break
+			}
+		}
+	}()
+}
+
+// spawnDrain ranges over the channel: terminates on close, clean.
+func spawnDrain(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// spawnBounded iterates a conditioned loop: clean.
+func spawnBounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+		}
+	}()
+}
+
+// spawnPanicExit escapes through panic: accepted as termination.
+func spawnPanicExit(ch chan int) {
+	go func() {
+		for {
+			if _, ok := <-ch; !ok {
+				panic("closed")
+			}
+		}
+	}()
+}
+
+// spawnDynamic spawns through a func value: nothing provable, skipped.
+func spawnDynamic(f func()) {
+	go f()
+}
+
+// spawnExternal spawns a stdlib function: no source to scan, skipped.
+func spawnExternal() {
+	go fmt.Println("done")
+}
+
+// spawnWaived carries the site waiver.
+func spawnWaived() {
+	go leakyLoop() //act:goroutine-bounded process-lifetime daemon
+}
+
+// daemon is deliberately long-running; the doc directive marks it.
+//
+//act:goroutine-bounded
+func daemon() {
+	for {
+	}
+}
+
+func spawnDaemon() {
+	go daemon()
+}

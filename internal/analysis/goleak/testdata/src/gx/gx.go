@@ -1,0 +1,24 @@
+// Package gx spawns dependency-package functions: the termination
+// scan follows the call graph across the import edge.
+//
+//act:goleak
+package gx
+
+import "gy"
+
+func spawnPump(ch chan int) {
+	go gy.Pump(ch) // want `goroutine may never terminate: gy\.Pump: infinite for loop with no reachable exit \(gy\.go:\d+\)`
+}
+
+func spawnDrain(ch chan int) {
+	go gy.Drain(ch)
+}
+
+// viaLocal reaches the dependency leak one hop deep.
+func viaLocal(ch chan int) {
+	gy.Pump(ch)
+}
+
+func spawnViaLocal(ch chan int) {
+	go viaLocal(ch) // want `goroutine may never terminate: viaLocal → gy\.Pump: infinite for loop with no reachable exit \(gy\.go:\d+\)`
+}

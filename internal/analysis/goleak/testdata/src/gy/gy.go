@@ -1,0 +1,17 @@
+// Package gy is the dependency side of the goleak cross-package
+// fixture: it exports a pump with no exit and a well-behaved drain.
+package gy
+
+// Pump spins forever: spawning it from another package leaks.
+func Pump(ch chan int) {
+	for {
+		ch <- 0
+	}
+}
+
+// Drain terminates when ch closes.
+func Drain(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}

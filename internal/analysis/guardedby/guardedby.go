@@ -27,8 +27,10 @@ package guardedby
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"regexp"
+	"strings"
 
 	"act/internal/analysis"
 )
@@ -146,6 +148,7 @@ type funcContext struct {
 func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guarded map[*types.Var]guardedField) {
 	recv := receiverName(fd)
 	declared, hasDecl := analysis.DirectiveArg(fd.Doc, "act:locked")
+	aliases := collectAliases(fd.Body)
 
 	// Context stack: the FuncDecl's body, plus one entry per enclosing
 	// FuncLit while walking. An access is sanctioned if any enclosing
@@ -156,7 +159,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guarded map[*types.Var]gua
 		ast.Inspect(body, func(n ast.Node) bool {
 			if call, ok := n.(*ast.CallExpr); ok {
 				if path, ok := lockPath(call); ok {
-					ctx.locked[path] = true
+					ctx.locked[resolveAlias(path, aliases)] = true
 				}
 			}
 			return true
@@ -197,7 +200,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guarded map[*types.Var]gua
 			if !ok {
 				return true
 			}
-			base := analysis.ExprString(n.X)
+			base := resolveAlias(analysis.ExprString(n.X), aliases)
 			if !sanctioned(base, gf.guard) {
 				pass.Reportf(n.Pos(), "%s.%s is guarded by %s.%s, but %s neither locks it nor declares //act:locked %s",
 					base, v.Name(), base, gf.guard, fd.Name.Name, gf.guard)
@@ -217,13 +220,72 @@ func receiverName(fd *ast.FuncDecl) string {
 	return fd.Recv.List[0].Names[0].Name
 }
 
-// lockPath recognizes x.mu.Lock() / x.mu.RLock() calls, returning the
-// "x.mu" path. Unlock is deliberately not accepted: a function that
-// only unlocks does not hold the guard.
+// lockPath recognizes x.mu.Lock() / RLock() / TryLock() / TryRLock()
+// calls, returning the "x.mu" path. The Try variants are accepted on
+// the same flow-insensitive terms as Lock: the idiomatic shape guards
+// the access with the conditional and a deferred Unlock. Unlock is
+// deliberately not accepted: a function that only unlocks does not
+// hold the guard.
 func lockPath(call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+	if !ok {
 		return "", false
 	}
-	return analysis.ExprString(sel.X), true
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return analysis.ExprString(sel.X), true
+	}
+	return "", false
+}
+
+// collectAliases maps local names introduced by `c := &s.inner` (the
+// pointer shorthand methods take before a run of accesses) to the
+// aliased selector path. The map lets lock paths and access bases
+// written through the alias normalize to the same spelling as paths
+// written out in full.
+func collectAliases(body ast.Node) map[string]string {
+	out := make(map[string]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				rhs = ast.Unparen(u.X)
+			}
+			switch rhs.(type) {
+			case *ast.SelectorExpr, *ast.Ident:
+				if path := analysis.ExprString(rhs); path != "" && path != id.Name {
+					out[id.Name] = path
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// resolveAlias rewrites the leading segment of a dotted path through
+// the alias map to a fixpoint, bounded so accidental alias cycles
+// cannot loop.
+func resolveAlias(path string, aliases map[string]string) string {
+	for range 8 {
+		head, rest, _ := strings.Cut(path, ".")
+		target, ok := aliases[head]
+		if !ok {
+			return path
+		}
+		if rest == "" {
+			path = target
+		} else {
+			path = target + "." + rest
+		}
+	}
+	return path
 }

@@ -108,3 +108,56 @@ func (g *gate) isDraining() bool {
 func (g *gate) addHook(fn func()) {
 	g.hooks = append(g.hooks, fn) // want `g\.hooks is guarded by g\.mu` `g\.hooks is guarded by g\.mu`
 }
+
+// TryInc guards the access with a conditional TryLock and a deferred
+// unlock: sanctioned like a plain Lock.
+func (c *counter) TryInc() {
+	if c.mu.TryLock() {
+		defer c.mu.Unlock()
+		c.n++
+	}
+}
+
+// TryLen does the same with the read variant.
+func (r *rw) TryLen() int {
+	if r.mu.TryRLock() {
+		defer r.mu.RUnlock()
+		return len(r.data)
+	}
+	return 0
+}
+
+// inner/outer mirror the shape that produced the alias false positive:
+// the guarded struct lives one selector deep and methods take a
+// pointer shorthand before a run of accesses.
+type inner struct {
+	mu   sync.Mutex
+	data int // guarded by mu
+}
+
+type outer struct {
+	in inner
+}
+
+// AliasLocked locks and accesses through the alias: no diagnostic.
+func (o *outer) AliasLocked() {
+	c := &o.in
+	c.mu.Lock()
+	c.data++
+	c.mu.Unlock()
+}
+
+// AliasMixed locks the full path but accesses through the alias: both
+// normalize to the same base, no diagnostic.
+func (o *outer) AliasMixed() {
+	c := &o.in
+	o.in.mu.Lock()
+	c.data++
+	o.in.mu.Unlock()
+}
+
+// AliasUnlocked still reports, with the path spelled out.
+func (o *outer) AliasUnlocked() int {
+	c := &o.in
+	return c.data // want `o\.in\.data is guarded by o\.in\.mu`
+}

@@ -17,9 +17,36 @@ import (
 // Program is a loaded, type-checked set of packages plus the shared
 // file set and cross-package facts.
 type Program struct {
-	Fset  *token.FileSet
-	Pkgs  []*Package // the packages matched by the load patterns
+	Fset *token.FileSet
+	Pkgs []*Package // the packages matched by the load patterns
+	// All is every module-local package the load reached — the matched
+	// set plus its transitive module-local dependencies, in completion
+	// (dependency-first) order. Whole-program layers (the call graph,
+	// interprocedural facts) are built over All so an analyzed package
+	// can consume summaries of packages it imports even when those were
+	// not themselves matched by the patterns.
+	All   []*Package
 	Facts *Facts
+
+	cg      *CallGraph     // built on first CallGraph() call
+	scratch map[string]any // per-analyzer whole-program state, see Scratch
+}
+
+// Scratch returns a per-program slot for the named analyzer, creating
+// it with mk on first use. Interprocedural passes run once per
+// analyzed package but compute whole-program results (bottom-up fact
+// sweeps over the call graph); the slot lets the first invocation
+// compute and the rest reuse.
+func (prog *Program) Scratch(name string, mk func() any) any {
+	if prog.scratch == nil {
+		prog.scratch = make(map[string]any)
+	}
+	if v, ok := prog.scratch[name]; ok {
+		return v
+	}
+	v := mk()
+	prog.scratch[name] = v
+	return v
 }
 
 // Package is one type-checked package with its syntax retained.
@@ -42,8 +69,10 @@ type loader struct {
 	std     types.ImporterFrom
 	modPath string // module path from go.mod; "" = no module-local imports
 	modDir  string
+	srcRoot string // GOPATH-style fixture root: import "b" → srcRoot/b
 	cache   map[string]*Package
 	loading map[string]bool
+	loaded  []*Package // completion order: dependencies before dependents
 	facts   *Facts
 }
 
@@ -56,7 +85,7 @@ func newLoader(modPath, modDir string) *loader {
 		modDir:  modDir,
 		cache:   make(map[string]*Package),
 		loading: make(map[string]bool),
-		facts:   &Facts{ExhaustiveEnums: make(map[string]bool)},
+		facts:   NewFacts(),
 	}
 }
 
@@ -68,6 +97,19 @@ func (l *loader) Import(path string) (*types.Package, error) {
 			return nil, err
 		}
 		return pkg.Types, nil
+	}
+	if l.srcRoot != "" {
+		// Fixture mode: a bare import like "b" resolves to a sibling
+		// directory under the testdata src root, retaining its syntax so
+		// cross-package analyses see annotations in the dependency too.
+		dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			pkg, err := l.loadDir(dir, path)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
 	}
 	return l.std.ImportFrom(path, l.modDir, 0)
 }
@@ -116,6 +158,7 @@ func (l *loader) loadDir(dir, path string) (*Package, error) {
 	}
 	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
 	l.cache[path] = p
+	l.loaded = append(l.loaded, p)
 	l.harvestFacts(p)
 	return p, nil
 }
@@ -200,6 +243,7 @@ func Load(modDir string, patterns []string) (*Program, error) {
 		}
 		prog.Pkgs = append(prog.Pkgs, pkg)
 	}
+	prog.All = l.loaded
 	return prog, nil
 }
 
@@ -212,7 +256,29 @@ func LoadDir(dir string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{Fset: l.fset, Pkgs: []*Package{pkg}, Facts: l.facts}, nil
+	return &Program{Fset: l.fset, Pkgs: []*Package{pkg}, All: l.loaded, Facts: l.facts}, nil
+}
+
+// LoadRoot type-checks the named packages inside a GOPATH-style fixture
+// tree: srcRoot/<pkg> holds each package's sources, and an import of a
+// bare path like "b" resolves to srcRoot/b (anything without a matching
+// directory falls through to the standard library). This is the
+// analysistest entry point for cross-package golden fixtures — the
+// loaded dependencies keep their syntax, so fact-producing passes see
+// annotations on both sides of the import edge.
+func LoadRoot(srcRoot string, pkgs []string) (*Program, error) {
+	l := newLoader("", srcRoot)
+	l.srcRoot = srcRoot
+	prog := &Program{Fset: l.fset, Facts: l.facts}
+	for _, name := range pkgs {
+		pkg, err := l.loadDir(filepath.Join(srcRoot, filepath.FromSlash(name)), name)
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	prog.All = l.loaded
+	return prog, nil
 }
 
 // walkPackageDirs calls add for every directory under root that can

@@ -1,0 +1,670 @@
+// Package lockorder implements the actlint pass that builds a
+// whole-program lock-acquisition-order graph and reports cycles — the
+// static face of the deadlock class the runtime tracker diagnoses
+// after the fact. The fleet/shard/obs layers are mutex-heavy and call
+// across package boundaries while holding locks; an AB/BA inversion
+// between two of those packages deadlocks only under the right
+// interleaving, which no test schedule is guaranteed to produce. The
+// acquisition order, by contrast, is a static property.
+//
+// Locks are abstracted to classes, lockdep-style: a mutex struct field
+// is "pkgpath.Type.field", a package-level mutex is "pkgpath.var", a
+// named type with an embedded sync.Mutex is "pkgpath.Type". All
+// instances of a class share its node — two different shard lanes are
+// the same class — so the graph stays small and the verdicts
+// instance-independent. Local mutex variables have no useful class and
+// are ignored.
+//
+// Per function, a source-order walk tracks the held set: Lock, RLock,
+// TryLock and TryRLock push their class (recording an edge from every
+// held class), Unlock and RUnlock pop it, and a deferred unlock keeps
+// the class held to the end of the body. The //act:locked <mu>
+// annotation (shared with guardedby) seeds the held set, so *Locked
+// helpers contribute their edges under the caller's lock. Each
+// function's edges and transitively-acquired classes are published as
+// facts; at a static call site the caller adds (held × callee's
+// acquires) — this is how an order established in one package merges
+// with acquisitions made in another.
+//
+// Reported, on the merged graph:
+//
+//   - acquisition-order cycles (potential deadlocks), each rendered
+//     once with its full class path and the source position of every
+//     participating acquisition;
+//   - blocking-while-holding hazards: a channel send or a
+//     sync.WaitGroup.Wait reached while any lock class is held.
+//
+// Same-class edges (lock A held while another instance of A is
+// acquired) are deliberately not reported: ordered same-class
+// acquisition over shard/lane arrays is routine and instance identity
+// is out of scope for a class-level graph.
+//
+// The //act:lockorder-ok <reason> waiver on (or directly above) a line
+// suppresses the edge or hazard that line creates, keeping the excuse
+// visible in review next to the code.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"act/internal/analysis"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "reports lock-acquisition-order cycles and blocking-while-holding hazards",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	st := pass.Prog.Scratch("lockorder", func() any { return build(pass.Prog) }).(*state)
+
+	// Hazards are reported by the package that contains them.
+	for _, h := range st.hazards {
+		if h.pkg == pass.Pkg {
+			pass.Reportf(h.pos, "%s while holding %s (waive with //act:lockorder-ok)", h.what, strings.Join(h.held, ", "))
+		}
+	}
+
+	// Each cycle is reported once, anchored at the smallest analyzed
+	// position among its edges, so exactly one of the analyzed
+	// packages claims it.
+	analyzed := make(map[*types.Package]bool, len(pass.Prog.Pkgs))
+	for _, p := range pass.Prog.Pkgs {
+		analyzed[p.Types] = true
+	}
+	for _, cyc := range st.cycles {
+		anchor := anchorEdge(cyc, analyzed)
+		if anchor == nil || anchor.pkg != pass.Pkg {
+			continue
+		}
+		pass.Reportf(anchor.pos, "lock-order cycle (potential deadlock): %s", renderCycle(st, cyc))
+	}
+	return nil
+}
+
+// edge is one observed acquisition order: to was acquired while from
+// was held, at pos (inside pkg).
+type edge struct {
+	from, to string
+	pos      token.Pos
+	pkg      *types.Package
+}
+
+// hazard is a blocking operation reached with locks held.
+type hazard struct {
+	what string
+	pos  token.Pos
+	pkg  *types.Package
+	held []string
+}
+
+// state is the whole-program result: the merged class graph, detected
+// cycles, and hazards.
+type state struct {
+	prog    *analysis.Program
+	edges   map[[2]string]*edge // first-seen representative per (from,to)
+	hazards []hazard
+	cycles  [][]*edge
+}
+
+// harvest is one function's direct lock behavior plus its call sites
+// annotated with the held set.
+type harvest struct {
+	node     *analysis.FuncNode
+	acquires map[string]bool
+	edges    []*edge
+	calls    []callUnder
+	hazards  []hazard
+}
+
+type callUnder struct {
+	callee *types.Func
+	pos    token.Pos
+	held   []string
+}
+
+func build(prog *analysis.Program) *state {
+	st := &state{prog: prog, edges: make(map[[2]string]*edge)}
+	cg := prog.CallGraph()
+
+	// Deterministic function order: packages in load order, then
+	// declaration order within each.
+	var nodes []*analysis.FuncNode
+	for _, pkg := range prog.All {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					if n := cg.Node(fn); n != nil {
+						nodes = append(nodes, n)
+					}
+				}
+			}
+		}
+	}
+
+	harvests := make(map[*types.Func]*harvest, len(nodes))
+	for _, n := range nodes {
+		harvests[n.Fn] = harvestFunc(prog, n)
+	}
+
+	// Transitive acquires: fixpoint over the call graph (cycles in the
+	// graph converge because the sets only grow).
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			h := harvests[n.Fn]
+			for _, c := range h.calls {
+				callee := harvests[c.callee]
+				if callee == nil {
+					continue
+				}
+				for cls := range callee.acquires {
+					if !h.acquires[cls] {
+						h.acquires[cls] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Merge: direct edges, plus held × callee-acquires at call sites.
+	addEdge := func(e *edge) {
+		key := [2]string{e.from, e.to}
+		if _, ok := st.edges[key]; !ok {
+			st.edges[key] = e
+		}
+	}
+	for _, n := range nodes {
+		h := harvests[n.Fn]
+		for _, e := range h.edges {
+			addEdge(e)
+		}
+		for _, c := range h.calls {
+			callee := harvests[c.callee]
+			if callee == nil {
+				continue
+			}
+			acq := sortedKeys(callee.acquires)
+			for _, held := range c.held {
+				for _, cls := range acq {
+					if cls == held {
+						continue
+					}
+					addEdge(&edge{from: held, to: cls, pos: c.pos, pkg: n.Pkg.Types})
+				}
+			}
+		}
+		st.hazards = append(st.hazards, h.hazards...)
+		publish(prog.Facts, prog.Fset, n.Fn, h)
+	}
+
+	st.cycles = findCycles(st.edges)
+	return st
+}
+
+// publish exports the function's lock summary as a fact.
+func publish(facts *analysis.Facts, fset *token.FileSet, fn *types.Func, h *harvest) {
+	if len(h.acquires) == 0 && len(h.edges) == 0 {
+		return
+	}
+	name := analysis.FuncName(fn)
+	fact := facts.Func(name)
+	if fact == nil {
+		fact = &analysis.FuncFact{Name: name}
+		facts.PublishFunc(fact)
+	}
+	fact.Acquires = sortedKeys(h.acquires)
+	for _, e := range h.edges {
+		fact.LockEdges = append(fact.LockEdges, analysis.LockEdge{
+			From: e.from, To: e.to, At: shortPos(fset, e.pos),
+		})
+	}
+}
+
+// harvestFunc walks one function body in source order, tracking the
+// held set.
+func harvestFunc(prog *analysis.Program, node *analysis.FuncNode) *harvest {
+	info := node.Pkg.Info
+	fset := prog.Fset
+	h := &harvest{node: node, acquires: make(map[string]bool)}
+	waived := waivedLines(fset, fileOf(node.Pkg, node.Decl))
+
+	var held []string
+	// //act:locked <mu> seeds the held set with the receiver's guard.
+	if arg, ok := analysis.DirectiveArg(node.Decl.Doc, "act:locked"); ok && arg != "" {
+		if recv := receiverNamed(node.Fn); recv != nil {
+			cls := qualifyNamed(recv) + "." + arg
+			held = append(held, cls)
+			h.acquires[cls] = true
+		}
+	}
+
+	// Deferred calls never release within the body.
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal's body runs at its own time, under its own
+			// locks; its calls are not this function's acquisitions.
+			return false
+		case *ast.SendStmt:
+			if len(held) > 0 && !waived[fset.Position(n.Pos()).Line] {
+				h.hazards = append(h.hazards, hazard{
+					what: "channel send", pos: n.Pos(), pkg: node.Pkg.Types,
+					held: append([]string(nil), held...),
+				})
+			}
+		case *ast.CallExpr:
+			line := fset.Position(n.Pos()).Line
+			if cls, op := lockCall(info, n); op != opNone && cls != "" {
+				switch op {
+				case opAcquire:
+					if !waived[line] {
+						for _, f := range held {
+							if f != cls {
+								h.edges = append(h.edges, &edge{from: f, to: cls, pos: n.Pos(), pkg: node.Pkg.Types})
+							}
+						}
+					}
+					held = append(held, cls)
+					h.acquires[cls] = true
+				case opRelease:
+					if !deferred[n] {
+						held = removeLast(held, cls)
+					}
+				}
+				return true
+			}
+			if isWaitCall(info, n) {
+				if len(held) > 0 && !waived[line] {
+					h.hazards = append(h.hazards, hazard{
+						what: "sync.WaitGroup.Wait", pos: n.Pos(), pkg: node.Pkg.Types,
+						held: append([]string(nil), held...),
+					})
+				}
+				return true
+			}
+			if site, ok := analysis.ResolveCall(info, n); ok && !site.Dynamic && len(held) > 0 {
+				h.calls = append(h.calls, callUnder{
+					callee: site.Callee, pos: n.Pos(),
+					held: append([]string(nil), held...),
+				})
+			}
+		}
+		return true
+	})
+	return h
+}
+
+// waivedLines collects //act:lockorder-ok lines (own line + next).
+func waivedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	if f == nil {
+		return out
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), "act:lockorder-ok") {
+				line := fset.Position(c.Pos()).Line
+				out[line] = true
+				out[line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opAcquire
+	opRelease
+)
+
+// lockCall recognizes sync mutex method calls, returning the lock
+// class of the receiver expression and the operation.
+func lockCall(info *types.Info, call *ast.CallExpr) (string, lockOp) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	fn := methodOf(info, sel)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", opNone
+	}
+	var op lockOp
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		op = opAcquire
+	case "Unlock", "RUnlock":
+		op = opRelease
+	default:
+		return "", opNone
+	}
+	return lockClassOf(info, sel.X), op
+}
+
+// isWaitCall recognizes sync.WaitGroup.Wait.
+func isWaitCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn := methodOf(info, sel)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != "Wait" {
+		return false
+	}
+	recv := receiverNamed(fn)
+	return recv != nil && recv.Obj().Name() == "WaitGroup"
+}
+
+func methodOf(info *types.Info, sel *ast.SelectorExpr) *types.Func {
+	if s, ok := info.Selections[sel]; ok && (s.Kind() == types.MethodVal || s.Kind() == types.MethodExpr) {
+		if fn, ok := s.Obj().(*types.Func); ok {
+			return fn
+		}
+	}
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+// lockClassOf abstracts a mutex receiver expression to its class:
+//
+//	x.mu        → pkg.OwnerType.mu  (struct field)
+//	pkgvar      → pkg.pkgvar        (package-level var)
+//	s           → pkg.S             (embedded sync.Mutex receiver)
+//	local       → ""                (no class)
+func lockClassOf(info *types.Info, expr ast.Expr) string {
+	e := ast.Unparen(expr)
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if named := namedOf(info.TypeOf(e.X)); named != nil {
+				return qualifyNamed(named) + "." + e.Sel.Name
+			}
+			return ""
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && packageLevel(v) {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			if packageLevel(v) {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+			// Receiver or local of a named type embedding the mutex.
+			if named := namedOf(v.Type()); named != nil {
+				if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() != "sync" {
+					return qualifyNamed(named)
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func packageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func qualifyNamed(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// receiverNamed returns the named type of fn's receiver (deref'd), or
+// nil for plain functions.
+func receiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedOf(sig.Recv().Type())
+}
+
+func removeLast(held []string, cls string) []string {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == cls {
+			return append(held[:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// findCycles detects acquisition-order cycles on the merged class
+// graph: for each strongly connected component with more than one
+// class, it extracts one deterministic representative cycle starting
+// from the smallest class and always preferring the smallest next
+// class.
+func findCycles(edges map[[2]string]*edge) [][]*edge {
+	succ := make(map[string][]string)
+	for key := range edges {
+		succ[key[0]] = append(succ[key[0]], key[1])
+	}
+	for _, s := range succ {
+		sort.Strings(s)
+	}
+
+	sccs := tarjan(succ)
+	var cycles [][]*edge
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		inSCC := make(map[string]bool, len(scc))
+		for _, c := range scc {
+			inSCC[c] = true
+		}
+		sort.Strings(scc)
+		path := cyclePath(scc[0], succ, inSCC)
+		var cyc []*edge
+		for i := range path {
+			from, to := path[i], path[(i+1)%len(path)]
+			cyc = append(cyc, edges[[2]string{from, to}])
+		}
+		cycles = append(cycles, cyc)
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i][0].from < cycles[j][0].from })
+	return cycles
+}
+
+// cyclePath walks from start back to start inside the SCC, greedily
+// taking the smallest in-SCC successor not yet on the path.
+func cyclePath(start string, succ map[string][]string, inSCC map[string]bool) []string {
+	path := []string{start}
+	onPath := map[string]bool{start: true}
+	cur := start
+	for {
+		next := ""
+		for _, s := range succ[cur] {
+			if s == start && len(path) > 1 {
+				return path
+			}
+			if inSCC[s] && !onPath[s] {
+				next = s
+				break
+			}
+		}
+		if next == "" {
+			// Dead end off the greedy path (possible in dense SCCs):
+			// backtrack by restarting with the direct 2-cycle if one
+			// exists, else give up on a longer representative.
+			for _, s := range succ[start] {
+				if inSCC[s] {
+					for _, back := range succ[s] {
+						if back == start {
+							return []string{start, s}
+						}
+					}
+				}
+			}
+			return path
+		}
+		path = append(path, next)
+		onPath[next] = true
+		cur = next
+	}
+}
+
+// tarjan computes strongly connected components of the class graph.
+func tarjan(succ map[string][]string) [][]string {
+	var (
+		index    = make(map[string]int)
+		low      = make(map[string]int)
+		onStack  = make(map[string]bool)
+		stack    []string
+		counter  int
+		out      [][]string
+		strongly func(v string)
+	)
+	var nodes []string
+	seen := make(map[string]bool)
+	for from, tos := range succ {
+		if !seen[from] {
+			seen[from] = true
+			nodes = append(nodes, from)
+		}
+		for _, to := range tos {
+			if !seen[to] {
+				seen[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	strongly = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succ[v] {
+			if _, ok := index[w]; !ok {
+				strongly(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongly(v)
+		}
+	}
+	return out
+}
+
+// anchorEdge picks the reporting anchor for a cycle: the edge with the
+// smallest position among edges owned by analyzed packages.
+func anchorEdge(cyc []*edge, analyzed map[*types.Package]bool) *edge {
+	var best *edge
+	for _, e := range cyc {
+		if e == nil || !analyzed[e.pkg] {
+			continue
+		}
+		if best == nil || e.pos < best.pos {
+			best = e
+		}
+	}
+	return best
+}
+
+// renderCycle prints "A → B (at x.go:12) → A (at y.go:30)"; the last
+// hop's target closes the cycle back at the first class.
+func renderCycle(st *state, cyc []*edge) string {
+	var b strings.Builder
+	for i, e := range cyc {
+		if e == nil {
+			continue
+		}
+		if i == 0 {
+			b.WriteString(e.from)
+		}
+		fmt.Fprintf(&b, " → %s (at %s)", e.to, shortPos(st.prog.Fset, e.pos))
+	}
+	return b.String()
+}
+
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	if !p.IsValid() {
+		return "?"
+	}
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// fileOf finds the *ast.File containing decl.
+func fileOf(pkg *analysis.Package, decl *ast.FuncDecl) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= decl.Pos() && decl.Pos() < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

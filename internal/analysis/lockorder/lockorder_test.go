@@ -1,0 +1,19 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"act/internal/analysis/analysistest"
+	"act/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", lockorder.Analyzer)
+}
+
+// TestLockorderCrossPackage pins the fact-merged behavior: package q
+// establishes an acquisition order and exports lock summaries, package
+// p closes cycles against them across the import edge.
+func TestLockorderCrossPackage(t *testing.T) {
+	analysistest.RunRoot(t, "testdata/src", lockorder.Analyzer, "p")
+}

@@ -1,0 +1,148 @@
+// Package a is the lockorder golden package: acquisition-order cycles
+// within one package, blocking-while-holding hazards, waivers, and the
+// class-abstraction negative cases.
+package a
+
+import "sync"
+
+// S carries the classic AB/BA inversion.
+type S struct {
+	mu1 sync.Mutex
+	mu2 sync.Mutex
+}
+
+func (s *S) ab() {
+	s.mu1.Lock()
+	s.mu2.Lock() // want `lock-order cycle \(potential deadlock\): a\.S\.mu1 → a\.S\.mu2 \(at a\.go:\d+\) → a\.S\.mu1 \(at a\.go:\d+\)`
+	s.mu2.Unlock()
+	s.mu1.Unlock()
+}
+
+func (s *S) ba() {
+	s.mu2.Lock()
+	s.mu1.Lock() // the inversion: second half of the cycle
+	s.mu1.Unlock()
+	s.mu2.Unlock()
+}
+
+// sendUnder blocks on a channel send with the lock held.
+func (s *S) sendUnder(ch chan int) {
+	s.mu1.Lock()
+	ch <- 1 // want `channel send while holding a\.S\.mu1`
+	s.mu1.Unlock()
+}
+
+// sendAfter releases first: no hazard.
+func (s *S) sendAfter(ch chan int) {
+	s.mu1.Lock()
+	s.mu1.Unlock()
+	ch <- 1
+}
+
+// sendWaived declares the send non-blocking.
+func (s *S) sendWaived(ch chan int) {
+	s.mu1.Lock()
+	ch <- 1 //act:lockorder-ok buffered channel sized to the fan-out, never blocks
+	s.mu1.Unlock()
+}
+
+// waitUnder parks on a WaitGroup with the lock held (deferred unlock
+// keeps it held to the end of the body).
+func (s *S) waitUnder(wg *sync.WaitGroup) {
+	s.mu1.Lock()
+	defer s.mu1.Unlock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while holding a\.S\.mu1`
+}
+
+// transfer locks two instances of the same class: no self-edge, no
+// diagnostic (class-level analysis is instance-blind by design).
+func transfer(a, b *S) {
+	a.mu1.Lock()
+	b.mu1.Lock()
+	b.mu1.Unlock()
+	a.mu1.Unlock()
+}
+
+// T exercises held × callee-acquires propagation through a call.
+type T struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func (t *T) takeY() {
+	t.y.Lock()
+	t.y.Unlock()
+}
+
+func (t *T) xThenCallY() {
+	t.x.Lock()
+	t.takeY() // want `lock-order cycle \(potential deadlock\): a\.T\.x → a\.T\.y \(at a\.go:\d+\) → a\.T\.x \(at a\.go:\d+\)`
+	t.x.Unlock()
+}
+
+func (t *T) yThenX() {
+	t.y.Lock()
+	t.x.Lock()
+	t.x.Unlock()
+	t.y.Unlock()
+}
+
+// G exercises //act:locked seeding: the helper's acquisition happens
+// under the caller-held guard.
+type G struct {
+	mu  sync.Mutex
+	aux sync.Mutex
+}
+
+// lockedHelper runs with g.mu held by contract.
+//
+//act:locked mu
+func (g *G) lockedHelper() {
+	g.aux.Lock() // want `lock-order cycle \(potential deadlock\): a\.G\.aux → a\.G\.mu \(at a\.go:\d+\) → a\.G\.aux \(at a\.go:\d+\)`
+	g.aux.Unlock()
+}
+
+func (g *G) other() {
+	g.aux.Lock()
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.aux.Unlock()
+}
+
+// E embeds the mutex: the class is the named type itself.
+type E struct {
+	sync.Mutex
+	n int
+}
+
+func sendEmbedded(e *E, ch chan int) {
+	e.Lock()
+	ch <- e.n // want `channel send while holding a\.E`
+	e.Unlock()
+}
+
+// globalMu is a package-level lock class.
+var globalMu sync.Mutex
+
+func underGlobal(ch chan int) {
+	globalMu.Lock()
+	defer globalMu.Unlock()
+	ch <- 0 // want `channel send while holding a\.globalMu`
+}
+
+// tryThenOrdered: TryLock acquisitions participate in the order graph
+// like any other; a consistent order draws no diagnostic.
+func (t *T) tryThenOrdered() {
+	if t.x.TryLock() {
+		defer t.x.Unlock()
+		t.takeY() // consistent with xThenCallY: x before y
+	}
+}
+
+// localOnly locks a local mutex: no class, no edges, no diagnostics.
+func localOnly(ch chan int) {
+	var mu sync.Mutex
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+}

@@ -1,0 +1,48 @@
+// Package p is the analyzed side of the cross-package lockorder
+// fixture: its inverted acquisitions close cycles against the edges
+// package q established, merged through facts.
+package p
+
+import (
+	"sync"
+
+	"q"
+)
+
+// Inverted closes the AB/BA cycle across the import edge: q's
+// XThenY ordered MuX before MuY.
+func Inverted(pr *q.Pair) {
+	pr.MuY.Lock()
+	pr.MuX.Lock() // want `lock-order cycle \(potential deadlock\): q\.Pair\.MuX → q\.Pair\.MuY \(at q\.go:\d+\) → q\.Pair\.MuX \(at p\.go:\d+\)`
+	pr.MuX.Unlock()
+	pr.MuY.Unlock()
+}
+
+// Local is p's own lock class.
+type Local struct {
+	mu sync.Mutex
+}
+
+// HoldAndFill acquires q.Store.Mu through the callee's fact while
+// holding p.Local.mu.
+func (l *Local) HoldAndFill(st *q.Store) {
+	l.mu.Lock()
+	st.Fill() // want `lock-order cycle \(potential deadlock\): p\.Local\.mu → q\.Store\.Mu \(at p\.go:\d+\) → p\.Local\.mu \(at p\.go:\d+\)`
+	l.mu.Unlock()
+}
+
+// StoreThenLocal closes the second cycle in the other direction.
+func (l *Local) StoreThenLocal(st *q.Store) {
+	st.Mu.Lock()
+	l.mu.Lock()
+	l.mu.Unlock()
+	st.Mu.Unlock()
+}
+
+// Aligned follows q's canonical order: no diagnostic.
+func Aligned(pr *q.Pair) {
+	pr.MuX.Lock()
+	pr.MuY.Lock()
+	pr.MuY.Unlock()
+	pr.MuX.Unlock()
+}

@@ -1,0 +1,33 @@
+// Package q is the dependency side of the cross-package lockorder
+// fixture: it establishes one acquisition order (MuX before MuY) and
+// exports a helper whose lock behavior travels to importers as a fact.
+package q
+
+import "sync"
+
+// Pair's canonical order is MuX before MuY.
+type Pair struct {
+	MuX sync.Mutex
+	MuY sync.Mutex
+}
+
+// XThenY establishes the q-side ordering edge.
+func (p *Pair) XThenY() {
+	p.MuX.Lock()
+	p.MuY.Lock()
+	p.MuY.Unlock()
+	p.MuX.Unlock()
+}
+
+// Store is a second, independent lock class for the fact-propagation
+// cycle.
+type Store struct {
+	Mu sync.Mutex
+}
+
+// Fill acquires Store.Mu; importers calling it under their own locks
+// inherit the edge through the published fact.
+func (s *Store) Fill() {
+	s.Mu.Lock()
+	s.Mu.Unlock()
+}

@@ -1,14 +1,16 @@
 // Package noalloc implements the actlint pass that turns the monitor's
 // zero-allocation guarantee into a compile-time property. Functions
 // annotated //act:noalloc — the OnDep classification path, the ring
-// IGB and extractor windows, sequence encoding and hashing — must not
-// contain heap-allocating constructs. The dynamic side of the contract
+// IGB and extractor windows, sequence encoding and hashing, the
+// quantized kernel — must not contain heap-allocating constructs, and
+// (since the interprocedural upgrade) must not call anything that is
+// not itself provably alloc-free. The dynamic side of the contract
 // (TestOnDepSteadyStateAllocs, BenchmarkClassifySteadyState) proves the
-// composed path allocates nothing at run time; this pass pins each
-// annotated function so a regression is flagged at lint time, on every
-// change, without needing the right benchmark to run.
+// composed path allocates nothing at run time; this pass pins it
+// statically, on every change, without needing the right benchmark to
+// run.
 //
-// Flagged constructs:
+// Flagged constructs (intraprocedural, unchanged from PR 4):
 //
 //   - make, new, and append calls (append may grow its backing array)
 //   - slice, map, and pointer-to-composite literals
@@ -19,17 +21,47 @@
 //   - boxing a non-pointer value into an interface, either by explicit
 //     conversion or by passing it to an interface-typed parameter
 //
-// The check is intraprocedural: calls to unannotated functions are
-// trusted (the dynamic tests cover composition). A deliberate guarded
-// grow-once line — "if cap too small: make" — is waived with an
-// //act:alloc-ok comment on or directly above the line, keeping the
-// waiver visible in review next to the code it excuses.
+// Interprocedural rule: every call inside an //act:noalloc function
+// must target a function proven alloc-free. The proof walks the
+// program call graph: a function is alloc-free when its body has no
+// flagged construct (waived lines excluded) and every call it makes is
+// alloc-free in turn. Each verdict is published as an AllocFree fact,
+// so the result is visible across package boundaries — an annotated
+// function in internal/core calling a helper in internal/deps is
+// checked against the helper's real body, not trusted. Diagnostics for
+// transitive failures print the offending call chain down to the
+// allocating construct.
+//
+// What cannot be proven is reported, not guessed:
+//
+//   - dynamic calls (func values, func-typed fields, interface
+//     methods) have no static callee;
+//   - calls outside the loaded program (standard library) have no
+//     syntax to inspect. A small allowlist covers the alloc-free
+//     packages the hot path leans on (math, math/bits, sync/atomic,
+//     and sync's mutex lock/unlock methods); everything else needs a
+//     waiver.
+//
+// Waivers, visible in review next to the code they excuse:
+//
+//	//act:alloc-ok <reason>       waives construct findings on the line
+//	                              (the guarded grow-once idiom)
+//	//act:alloc-ok-call <reason>  waives call findings on the line —
+//	                              the declared cold path (debug-buffer
+//	                              inserts, recovery) or a dynamic call
+//	                              whose every target is annotated
+//
+// Both waivers also apply inside helpers reached transitively: a
+// helper with a waived grow line still counts as alloc-free, exactly
+// matching the trust the dynamic allocation tests extend.
 package noalloc
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"strings"
 
 	"act/internal/analysis"
@@ -38,62 +70,336 @@ import (
 // Analyzer is the noalloc pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "noalloc",
-	Doc:  "reports heap-allocating constructs inside //act:noalloc functions",
+	Doc:  "reports heap-allocating constructs and calls to unproven functions inside //act:noalloc functions",
 	Run:  run,
 }
 
 func run(pass *analysis.Pass) error {
+	ck := pass.Prog.Scratch("noalloc", func() any { return newChecker(pass.Prog, pass.Facts) }).(*checker)
 	for _, f := range pass.Files {
-		waived := waivedLines(pass, f)
+		waived, waivedCalls := waivedLines(pass.Fset, f)
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !analysis.HasDirective(fd.Doc, "act:noalloc") {
 				continue
 			}
-			check(pass, fd, waived)
+			checkAnnotated(pass, ck, fd, waived, waivedCalls)
 		}
 	}
 	return nil
 }
 
-// waivedLines collects the lines excused by //act:alloc-ok comments: the
-// comment's own line and the one after it (so the waiver can sit at the
-// end of the offending line or on its own line directly above).
-func waivedLines(pass *analysis.Pass, f *ast.File) map[int]bool {
-	out := make(map[int]bool)
+// waivedLines collects the lines excused by //act:alloc-ok (construct
+// findings) and //act:alloc-ok-call (call findings) comments: each
+// waiver covers its own line and the one after it, so it can sit at
+// the end of the offending line or on its own line directly above.
+func waivedLines(fset *token.FileSet, f *ast.File) (constructs, calls map[int]bool) {
+	constructs = make(map[int]bool)
+	calls = make(map[int]bool)
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), "act:alloc-ok") {
-				line := pass.Fset.Position(c.Pos()).Line
-				out[line] = true
-				out[line+1] = true
+			text := strings.TrimPrefix(c.Text, "//")
+			line := fset.Position(c.Pos()).Line
+			switch {
+			case strings.HasPrefix(text, "act:alloc-ok-call"):
+				calls[line] = true
+				calls[line+1] = true
+			case strings.HasPrefix(text, "act:alloc-ok"):
+				// The broad waiver covers the whole line: its
+				// allocating constructs and its calls. alloc-ok-call
+				// stays narrow so construct checks survive on lines
+				// that only need the call excused.
+				constructs[line] = true
+				constructs[line+1] = true
+				calls[line] = true
+				calls[line+1] = true
 			}
 		}
 	}
-	return out
+	return constructs, calls
 }
 
-func check(pass *analysis.Pass, fd *ast.FuncDecl, waived map[int]bool) {
-	report := func(pos token.Pos, format string, args ...interface{}) {
+// checkAnnotated reports every violation inside one //act:noalloc
+// function: allocating constructs, and calls that are not provably
+// alloc-free.
+func checkAnnotated(pass *analysis.Pass, ck *checker, fd *ast.FuncDecl, waived, waivedCalls map[int]bool) {
+	scanConstructs(pass.Info, pass.Pkg, fd.Body, func(pos token.Pos, format string, args ...interface{}) {
 		if waived[pass.Fset.Position(pos).Line] {
 			return
 		}
 		args = append(args, fd.Name.Name)
 		pass.Reportf(pos, format+" in //act:noalloc function %s", args...)
+	})
+
+	fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	node := pass.Prog.CallGraph().Node(fn)
+	if node == nil {
+		return
+	}
+	for _, site := range node.Calls {
+		if waivedCalls[pass.Fset.Position(site.Pos).Line] {
+			continue
+		}
+		switch {
+		case site.Dynamic:
+			pass.Reportf(site.Pos, "cannot prove alloc-free: %s in //act:noalloc function %s (waive with //act:alloc-ok-call)",
+				site.Desc, fd.Name.Name)
+		default:
+			res := ck.allocFree(site.Callee)
+			if !res.free {
+				pass.Reportf(site.Pos, "call to %s is not alloc-free in //act:noalloc function %s: %s",
+					displayName(site.Callee, pass.Pkg), fd.Name.Name, ck.chain(site.Callee, pass.Pkg))
+			}
+		}
+	}
+}
+
+// checker computes and memoizes the AllocFree fact for every function
+// the annotated set reaches, whole-program, publishing each verdict.
+type checker struct {
+	prog  *analysis.Program
+	facts *analysis.Facts
+	memo  map[*types.Func]*result
+	// active marks functions currently on the evaluation stack:
+	// recursive calls assume the in-progress function is alloc-free,
+	// which is sound for the final verdict of the evaluation root —
+	// any real obstacle in the cycle is still found by the traversal —
+	// but results that leaned on the assumption are not memoized (see
+	// tainted).
+	active map[*types.Func]bool
+}
+
+// result is one function's verdict with the witness for rendering the
+// offending chain: either a leaf reason at pos, or a call edge via the
+// callee that fails.
+type result struct {
+	free   bool
+	pos    token.Pos
+	reason string      // leaf obstacle ("make allocates"); "" when free or via != nil
+	via    *types.Func // failing callee when the obstacle is a call
+	desc   string      // dynamic-call description when via == nil and reason == ""
+}
+
+func newChecker(prog *analysis.Program, facts *analysis.Facts) *checker {
+	return &checker{
+		prog:   prog,
+		facts:  facts,
+		memo:   make(map[*types.Func]*result),
+		active: make(map[*types.Func]bool),
+	}
+}
+
+// allowPkgs are standard-library packages every exported function of
+// which is allocation-free.
+var allowPkgs = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync/atomic": true,
+}
+
+// allowedExternal reports whether a call outside the loaded program is
+// known alloc-free.
+func allowedExternal(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	if allowPkgs[pkg.Path()] {
+		return true
+	}
+	if pkg.Path() == "sync" {
+		switch fn.Name() {
+		case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+			return true
+		}
+	}
+	// Clock reads return values and touch no heap; the obs hot-path
+	// instrumentation depends on them.
+	if pkg.Path() == "time" {
+		switch fn.Name() {
+		case "Now", "Since", "Sub", "Unix", "UnixNano":
+			return true
+		}
+	}
+	return false
+}
+
+// allocFree computes fn's verdict, memoized.
+func (ck *checker) allocFree(fn *types.Func) *result {
+	res, _ := ck.eval(fn)
+	return res
+}
+
+// eval returns fn's verdict and whether it leaned on an optimistic
+// in-progress assumption (in which case a free verdict is not cached).
+func (ck *checker) eval(fn *types.Func) (*result, bool) {
+	if res, ok := ck.memo[fn]; ok {
+		return res, false
+	}
+	if ck.active[fn] {
+		return &result{free: true}, true // optimistic: cycles alone don't allocate
 	}
 
+	node := ck.prog.CallGraph().Node(fn)
+	if node == nil {
+		if allowedExternal(fn) {
+			res := &result{free: true}
+			ck.memo[fn] = res
+			return res, false
+		}
+		res := &result{free: false, pos: fn.Pos(), reason: "outside the analyzed program, not allowlisted"}
+		ck.memo[fn] = res
+		return res, false
+	}
+
+	ck.active[fn] = true
+	defer delete(ck.active, fn)
+
+	res, tainted := ck.evalBody(node)
+	if !res.free || !tainted {
+		ck.memo[fn] = res
+		ck.publish(fn, res, node)
+	}
+	return res, tainted
+}
+
+func (ck *checker) evalBody(node *analysis.FuncNode) (*result, bool) {
+	fset := ck.prog.Fset
+	waived, waivedCalls := waivedLines(fset, fileOf(node.Pkg, node.Decl))
+
+	// Constructs first: a concrete obstacle beats chasing calls.
+	var obstacle *result
+	scanConstructs(node.Pkg.Info, node.Pkg.Types, node.Decl.Body, func(pos token.Pos, format string, args ...interface{}) {
+		if obstacle != nil || waived[fset.Position(pos).Line] {
+			return
+		}
+		obstacle = &result{free: false, pos: pos, reason: fmt.Sprintf(format, args...)}
+	})
+	if obstacle != nil {
+		return obstacle, false
+	}
+
+	tainted := false
+	for _, site := range node.Calls {
+		if waivedCalls[fset.Position(site.Pos).Line] {
+			continue
+		}
+		if site.Dynamic {
+			return &result{free: false, pos: site.Pos, desc: site.Desc}, false
+		}
+		sub, subTainted := ck.eval(site.Callee)
+		tainted = tainted || subTainted
+		if !sub.free {
+			return &result{free: false, pos: site.Pos, via: site.Callee}, tainted
+		}
+	}
+	return &result{free: true}, tainted
+}
+
+// publish exports the verdict as a cross-package fact.
+func (ck *checker) publish(fn *types.Func, res *result, node *analysis.FuncNode) {
+	fact := &analysis.FuncFact{Name: analysis.FuncName(fn), AllocFree: res.free}
+	if !res.free {
+		fact.AllocWhy = ck.chain(fn, node.Pkg.Types)
+	}
+	if prev := ck.facts.Func(fact.Name); prev != nil {
+		// Another pass may already have published lock facts; merge.
+		prev.AllocFree = fact.AllocFree
+		prev.AllocWhy = fact.AllocWhy
+		return
+	}
+	ck.facts.PublishFunc(fact)
+}
+
+// chain renders the offending call chain from fn down to the concrete
+// obstacle: "logDebug → growBuf: make allocates (core.go:712)".
+func (ck *checker) chain(fn *types.Func, from *types.Package) string {
+	var hops []string
+	seen := make(map[*types.Func]bool)
+	for {
+		if seen[fn] {
+			hops = append(hops, "...")
+			break
+		}
+		seen[fn] = true
+		res := ck.memo[fn]
+		if res == nil {
+			hops = append(hops, "unproven")
+			break
+		}
+		switch {
+		case res.via != nil:
+			hops = append(hops, displayName(res.via, from))
+			fn = res.via
+			continue
+		case res.reason != "":
+			hops = append(hops, fmt.Sprintf("%s (%s)", res.reason, shortPos(ck.prog.Fset, res.pos)))
+		default:
+			hops = append(hops, fmt.Sprintf("cannot prove alloc-free: %s (%s)", res.desc, shortPos(ck.prog.Fset, res.pos)))
+		}
+		break
+	}
+	return strings.Join(hops, " → ")
+}
+
+// displayName renders fn compactly relative to the reporting package:
+// "helper", "(*Network).Flatten", or "nn.(*Network).Flatten".
+func displayName(fn *types.Func, from *types.Package) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		ptr := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			ptr = "*"
+		}
+		if n, ok := t.(*types.Named); ok {
+			name = "(" + ptr + n.Obj().Name() + ")." + name
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg() != from {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	if !p.IsValid() {
+		return "external"
+	}
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// fileOf finds the *ast.File containing decl (for its comment map).
+func fileOf(pkg *analysis.Package, decl *ast.FuncDecl) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= decl.Pos() && decl.Pos() < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// scanConstructs walks body reporting each heap-allocating construct.
+// It is shared by the per-annotated-function reporting and the
+// interprocedural fact computation.
+func scanConstructs(info *types.Info, pkg *types.Package, body ast.Node, report func(token.Pos, string, ...interface{})) {
 	// Selector expressions in call position are method calls, not
 	// method values; collect them first so the walk below can tell the
 	// two apart.
 	calledFuns := make(map[ast.Expr]bool)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
 			calledFuns[call.Fun] = true
 		}
 		return true
 	})
 
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
 			report(n.Pos(), "function literal allocates")
@@ -101,7 +407,7 @@ func check(pass *analysis.Pass, fd *ast.FuncDecl, waived map[int]bool) {
 		case *ast.GoStmt:
 			report(n.Pos(), "go statement allocates a goroutine")
 		case *ast.CompositeLit:
-			switch pass.Info.TypeOf(n).Underlying().(type) {
+			switch info.TypeOf(n).Underlying().(type) {
 			case *types.Slice:
 				report(n.Pos(), "slice literal allocates")
 			case *types.Map:
@@ -114,26 +420,26 @@ func check(pass *analysis.Pass, fd *ast.FuncDecl, waived map[int]bool) {
 				}
 			}
 		case *ast.BinaryExpr:
-			if n.Op == token.ADD && isString(pass.Info.TypeOf(n.X)) {
+			if n.Op == token.ADD && isString(info.TypeOf(n.X)) {
 				report(n.Pos(), "string concatenation allocates")
 			}
 		case *ast.SelectorExpr:
 			if !calledFuns[n] {
-				if sel, ok := pass.Info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal {
 					report(n.Pos(), "method value %s allocates a closure", n.Sel.Name)
 				}
 			}
 		case *ast.CallExpr:
-			checkCall(pass, report, n)
+			checkCall(info, pkg, report, n)
 		}
 		return true
 	})
 }
 
-func checkCall(pass *analysis.Pass, report func(token.Pos, string, ...interface{}), call *ast.CallExpr) {
+func checkCall(info *types.Info, pkg *types.Package, report func(token.Pos, string, ...interface{}), call *ast.CallExpr) {
 	// Builtins.
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "make":
 				report(call.Pos(), "make allocates")
@@ -147,11 +453,11 @@ func checkCall(pass *analysis.Pass, report func(token.Pos, string, ...interface{
 	}
 
 	// Explicit conversions: T(x).
-	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
 		to := tv.Type
-		from := pass.Info.TypeOf(call.Args[0])
+		from := info.TypeOf(call.Args[0])
 		if boxes(from, to) {
-			report(call.Pos(), "conversion to interface %s boxes its operand", types.TypeString(to, types.RelativeTo(pass.Pkg)))
+			report(call.Pos(), "conversion to interface %s boxes its operand", types.TypeString(to, types.RelativeTo(pkg)))
 		}
 		if stringConv(from, to) {
 			report(call.Pos(), "string conversion copies its operand")
@@ -160,7 +466,7 @@ func checkCall(pass *analysis.Pass, report func(token.Pos, string, ...interface{
 	}
 
 	// Implicit interface boxing at call arguments.
-	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
 	if !ok {
 		return
 	}
@@ -178,8 +484,8 @@ func checkCall(pass *analysis.Pass, report func(token.Pos, string, ...interface{
 		default:
 			continue
 		}
-		if boxes(pass.Info.TypeOf(arg), pt) {
-			report(arg.Pos(), "argument boxed into interface %s allocates", types.TypeString(pt, types.RelativeTo(pass.Pkg)))
+		if boxes(info.TypeOf(arg), pt) {
+			report(arg.Pos(), "argument boxed into interface %s allocates", types.TypeString(pt, types.RelativeTo(pkg)))
 		}
 	}
 }

@@ -10,3 +10,10 @@ import (
 func TestNoalloc(t *testing.T) {
 	analysistest.Run(t, "testdata/src/a", noalloc.Analyzer)
 }
+
+// TestNoallocCrossPackage pins the interprocedural behavior across an
+// import edge: package x's annotated functions are checked against the
+// real bodies of package y's helpers via published AllocFree facts.
+func TestNoallocCrossPackage(t *testing.T) {
+	analysistest.RunRoot(t, "testdata/src", noalloc.Analyzer, "x")
+}

@@ -1,0 +1,26 @@
+// Package x is the annotated side of the cross-package noalloc
+// fixture: //act:noalloc functions whose callees live in package y,
+// checked through y's published AllocFree facts.
+package x
+
+import "y"
+
+//act:noalloc
+func hot(buf []int) int {
+	return y.Sum(buf) // proven through the import edge: no diagnostic
+}
+
+//act:noalloc
+func cold(n int) []int {
+	return y.Grow(n) // want `call to y\.Grow is not alloc-free in //act:noalloc function cold: y\.grow → make allocates \(y\.go:\d+\)`
+}
+
+//act:noalloc
+func waived(n int) []int {
+	return y.Grow(n) //act:alloc-ok-call startup-only path
+}
+
+//act:noalloc
+func viaWaivedHelper(buf []int, n int) []int {
+	return y.Reset(buf, n) // y's own waiver carries across the edge
+}

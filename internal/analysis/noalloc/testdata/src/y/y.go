@@ -1,0 +1,31 @@
+// Package y is the dependency side of the cross-package noalloc
+// fixture: helpers whose alloc-free verdicts are published as facts
+// and consumed by package x across the import edge.
+package y
+
+// Grow allocates: callers annotated //act:noalloc must not reach it.
+func Grow(n int) []int {
+	return grow(n)
+}
+
+// grow is the unexported leaf the chain diagnostic names.
+func grow(n int) []int {
+	return make([]int, n)
+}
+
+// Sum is provably alloc-free.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Reset has a waived grow-once line, so it still proves alloc-free.
+func Reset(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n) //act:alloc-ok grow-once on resize
+	}
+	return buf[:n]
+}

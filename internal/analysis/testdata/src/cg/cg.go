@@ -1,0 +1,21 @@
+// Package cg is the call-graph smoke fixture.
+package cg
+
+type S struct{ n int }
+
+func (s *S) bump() { s.n++ }
+
+func helper() int { return 1 }
+
+func caller(s *S, f func()) {
+	helper()
+	s.bump()
+	f()
+}
+
+// withLit's literal body is excluded from withLit's own calls; the
+// invocation of g is a dynamic site.
+func withLit() {
+	g := func() { helper() }
+	g()
+}

@@ -4,6 +4,8 @@
 // Buffer, tracks its misprediction rate with the Invalid Counter, and
 // alternates between online testing and online training modes so the
 // classifier adapts to code, input, and platform changes in the field.
+//
+//act:goleak
 package core
 
 import (
@@ -469,7 +471,7 @@ func (m *Module) OnDep(d deps.Dep) (classified, predictedInvalid bool) {
 			seq[pad+i] = m.igb[(m.ighead+i)%m.cfg.IGBSize]
 		}
 	}
-	m.xbuf = m.cfg.Encoder(seq, m.xbuf)
+	m.xbuf = m.cfg.Encoder(seq, m.xbuf) //act:alloc-ok-call registered encoders reuse the destination buffer
 	m.stats.sequences.Add(1)
 
 	var out float64
@@ -522,7 +524,7 @@ func (m *Module) OnDep(d deps.Dep) (classified, predictedInvalid bool) {
 	if invalid {
 		m.stats.predictedInvalid.Add(1)
 		m.invalid++
-		m.logDebug(seq, out, at)
+		m.logDebug(seq, out, at) //act:alloc-ok-call debug-ring capture, only on predicted-invalid
 	}
 	m.window++
 	if m.window >= m.cfg.CheckInterval {

@@ -117,7 +117,7 @@ func (m *Module) quantReady() bool {
 	if m.qbad && m.qbadGen == g {
 		return false
 	}
-	qn, err := nn.Compile(m.net, m.cfg.LUT)
+	qn, err := nn.Compile(m.net, m.cfg.LUT) //act:alloc-ok-call recompile runs once per weight generation
 	if err != nil {
 		m.qbad, m.qbadGen = true, g
 		return false
@@ -236,7 +236,7 @@ func (m *Module) onDepsQuant(ds []deps.Dep) int {
 		for j, k := range miss {
 			base := j * nin
 			for i := 0; i < wsz; i++ {
-				m.cfg.DepEncoder(slab[int(k)+i], feat[base+i*fpd:])
+				m.cfg.DepEncoder(slab[int(k)+i], feat[base+i*fpd:]) //act:alloc-ok-call registered encoders write in place
 			}
 		}
 		// Kernel outputs land in their own scratch (scattering through
@@ -310,7 +310,7 @@ func (m *Module) onDepsQuant(ds []deps.Dep) int {
 		if out < 0.5 {
 			cInv++
 			m.invalid++
-			m.logDebug(deps.Sequence(slab[k:k+hist+1]), out, base+uint64(k)+1)
+			m.logDebug(deps.Sequence(slab[k:k+hist+1]), out, base+uint64(k)+1) //act:alloc-ok-call debug-ring capture, only on predicted-invalid
 		}
 		m.window++
 		if m.window >= m.cfg.CheckInterval {

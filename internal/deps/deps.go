@@ -9,6 +9,8 @@
 // reading it. The dependence belongs to the processor executing L; each
 // dependence is labelled inter- or intra-thread. Sequences are the last N
 // dependences observed by one processor, oldest first.
+//
+//act:goleak
 package deps
 
 import "fmt"

@@ -16,6 +16,8 @@
 // harmless by dropping batches whose sequence hash it has already
 // ingested, and the wire format's per-frame CRCs let a connection
 // survive torn or corrupted frames.
+//
+//act:goleak
 package fleet
 
 import (

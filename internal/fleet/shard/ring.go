@@ -14,6 +14,8 @@
 // internal/faults kills, partitions and restarts shards mid-ingest and
 // asserts the merged report is byte-identical to a never-failed
 // single-collector run.
+//
+//act:goleak
 package shard
 
 import (

@@ -107,13 +107,13 @@ func (n *Network) Forward(x []float64) float64 {
 		for i, xi := range x {
 			sum += w[i] * xi
 		}
-		n.hidden[h] = act(sum)
+		n.hidden[h] = act(sum) //act:alloc-ok-call activation functions are pure math
 	}
 	sum := n.WO[n.NHidden]
 	for h, hv := range n.hidden {
 		sum += n.WO[h] * hv
 	}
-	return act(sum)
+	return act(sum) //act:alloc-ok-call activation functions are pure math
 }
 
 // Valid classifies input x: true when the output is at least 0.5.
@@ -188,16 +188,16 @@ func (n *Network) WeightCount() int { return n.NHidden*(n.NIn+1) + n.NHidden + 1
 // it. The layout matches ReadRegisters/WriteRegisters index order.
 func (n *Network) Flatten(dst []float64) []float64 {
 	for _, w := range n.WH {
-		dst = append(dst, w...)
+		dst = append(dst, w...) //act:alloc-ok callers pass dst preallocated to WeightCount
 	}
-	return append(dst, n.WO...)
+	return append(dst, n.WO...) //act:alloc-ok callers pass dst preallocated to WeightCount
 }
 
 // LoadFlat overwrites all weights from a flattened array produced by
 // Flatten. It returns an error on length mismatch.
 func (n *Network) LoadFlat(w []float64) error {
 	if len(w) != n.WeightCount() {
-		return fmt.Errorf("nn: weight count %d, want %d", len(w), n.WeightCount())
+		return fmt.Errorf("nn: weight count %d, want %d", len(w), n.WeightCount()) //act:alloc-ok length-mismatch error, cold path
 	}
 	for h := range n.WH {
 		copy(n.WH[h], w[:n.NIn+1])

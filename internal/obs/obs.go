@@ -12,6 +12,8 @@
 // Aggregation (bucket walks, quantiles, text rendering) happens only at
 // scrape time, on the scraper's goroutine. See DESIGN.md §12 for the
 // metric taxonomy and naming scheme.
+//
+//act:goleak
 package obs
 
 import (
