@@ -208,6 +208,10 @@ func LoadModel(r io.Reader) (*Model, error) {
 // events must pass through the same Monitor under the same lock.
 type Monitor struct {
 	tracker *core.Tracker
+	ckpt    core.CheckpointConfig
+
+	ckptStatus CheckpointStatus
+	ckptErr    error
 
 	metricsOnce sync.Once
 	metrics     *obs.Registry
@@ -218,7 +222,13 @@ type DeployOption func(*deployCfg)
 
 type deployCfg struct {
 	tracker core.TrackerConfig
+	ckpt    core.CheckpointConfig
 }
+
+// CheckpointStatus reports what the last checkpointed replay did:
+// whether it resumed, from which record, and how many checkpoint images
+// it wrote.
+type CheckpointStatus = core.ReplayStatus
 
 // WithThreshold sets the misprediction rate that flips a module into
 // online-training mode (default 0.05, Table III).
@@ -297,6 +307,21 @@ func WithQuantized() DeployOption {
 	return func(c *deployCfg) { c.tracker.Module.Quantized = true }
 }
 
+// WithCheckpoint enables checkpoint/resume on Replay and
+// ReplayParallel: replay state is snapshotted to path every interval
+// trace records (0 means a large default) as an atomic, CRC-framed
+// checkpoint file, and a later Replay of the same trace on a fresh,
+// identically configured Monitor resumes from the last complete
+// snapshot instead of starting over — with the ranked report byte-
+// identical to an uninterrupted run. A checkpoint from a different
+// trace, seed, or configuration is ignored (the replay starts fresh);
+// CheckpointStatus says what happened.
+func WithCheckpoint(path string, interval int) DeployOption {
+	return func(c *deployCfg) {
+		c.ckpt = core.CheckpointConfig{Path: path, Interval: interval, Resume: true}
+	}
+}
+
 // Deploy attaches a Monitor initialized with the model's weights for
 // every thread (the augmented-binary semantics: threads unseen at
 // training time would start untrained, in online-training mode).
@@ -309,7 +334,7 @@ func Deploy(m *Model, threads int, opts ...DeployOption) *Monitor {
 	}
 	binary := core.NewWeightBinary(m.res.Net.NIn, m.res.Net.NHidden)
 	binary.PatchAll(threads, m.res.Net.Flatten(nil))
-	return &Monitor{tracker: core.NewTracker(binary, cfg.tracker)}
+	return &Monitor{tracker: core.NewTracker(binary, cfg.tracker), ckpt: cfg.ckpt}
 }
 
 // OnStore records a store: thread tid's instruction at pc wrote addr.
@@ -322,8 +347,32 @@ func (mo *Monitor) OnLoad(tid int, pc, addr uint64) {
 	mo.tracker.OnRecord(Record{Tid: uint16(tid), PC: pc, Addr: addr})
 }
 
-// Replay feeds a whole trace through the monitor sequentially.
-func (mo *Monitor) Replay(t *Trace) { mo.tracker.Replay(t) }
+// Replay feeds a whole trace through the monitor sequentially,
+// checkpointing and resuming per WithCheckpoint.
+func (mo *Monitor) Replay(t *Trace) { mo.replay(t, nil) }
+
+// replay routes both replay flavors through the checkpointed engine
+// when WithCheckpoint armed it, recording the status for
+// CheckpointStatus.
+func (mo *Monitor) replay(t *Trace, par *core.ParallelConfig) {
+	if mo.ckpt.Path == "" {
+		if par != nil {
+			mo.tracker.ReplayParallel(t, *par)
+		} else {
+			mo.tracker.Replay(t)
+		}
+		return
+	}
+	mo.ckptStatus, mo.ckptErr = mo.tracker.ReplayCheckpointed(t, par, mo.ckpt)
+}
+
+// CheckpointStatus reports what the last checkpointed replay did and
+// any checkpoint I/O error it hit (a snapshot that fails to land stops
+// the replay — by then the monitor's state is no longer resumable from
+// disk). Zero values before the first replay or without WithCheckpoint.
+func (mo *Monitor) CheckpointStatus() (CheckpointStatus, error) {
+	return mo.ckptStatus, mo.ckptErr
+}
 
 // ReplayParallel feeds a whole trace through the monitor with the
 // two-stage pipeline: the calling goroutine resolves last writers over
@@ -334,8 +383,11 @@ func (mo *Monitor) Replay(t *Trace) { mo.tracker.Replay(t) }
 // is several times faster for multi-threaded traces. It returns once
 // every worker has drained. The concurrency lives entirely inside the
 // call: the Monitor-wide locking discipline above is unchanged.
+// Checkpointing per WithCheckpoint applies here too — the workers are
+// quiesced at every snapshot, so a parallel checkpoint captures the
+// same state a sequential one would.
 func (mo *Monitor) ReplayParallel(t *Trace) {
-	mo.tracker.ReplayParallel(t, core.ParallelConfig{})
+	mo.replay(t, &core.ParallelConfig{})
 }
 
 // DebugBuffer returns every module's logged suspicious sequences,

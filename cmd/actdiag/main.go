@@ -13,6 +13,7 @@
 //	actdiag -bug apache -save apache.rank # persist the ranked report
 //	actdiag -bug apache -rca-out apache.rca # persist the verdict report
 //	actdiag -load apache.rank -strategy output   # re-rank a saved report
+//	actdiag -bug apache -ckpt apache.ckpt -resume # checkpointed replay, resumable
 //
 // The exit code gates campaigns: 0 when the root cause ranked, 2 when
 // diagnosis completed without finding it, 1 on errors.
@@ -24,6 +25,7 @@ import (
 	"fmt"
 	"os"
 
+	"act/internal/core"
 	"act/internal/diagnose"
 	"act/internal/nn"
 	"act/internal/ranking"
@@ -44,6 +46,9 @@ func main() {
 		savePath = flag.String("save", "", "write the ranked report to this file")
 		loadPath = flag.String("load", "", "re-rank a saved report instead of running diagnosis")
 		strategy = flag.String("strategy", "", "with -load: most-matched, most-mismatched, or output")
+		ckptPath = flag.String("ckpt", "", "checkpoint the failing trace's replay to this file")
+		ckptIvl  = flag.Int("ckpt-interval", 0, "records between checkpoints (0 = default)")
+		resume   = flag.Bool("resume", false, "with -ckpt: resume from the checkpoint file if it matches")
 	)
 	flag.Parse()
 	if *loadPath != "" {
@@ -61,6 +66,11 @@ func main() {
 		fatal(err)
 	}
 	cfg := diagnose.Config{TrainRuns: 10, TestRuns: 4, CorrectSetRuns: 15, FailSeedBase: 100_000}
+	if *ckptPath != "" {
+		cfg.Checkpoint = core.CheckpointConfig{Path: *ckptPath, Interval: *ckptIvl, Resume: *resume}
+	} else if *resume {
+		fatal(fmt.Errorf("-resume needs -ckpt FILE"))
+	}
 	// Diagnosis always searches N >= 2: a single-dependence sequence
 	// cannot carry the context the atomicity-violation signatures live
 	// in.
@@ -100,6 +110,15 @@ func main() {
 			out.Training.Topology(), cfg.TrainRuns, 100*out.Training.Mispred)
 		fmt.Printf("failure:        seed %d (analyzed %d production failure(s))\n",
 			out.FailSeed, out.FailuresTried)
+		if out.Replay.Resumed {
+			what := "replay state"
+			if out.StageResumed {
+				what = "ranked report and RCA verdicts"
+			}
+			fmt.Printf("checkpoint:     resumed %s from record %d\n", what, out.Replay.ResumedFrom)
+		} else if out.Replay.Checkpoints > 0 {
+			fmt.Printf("checkpoint:     %d image(s) written\n", out.Replay.Checkpoints)
+		}
 		fmt.Printf("debug buffer:   %d entries; root cause at position %d (newest first)\n",
 			out.DebugLen, out.DebugPos)
 		fmt.Printf("postprocessing: pruned %.0f%%, %d candidates remain\n",
@@ -149,6 +168,10 @@ type outcomeJSON struct {
 	Candidates    int         `json:"candidates"`
 	Rank          int         `json:"rank"`
 	Found         bool        `json:"found"`
+	Resumed       bool        `json:"resumed,omitempty"`
+	ResumedFrom   int         `json:"resumed_from,omitempty"`
+	Checkpoints   int         `json:"checkpoints,omitempty"`
+	StageResumed  bool        `json:"stage_resumed,omitempty"`
 	RCA           *rca.Report `json:"rca,omitempty"`
 }
 
@@ -167,6 +190,10 @@ func printJSON(out *diagnose.Outcome, cfg diagnose.Config) {
 		Candidates:    out.Candidates,
 		Rank:          out.Rank,
 		Found:         out.Rank > 0,
+		Resumed:       out.Replay.Resumed,
+		ResumedFrom:   out.Replay.ResumedFrom,
+		Checkpoints:   out.Replay.Checkpoints,
+		StageResumed:  out.StageResumed,
 		RCA:           out.RCA,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")

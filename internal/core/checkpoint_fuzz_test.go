@@ -1,0 +1,73 @@
+// FuzzLoadCheckpoint: checkpoint loading must never panic on arbitrary
+// bytes — a torn or hostile checkpoint file is an expected production
+// input — and every image it does accept must round-trip: decode,
+// re-encode from the decoded state, decode again, identical state.
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"act/internal/deps"
+	"act/internal/pipeline"
+)
+
+// fuzzImage builds a small valid checkpoint image for the seed corpus.
+func fuzzImage(tb testing.TB, records int, extra ...pipeline.Section) []byte {
+	tb.Helper()
+	tr := randTrace(17, 3, records)
+	nIn := deps.InputLen(deps.EncodeDefault, 2)
+	t := NewTracker(NewWeightBinary(nIn, 6), TrackerConfig{Module: Config{N: 2, CheckInterval: 100}, Seed: 3})
+	t.Replay(tr)
+	img, err := t.EncodeCheckpoint(tr, records, extra...)
+	if err != nil {
+		tb.Fatalf("seed image: %v", err)
+	}
+	return img
+}
+
+func FuzzLoadCheckpoint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("ACTK"))
+	f.Add([]byte("ACTW\x01\x00\x00\x00"))
+	full := fuzzImage(f, 2000, pipeline.Section{Kind: 64, Data: []byte("stage")})
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Add(fuzzImage(f, 100))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, st, extra, err := DecodeCheckpoint(data) // must not panic
+		if err != nil {
+			return
+		}
+		// Accepted images round-trip: rebuild the section list from the
+		// decoded state and compare the re-parsed result structurally.
+		sections := []pipeline.Section{
+			{Kind: ckptKindHeader, Data: encodeHeader(hdr)},
+			{Kind: ckptKindExtractor, Data: encodeExtractor(st.Extractor)},
+		}
+		for i := range st.Modules {
+			sections = append(sections, pipeline.Section{Kind: ckptKindModule, Data: encodeModule(&st.Modules[i])})
+		}
+		sections = append(sections, extra...)
+		img := pipeline.AppendCheckpoint(nil, sections)
+		hdr2, st2, extra2, err := DecodeCheckpoint(img)
+		if err != nil {
+			t.Fatalf("re-encoded accepted image rejected: %v", err)
+		}
+		if hdr2 != hdr {
+			t.Fatalf("header changed across round-trip: %+v vs %+v", hdr, hdr2)
+		}
+		if len(st2.Modules) != len(st.Modules) || len(extra2) != len(extra) {
+			t.Fatalf("section census changed across round-trip")
+		}
+		for i := range extra {
+			if extra[i].Kind != extra2[i].Kind || !bytes.Equal(extra[i].Data, extra2[i].Data) {
+				t.Fatalf("extra section %d changed across round-trip", i)
+			}
+		}
+	})
+}

@@ -1,12 +1,6 @@
 package core
 
-import (
-	"sync"
-
-	"act/internal/deps"
-	"act/internal/obs"
-	"act/internal/trace"
-)
+import "act/internal/trace"
 
 // Parallel sharded replay.
 //
@@ -38,40 +32,11 @@ type ParallelConfig struct {
 }
 
 // ReplayParallel feeds a whole trace through the tracker with the
-// two-stage pipeline described above. It must not run concurrently with
-// other methods of the same Tracker; it returns once every worker has
-// drained, so the usual inspect-after-replay sequence is unchanged.
+// two-stage pipeline described above; it is a thin wrapper over
+// ReplayCheckpointed with checkpointing disabled. It must not run
+// concurrently with other methods of the same Tracker; it returns once
+// every worker has drained, so the usual inspect-after-replay sequence
+// is unchanged.
 func (t *Tracker) ReplayParallel(tr *trace.Trace, cfg ParallelConfig) {
-	sp := obs.StartSpan(statReplayNS)
-	var wg sync.WaitGroup
-	fo := deps.NewFanout(deps.FanoutConfig{Batch: cfg.Batch, Depth: cfg.Depth},
-		func(tid uint16, s *deps.FanStream) {
-			// Runs in the sequential stage on a thread's first dependence,
-			// so module creation order — and therefore default-weight
-			// seeding — matches sequential replay exactly.
-			m := t.moduleAt(int(tid))
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					batch, ok := s.Next()
-					if !ok {
-						return
-					}
-					bsp := obs.StartSpan(statReplayBatchNS)
-					m.OnDeps(batch)
-					bsp.End()
-				}
-			}()
-		})
-	prev := t.ext.OnDep
-	t.ext.OnDep = fo.Push
-	for _, r := range tr.Records {
-		t.OnRecord(r)
-	}
-	fo.Close()
-	wg.Wait()
-	t.ext.OnDep = prev
-	sp.End()
-	statReplays.Inc()
+	t.mustReplay(tr, &cfg)
 }

@@ -4,12 +4,14 @@
 // sequence, run nn.Network.Forward, update the counters. The quantized
 // path compiles the live weights to an nn.QNetwork — the same Q-format
 // registers nn.Quantize models, executed in int32 — and classifies runs
-// of testing-mode dependences in chunks: the chunk's dependences are
-// appended to the module's window history in one slab, every window is
-// probed in the generation-stamped window memo (production streams
-// repeat a small set of hot windows, so most probes hit), and only the
-// missed windows are encoded and classified, all of them with one
-// nn.ForwardWindows call.
+// of testing-mode dependences in chunks: every window is probed in the
+// generation-stamped window memo (production streams repeat a small set
+// of hot windows, so most probes hit), and only the missed windows are
+// encoded and classified, all of them with one nn.ForwardWindows call.
+// The chunk itself is never staged: windows past the first N-1 lie
+// entirely inside the caller's batch — in parallel replay, the fan-out
+// buffer delivered to the worker — and are sliced from it in place;
+// only the history/batch boundary is materialized (see quantWindow).
 //
 // Staleness follows the verdict cache's generation scheme: a compiled
 // kernel is valid for exactly one value of Module.gen, so every online
@@ -166,18 +168,26 @@ func (m *Module) onDepsQuant(ds []deps.Dep) int {
 	}
 	hist := m.cfg.N - 1
 
-	// Phase A — speculate: build the dependence slab (window history
-	// then the chunk), probe the window memo for every window, and run
-	// encode + kernel only for the windows that miss. Reads module
+	// Phase A — speculate: probe the window memo for every window and
+	// run encode + kernel only for the windows that miss. Reads module
 	// state but writes nothing observable (the memo is invisible).
-	need := hist + n
+	//
+	// Only the history/batch boundary is materialized: bbuf holds the
+	// window history followed by the first hist chunk dependences, so
+	// the hist straddling windows are contiguous; every later window is
+	// sliced from ds itself — the chunk (in parallel replay, the fan-out
+	// batch) feeds the kernel without a staging copy.
 	wsz := hist + 1
-	if cap(m.qdeps) < need {
-		m.qdeps = make([]deps.Dep, quantChunk+hist) //act:alloc-ok grow-once batch slab
+	bb := hist
+	if n < bb {
+		bb = n
 	}
-	slab := m.qdeps[:need]
-	m.igbTail(slab[:hist])
-	copy(slab[hist:], ds[:n])
+	if cap(m.qdeps) < 2*hist {
+		m.qdeps = make([]deps.Dep, 2*hist) //act:alloc-ok grow-once boundary buffer
+	}
+	bbuf := m.qdeps[:hist+bb]
+	m.igbTail(bbuf[:hist])
+	copy(bbuf[hist:], ds[:bb])
 	if cap(m.qouts) < n {
 		m.qouts = make([]float64, quantChunk) //act:alloc-ok grow-once output slab
 	}
@@ -192,12 +202,17 @@ func (m *Module) onDepsQuant(ds []deps.Dep) int {
 		m.qmemo.vals = make([]float64, 1<<qmemoBits)
 		m.qmemo.n = wsz
 	}
-	if cap(m.qhash) < need {
+	if cap(m.qhash) < hist+n {
 		m.qhash = make([]uint64, quantChunk+hist) //act:alloc-ok grow-once hash slab
 	}
-	hd := m.qhash[:need]
-	for i := range slab {
-		hd[i] = qdepHash(slab[i])
+	// hd[i] is the hash of element i of the virtual sequence
+	// history+chunk, without assembling that sequence anywhere.
+	hd := m.qhash[:hist+n]
+	for i := 0; i < hist; i++ {
+		hd[i] = qdepHash(bbuf[i])
+	}
+	for i := 0; i < n; i++ {
+		hd[hist+i] = qdepHash(ds[i])
 	}
 	if cap(m.qmiss) < n {
 		m.qmiss = make([]int32, quantChunk) //act:alloc-ok grow-once miss index slab
@@ -214,7 +229,7 @@ func (m *Module) onDepsQuant(ds []deps.Dep) int {
 		// where the chained low bits do not (real dependence windows
 		// differ in one position and collide badly on low bits).
 		b := (wh * 0x9e3779b97f4a7c15) >> (64 - qmemoBits)
-		if m.qmemo.stamp[b] == stampWant && qwindowEqual(m.qmemo.keys[b*uint64(wsz):], slab[k:k+wsz]) {
+		if m.qmemo.stamp[b] == stampWant && qwindowEqual(m.qmemo.keys[b*uint64(wsz):], quantWindow(bbuf, ds, hist, k)) {
 			outs[k] = m.qmemo.vals[b]
 		} else {
 			missBuf[nm] = int32(k)
@@ -235,8 +250,9 @@ func (m *Module) onDepsQuant(ds []deps.Dep) int {
 		feat := m.qfeat[:len(miss)*nin]
 		for j, k := range miss {
 			base := j * nin
+			win := quantWindow(bbuf, ds, hist, int(k))
 			for i := 0; i < wsz; i++ {
-				m.cfg.DepEncoder(slab[int(k)+i], feat[base+i*fpd:]) //act:alloc-ok-call registered encoders write in place
+				m.cfg.DepEncoder(win[i], feat[base+i*fpd:]) //act:alloc-ok-call registered encoders write in place
 			}
 		}
 		// Kernel outputs land in their own scratch (scattering through
@@ -258,7 +274,7 @@ func (m *Module) onDepsQuant(ds []deps.Dep) int {
 			}
 			b := (wh * 0x9e3779b97f4a7c15) >> (64 - qmemoBits)
 			m.qmemo.stamp[b] = stampWant
-			copy(m.qmemo.keys[b*uint64(wsz):(b+1)*uint64(wsz)], slab[k:k+wsz])
+			copy(m.qmemo.keys[b*uint64(wsz):(b+1)*uint64(wsz)], quantWindow(bbuf, ds, hist, k))
 			m.qmemo.vals[b] = out
 		}
 	}
@@ -290,11 +306,12 @@ func (m *Module) onDepsQuant(ds []deps.Dep) int {
 		}
 		cSeqs++
 		out := outs[k]
+		win := quantWindow(bbuf, ds, hist, k)
 		if m.vc != nil {
 			// Same get/put order as OnDep, so LRU state and hit/miss
 			// counts match exactly. A hit serves the cached value —
 			// bit-equal to outs[k], both pure functions of (gen, window).
-			hash := deps.Sequence(slab[k : k+hist+1]).Hash()
+			hash := deps.Sequence(win).Hash()
 			if v, ok := m.vc.get(hash, startGen); ok {
 				cHits++
 				out = v
@@ -310,7 +327,7 @@ func (m *Module) onDepsQuant(ds []deps.Dep) int {
 		if out < 0.5 {
 			cInv++
 			m.invalid++
-			m.logDebug(deps.Sequence(slab[k:k+hist+1]), out, base+uint64(k)+1) //act:alloc-ok-call debug-ring capture, only on predicted-invalid
+			m.logDebug(deps.Sequence(win), out, base+uint64(k)+1) //act:alloc-ok-call debug-ring capture, only on predicted-invalid
 		}
 		m.window++
 		if m.window >= m.cfg.CheckInterval {
@@ -333,6 +350,22 @@ func (m *Module) onDepsQuant(ds []deps.Dep) int {
 		m.stats.cacheMisses.Add(cMiss)
 	}
 	return k
+}
+
+// quantWindow returns chunk window k — the hist dependences preceding
+// ds[k] followed by ds[k] itself — as a contiguous slice without
+// copying: the first hist windows straddle the history/batch boundary
+// and live in bbuf (window history then ds[:hist], assembled once per
+// chunk), every later window is a subslice of the caller's batch. This
+// is what lets parallel replay's fan-out buffers feed ForwardWindows
+// directly instead of being staged per module.
+//
+//act:noalloc
+func quantWindow(bbuf, ds []deps.Dep, hist, k int) []deps.Dep {
+	if k < hist {
+		return bbuf[k : k+hist+1]
+	}
+	return ds[k-hist : k+1]
 }
 
 // igbTail copies the last len(dst) IGB entries into dst, zero-padding

@@ -9,7 +9,6 @@ import (
 
 	"act/internal/deps"
 	"act/internal/nn"
-	"act/internal/obs"
 	"act/internal/trace"
 )
 
@@ -109,6 +108,7 @@ const MaxTid = math.MaxUint16
 // the timing simulator wires the same Modules into its cores.
 type Tracker struct {
 	cfg     Config
+	tcfg    TrackerConfig // as passed to NewTracker, for the checkpoint fingerprint
 	binary  *WeightBinary
 	ext     *deps.Extractor
 	modules map[int]*Module
@@ -148,6 +148,7 @@ func NewTracker(binary *WeightBinary, cfg TrackerConfig) *Tracker {
 	}
 	t := &Tracker{
 		cfg:     mc,
+		tcfg:    cfg,
 		binary:  binary,
 		modules: make(map[int]*Module),
 		seed:    cfg.Seed,
@@ -277,19 +278,11 @@ func (t *Tracker) flushStaged() {
 
 // Replay feeds a whole trace through the tracker sequentially, staging
 // formed dependences per module (see stageBatch). See ReplayParallel
-// for the pipelined equivalent; OnRecord remains the unstaged immediate
-// path.
+// for the pipelined equivalent and ReplayCheckpointed — which this is a
+// thin wrapper over — for checkpoint/resume; OnRecord remains the
+// unstaged immediate path.
 func (t *Tracker) Replay(tr *trace.Trace) {
-	sp := obs.StartSpan(statReplayNS)
-	prev := t.ext.OnDep
-	t.ext.OnDep = t.stageDep
-	for _, r := range tr.Records {
-		t.OnRecord(r)
-	}
-	t.flushStaged()
-	t.ext.OnDep = prev
-	sp.End()
-	statReplays.Inc()
+	t.mustReplay(tr, nil)
 }
 
 // DebugBuffers concatenates every module's Debug Buffer, ordered by

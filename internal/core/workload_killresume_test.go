@@ -1,0 +1,146 @@
+// Kill-and-resume equivalence at the level the programmer sees: for
+// every checked-in workload kernel, a diagnosis run killed at random
+// checkpoint boundaries (the AbortAfter hook fires immediately after a
+// checkpoint image lands — exactly the state a SIGKILL at that instant
+// leaves on disk) and resumed on fresh trackers must produce a ranked
+// report AND an RCA verdict file byte-identical to an uninterrupted
+// run's. Exercised sequentially in float mode and in parallel quantized
+// mode, so the fanout Flush/Barrier quiescence path is covered under
+// the race detector in CI.
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"act/internal/core"
+	"act/internal/deps"
+	"act/internal/pipeline/stages"
+	"act/internal/rca"
+	"act/internal/trace"
+	"act/internal/workloads"
+)
+
+// runStages executes the diagnosis DAG once on a fresh tracker and
+// returns the stage result.
+func runStages(t *testing.T, mk func() *core.Tracker, tr *trace.Trace, correct *deps.SeqSet, cfg stages.Config) *stages.Result {
+	t.Helper()
+	res, err := stages.Run(mk(), tr, correct, cfg)
+	if err != nil {
+		t.Fatalf("stages.Run: %v", err)
+	}
+	return res
+}
+
+// serialize renders the result's two artifacts in their persisted wire
+// forms — the byte streams resume must reproduce exactly.
+func serialize(t *testing.T, res *stages.Result) (report, verdicts []byte) {
+	t.Helper()
+	var rbuf, vbuf bytes.Buffer
+	if err := res.Report.Save(&rbuf); err != nil {
+		t.Fatalf("report save: %v", err)
+	}
+	if err := res.RCA.Save(&vbuf); err != nil {
+		t.Fatalf("rca save: %v", err)
+	}
+	return rbuf.Bytes(), vbuf.Bytes()
+}
+
+func TestWorkloadKillResume(t *testing.T) {
+	const n = 2
+	nIn := deps.InputLen(deps.EncodeDefault, n)
+	rng := rand.New(rand.NewSource(42))
+
+	for _, mode := range []struct {
+		name  string
+		quant bool
+		par   *core.ParallelConfig
+	}{
+		{"seq-float", false, nil},
+		{"par-quant", true, &core.ParallelConfig{Batch: 32}},
+	} {
+		for _, w := range workloads.Kernels() {
+			t.Run(mode.name+"/"+w.Name, func(t *testing.T) {
+				prog := w.Build(1)
+				tr, _ := trace.Collect(prog, w.Sched(1))
+				cfg := core.TrackerConfig{
+					Module: core.Config{N: n, Quantized: mode.quant},
+					Seed:   7,
+				}
+				mk := func() *core.Tracker {
+					// Untrained binaries: modules learn online and still
+					// log, so reports are non-trivial mid-trace state.
+					return core.NewTracker(core.NewWeightBinary(nIn, 6), cfg)
+				}
+				correct := deps.NewSeqSet(n)
+				prov := rca.Provenance{Program: prog, CorrectRuns: 1, Bug: w.Name}
+
+				// Uninterrupted baseline, no checkpointing at all.
+				base := runStages(t, mk, tr, correct, stages.Config{Parallel: mode.par, Provenance: prov})
+				wantRep, wantRCA := serialize(t, base)
+
+				// Random checkpoint cadence per kernel; kill after the
+				// first image, resume and kill after the next, then resume
+				// to completion — three process lifetimes over one trace.
+				interval := 1 + rng.Intn(len(tr.Records))
+				ck := core.CheckpointConfig{
+					Path:     filepath.Join(t.TempDir(), "kill.ckpt"),
+					Interval: interval,
+				}
+				killsDone := false
+				for kill := 1; kill <= 2 && !killsDone; kill++ {
+					kc := ck
+					kc.Resume = kill > 1
+					kc.AbortAfter = 1
+					_, err := stages.Run(mk(), tr, correct, stages.Config{
+						Parallel: mode.par, Checkpoint: kc, Provenance: prov,
+					})
+					switch {
+					case errors.Is(err, core.ErrReplayAborted):
+						// killed as intended; resume in the next lifetime
+					case err == nil:
+						// The only checkpoint boundary was the completion
+						// image — the "kill" run finished the whole DAG.
+						killsDone = true
+					default:
+						t.Fatalf("killed run %d: %v", kill, err)
+					}
+				}
+
+				final := runStages(t, mk, tr, correct, stages.Config{
+					Parallel:   mode.par,
+					Checkpoint: core.CheckpointConfig{Path: ck.Path, Interval: interval, Resume: true},
+					Provenance: prov,
+				})
+				if !final.Replay.Resumed && !killsDone {
+					t.Fatalf("final run did not resume (reason %q)", final.Replay.Reason)
+				}
+				gotRep, gotRCA := serialize(t, final)
+				if !bytes.Equal(wantRep, gotRep) {
+					t.Errorf("ranked report bytes diverge after kill+resume (interval %d)", interval)
+				}
+				if !bytes.Equal(wantRCA, gotRCA) {
+					t.Errorf("RCA verdict bytes diverge after kill+resume (interval %d)", interval)
+				}
+
+				// One more lifetime: everything is in the checkpoint now,
+				// so the DAG must serve both artifacts without recomputing.
+				again := runStages(t, mk, tr, correct, stages.Config{
+					Parallel:   mode.par,
+					Checkpoint: core.CheckpointConfig{Path: ck.Path, Interval: interval, Resume: true},
+					Provenance: prov,
+				})
+				if !again.StageResumed {
+					t.Fatalf("stage resume did not serve stored results (reason %q)", again.Replay.Reason)
+				}
+				gotRep, gotRCA = serialize(t, again)
+				if !bytes.Equal(wantRep, gotRep) || !bytes.Equal(wantRCA, gotRCA) {
+					t.Error("stage-resumed artifacts diverge from baseline")
+				}
+			})
+		}
+	}
+}

@@ -13,7 +13,10 @@
 //act:goleak
 package deps
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Dep is one RAW dependence.
 type Dep struct {
@@ -405,6 +408,83 @@ func (e *Extractor) Load(tid uint16, pc, addr uint64, stack bool) (Dep, bool) {
 		}
 	}
 	return d, true
+}
+
+// LastWriter is one last-writer table entry in exported form.
+type LastWriter struct {
+	Granule uint64
+	StorePC uint64
+	Tid     uint16
+}
+
+// WindowState is one thread's current dependence window in exported
+// form, oldest first, at most N entries.
+type WindowState struct {
+	Tid    uint16
+	Window []Dep
+}
+
+// ExtractorState is the extractor's complete resumable state: which
+// writer last touched every granule, and each thread's partial
+// dependence window. It is what a replay checkpoint must carry so that
+// dependences formed after a resume are identical to an uninterrupted
+// run. The before-last (TrackPrev) map is deliberately not part of it:
+// it is an offline-training feature that replay never enables.
+type ExtractorState struct {
+	Granularity uint64
+	Writers     []LastWriter  // sorted ascending by granule
+	Windows     []WindowState // sorted ascending by tid
+}
+
+// ExportState captures the extractor's state deterministically: writers
+// sorted by granule, windows by thread id, so identical extractor states
+// export identical values (and, downstream, identical checkpoint bytes).
+func (e *Extractor) ExportState() ExtractorState {
+	st := ExtractorState{Granularity: e.granularity}
+	if e.last.hasZero {
+		st.Writers = append(st.Writers, LastWriter{Granule: 0, StorePC: e.last.zero.pc, Tid: e.last.zero.tid})
+	}
+	for i, g := range e.last.keys {
+		if g != 0 {
+			st.Writers = append(st.Writers, LastWriter{Granule: g, StorePC: e.last.vals[i].pc, Tid: e.last.vals[i].tid})
+		}
+	}
+	sort.Slice(st.Writers, func(i, j int) bool { return st.Writers[i].Granule < st.Writers[j].Granule })
+	for tid, w := range e.wins {
+		if w == nil || w.cnt == 0 {
+			continue
+		}
+		ws := WindowState{Tid: uint16(tid), Window: make([]Dep, w.cnt)}
+		for i := 0; i < w.cnt; i++ {
+			ws.Window[i] = w.buf[(w.head+i)%len(w.buf)]
+		}
+		st.Windows = append(st.Windows, ws)
+	}
+	return st
+}
+
+// RestoreState resets the extractor and loads a previously exported
+// state. It fails when the state was captured at a different granularity
+// or a window exceeds the configured sequence length — resuming under a
+// changed configuration would silently form different dependences.
+func (e *Extractor) RestoreState(st ExtractorState) error {
+	if st.Granularity != e.granularity {
+		return fmt.Errorf("deps: checkpoint granularity %d, extractor has %d", st.Granularity, e.granularity)
+	}
+	e.Reset()
+	for _, w := range st.Writers {
+		e.last.put(w.Granule, writer{pc: w.StorePC, tid: w.Tid})
+	}
+	for _, ws := range st.Windows {
+		if len(ws.Window) > e.n {
+			return fmt.Errorf("deps: checkpoint window of %d deps for tid %d, extractor N=%d", len(ws.Window), ws.Tid, e.n)
+		}
+		win := e.win(ws.Tid)
+		for _, d := range ws.Window {
+			win.push(d)
+		}
+	}
+	return nil
 }
 
 // Window returns a copy of tid's current dependence window (most recent

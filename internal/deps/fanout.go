@@ -1,5 +1,7 @@
 package deps
 
+import "sync"
+
 // Fanout is the hand-off between the two stages of parallel replay.
 //
 // Last-writer resolution must observe the memory trace in its single
@@ -21,6 +23,14 @@ package deps
 //
 // Push and Close must be called from a single goroutine (the sequential
 // stage); each FanStream must be consumed by a single goroutine.
+//
+// Flush and Barrier extend the protocol for checkpointing: Flush pushes
+// every partial batch out, Barrier injects a token per stream that each
+// consumer acknowledges only after draining everything delivered before
+// it. Flush + Barrier + WaitGroup.Wait therefore quiesces the whole
+// fan-out — every formed dependence classified, every worker parked —
+// without tearing the streams down, which is exactly the stable point a
+// mid-trace checkpoint snapshots.
 
 // FanoutConfig tunes the hand-off.
 type FanoutConfig struct {
@@ -38,9 +48,19 @@ func (c FanoutConfig) withDefaults() FanoutConfig {
 	return c
 }
 
+// fanItem is one channel delivery: either a dependence batch or a
+// barrier token. A barrier carries the producer's WaitGroup; the
+// consumer acknowledges it only after every earlier batch on the stream
+// has been fully processed, which is what makes Barrier a quiescence
+// point (see Fanout.Barrier).
+type fanItem struct {
+	buf []Dep
+	bar *sync.WaitGroup
+}
+
 // FanStream is one thread's batch stream, consumed by its worker.
 type FanStream struct {
-	ch   chan []Dep
+	ch   chan fanItem
 	free chan []Dep
 	last []Dep
 }
@@ -48,18 +68,30 @@ type FanStream struct {
 // Next returns the next batch, blocking until the producer delivers one;
 // ok is false once the stream is closed and drained. The returned slice
 // is valid only until the following Next call — its backing array is
-// recycled to the producer.
+// recycled to the producer. Barrier tokens are handled transparently:
+// Next acknowledges them and keeps waiting for the next real batch, so
+// worker loops never see them.
 func (s *FanStream) Next() (batch []Dep, ok bool) {
-	if s.last != nil {
-		s.free <- s.last[:0]
-		s.last = nil
-	}
-	b, ok := <-s.ch
-	if ok {
-		s.last = b
+	for {
+		if s.last != nil {
+			s.free <- s.last[:0]
+			s.last = nil
+		}
+		it, ok := <-s.ch
+		if !ok {
+			return nil, false
+		}
+		if it.bar != nil {
+			// The channel is FIFO and the previous batch was completed
+			// before this Next call, so acknowledging here orders the
+			// barrier after every batch delivered before it.
+			it.bar.Done()
+			continue
+		}
+		s.last = it.buf
 		statFanoutInflight.Dec()
+		return it.buf, true
 	}
-	return b, ok
 }
 
 // fanShard is the producer side of one thread's stream.
@@ -95,7 +127,10 @@ func (f *Fanout) Push(tid uint16, d Dep) {
 	sh := f.shards[i]
 	if sh == nil {
 		st := &FanStream{
-			ch:   make(chan []Dep, f.cfg.Depth),
+			// ch is sized Depth+1 so Barrier's token never blocks behind a
+			// full data queue held by a worker that is itself blocked — the
+			// extra slot is reserved for control traffic.
+			ch:   make(chan fanItem, f.cfg.Depth+1),
 			free: make(chan []Dep, f.cfg.Depth+2),
 		}
 		// Buffer census: one being filled (cur), up to Depth in flight in
@@ -117,10 +152,47 @@ func (f *Fanout) Push(tid uint16, d Dep) {
 	if len(sh.cur) == f.cfg.Batch {
 		statFanoutInflight.Inc()
 		statFanoutBatches.Inc()
-		sh.stream.ch <- sh.cur
+		sh.stream.ch <- fanItem{buf: sh.cur}
 		sh.cur = <-sh.stream.free
 		statFanoutRecycled.Inc()
 	}
+}
+
+// Flush delivers every thread's partial batch without closing the
+// streams, so a checkpoint sees all dependences formed so far. Like
+// Push, producer-goroutine only.
+func (f *Fanout) Flush() {
+	for _, sh := range f.shards {
+		if sh == nil || len(sh.cur) == 0 {
+			continue
+		}
+		statFanoutInflight.Inc()
+		statFanoutBatches.Inc()
+		sh.stream.ch <- fanItem{buf: sh.cur}
+		sh.cur = <-sh.stream.free
+		statFanoutRecycled.Inc()
+	}
+}
+
+// Barrier enqueues a barrier token on every active stream and returns
+// the number of tokens sent, each accounted in wg before its send. A
+// consumer acknowledges its token only after processing every batch
+// delivered before it, so once wg.Wait returns, every dependence pushed
+// before the Barrier call has been fully classified and the workers are
+// parked in channel receives — the producer may safely read module
+// state (the WaitGroup's Done/Wait pair publishes it). Call Flush first
+// or partial batches will quiesce unclassified in the producer.
+func (f *Fanout) Barrier(wg *sync.WaitGroup) int {
+	n := 0
+	for _, sh := range f.shards {
+		if sh == nil {
+			continue
+		}
+		wg.Add(1)
+		sh.stream.ch <- fanItem{bar: wg}
+		n++
+	}
+	return n
 }
 
 // Close flushes every thread's partial batch and closes the streams;
@@ -133,7 +205,7 @@ func (f *Fanout) Close() {
 		if len(sh.cur) > 0 {
 			statFanoutInflight.Inc()
 			statFanoutBatches.Inc()
-			sh.stream.ch <- sh.cur
+			sh.stream.ch <- fanItem{buf: sh.cur}
 			sh.cur = nil
 		}
 		close(sh.stream.ch)

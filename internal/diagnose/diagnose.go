@@ -10,6 +10,7 @@ import (
 
 	"act/internal/core"
 	"act/internal/deps"
+	"act/internal/pipeline/stages"
 	"act/internal/ranking"
 	"act/internal/rca"
 	"act/internal/trace"
@@ -45,6 +46,16 @@ type Config struct {
 	// occurrence of a buggy sequence — the next failure of the same bug
 	// is then diagnosed instead.
 	MaxFailures int
+	// Checkpoint configures checkpoint/resume for the failing trace's
+	// replay and the downstream ranking/RCA stages (actdiag -ckpt /
+	// -resume). A checkpoint left by an earlier attempt over a different
+	// failing trace is ignored automatically.
+	Checkpoint core.CheckpointConfig
+	// Parallel replays the failing trace with per-module classification
+	// workers; nil replays sequentially. Observables are identical.
+	Parallel *core.ParallelConfig
+	// Strategy orders the ranked candidates (default ranking.MostMatched).
+	Strategy ranking.Strategy
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +90,12 @@ type Outcome struct {
 	// RCA is the structured verdict report derived from Report with
 	// full provenance (program marks, Debug Buffer, trajectories).
 	RCA *rca.Report
+	// Replay reports checkpoint/resume activity on the diagnosed
+	// failure's replay (zero without Config.Checkpoint).
+	Replay core.ReplayStatus
+	// StageResumed reports that ranking and RCA came from a checkpoint's
+	// stage sections instead of being recomputed.
+	StageResumed bool
 }
 
 // Diagnose runs the full pipeline for one bug.
@@ -130,10 +147,20 @@ func Diagnose(b workloads.Bug, cfg Config) (*Outcome, error) {
 		binary := core.NewWeightBinary(tr.Net.NIn, tr.Net.NHidden)
 		binary.PatchAll(fail.Program.NumThreads(), tr.Net.Flatten(nil))
 		tracker := core.NewTracker(binary, core.TrackerConfig{Module: mc})
-		tracker.Replay(fail.Trace)
-		debug := tracker.DebugBuffers()
-
-		rep := ranking.Rank(debug, correctSet)
+		sres, err := stages.Run(tracker, fail.Trace, correctSet, stages.Config{
+			Parallel:   cfg.Parallel,
+			Checkpoint: cfg.Checkpoint,
+			Strategy:   cfg.Strategy,
+			Provenance: rca.Provenance{
+				Program:     fail.Program,
+				CorrectRuns: cfg.CorrectSetRuns,
+				Bug:         b.Name,
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("diagnose %s: replaying failure: %w", b.Name, err)
+		}
+		debug, rep := sres.Debug, sres.Report
 		match := b.Matcher(fail.Program)
 		out = &Outcome{
 			Bug:           b,
@@ -146,12 +173,9 @@ func Diagnose(b workloads.Bug, cfg Config) (*Outcome, error) {
 			Rank:          rep.RankOf(match),
 			Candidates:    len(rep.Ranked),
 			Report:        rep,
-			RCA: rca.Analyze(rep, rca.Provenance{
-				Program:     fail.Program,
-				Debug:       debug,
-				CorrectRuns: cfg.CorrectSetRuns,
-				Bug:         b.Name,
-			}),
+			RCA:           sres.RCA,
+			Replay:        sres.Replay,
+			StageResumed:  sres.StageResumed,
 		}
 		if out.Rank > 0 {
 			break

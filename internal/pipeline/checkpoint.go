@@ -1,0 +1,166 @@
+// CRC-framed checkpoint files (format "ACTK").
+//
+// A checkpoint is a flat sequence of typed sections, each individually
+// checksummed, closed by a terminator frame:
+//
+//	prologue:   magic "ACTK" | u16 version=1 | u16 reserved
+//	section:    u8 kind | u32 length | payload |
+//	            u32 crc32(kind | length | payload)
+//	terminator: u8 0xFF | u32 0 | u32 crc32(0xFF | 0)
+//
+// All integers are little-endian; CRCs are IEEE CRC32 and cover the
+// kind and length bytes, so a corrupted length cannot smuggle garbage
+// past the check. The terminator distinguishes a complete file from one
+// truncated mid-write, and trailing bytes after it are rejected — a
+// checkpoint is all-or-nothing.
+//
+// Section kinds are owned by the layers above: core uses the 1..63
+// range for replay state (header, extractor, modules), stages uses
+// 64..254 for stage results (ranked report, RCA verdicts). This package
+// only frames and checksums.
+//
+// WriteFile is atomic (temp file + rename): a crash mid-checkpoint
+// leaves the previous complete checkpoint in place, never a torn one.
+package pipeline
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint format constants.
+const (
+	CkptMagic   = "ACTK"
+	CkptVersion = 1
+
+	ckptPrologueLen = 4 + 2 + 2
+	ckptFrameHdr    = 1 + 4 // kind byte, payload length
+	ckptFrameTail   = 4     // crc32
+
+	// ckptTerminator marks the end of a complete checkpoint.
+	ckptTerminator = 0xFF
+
+	// ckptMaxSection caps a declared section length; a corrupted length
+	// field must not provoke a multi-gigabyte allocation.
+	ckptMaxSection = 1 << 30
+)
+
+// Checkpoint parse errors. ErrCkptCorrupt covers truncation, CRC
+// mismatch, oversized sections, and trailing garbage — everything a
+// torn or bit-flipped file can present.
+var (
+	ErrCkptMagic   = errors.New("pipeline: not a checkpoint file (bad magic)")
+	ErrCkptVersion = errors.New("pipeline: unsupported checkpoint version")
+	ErrCkptCorrupt = errors.New("pipeline: corrupt checkpoint")
+)
+
+// Section is one typed span of a checkpoint.
+type Section struct {
+	Kind byte
+	Data []byte
+}
+
+// AppendCheckpoint serializes a complete checkpoint (prologue, the
+// sections in order, terminator) onto dst.
+func AppendCheckpoint(dst []byte, sections []Section) []byte {
+	dst = append(dst, CkptMagic...)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint16(tmp[:2], CkptVersion)
+	binary.LittleEndian.PutUint16(tmp[2:], 0)
+	dst = append(dst, tmp[:]...)
+	for _, s := range sections {
+		dst = appendSection(dst, s.Kind, s.Data)
+	}
+	return appendSection(dst, ckptTerminator, nil)
+}
+
+// appendSection frames one section.
+func appendSection(dst []byte, kind byte, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, kind)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(payload)))
+	dst = append(dst, tmp[:]...)
+	dst = append(dst, payload...)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	binary.LittleEndian.PutUint32(tmp[:], crc)
+	return append(dst, tmp[:]...)
+}
+
+// ParseCheckpoint validates a checkpoint image and returns its sections
+// in file order. Section data aliases the input. Any structural damage
+// — bad magic, wrong version, truncation, CRC mismatch, a missing
+// terminator, trailing bytes — yields an error wrapping one of the
+// sentinel errors above; a parsed checkpoint is therefore known whole.
+func ParseCheckpoint(data []byte) ([]Section, error) {
+	if len(data) < ckptPrologueLen || string(data[:4]) != CkptMagic {
+		return nil, ErrCkptMagic
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != CkptVersion {
+		return nil, fmt.Errorf("%w: %d", ErrCkptVersion, v)
+	}
+	var out []Section
+	off := ckptPrologueLen
+	for {
+		if len(data)-off < ckptFrameHdr+ckptFrameTail {
+			return nil, fmt.Errorf("%w: truncated at byte %d", ErrCkptCorrupt, off)
+		}
+		kind := data[off]
+		n := int(binary.LittleEndian.Uint32(data[off+1:]))
+		if n > ckptMaxSection || len(data)-off < ckptFrameHdr+n+ckptFrameTail {
+			return nil, fmt.Errorf("%w: section kind %d declares %d bytes", ErrCkptCorrupt, kind, n)
+		}
+		body := data[off : off+ckptFrameHdr+n]
+		want := binary.LittleEndian.Uint32(data[off+ckptFrameHdr+n:])
+		if crc32.ChecksumIEEE(body) != want {
+			return nil, fmt.Errorf("%w: crc mismatch in section kind %d", ErrCkptCorrupt, kind)
+		}
+		off += ckptFrameHdr + n + ckptFrameTail
+		if kind == ckptTerminator {
+			if off != len(data) {
+				return nil, fmt.Errorf("%w: %d trailing bytes", ErrCkptCorrupt, len(data)-off)
+			}
+			return out, nil
+		}
+		out = append(out, Section{Kind: kind, Data: body[ckptFrameHdr:]})
+	}
+}
+
+// WriteFile writes a checkpoint image atomically: the bytes land in a
+// temp file in the same directory, are synced, and replace path with
+// one rename. A kill at any instant leaves either the previous
+// checkpoint or the new one — never a torn file (a torn temp file is
+// ignored by resume since it is never renamed into place).
+func WriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	statCkptWrites.Inc()
+	statCkptBytes.Add(uint64(len(data)))
+	return nil
+}
